@@ -1,0 +1,51 @@
+//! F-MAJ benches (Figs. 9-10): one majority through the four-row
+//! activation (including the fractional-row preparation) and the
+//! six-combination coverage scan, on groups B and C.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fracdram::fmaj::{combo_breakdown, fmaj, FmajConfig};
+use fracdram::rowsets::Quad;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller(group: GroupId) -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(group, 7, geometry)))
+}
+
+fn bench_fmaj(c: &mut Criterion) {
+    let mut group_bench = c.benchmark_group("fmaj/single_operation");
+    for g in [GroupId::B, GroupId::C, GroupId::D] {
+        let mut mc = controller(g);
+        let geometry = *mc.module().geometry();
+        let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), g).unwrap();
+        let config = FmajConfig::best_for(g);
+        let width = mc.module().row_bits();
+        let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        let b_op: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        let c_op: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+        group_bench.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| fmaj(&mut mc, &quad, &config, [&a, &b_op, &c_op]).unwrap());
+        });
+    }
+    group_bench.finish();
+
+    let mut slow = c.benchmark_group("fmaj/slow");
+    slow.sample_size(10);
+    let mut mc = controller(GroupId::C);
+    let geometry = *mc.module().geometry();
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::C).unwrap();
+    let config = FmajConfig::best_for(GroupId::C);
+    slow.bench_function("coverage_six_combos", |b| {
+        b.iter(|| combo_breakdown(&mut mc, &quad, &config).unwrap());
+    });
+    slow.finish();
+}
+
+criterion_group!(benches, bench_fmaj);
+criterion_main!(benches);

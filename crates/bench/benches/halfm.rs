@@ -1,0 +1,48 @@
+//! Half-m benches (Figs. 4 and 8): the masked ternary write (four row
+//! stores + the interrupted four-row activation) and its read-back.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fracdram::halfm::{halfm_all, halfm_masked, read_back};
+use fracdram::rowsets::Quad;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller() -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        9,
+        geometry,
+    )))
+}
+
+fn bench_halfm(c: &mut Criterion) {
+    let mut mc = controller();
+    let geometry = *mc.module().geometry();
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::B).unwrap();
+    let width = mc.module().row_bits();
+    let data: Vec<bool> = (0..width).map(|i| i % 4 < 2).collect();
+    let mask: Vec<bool> = (0..width).map(|i| i % 8 == 0).collect();
+
+    c.bench_function("halfm/masked_ternary_write", |b| {
+        b.iter(|| halfm_masked(&mut mc, &quad, &data, &mask).unwrap());
+    });
+    c.bench_function("halfm/all_columns", |b| {
+        b.iter(|| halfm_all(&mut mc, &quad).unwrap());
+    });
+    halfm_masked(&mut mc, &quad, &data, &mask).unwrap();
+    c.bench_function("halfm/read_back", |b| {
+        b.iter(|| {
+            halfm_masked(&mut mc, &quad, &data, &mask).unwrap();
+            read_back(&mut mc, &quad, 2).unwrap()
+        });
+    });
+}
+
+criterion_group!(benches, bench_halfm);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! MAJ3 benches (Fig. 7 verification / baseline of Figs. 9-10): one
+//! in-memory majority, the six-combination coverage scan, and the
+//! two-majority fractional verification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fracdram::maj3::{maj3, maj3_coverage};
+use fracdram::rowsets::Triplet;
+use fracdram::verify::{verify_fractional, FracPlacement, VerifySetup};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller() -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        5,
+        geometry,
+    )))
+}
+
+fn bench_maj3(c: &mut Criterion) {
+    let mut mc = controller();
+    let geometry = *mc.module().geometry();
+    let triplet = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+    let width = mc.module().row_bits();
+    let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+    let b_op: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+    let c_op: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+    c.bench_function("maj3/single_operation", |b| {
+        b.iter(|| maj3(&mut mc, &triplet, [&a, &b_op, &c_op]).unwrap());
+    });
+
+    let mut group = c.benchmark_group("maj3/slow");
+    group.sample_size(10);
+    group.bench_function("coverage_six_combos", |b| {
+        b.iter(|| maj3_coverage(&mut mc, &triplet).unwrap());
+    });
+    let setup = VerifySetup {
+        placement: FracPlacement::R1R2,
+        init_ones: true,
+        frac_ops: 3,
+    };
+    group.bench_function("fractional_verification", |b| {
+        b.iter(|| verify_fractional(&mut mc, &triplet, &setup).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maj3);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! NIST SP 800-22 benches (§VI-B2): the full 15-test suite on a 100k-bit
+//! stream, plus the three heaviest individual tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fracdram_stats::bits::BitVec;
+use fracdram_stats::nist;
+
+/// Deterministic SplitMix64 bits (same generator the suite's own unit
+/// tests use).
+fn random_bits(n: usize, seed: u64) -> BitVec {
+    let mut v = BitVec::with_capacity(n);
+    let mut state = seed;
+    let mut word = 0u64;
+    for i in 0..n {
+        if i % 64 == 0 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            word = z ^ (z >> 31);
+        }
+        v.push((word >> (i % 64)) & 1 == 1);
+    }
+    v
+}
+
+fn bench_nist(c: &mut Criterion) {
+    let bits = random_bits(100_000, 0xFACE);
+    let mut group = c.benchmark_group("nist");
+    group.sample_size(10);
+    group.bench_function("full_suite_100k", |b| {
+        b.iter(|| nist::run_all(&bits));
+    });
+    group.bench_function("spectral_dft_100k", |b| {
+        b.iter(|| nist::spectral(&bits));
+    });
+    group.bench_function("linear_complexity_100k", |b| {
+        b.iter(|| nist::linear_complexity(&bits, 500));
+    });
+    group.bench_function("serial_m14_100k", |b| {
+        b.iter(|| nist::serial(&bits, 14));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nist);
+criterion_main!(benches);

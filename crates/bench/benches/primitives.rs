@@ -1,0 +1,95 @@
+//! Primitive-operation benches: Frac (Fig. 3), Half-m (Fig. 4), the
+//! glitch sequence, the in-DRAM row copy, and plain row traffic as the
+//! baseline — simulator throughput for each command program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fracdram::frac::frac_program;
+use fracdram::halfm::halfm_program;
+use fracdram::multirow::glitch_program;
+use fracdram::rowcopy::copy_program;
+use fracdram::rowsets::Quad;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller() -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        3,
+        geometry,
+    )))
+}
+
+fn bench_row_traffic(c: &mut Criterion) {
+    let mut mc = controller();
+    let width = mc.module().row_bits();
+    let pattern: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+    let addr = RowAddr::new(0, 4);
+    c.bench_function("primitives/write_row", |b| {
+        b.iter(|| mc.write_row(addr, &pattern).unwrap());
+    });
+    mc.write_row(addr, &pattern).unwrap();
+    c.bench_function("primitives/read_row", |b| {
+        b.iter(|| mc.read_row(addr).unwrap());
+    });
+}
+
+fn bench_frac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/frac");
+    let mut mc = controller();
+    let addr = RowAddr::new(0, 4);
+    let width = mc.module().row_bits();
+    mc.write_row(addr, &vec![true; width]).unwrap();
+    for ops in [1usize, 5, 10] {
+        let program = frac_program(addr, ops);
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &program, |b, p| {
+            b.iter(|| mc.run(p).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_copy_glitch_halfm(c: &mut Criterion) {
+    let mut mc = controller();
+    let geometry = *mc.module().geometry();
+    let width = mc.module().row_bits();
+    mc.write_row(RowAddr::new(0, 1), &vec![true; width])
+        .unwrap();
+    let copy = copy_program(RowAddr::new(0, 1), RowAddr::new(0, 5));
+    c.bench_function("primitives/row_copy", |b| {
+        b.iter(|| mc.run(&copy).unwrap());
+    });
+    let glitch = {
+        let mut p = glitch_program(RowAddr::new(0, 1), RowAddr::new(0, 2));
+        p.extend_from(
+            &fracdram_softmc::Program::builder()
+                .nop()
+                .delay(8)
+                .pre(0)
+                .delay(5)
+                .build(),
+        );
+        p
+    };
+    c.bench_function("primitives/three_row_glitch", |b| {
+        b.iter(|| mc.run(&glitch).unwrap());
+    });
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::B).unwrap();
+    let halfm = halfm_program(&quad, &geometry);
+    c.bench_function("primitives/halfm_sequence", |b| {
+        b.iter(|| mc.run(&halfm).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_row_traffic,
+    bench_frac,
+    bench_copy_glitch_halfm
+);
+criterion_main!(benches);

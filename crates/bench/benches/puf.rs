@@ -1,0 +1,51 @@
+//! Frac-PUF benches (Figs. 11-12): one challenge evaluation at two
+//! response widths, the intra-HD comparison, and the whitening pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fracdram::puf::{challenge_set, evaluate, whitened_stream, Challenge};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+use fracdram_softmc::MemoryController;
+use fracdram_stats::hamming::normalized_distance;
+
+fn controller(columns: usize) -> MemoryController {
+    let geometry = Geometry {
+        banks: 4,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        13,
+        geometry,
+    )))
+}
+
+fn bench_puf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("puf/evaluate");
+    for cols in [512usize, 4096] {
+        let mut mc = controller(cols);
+        let challenge = Challenge::new(0, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(cols), &cols, |b, _| {
+            b.iter(|| evaluate(&mut mc, challenge).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut mc = controller(1024);
+    let geometry = *mc.module().geometry();
+    let challenges = challenge_set(&geometry, 16, 1);
+    let responses: Vec<_> = challenges
+        .iter()
+        .map(|&ch| evaluate(&mut mc, ch).unwrap())
+        .collect();
+    c.bench_function("puf/intra_hd", |b| {
+        b.iter(|| normalized_distance(&responses[0], &responses[1]));
+    });
+    c.bench_function("puf/whitened_stream_16_responses", |b| {
+        b.iter(|| whitened_stream(&responses));
+    });
+}
+
+criterion_group!(benches, bench_puf);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Retention-profiling benches (Fig. 6): one full five-probe bucket
+//! measurement of a row, with and without Frac operations, plus the
+//! classification pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fracdram::retention::{classify_cells, measure_row};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller() -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        11,
+        geometry,
+    )))
+}
+
+fn bench_retention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retention");
+    group.sample_size(20);
+    let mut mc = controller();
+    let row = RowAddr::new(0, 7);
+    for ops in [0usize, 5] {
+        group.bench_with_input(BenchmarkId::new("measure_row", ops), &ops, |b, &ops| {
+            b.iter(|| measure_row(&mut mc, row, ops).unwrap());
+        });
+    }
+    let per_count: Vec<_> = (0..=5)
+        .map(|n| measure_row(&mut mc, row, n).unwrap())
+        .collect();
+    group.bench_function("classify_cells", |b| {
+        b.iter(|| classify_cells(&per_count));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_retention);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Table I bench: the per-module capability survey (Frac probe +
+//! canonical multi-row activation probes) across representative groups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fracdram::multirow::survey;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+use fracdram_softmc::MemoryController;
+
+fn geometry() -> Geometry {
+    Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 256,
+    }
+}
+
+fn bench_survey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/survey");
+    group.sample_size(20);
+    for g in [GroupId::B, GroupId::C, GroupId::F, GroupId::J] {
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| {
+                let mut mc =
+                    MemoryController::new(Module::new(ModuleConfig::single_chip(g, 1, geometry())));
+                survey(&mut mc).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_survey);
+criterion_main!(benches);

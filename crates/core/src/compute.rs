@@ -1,0 +1,364 @@
+//! A ComputeDRAM-style in-memory compute engine with reserved rows.
+//!
+//! The paper's overhead accounting (§VI-A1) assumes "the same strategy
+//! as ComputeDRAM, which exclusively uses reserved rows for
+//! computation: we need to copy the operands to the reserved locations
+//! and copy the result back as well". This module is that strategy,
+//! packaged: each sub-array donates its activation set (triplet or
+//! quad) as reserved *compute* rows, operands live anywhere else in the
+//! sub-array and move with in-DRAM row copies, and the majority
+//! implementation is chosen per module capability — native MAJ3 on
+//! group B, F-MAJ everywhere four rows open.
+//!
+//! Since `MAJ(a, b, 0) = AND(a, b)` and `MAJ(a, b, 1) = OR(a, b)`, the
+//! engine exposes bulk bitwise AND/OR over full DRAM rows, plus the raw
+//! majority. Every operation reports its exact cycle cost, so the 29 %
+//! F-MAJ-vs-MAJ3 figure can be re-derived from live measurements.
+
+use fracdram_model::{Cycles, Geometry, RowAddr, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FracDramError, Result};
+use crate::fmaj::{self, FmajConfig};
+use crate::frac::frac_program;
+use crate::maj3;
+use crate::rowcopy::copy_row;
+use crate::rowsets::{Quad, Triplet};
+
+/// Which in-memory majority implementation a module uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MajorityKind {
+    /// Native three-row MAJ3 (ComputeDRAM; group B).
+    Native3,
+    /// F-MAJ: four-row activation with a fractional helper row
+    /// (groups C/D — and optionally B, where it is *more* reliable).
+    FracAssisted4,
+}
+
+/// One executed operation's outcome: the result location and the cycle
+/// bill.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpReceipt {
+    /// Row the result was copied to.
+    pub result: RowAddr,
+    /// Total memory cycles the operation occupied the command bus.
+    pub cycles: Cycles,
+    /// Majority implementation used.
+    pub kind: MajorityKind,
+}
+
+/// An in-memory compute engine bound to one sub-array of a module.
+#[derive(Debug)]
+pub struct ComputeEngine {
+    subarray: SubarrayAddr,
+    kind: MajorityKind,
+    triplet: Triplet,
+    quad: Option<Quad>,
+    fmaj_config: FmajConfig,
+    /// Local rows reserved for computation (excluded from operand use).
+    reserved: Vec<usize>,
+}
+
+impl ComputeEngine {
+    /// Binds an engine to `subarray`, choosing the best majority
+    /// implementation the module supports. On group B this defaults to
+    /// F-MAJ (higher coverage than the native MAJ3, per §VI-A2); pass
+    /// `prefer_native = true` to use the ComputeDRAM baseline instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::Unsupported`] when the module can open
+    /// neither three nor four rows.
+    pub fn bind(
+        mc: &MemoryController,
+        subarray: SubarrayAddr,
+        prefer_native: bool,
+    ) -> Result<Self> {
+        let profile = mc.module().profile();
+        let geometry: Geometry = *mc.module().geometry();
+        let triplet = Triplet::first(&geometry, subarray);
+        let group = profile.group;
+        let (kind, quad) =
+            if profile.supports_four_row() && !(prefer_native && profile.supports_three_row()) {
+                (
+                    MajorityKind::FracAssisted4,
+                    Some(Quad::canonical(&geometry, subarray, group)?),
+                )
+            } else if profile.supports_three_row() {
+                (MajorityKind::Native3, None)
+            } else {
+                return Err(FracDramError::Unsupported {
+                    group,
+                    operation: "in-memory majority (needs three- or four-row activation)",
+                });
+            };
+        let mut reserved: Vec<usize> = triplet
+            .rows(&geometry)
+            .iter()
+            .map(|r| r.row % geometry.rows_per_subarray)
+            .collect();
+        if let Some(q) = &quad {
+            reserved.extend(q.local_roles());
+        }
+        reserved.sort_unstable();
+        reserved.dedup();
+        Ok(ComputeEngine {
+            subarray,
+            kind,
+            triplet,
+            quad,
+            fmaj_config: FmajConfig::best_for(group),
+            reserved,
+        })
+    }
+
+    /// The majority implementation in use.
+    pub fn kind(&self) -> MajorityKind {
+        self.kind
+    }
+
+    /// Local rows the engine reserves; operands and results must live
+    /// elsewhere in the sub-array.
+    pub fn reserved_rows(&self) -> &[usize] {
+        &self.reserved
+    }
+
+    /// Whether `row` (bank-level) is usable as an operand/result slot.
+    pub fn is_operand_row(&self, geometry: &Geometry, row: RowAddr) -> bool {
+        if row.bank != self.subarray.bank {
+            return false;
+        }
+        let (sub, local) = geometry.split_row(row.row);
+        sub == self.subarray.subarray && !self.reserved.contains(&local)
+    }
+
+    fn check_operand(&self, geometry: &Geometry, row: RowAddr) -> Result<()> {
+        if self.is_operand_row(geometry, row) {
+            Ok(())
+        } else {
+            Err(FracDramError::BadRowSet {
+                reason: format!("{row} is reserved or outside the engine's sub-array"),
+            })
+        }
+    }
+
+    /// In-memory majority of three operand rows, result copied to
+    /// `dst`: copies operands into the reserved rows, triggers the
+    /// majority, copies the result out. Every row involved must be an
+    /// operand row of this engine's sub-array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::BadRowSet`] for reserved/foreign rows
+    /// and propagates controller errors.
+    pub fn majority(
+        &self,
+        mc: &mut MemoryController,
+        operands: [RowAddr; 3],
+        dst: RowAddr,
+    ) -> Result<OpReceipt> {
+        let geometry = *mc.module().geometry();
+        for row in operands.iter().chain([&dst]) {
+            self.check_operand(&geometry, *row)?;
+        }
+        let start = mc.clock();
+        match self.kind {
+            MajorityKind::Native3 => {
+                let rows = self.triplet.rows(&geometry);
+                for (src, dst_row) in operands.iter().zip(rows) {
+                    copy_row(mc, *src, dst_row)?;
+                }
+                maj3::maj3_in_place(mc, &self.triplet)?;
+                copy_row(mc, rows[0], dst)?;
+            }
+            MajorityKind::FracAssisted4 => {
+                let quad = self.quad.as_ref().expect("quad set for FracAssisted4");
+                let rows = quad.rows(&geometry);
+                let frac_row = rows[self.fmaj_config.frac_role.min(3)];
+                // Fractional helper: init via in-DRAM copy of an operand
+                // (one copy, as §VI-A1 budgets) — the copied data is not
+                // uniform, so one extra Frac op (minimum three) shrinks
+                // the residual data-dependence geometrically.
+                copy_row(mc, operands[0], frac_row)?;
+                mc.run(&frac_program(frac_row, self.fmaj_config.frac_ops.max(3)))?;
+                for (src, slot) in operands.iter().zip(self.fmaj_config.operand_roles()) {
+                    copy_row(mc, *src, rows[slot])?;
+                }
+                let geometry2 = geometry;
+                mc.run(&fmaj::fmaj_program(quad, &geometry2))?;
+                copy_row(mc, rows[0], dst)?;
+            }
+        }
+        Ok(OpReceipt {
+            result: dst,
+            cycles: Cycles(mc.clock() - start),
+            kind: self.kind,
+        })
+    }
+
+    /// Bulk bitwise AND: `dst = a & b` via `MAJ(a, b, zeros)`; `scratch`
+    /// receives the constant row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ComputeEngine::majority`].
+    pub fn and(
+        &self,
+        mc: &mut MemoryController,
+        a: RowAddr,
+        b: RowAddr,
+        scratch: RowAddr,
+        dst: RowAddr,
+    ) -> Result<OpReceipt> {
+        let width = mc.module().row_bits();
+        mc.write_row(scratch, &vec![false; width])?;
+        self.majority(mc, [a, b, scratch], dst)
+    }
+
+    /// Bulk bitwise OR: `dst = a | b` via `MAJ(a, b, ones)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ComputeEngine::majority`].
+    pub fn or(
+        &self,
+        mc: &mut MemoryController,
+        a: RowAddr,
+        b: RowAddr,
+        scratch: RowAddr,
+        dst: RowAddr,
+    ) -> Result<OpReceipt> {
+        let width = mc.module().row_bits();
+        mc.write_row(scratch, &vec![true; width])?;
+        self.majority(mc, [a, b, scratch], dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        let geometry = Geometry {
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            columns: 256,
+        };
+        MemoryController::new(Module::new(ModuleConfig::single_chip(group, 37, geometry)))
+    }
+
+    fn rows() -> (RowAddr, RowAddr, RowAddr, RowAddr) {
+        // Operand rows clear of {0,1,2,8,9} (reserved by triplet/quad).
+        (
+            RowAddr::new(0, 16),
+            RowAddr::new(0, 17),
+            RowAddr::new(0, 18),
+            RowAddr::new(0, 20),
+        )
+    }
+
+    #[test]
+    fn binds_with_the_right_kind_per_group() {
+        let mc = controller(GroupId::B);
+        let e = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false).unwrap();
+        assert_eq!(e.kind(), MajorityKind::FracAssisted4);
+        let e = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), true).unwrap();
+        assert_eq!(e.kind(), MajorityKind::Native3);
+        let mc = controller(GroupId::C);
+        let e = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), true).unwrap();
+        assert_eq!(
+            e.kind(),
+            MajorityKind::FracAssisted4,
+            "C has no native MAJ3"
+        );
+        let mc = controller(GroupId::F);
+        assert!(ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false).is_err());
+    }
+
+    #[test]
+    fn and_or_compute_correctly_on_most_columns() {
+        for group in [GroupId::B, GroupId::C] {
+            let mut mc = controller(group);
+            let engine = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false).unwrap();
+            let (ra, rb, scratch, dst) = rows();
+            let width = mc.module().row_bits();
+            let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+            let b: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+            mc.write_row(ra, &a).unwrap();
+            mc.write_row(rb, &b).unwrap();
+
+            engine.and(&mut mc, ra, rb, scratch, dst).unwrap();
+            let result = mc.read_row(dst).unwrap();
+            let ok = (0..width).filter(|&i| result[i] == (a[i] && b[i])).count();
+            assert!(ok * 20 >= width * 18, "{group} AND: {ok}/{width}");
+
+            mc.write_row(ra, &a).unwrap();
+            mc.write_row(rb, &b).unwrap();
+            engine.or(&mut mc, ra, rb, scratch, dst).unwrap();
+            let result = mc.read_row(dst).unwrap();
+            let ok = (0..width).filter(|&i| result[i] == (a[i] || b[i])).count();
+            assert!(ok * 20 >= width * 18, "{group} OR: {ok}/{width}");
+        }
+    }
+
+    #[test]
+    fn operands_are_preserved_by_and() {
+        let mut mc = controller(GroupId::B);
+        let engine = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), true).unwrap();
+        let (ra, rb, scratch, dst) = rows();
+        let width = mc.module().row_bits();
+        let a: Vec<bool> = (0..width).map(|i| i % 7 == 0).collect();
+        let b = vec![true; width];
+        mc.write_row(ra, &a).unwrap();
+        mc.write_row(rb, &b).unwrap();
+        engine.and(&mut mc, ra, rb, scratch, dst).unwrap();
+        assert_eq!(mc.read_row(ra).unwrap(), a, "operand A clobbered");
+        assert_eq!(mc.read_row(rb).unwrap(), b, "operand B clobbered");
+    }
+
+    #[test]
+    fn reserved_rows_are_rejected_as_operands() {
+        let mut mc = controller(GroupId::B);
+        let engine = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false).unwrap();
+        assert!(engine.reserved_rows().contains(&0));
+        assert!(engine.reserved_rows().contains(&8));
+        let (_, rb, scratch, dst) = rows();
+        let err = engine
+            .majority(&mut mc, [RowAddr::new(0, 1), rb, scratch], dst)
+            .unwrap_err();
+        assert!(matches!(err, FracDramError::BadRowSet { .. }));
+        // Foreign sub-array rows are rejected too.
+        let err = engine
+            .majority(&mut mc, [RowAddr::new(0, 40), rb, scratch], dst)
+            .unwrap_err();
+        assert!(matches!(err, FracDramError::BadRowSet { .. }));
+    }
+
+    #[test]
+    fn fmaj_engine_costs_about_thirty_percent_more_cycles() {
+        let mut mc = controller(GroupId::B);
+        let (ra, rb, rc, dst) = rows();
+        let width = mc.module().row_bits();
+        for r in [ra, rb, rc] {
+            mc.write_row(r, &vec![true; width]).unwrap();
+        }
+        let native = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), true).unwrap();
+        let n = native.majority(&mut mc, [ra, rb, rc], dst).unwrap();
+        let fm = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false).unwrap();
+        for r in [ra, rb, rc] {
+            mc.write_row(r, &vec![true; width]).unwrap();
+        }
+        let f = fm.majority(&mut mc, [ra, rb, rc], dst).unwrap();
+        let overhead = f.cycles.value() as f64 / n.cycles.value() as f64 - 1.0;
+        assert!(
+            (0.15..0.55).contains(&overhead),
+            "overhead = {:.1}% (native {} vs F-MAJ {})",
+            overhead * 100.0,
+            n.cycles,
+            f.cycles
+        );
+    }
+}

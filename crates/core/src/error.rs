@@ -1,0 +1,120 @@
+//! Error type of the FracDRAM core library.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use fracdram_model::{GroupId, ModelError};
+use fracdram_softmc::ControllerError;
+
+/// Errors reported by FracDRAM operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FracDramError {
+    /// The memory controller / device model rejected a command.
+    Controller(ControllerError),
+    /// The target module's DRAM group cannot perform the requested
+    /// operation (Table I capability matrix).
+    Unsupported {
+        /// Group of the target module.
+        group: GroupId,
+        /// The operation that is not available on this group.
+        operation: &'static str,
+    },
+    /// An operand had the wrong width for the module row.
+    OperandWidth {
+        /// Supplied width in bits.
+        got: usize,
+        /// Module row width in bits.
+        expected: usize,
+    },
+    /// The requested rows do not form a usable multi-row activation set
+    /// on this module (wrong sub-array, out of range, or the decoder
+    /// does not glitch for this pair).
+    BadRowSet {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A REFRESH was requested while rows still hold fractional values
+    /// (§III-C: refresh destroys fractional state).
+    RefreshWouldDestroyFractional {
+        /// Number of rows currently holding fractional values.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for FracDramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FracDramError::Controller(e) => write!(f, "{e}"),
+            FracDramError::Unsupported { group, operation } => {
+                write!(f, "group {group} modules cannot perform {operation}")
+            }
+            FracDramError::OperandWidth { got, expected } => {
+                write!(f, "operand is {got} bits, module row is {expected}")
+            }
+            FracDramError::BadRowSet { reason } => write!(f, "bad row set: {reason}"),
+            FracDramError::RefreshWouldDestroyFractional { rows } => write!(
+                f,
+                "refresh would destroy fractional values in {rows} row(s)"
+            ),
+        }
+    }
+}
+
+impl StdError for FracDramError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            FracDramError::Controller(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ControllerError> for FracDramError {
+    fn from(e: ControllerError) -> Self {
+        FracDramError::Controller(e)
+    }
+}
+
+impl From<ModelError> for FracDramError {
+    fn from(e: ModelError) -> Self {
+        FracDramError::Controller(ControllerError::Model(e))
+    }
+}
+
+/// Convenience result alias for FracDRAM operations.
+pub type Result<T> = std::result::Result<T, FracDramError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let e = FracDramError::Unsupported {
+            group: GroupId::J,
+            operation: "Frac",
+        };
+        assert!(e.to_string().contains("group J"));
+        let e = FracDramError::OperandWidth {
+            got: 8,
+            expected: 64,
+        };
+        assert!(e.to_string().contains("8 bits"));
+        let e = FracDramError::BadRowSet {
+            reason: "rows span two sub-arrays".into(),
+        };
+        assert!(e.to_string().contains("sub-arrays"));
+        let e = FracDramError::RefreshWouldDestroyFractional { rows: 3 };
+        assert!(e.to_string().contains("3 row(s)"));
+    }
+
+    #[test]
+    fn conversions_and_source() {
+        let e: FracDramError = ModelError::BankClosed { bank: 1 }.into();
+        assert!(matches!(e, FracDramError::Controller(_)));
+        assert!(e.source().is_some());
+        assert!(FracDramError::RefreshWouldDestroyFractional { rows: 1 }
+            .source()
+            .is_none());
+    }
+}

@@ -1,0 +1,385 @@
+//! F-MAJ (§VI-A): majority-of-three through a **four**-row activation.
+//!
+//! Groups C and D can only open power-of-two row sets, so the original
+//! three-row MAJ3 is impossible there. F-MAJ stores a fractional value
+//! (≈ `Vdd/2`) in one of the four rows: during charge sharing that row
+//! contributes (almost) nothing, so the bit-line resolves to the
+//! majority of the *other three* rows. On group B, placing the
+//! fractional value in the decoder's "primary" (heaviest) row also
+//! neutralizes the asymmetry that causes the baseline MAJ3 errors —
+//! which is how the paper cuts the in-memory majority error rate from
+//! 9.1 % to 2.2 %.
+
+use fracdram_model::{Cycles, Geometry, GroupId};
+use fracdram_softmc::{MemoryController, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FracDramError, Result};
+use crate::frac::{frac_program, FRAC_CYCLES};
+use crate::maj3::{expected_majority, TEST_COMBINATIONS};
+use crate::multirow::glitch_program;
+use crate::rowcopy::COPY_CYCLES;
+use crate::rowsets::Quad;
+
+/// Idle cycles after the second ACTIVATE for the sense amplifier to
+/// resolve the four-row charge share.
+const SENSE_WAIT: u64 = 6;
+
+/// Placement and level of the fractional operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FmajConfig {
+    /// Which activation role (0 = R1 … 3 = R4) holds the fractional
+    /// value.
+    pub frac_role: usize,
+    /// Initial row value before the Frac operations: `true` leaves the
+    /// fractional level above `Vdd/2`, `false` below.
+    pub init_ones: bool,
+    /// Number of Frac operations (more ⇒ closer to `Vdd/2`).
+    pub frac_ops: usize,
+}
+
+impl FmajConfig {
+    /// The experimentally best configuration per group (§VI-A2): group B
+    /// stores the fractional value in its primary row R2 with initial
+    /// ones and two Frac operations; group C favors R1 with a level
+    /// above `Vdd/2`; group D favors R4 with a level below.
+    pub fn best_for(group: GroupId) -> Self {
+        match group {
+            GroupId::D => FmajConfig {
+                frac_role: 3,
+                init_ones: false,
+                frac_ops: 2,
+            },
+            GroupId::C => FmajConfig {
+                frac_role: 0,
+                init_ones: true,
+                frac_ops: 2,
+            },
+            // Group B and any other four-row-capable silicon: primary
+            // slot, initial ones.
+            _ => FmajConfig {
+                frac_role: group.profile().primary_slot().min(3),
+                init_ones: true,
+                frac_ops: 2,
+            },
+        }
+    }
+
+    /// The three non-fractional roles, in role order.
+    pub fn operand_roles(&self) -> [usize; 3] {
+        let mut roles = [0usize; 3];
+        let mut i = 0;
+        for role in 0..4 {
+            if role != self.frac_role {
+                roles[i] = role;
+                i += 1;
+            }
+        }
+        roles
+    }
+}
+
+impl Default for FmajConfig {
+    fn default() -> Self {
+        FmajConfig {
+            frac_role: 1,
+            init_ones: true,
+            frac_ops: 2,
+        }
+    }
+}
+
+/// Builds the F-MAJ trigger program (step 4): the four-row glitch
+/// sequence, sense wait, READ of the resolved majority, PRECHARGE.
+pub fn fmaj_program(quad: &Quad, geometry: &Geometry) -> Program {
+    let r1 = quad.r1(geometry);
+    let r2 = quad.r2(geometry);
+    let mut p = glitch_program(r1, r2);
+    p.extend_from(
+        &Program::builder()
+            .nop()
+            .delay(SENSE_WAIT)
+            .read(r1.bank)
+            .pre(r1.bank)
+            .delay(5)
+            .build(),
+    );
+    p
+}
+
+/// Checks four-row capability.
+fn require_four_row(mc: &MemoryController) -> Result<()> {
+    let profile = mc.module().profile();
+    if profile.supports_four_row() {
+        Ok(())
+    } else {
+        Err(FracDramError::Unsupported {
+            group: profile.group,
+            operation: "four-row activation (F-MAJ)",
+        })
+    }
+}
+
+/// Prepares the fractional row of an F-MAJ (steps 1–2): initializes the
+/// chosen role's row to all ones/zeros and issues the Frac operations.
+///
+/// # Errors
+///
+/// Propagates capability and controller errors.
+pub fn prepare_fractional_row(
+    mc: &mut MemoryController,
+    quad: &Quad,
+    config: &FmajConfig,
+) -> Result<()> {
+    require_four_row(mc)?;
+    let geometry = *mc.module().geometry();
+    let row = quad.rows(&geometry)[config.frac_role.min(3)];
+    let bits = vec![config.init_ones; mc.module().row_bits()];
+    mc.write_row(row, &bits)?;
+    mc.run(&frac_program(row, config.frac_ops))?;
+    Ok(())
+}
+
+/// Executes a complete F-MAJ: fractional-row preparation, operand
+/// stores (into the non-fractional roles, in role order), trigger, and
+/// read-back of the majority result.
+///
+/// The result is restored into all four rows, exactly as on hardware.
+///
+/// # Errors
+///
+/// Returns [`FracDramError::Unsupported`] when the module cannot open
+/// four rows, [`FracDramError::OperandWidth`] on width mismatches, and
+/// propagates controller errors.
+pub fn fmaj(
+    mc: &mut MemoryController,
+    quad: &Quad,
+    config: &FmajConfig,
+    operands: [&[bool]; 3],
+) -> Result<Vec<bool>> {
+    require_four_row(mc)?;
+    let width = mc.module().row_bits();
+    for bits in operands {
+        if bits.len() != width {
+            return Err(FracDramError::OperandWidth {
+                got: bits.len(),
+                expected: width,
+            });
+        }
+    }
+    prepare_fractional_row(mc, quad, config)?;
+    let geometry = *mc.module().geometry();
+    let rows = quad.rows(&geometry);
+    for (slot, bits) in config.operand_roles().into_iter().zip(operands) {
+        mc.write_row(rows[slot], bits)?;
+    }
+    let outcome = mc.run(&fmaj_program(quad, &geometry))?;
+    Ok(outcome.reads.into_iter().next().unwrap_or_default())
+}
+
+/// Per-column coverage of F-MAJ under `config`: the fraction of columns
+/// producing the correct majority for all six test combinations.
+///
+/// # Errors
+///
+/// Same conditions as [`fmaj`].
+pub fn fmaj_coverage(mc: &mut MemoryController, quad: &Quad, config: &FmajConfig) -> Result<f64> {
+    Ok(combo_breakdown(mc, quad, config)?.overall)
+}
+
+/// Per-input-combination correctness of F-MAJ (Fig. 10a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComboBreakdown {
+    /// Correct fraction for each of [`TEST_COMBINATIONS`], in order.
+    pub per_combo: [f64; 6],
+    /// Fraction of columns correct on **all** six combinations.
+    pub overall: f64,
+}
+
+/// Evaluates all six operand combinations and reports the per-combo and
+/// overall coverage.
+///
+/// # Errors
+///
+/// Same conditions as [`fmaj`].
+pub fn combo_breakdown(
+    mc: &mut MemoryController,
+    quad: &Quad,
+    config: &FmajConfig,
+) -> Result<ComboBreakdown> {
+    let width = mc.module().row_bits();
+    let mut ok = vec![true; width];
+    let mut per_combo = [0.0; 6];
+    for (i, combo) in TEST_COMBINATIONS.into_iter().enumerate() {
+        let rows: Vec<Vec<bool>> = combo.iter().map(|&b| vec![b; width]).collect();
+        let result = fmaj(mc, quad, config, [&rows[0], &rows[1], &rows[2]])?;
+        let expect = expected_majority(combo);
+        let mut correct = 0usize;
+        for (col, &bit) in result.iter().enumerate() {
+            if bit == expect {
+                correct += 1;
+            } else {
+                ok[col] = false;
+            }
+        }
+        per_combo[i] = correct as f64 / width as f64;
+    }
+    Ok(ComboBreakdown {
+        per_combo,
+        overall: ok.iter().filter(|&&b| b).count() as f64 / width as f64,
+    })
+}
+
+/// Cycle cost of one F-MAJ *beyond* operand staging: the fractional-row
+/// initialization copy, the Frac operations, and the trigger program.
+/// With operand staging included (three copies in, one out — the
+/// ComputeDRAM reserved-row strategy), F-MAJ costs ~29 % more cycles
+/// than the baseline MAJ3 (§VI-A1).
+pub fn fmaj_extra_cycles(config: &FmajConfig) -> Cycles {
+    Cycles(COPY_CYCLES + FRAC_CYCLES * config.frac_ops as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, Module, ModuleConfig, SubarrayAddr};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            53,
+            Geometry::tiny(),
+        )))
+    }
+
+    fn quad(mc: &MemoryController) -> Quad {
+        Quad::canonical(
+            mc.module().geometry(),
+            SubarrayAddr::new(0, 0),
+            mc.module().profile().group,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn best_configs_match_paper() {
+        let b = FmajConfig::best_for(GroupId::B);
+        assert_eq!((b.frac_role, b.init_ones), (1, true), "B: frac in R2");
+        let c = FmajConfig::best_for(GroupId::C);
+        assert_eq!((c.frac_role, c.init_ones), (0, true), "C: frac in R1, ones");
+        let d = FmajConfig::best_for(GroupId::D);
+        assert_eq!(
+            (d.frac_role, d.init_ones),
+            (3, false),
+            "D: frac in R4, zeros"
+        );
+    }
+
+    #[test]
+    fn operand_roles_skip_the_fractional_slot() {
+        let cfg = FmajConfig {
+            frac_role: 1,
+            init_ones: true,
+            frac_ops: 2,
+        };
+        assert_eq!(cfg.operand_roles(), [0, 2, 3]);
+        let cfg = FmajConfig {
+            frac_role: 0,
+            ..cfg
+        };
+        assert_eq!(cfg.operand_roles(), [1, 2, 3]);
+    }
+
+    #[test]
+    fn fmaj_computes_majority_on_group_c() {
+        // The headline capability: group C cannot do MAJ3 at all, but
+        // F-MAJ gives it an in-memory majority.
+        let mut mc = controller(GroupId::C);
+        let q = quad(&mc);
+        let cfg = FmajConfig::best_for(GroupId::C);
+        let width = mc.module().row_bits();
+        for combo in TEST_COMBINATIONS {
+            let rows: Vec<Vec<bool>> = combo.iter().map(|&b| vec![b; width]).collect();
+            let result = fmaj(&mut mc, &q, &cfg, [&rows[0], &rows[1], &rows[2]]).unwrap();
+            let expect = expected_majority(combo);
+            let correct = result.iter().filter(|&&b| b == expect).count();
+            assert!(
+                correct * 10 >= width * 6,
+                "combo {combo:?}: {correct}/{width} correct"
+            );
+        }
+    }
+
+    #[test]
+    fn fmaj_beats_baseline_coverage_on_group_b() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let cfg = FmajConfig::best_for(GroupId::B);
+        let fmaj_cov = fmaj_coverage(&mut mc, &q, &cfg).unwrap();
+        let t = crate::rowsets::Triplet::first(mc.module().geometry(), SubarrayAddr::new(0, 0));
+        let maj3_cov = crate::maj3::maj3_coverage(&mut mc, &t).unwrap();
+        assert!(
+            fmaj_cov >= maj3_cov,
+            "F-MAJ ({fmaj_cov}) must not trail MAJ3 ({maj3_cov})"
+        );
+        assert!(fmaj_cov > 0.9, "group B coverage = {fmaj_cov}");
+    }
+
+    #[test]
+    fn without_fractional_row_results_are_biased() {
+        // Store full ones (no Frac) in the critical row: charge from that
+        // row dominates and all-zero majorities break — Fig. 10a's "no
+        // Frac" point. With Frac ops the bias disappears.
+        let mut mc = controller(GroupId::C);
+        let q = quad(&mc);
+        let biased = FmajConfig {
+            frac_role: 0,
+            init_ones: true,
+            frac_ops: 0,
+        };
+        let breakdown = combo_breakdown(&mut mc, &q, &biased).unwrap();
+        // Majority-one combos benefit from the extra charge...
+        let green: f64 = breakdown.per_combo[3..].iter().sum::<f64>() / 3.0;
+        // ...majority-zero combos suffer.
+        let blue: f64 = breakdown.per_combo[..3].iter().sum::<f64>() / 3.0;
+        assert!(
+            green > blue + 0.2,
+            "expected one-bias without Frac: green {green}, blue {blue}"
+        );
+    }
+
+    #[test]
+    fn incapable_group_is_rejected() {
+        let mut mc = controller(GroupId::F);
+        let q = Quad::from_pair(mc.module().geometry(), SubarrayAddr::new(0, 0), 1, 2).unwrap();
+        let width = mc.module().row_bits();
+        let ones = vec![true; width];
+        let err = fmaj(&mut mc, &q, &FmajConfig::default(), [&ones, &ones, &ones]).unwrap_err();
+        assert!(matches!(err, FracDramError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn operand_width_is_validated() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let ones = vec![true; mc.module().row_bits()];
+        let err = fmaj(
+            &mut mc,
+            &q,
+            &FmajConfig::default(),
+            [&[true, false], &ones, &ones],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FracDramError::OperandWidth { .. }));
+    }
+
+    #[test]
+    fn extra_cycles_account_for_copy_and_fracs() {
+        let cfg = FmajConfig {
+            frac_role: 1,
+            init_ones: true,
+            frac_ops: 2,
+        };
+        assert_eq!(fmaj_extra_cycles(&cfg).value(), COPY_CYCLES + 14);
+    }
+}

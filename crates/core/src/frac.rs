@@ -1,0 +1,229 @@
+//! The *Frac* primitive (§III-A): storing a fractional value in an
+//! entire DRAM row.
+//!
+//! A Frac operation is an ACTIVATE followed by a PRECHARGE on the next
+//! command cycle. The PRECHARGE interrupts the in-flight row activation
+//! before the sense amplifier is enabled: the cells of the row have
+//! charge-shared with their half-`Vdd` bit-lines but are disconnected
+//! before restoration, so each cell keeps an intermediate voltage —
+//! between `Vdd/2` and its previous rail. Each additional Frac operation
+//! pulls the row geometrically closer to `Vdd/2`.
+//!
+//! One Frac operation occupies [`FRAC_CYCLES`] = 7 memory cycles (two
+//! command cycles plus five idle cycles for the PRECHARGE to complete),
+//! exactly as the paper reports.
+
+use fracdram_model::{GroupId, RowAddr};
+use fracdram_softmc::{MemoryController, Program};
+
+use crate::error::{FracDramError, Result};
+
+/// Memory cycles one Frac operation occupies (2 commands + 5 idle).
+pub const FRAC_CYCLES: u64 = 7;
+
+/// Builds the program for `count` back-to-back Frac operations on `row`.
+///
+/// Each repetition is `ACTIVATE(row)` immediately followed by
+/// `PRECHARGE`, then five idle cycles so the precharge completes before
+/// the next activation — the 7-cycle schedule of Fig. 3.
+pub fn frac_program(row: RowAddr, count: usize) -> Program {
+    let mut program = Program::new();
+    for _ in 0..count {
+        let one = Program::builder()
+            .act(row)
+            .pre(row.bank)
+            .delay(FRAC_CYCLES - 2)
+            .build();
+        program.extend_from(&one);
+    }
+    program
+}
+
+/// Executes `count` Frac operations on `row`.
+///
+/// The row's previous logical content is destroyed: every cell ends at a
+/// fractional voltage. Starting from all ones the value lies between
+/// `Vdd/2` and `Vdd`; from all zeros, between 0 and `Vdd/2`; more
+/// operations land closer to `Vdd/2` (§V-A).
+///
+/// # Errors
+///
+/// Returns [`FracDramError::Unsupported`] on groups with command-timing
+/// guards (J, K, L) — their chips execute the sequence as legally timed
+/// commands and no fractional value is produced — and propagates
+/// controller errors.
+pub fn frac(mc: &mut MemoryController, row: RowAddr, count: usize) -> Result<()> {
+    let group = require_frac_support(mc)?;
+    debug_assert!(!group.profile().timing_guard);
+    mc.run(&frac_program(row, count))?;
+    Ok(())
+}
+
+/// Builds the logical bit pattern that stores the same **physical**
+/// rail (`Vdd` for `physical_ones`, ground otherwise) in every cell of
+/// a row — logical values are inverted on anti-cell columns, the
+/// paper's §II-C convention: "we store opposite logic values to
+/// anti-cells by default, so that they physically hold the same voltage
+/// as true-cells".
+pub fn physical_pattern(mc: &mut MemoryController, row: RowAddr, physical_ones: bool) -> Vec<bool> {
+    let geometry = *mc.module().geometry();
+    let (sub, _) = geometry.split_row(row.row);
+    let width = mc.module().row_bits();
+    let mut pattern = Vec::with_capacity(width);
+    for col in 0..width {
+        let (chip, chip_col) = mc.module().map_column(col);
+        let anti = mc
+            .module_mut()
+            .chip_mut(chip)
+            .is_anti_column(row.bank, sub, chip_col);
+        pattern.push(physical_ones ^ anti);
+    }
+    pattern
+}
+
+/// Initializes `row` to the same *physical* rail in every cell (legal
+/// timing, polarity-corrected per §II-C), then executes `count` Frac
+/// operations — leaving every cell at a fractional voltage on the same
+/// side of `Vdd/2`.
+///
+/// This is the preparation step the paper uses everywhere a *specific*
+/// fractional level is wanted: F-MAJ step 2 ("an initialization to all
+/// zeros/ones before Frac is preferred") and the PUF ("store all ones to
+/// that row as the initial value. Next we issue ten Frac operations").
+///
+/// # Errors
+///
+/// Same conditions as [`frac`].
+pub fn store_fractional(
+    mc: &mut MemoryController,
+    row: RowAddr,
+    init_ones: bool,
+    count: usize,
+) -> Result<()> {
+    require_frac_support(mc)?;
+    let bits = physical_pattern(mc, row, init_ones);
+    mc.write_row(row, &bits)?;
+    mc.run(&frac_program(row, count))?;
+    Ok(())
+}
+
+/// Checks that the controlled module's group executes Frac, returning
+/// the group.
+///
+/// # Errors
+///
+/// Returns [`FracDramError::Unsupported`] for groups J, K, and L.
+pub fn require_frac_support(mc: &MemoryController) -> Result<GroupId> {
+    let profile = mc.module().profile();
+    if profile.supports_frac() {
+        Ok(profile.group)
+    } else {
+        Err(FracDramError::Unsupported {
+            group: profile.group,
+            operation: "Frac",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, Module, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            7,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn program_is_seven_cycles_per_op() {
+        let row = RowAddr::new(0, 3);
+        for count in 1..=5 {
+            let p = frac_program(row, count);
+            assert_eq!(p.total_cycles().value(), FRAC_CYCLES * count as u64);
+            assert_eq!(p.len(), 2 * count);
+        }
+    }
+
+    #[test]
+    fn program_violates_jedec_by_design() {
+        let mc = controller(GroupId::B);
+        let violations = mc.check(&frac_program(RowAddr::new(0, 1), 1));
+        assert!(!violations.is_empty(), "Frac must be out-of-spec");
+    }
+
+    #[test]
+    fn frac_moves_ones_toward_half_vdd_monotonically() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(0, 4);
+        let mut prev = f64::INFINITY;
+        for count in 1..=5 {
+            // Physical Vdd in every cell, then `count` Frac operations.
+            store_fractional(&mut mc, row, true, count).unwrap();
+            let t = mc.clock();
+            let v = mc.module_mut().probe_cell_voltage(row, 0, t).value();
+            assert!(v > 0.75 && v < 1.5, "count {count}: v = {v}");
+            assert!(v < prev, "more Frac ops must land closer to Vdd/2");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn frac_moves_zeros_toward_half_vdd() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(1, 9);
+        store_fractional(&mut mc, row, false, 3).unwrap();
+        let t = mc.clock();
+        // Physical ground raised toward (but never past) Vdd/2.
+        let v = mc.module_mut().probe_cell_voltage(row, 0, t).value();
+        assert!(v > 0.0 && v < 0.75 + 0.05, "v = {v}");
+    }
+
+    #[test]
+    fn timing_guarded_group_is_rejected() {
+        for group in [GroupId::J, GroupId::K, GroupId::L] {
+            let mut mc = controller(group);
+            let err = frac(&mut mc, RowAddr::new(0, 0), 1).unwrap_err();
+            assert!(matches!(err, FracDramError::Unsupported { .. }), "{group}");
+        }
+    }
+
+    #[test]
+    fn guarded_chip_would_ignore_the_sequence_anyway() {
+        // Bypass the capability check and issue the raw program against a
+        // group J module: the timing guard stretches the sequence into
+        // legal commands, so the cell keeps a full rail.
+        let mut mc = controller(GroupId::J);
+        let row = RowAddr::new(0, 2);
+        let pattern: Vec<bool> = (0..64).map(|i| i % 3 != 0).collect();
+        mc.write_row(row, &pattern).unwrap();
+        mc.run(&frac_program(row, 3)).unwrap();
+        mc.wait(fracdram_model::Cycles(100));
+        assert_eq!(
+            mc.read_row(row).unwrap(),
+            pattern,
+            "guarded chip must keep its data intact"
+        );
+    }
+
+    #[test]
+    fn frac_state_survives_reads_of_other_rows() {
+        let mut mc = controller(GroupId::B);
+        let frac_row = RowAddr::new(0, 4);
+        let other = RowAddr::new(0, 20); // different sub-array region
+        store_fractional(&mut mc, frac_row, true, 2).unwrap();
+        let t0 = mc.clock();
+        let v0 = mc.module_mut().probe_cell_voltage(frac_row, 0, t0).value();
+        mc.write_row(other, &[false; 64]).unwrap();
+        mc.read_row(other).unwrap();
+        let t1 = mc.clock();
+        let v1 = mc.module_mut().probe_cell_voltage(frac_row, 0, t1).value();
+        assert!(
+            (v0 - v1).abs() < 1e-3,
+            "fractional value disturbed: {v0} -> {v1}"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The *Half-m* primitive (§III-B): storing Half values on masked bits.
+//!
+//! Half-m interrupts a **four-row** activation with a trailing,
+//! back-to-back PRECHARGE. Per column, the four cells charge-share with
+//! the bit-line and are then disconnected before the sense amplifier
+//! fires:
+//!
+//! * four equal initial values leave "weak" ones or zeros — displaced
+//!   from the rails but on the right side of `Vdd/2`;
+//! * two ones and two zeros leave all four cells near the column's
+//!   equilibrium — the *Half value* — so a single Half-m produces a
+//!   mixture of zeros, ones, and Half values in the same rows, selected
+//!   per column by the data mask.
+//!
+//! The canonical operand layout stores ones in `{R1, R3}` and zeros in
+//! `{R2, R4}` on masked (Half) columns.
+
+use fracdram_model::Geometry;
+use fracdram_softmc::{MemoryController, Program};
+
+use crate::error::{FracDramError, Result};
+use crate::multirow::glitch_program;
+use crate::rowsets::Quad;
+
+/// Builds the Half-m program: a leading PRECHARGE (bit-line reset), the
+/// four-row glitch sequence, and the trailing PRECHARGE that interrupts
+/// the activation before the sense amplifiers enable (Fig. 4 steps ①–⑤).
+pub fn halfm_program(quad: &Quad, geometry: &Geometry) -> Program {
+    let r1 = quad.r1(geometry);
+    let r2 = quad.r2(geometry);
+    let mut p = Program::builder().pre(r1.bank).build();
+    p.extend_from(&glitch_program(r1, r2));
+    p.extend_from(&Program::builder().pre(r1.bank).delay(5).build());
+    p
+}
+
+/// Executes Half-m on values already stored in the quad rows.
+///
+/// # Errors
+///
+/// Returns [`FracDramError::Unsupported`] on modules that cannot open
+/// four rows, and propagates controller errors.
+pub fn halfm_in_place(mc: &mut MemoryController, quad: &Quad) -> Result<()> {
+    let profile = mc.module().profile();
+    if !profile.supports_four_row() {
+        return Err(FracDramError::Unsupported {
+            group: profile.group,
+            operation: "four-row activation (Half-m)",
+        });
+    }
+    let geometry = *mc.module().geometry();
+    mc.run(&halfm_program(quad, &geometry))?;
+    Ok(())
+}
+
+/// Stores `data` with Half values on the columns selected by `mask`,
+/// then executes Half-m.
+///
+/// Unmasked columns receive `data[col]` in all four rows (becoming weak
+/// ones/zeros that read back as `data[col]`); masked columns receive the
+/// balanced two-ones/two-zeros pattern and end up holding the Half
+/// value. This is the ternary-storage write primitive of §VI-C.
+///
+/// # Errors
+///
+/// Returns [`FracDramError::OperandWidth`] on width mismatches, plus the
+/// conditions of [`halfm_in_place`].
+pub fn halfm_masked(
+    mc: &mut MemoryController,
+    quad: &Quad,
+    data: &[bool],
+    mask: &[bool],
+) -> Result<()> {
+    let width = mc.module().row_bits();
+    if data.len() != width || mask.len() != width {
+        return Err(FracDramError::OperandWidth {
+            got: data.len().max(mask.len()),
+            expected: width,
+        });
+    }
+    let geometry = *mc.module().geometry();
+    let rows = quad.rows(&geometry);
+    // Role pattern on masked columns: ones in R1/R3, zeros in R2/R4.
+    let role_one = [true, false, true, false];
+    for (slot, row) in rows.iter().enumerate() {
+        let bits: Vec<bool> = (0..width)
+            .map(|col| if mask[col] { role_one[slot] } else { data[col] })
+            .collect();
+        mc.write_row(*row, &bits)?;
+    }
+    halfm_in_place(mc, quad)
+}
+
+/// Convenience: Half value on **every** column (all-masked Half-m).
+///
+/// # Errors
+///
+/// Same conditions as [`halfm_masked`].
+pub fn halfm_all(mc: &mut MemoryController, quad: &Quad) -> Result<()> {
+    let width = mc.module().row_bits();
+    halfm_masked(mc, quad, &vec![false; width], &vec![true; width])
+}
+
+/// Reads back the row written by a masked Half-m (row `R3`, the lowest
+/// of the quad in the paper's layout) — weak ones/zeros re-sense as
+/// their logical value; Half columns resolve by sense-amplifier offset.
+///
+/// # Errors
+///
+/// Propagates controller errors.
+pub fn read_back(mc: &mut MemoryController, quad: &Quad, role: usize) -> Result<Vec<bool>> {
+    let geometry = *mc.module().geometry();
+    let rows = quad.rows(&geometry);
+    Ok(mc.read_row(rows[role.min(3)])?)
+}
+
+/// Per-cycle cost of one Half-m operation.
+pub fn halfm_cycles(quad: &Quad, geometry: &Geometry) -> fracdram_model::Cycles {
+    halfm_program(quad, geometry).total_cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            47,
+            Geometry::tiny(),
+        )))
+    }
+
+    fn quad(mc: &MemoryController) -> Quad {
+        Quad::canonical(
+            mc.module().geometry(),
+            SubarrayAddr::new(0, 0),
+            mc.module().profile().group,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn program_shape_matches_figure_4() {
+        let mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let p = halfm_program(&q, mc.module().geometry());
+        // PRE, ACT, PRE, ACT, PRE + idle tail.
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.total_cycles().value(), 10);
+        assert!(!mc.check(&p).is_empty(), "Half-m is out-of-spec by design");
+    }
+
+    #[test]
+    fn weak_values_keep_their_logical_side() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let geometry = *mc.module().geometry();
+        let width = mc.module().row_bits();
+        // Unmasked data: alternating bits, no Half columns.
+        let data: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        halfm_masked(&mut mc, &q, &data, &vec![false; width]).unwrap();
+        // Cells are weak but must re-sense as the written value for the
+        // overwhelming majority of columns.
+        let rows = q.rows(&geometry);
+        let read = mc.read_row(rows[2]).unwrap();
+        let correct = read.iter().zip(&data).filter(|(a, b)| a == b).count();
+        assert!(
+            correct * 20 >= width * 19,
+            "weak values flipped: {correct}/{width}"
+        );
+    }
+
+    #[test]
+    fn interruption_prevents_sensing() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let geometry = *mc.module().geometry();
+        halfm_all(&mut mc, &q).unwrap();
+        // Probing advances the device past the scheduled close event; the
+        // interrupted activation must have left no row open.
+        let t = mc.clock();
+        let r1 = q.rows(&geometry)[0];
+        mc.module_mut().probe_cell_voltage(r1, 0, t);
+        assert!(mc.module().chips()[0].open_rows(0).is_empty());
+    }
+
+    #[test]
+    fn half_columns_are_fractional_on_a_minority_of_columns() {
+        // The Half value is not consistent across the row (§V-C): the
+        // metastable columns amplify the closure asymmetry, so most
+        // columns collapse toward a rail and only a minority holds a
+        // clean mid-level value — the paper finds ~16 % distinguishable.
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let geometry = *mc.module().geometry();
+        halfm_all(&mut mc, &q).unwrap();
+        let t = mc.clock();
+        let r1 = q.rows(&geometry)[0];
+        let width = mc.module().row_bits();
+        let fractional = (0..width)
+            .filter(|&col| {
+                let v = mc.module_mut().probe_cell_voltage(r1, col, t).value();
+                (0.3..=1.2).contains(&v)
+            })
+            .count();
+        assert!(
+            fractional * 100 >= width * 3,
+            "no mid-level cells at all: {fractional}/{width}"
+        );
+        assert!(
+            fractional * 100 <= width * 70,
+            "too many mid-level cells: {fractional}/{width}"
+        );
+    }
+
+    #[test]
+    fn masked_and_unmasked_columns_coexist() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let geometry = *mc.module().geometry();
+        let width = mc.module().row_bits();
+        let data: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        let mask: Vec<bool> = (0..width).map(|i| i < width / 2).collect();
+        halfm_masked(&mut mc, &q, &data, &mask).unwrap();
+        // Unmasked columns (upper half): the weak values re-sense as the
+        // written data. Masked columns (lower half): the readout is
+        // column-dependent — neither all ones nor all zeros.
+        let read = mc.read_row(q.rows(&geometry)[2]).unwrap();
+        let weak_ok = (width / 2..width).filter(|&c| read[c] == data[c]).count();
+        assert!(
+            weak_ok * 20 >= width / 2 * 19,
+            "weak columns flipped: {weak_ok}/{}",
+            width / 2
+        );
+        let half_ones = (0..width / 2).filter(|&c| read[c]).count();
+        assert!(
+            half_ones > 0 && half_ones < width / 2,
+            "half columns resolved uniformly: {half_ones}/{}",
+            width / 2
+        );
+    }
+
+    #[test]
+    fn group_c_performs_halfm_too() {
+        let mut mc = controller(GroupId::C);
+        let q = quad(&mc);
+        assert_eq!(q.local_roles(), [1, 2, 0, 3]);
+        halfm_all(&mut mc, &q).unwrap();
+    }
+
+    #[test]
+    fn incapable_group_is_rejected() {
+        let mut mc = controller(GroupId::E);
+        let q = Quad::from_pair(mc.module().geometry(), SubarrayAddr::new(0, 0), 1, 2).unwrap();
+        let err = halfm_in_place(&mut mc, &q).unwrap_err();
+        assert!(matches!(err, FracDramError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn width_mismatch_is_rejected() {
+        let mut mc = controller(GroupId::B);
+        let q = quad(&mc);
+        let err = halfm_masked(&mut mc, &q, &[true; 3], &[false; 3]).unwrap_err();
+        assert!(matches!(err, FracDramError::OperandWidth { .. }));
+    }
+}

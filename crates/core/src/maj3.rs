@@ -1,0 +1,256 @@
+//! The ComputeDRAM-style in-memory majority-of-three (baseline, §II-D).
+//!
+//! On modules that can open three rows (group B), the glitch sequence
+//! `ACT(R1) – PRE – ACT(R2)` opens `{R1, R2, R3}`; their cells
+//! charge-share on the bit-lines, the sense amplifier resolves each
+//! column to the majority value, and the result is restored into all
+//! three rows. FracDRAM uses this operation both as the baseline that
+//! F-MAJ improves upon (Fig. 9, Fig. 10) and as the destructive readout
+//! that *verifies* fractional values (§IV-B2).
+
+use fracdram_model::Cycles;
+use fracdram_softmc::{MemoryController, Program};
+
+use crate::error::{FracDramError, Result};
+use crate::multirow::glitch_program;
+use crate::rowsets::Triplet;
+
+/// Idle cycles after the second ACTIVATE so the sense amplifier resolves
+/// the shared charge (internal sense latency is 4 cycles).
+const SENSE_WAIT: u64 = 6;
+
+/// Builds the majority program: glitch sequence, sense wait, READ of the
+/// resolved row buffer, then PRECHARGE.
+pub fn maj3_program(triplet: &Triplet, geometry: &fracdram_model::Geometry) -> Program {
+    let r1 = triplet.r1(geometry);
+    let r2 = triplet.r2(geometry);
+    let mut p = glitch_program(r1, r2);
+    p.extend_from(
+        &Program::builder()
+            .nop()
+            .delay(SENSE_WAIT)
+            .read(r1.bank)
+            .pre(r1.bank)
+            .delay(5)
+            .build(),
+    );
+    p
+}
+
+/// Total memory cycles of the majority program (command sequence plus
+/// sense wait and precharge completion).
+pub fn maj3_cycles(triplet: &Triplet, geometry: &fracdram_model::Geometry) -> Cycles {
+    maj3_program(triplet, geometry).total_cycles()
+}
+
+/// Writes the three operands into the triplet rows (role order
+/// `[R1, R2, R3]`) with legal timing.
+///
+/// # Errors
+///
+/// Fails when an operand width does not match the module row.
+pub fn write_operands(
+    mc: &mut MemoryController,
+    triplet: &Triplet,
+    operands: [&[bool]; 3],
+) -> Result<()> {
+    let width = mc.module().row_bits();
+    for bits in operands {
+        if bits.len() != width {
+            return Err(FracDramError::OperandWidth {
+                got: bits.len(),
+                expected: width,
+            });
+        }
+    }
+    let geometry = *mc.module().geometry();
+    let rows = triplet.rows(&geometry);
+    for (row, bits) in rows.iter().zip(operands) {
+        mc.write_row(*row, bits)?;
+    }
+    Ok(())
+}
+
+/// Executes the in-memory MAJ3 on operands already stored in the triplet
+/// rows, returning the per-column majority result.
+///
+/// The result is also restored into all three rows (they are clobbered),
+/// exactly as on hardware.
+///
+/// # Errors
+///
+/// Returns [`FracDramError::Unsupported`] on modules that cannot open
+/// three rows, and propagates controller errors.
+pub fn maj3_in_place(mc: &mut MemoryController, triplet: &Triplet) -> Result<Vec<bool>> {
+    let profile = mc.module().profile();
+    if !profile.supports_three_row() {
+        return Err(FracDramError::Unsupported {
+            group: profile.group,
+            operation: "three-row activation (MAJ3)",
+        });
+    }
+    let geometry = *mc.module().geometry();
+    let outcome = mc.run(&maj3_program(triplet, &geometry))?;
+    Ok(outcome.reads.into_iter().next().unwrap_or_default())
+}
+
+/// Stores three operands and executes MAJ3 — the full ComputeDRAM flow.
+///
+/// # Errors
+///
+/// Same conditions as [`write_operands`] and [`maj3_in_place`].
+pub fn maj3(
+    mc: &mut MemoryController,
+    triplet: &Triplet,
+    operands: [&[bool]; 3],
+) -> Result<Vec<bool>> {
+    write_operands(mc, triplet, operands)?;
+    maj3_in_place(mc, triplet)
+}
+
+/// The six operand combinations the paper uses to test majority
+/// correctness (§VI-A2): every pattern with a mixed population, so the
+/// result is decided by majority rather than unanimity.
+pub const TEST_COMBINATIONS: [[bool; 3]; 6] = [
+    [true, false, false],
+    [false, true, false],
+    [false, false, true],
+    [false, true, true],
+    [true, false, true],
+    [true, true, false],
+];
+
+/// Expected majority of a combination.
+pub fn expected_majority(combo: [bool; 3]) -> bool {
+    (combo.iter().filter(|&&b| b).count()) >= 2
+}
+
+/// Per-column coverage of the baseline MAJ3: the fraction of columns
+/// that produce the correct majority for **all six** test combinations
+/// (a column passes only if it never errs — the paper's definition).
+///
+/// # Errors
+///
+/// Same conditions as [`maj3`].
+pub fn maj3_coverage(mc: &mut MemoryController, triplet: &Triplet) -> Result<f64> {
+    let width = mc.module().row_bits();
+    let mut ok = vec![true; width];
+    for combo in TEST_COMBINATIONS {
+        let rows: Vec<Vec<bool>> = combo.iter().map(|&b| vec![b; width]).collect();
+        let result = maj3(mc, triplet, [&rows[0], &rows[1], &rows[2]])?;
+        let expect = expected_majority(combo);
+        for (col, &bit) in result.iter().enumerate() {
+            if bit != expect {
+                ok[col] = false;
+            }
+        }
+    }
+    Ok(ok.iter().filter(|&&b| b).count() as f64 / width as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            31,
+            Geometry::tiny(),
+        )))
+    }
+
+    fn triplet(mc: &MemoryController) -> Triplet {
+        Triplet::first(mc.module().geometry(), SubarrayAddr::new(0, 0))
+    }
+
+    #[test]
+    fn majority_logic_on_uniform_operands() {
+        let mut mc = controller(GroupId::B);
+        let t = triplet(&mc);
+        let width = mc.module().row_bits();
+        for combo in TEST_COMBINATIONS {
+            let rows: Vec<Vec<bool>> = combo.iter().map(|&b| vec![b; width]).collect();
+            let result = maj3(&mut mc, &t, [&rows[0], &rows[1], &rows[2]]).unwrap();
+            let expect = expected_majority(combo);
+            let correct = result.iter().filter(|&&b| b == expect).count();
+            // The primary-row asymmetry makes some columns err — that is
+            // the paper's 9 % baseline error — but most must be right.
+            assert!(
+                correct * 10 >= width * 7,
+                "combo {combo:?}: only {correct}/{width} columns correct"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_pattern_majority_per_column() {
+        let mut mc = controller(GroupId::B);
+        let t = triplet(&mc);
+        let width = mc.module().row_bits();
+        let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        let b: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+        let c: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+        let result = maj3(&mut mc, &t, [&a, &b, &c]).unwrap();
+        let mut correct = 0;
+        for col in 0..width {
+            let expect = [a[col], b[col], c[col]].iter().filter(|&&x| x).count() >= 2;
+            if result[col] == expect {
+                correct += 1;
+            }
+        }
+        assert!(correct * 10 >= width * 7, "{correct}/{width}");
+    }
+
+    #[test]
+    fn result_is_restored_to_all_three_rows() {
+        let mut mc = controller(GroupId::B);
+        let t = triplet(&mc);
+        let width = mc.module().row_bits();
+        let ones = vec![true; width];
+        let zeros = vec![false; width];
+        let result = maj3(&mut mc, &t, [&ones, &ones, &zeros]).unwrap();
+        let geometry = *mc.module().geometry();
+        for row in t.rows(&geometry) {
+            assert_eq!(mc.read_row(row).unwrap(), result, "{row}");
+        }
+    }
+
+    #[test]
+    fn unsupported_groups_are_rejected() {
+        for group in [GroupId::A, GroupId::C, GroupId::J] {
+            let mut mc = controller(group);
+            let t = triplet(&mc);
+            let err = maj3_in_place(&mut mc, &t).unwrap_err();
+            assert!(matches!(err, FracDramError::Unsupported { .. }), "{group}");
+        }
+    }
+
+    #[test]
+    fn operand_width_is_validated() {
+        let mut mc = controller(GroupId::B);
+        let t = triplet(&mc);
+        let short = vec![true; 8];
+        let full = vec![true; mc.module().row_bits()];
+        let err = maj3(&mut mc, &t, [&short, &full, &full]).unwrap_err();
+        assert!(matches!(err, FracDramError::OperandWidth { .. }));
+    }
+
+    #[test]
+    fn coverage_is_high_but_not_perfect_on_group_b() {
+        let mut mc = controller(GroupId::B);
+        let t = triplet(&mc);
+        let coverage = maj3_coverage(&mut mc, &t).unwrap();
+        assert!(coverage > 0.80, "coverage = {coverage}");
+        assert!(coverage <= 1.0);
+    }
+
+    #[test]
+    fn expected_majority_truth_table() {
+        assert!(!expected_majority([false, false, false]));
+        assert!(!expected_majority([true, false, false]));
+        assert!(expected_majority([true, true, false]));
+        assert!(expected_majority([true, true, true]));
+    }
+}

@@ -1,0 +1,234 @@
+//! Multi-row activation (§II-D) and its empirical exploration (§VI-A1).
+//!
+//! The out-of-spec sequence `ACTIVATE(R1) – PRECHARGE – ACTIVATE(R2)`
+//! with no idle cycles catches the row decoder mid-transition and can
+//! leave several word-lines raised. Which row sets open is a property of
+//! the chip's (black-box) decoder; this module provides the command
+//! sequence itself plus the probing utilities the paper uses to
+//! characterize it: per-pair open-row counts, the power-of-two span
+//! observation on groups C/D, and the Table I capability survey.
+
+use fracdram_model::{GroupId, RowAddr, SubarrayAddr};
+use fracdram_softmc::{MemoryController, Program};
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::frac::frac_program;
+
+/// Builds the glitch sequence `ACT(R1) – PRE – ACT(R2)` (back-to-back,
+/// 2.5 ns cycles, no idle cycles), leaving the opened rows activating.
+///
+/// Callers append idle cycles (the sense amplifier needs 4 cycles after
+/// the second ACTIVATE) and a trailing PRECHARGE, or a trailing
+/// back-to-back PRECHARGE to interrupt the activation (Half-m).
+pub fn glitch_program(r1: RowAddr, r2: RowAddr) -> Program {
+    debug_assert_eq!(r1.bank, r2.bank);
+    Program::builder().act(r1).pre(r1.bank).act(r2).build()
+}
+
+/// Runs the glitch sequence and reports which bank-level rows ended up
+/// open, in activation-role order `[R1, R2, implicit...]`.
+///
+/// This is destructive: the opened rows are left holding the sensed
+/// charge-sharing result (exactly as on real hardware), and the bank is
+/// precharged before returning.
+///
+/// # Errors
+///
+/// Propagates controller errors (bad addresses).
+pub fn open_rows_after(mc: &mut MemoryController, r1: RowAddr, r2: RowAddr) -> Result<Vec<usize>> {
+    mc.run(&glitch_program(r1, r2))?;
+    let open = mc.module().chips()[0].open_rows(r1.bank);
+    // Let the sense complete, then close.
+    let cleanup = Program::builder()
+        .nop()
+        .delay(8)
+        .pre(r1.bank)
+        .delay(5)
+        .build();
+    mc.run(&cleanup)?;
+    Ok(open)
+}
+
+/// One probed `(R1, R2)` pair and the number of rows it opened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairProbe {
+    /// Local row driven by the first ACTIVATE.
+    pub r1: usize,
+    /// Local row driven by the second ACTIVATE.
+    pub r2: usize,
+    /// Number of simultaneously opened rows.
+    pub opened: usize,
+}
+
+/// Probes every ordered pair of local rows `(r1, r2)` with
+/// `r1, r2 < max_row` in one sub-array — the paper's "thorough
+/// exploration using the sequence with all possible combinations of row
+/// addresses" (§VI-A1).
+///
+/// # Errors
+///
+/// Propagates controller errors.
+pub fn explore_pairs(
+    mc: &mut MemoryController,
+    subarray: SubarrayAddr,
+    max_row: usize,
+) -> Result<Vec<PairProbe>> {
+    let geometry = *mc.module().geometry();
+    let mut probes = Vec::new();
+    for r1 in 0..max_row {
+        for r2 in 0..max_row {
+            if r1 == r2 {
+                continue;
+            }
+            let a1 = subarray.row(&geometry, r1);
+            let a2 = subarray.row(&geometry, r2);
+            let opened = open_rows_after(mc, a1, a2)?.len();
+            probes.push(PairProbe { r1, r2, opened });
+        }
+    }
+    Ok(probes)
+}
+
+/// Empirically measured capabilities of one module — the Table I row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Group of the surveyed module.
+    pub group: GroupId,
+    /// Whether Frac operations change stored data (probed by reading a
+    /// row back after ten Frac operations — fractional cells re-sense
+    /// unpredictably, guarded chips return the data intact).
+    pub frac: bool,
+    /// Whether some pair opens exactly three rows.
+    pub three_row: bool,
+    /// Whether some pair opens exactly four rows.
+    pub four_row: bool,
+}
+
+/// Surveys a module's capabilities the way the paper does — by issuing
+/// the sequences and observing behavior, not by asking the vendor.
+///
+/// # Errors
+///
+/// Propagates controller errors.
+pub fn survey(mc: &mut MemoryController) -> Result<Capabilities> {
+    let group = mc.module().profile().group;
+    let geometry = *mc.module().geometry();
+    let sa = SubarrayAddr::new(0, 0);
+
+    // Frac probe: all ones, ten Frac ops, read back. On a Frac-capable
+    // chip roughly half the bits re-sense as zero; on a guarded chip the
+    // stretched-out (legal) command sequence leaves the data intact.
+    let probe_row = sa.row(&geometry, 12);
+    let ones = vec![true; mc.module().row_bits()];
+    mc.write_row(probe_row, &ones)?;
+    mc.run(&frac_program(probe_row, 10))?;
+    // Guarded chips stretch the out-of-spec sequence into legally timed
+    // commands that finish later than the program's nominal end; idle
+    // long enough that the probe read observes the final state.
+    mc.wait(fracdram_model::Cycles(512));
+    let read = mc.read_row(probe_row)?;
+    let flipped = read.iter().filter(|&&b| !b).count();
+    let frac = flipped * 10 >= read.len(); // >10 % of bits disturbed
+
+    // Three-/four-row probes on the canonical pairs.
+    let three_row = open_rows_after(mc, sa.row(&geometry, 1), sa.row(&geometry, 2))?.len() == 3;
+    let quad_b = open_rows_after(mc, sa.row(&geometry, 8), sa.row(&geometry, 1))?.len();
+    let quad_cd = open_rows_after(mc, sa.row(&geometry, 1), sa.row(&geometry, 2))?.len();
+    let four_row = quad_b == 4 || quad_cd == 4;
+
+    Ok(Capabilities {
+        group,
+        frac,
+        three_row,
+        four_row,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, Module, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            23,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn group_b_triplet_pair_opens_three() {
+        let mut mc = controller(GroupId::B);
+        let open = open_rows_after(&mut mc, RowAddr::new(0, 1), RowAddr::new(0, 2)).unwrap();
+        assert_eq!(open, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn group_b_quad_pair_opens_four() {
+        let mut mc = controller(GroupId::B);
+        let open = open_rows_after(&mut mc, RowAddr::new(0, 8), RowAddr::new(0, 1)).unwrap();
+        assert_eq!(open, vec![8, 1, 0, 9]);
+    }
+
+    #[test]
+    fn group_c_never_opens_three() {
+        let mut mc = controller(GroupId::C);
+        let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), 8).unwrap();
+        assert!(probes.iter().all(|p| p.opened.is_power_of_two()));
+        assert!(
+            probes.iter().any(|p| p.opened == 4),
+            "group C must open four rows for some pair"
+        );
+    }
+
+    #[test]
+    fn opened_counts_match_bit_differences_on_power_of_two_decoder() {
+        let mut mc = controller(GroupId::D);
+        let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), 8).unwrap();
+        for p in probes {
+            let k = (p.r1 ^ p.r2).count_ones();
+            assert!(
+                p.opened == 1 || p.opened == (1 << k),
+                "({}, {}): k = {k}, opened = {}",
+                p.r1,
+                p.r2,
+                p.opened
+            );
+        }
+    }
+
+    #[test]
+    fn single_only_group_opens_one() {
+        let mut mc = controller(GroupId::F);
+        let open = open_rows_after(&mut mc, RowAddr::new(0, 1), RowAddr::new(0, 2)).unwrap();
+        assert_eq!(open, vec![2], "only R2 survives on a SingleOnly decoder");
+    }
+
+    #[test]
+    fn survey_reproduces_table1_rows() {
+        for (group, frac, three, four) in [
+            (GroupId::B, true, true, true),
+            (GroupId::C, true, false, true),
+            (GroupId::D, true, false, true),
+            (GroupId::A, true, false, false),
+            (GroupId::G, true, false, false),
+            (GroupId::J, false, false, false),
+            (GroupId::L, false, false, false),
+        ] {
+            let mut mc = controller(group);
+            let caps = survey(&mut mc).unwrap();
+            assert_eq!(caps.frac, frac, "{group} frac");
+            assert_eq!(caps.three_row, three, "{group} three-row");
+            assert_eq!(caps.four_row, four, "{group} four-row");
+        }
+    }
+
+    #[test]
+    fn glitch_program_is_three_commands_back_to_back() {
+        let p = glitch_program(RowAddr::new(0, 1), RowAddr::new(0, 2));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.total_cycles().value(), 3);
+    }
+}

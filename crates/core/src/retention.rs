@@ -1,0 +1,419 @@
+//! Retention-time profiling (§IV-B1, §V-A) — the first verification
+//! method for fractional values.
+//!
+//! Cell charge leaks monotonically, so for the same cell a *lower*
+//! starting voltage means a *shorter* retention time. Measuring how the
+//! retention-time distribution of a row shifts as more Frac operations
+//! are issued is therefore an indirect, hardware-feasible readout of
+//! the stored voltage: if the buckets migrate monotonically downward,
+//! the cell's voltage was lowered incrementally — the paper's Fig. 6.
+//!
+//! The measurement follows the paper exactly: store full `Vdd` in the
+//! target row, optionally issue Frac operations, stop all commands for
+//! time *t*, read, and record which bits survived; repeating with
+//! different *t* brackets each cell's retention time into one of six
+//! coarse buckets.
+
+use fracdram_model::{RowAddr, Seconds};
+use fracdram_softmc::MemoryController;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::frac::frac_program;
+
+/// The six retention-time ranges of Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RetentionBucket {
+    /// The cell reads zero immediately after the last operation (its
+    /// voltage is already below the sensing threshold).
+    Zero,
+    /// Died within 10 minutes.
+    UpTo10Min,
+    /// Died between 10 and 30 minutes.
+    Min10To30,
+    /// Died between 30 and 60 minutes.
+    Min30To60,
+    /// Died between 1 and 12 hours.
+    Hour1To12,
+    /// Still alive after 12 hours.
+    Over12Hours,
+}
+
+impl RetentionBucket {
+    /// All buckets, shortest first.
+    pub const ALL: [RetentionBucket; 6] = [
+        RetentionBucket::Zero,
+        RetentionBucket::UpTo10Min,
+        RetentionBucket::Min10To30,
+        RetentionBucket::Min30To60,
+        RetentionBucket::Hour1To12,
+        RetentionBucket::Over12Hours,
+    ];
+
+    /// Rank of the bucket (0 = shortest retention).
+    pub fn rank(self) -> usize {
+        Self::ALL.iter().position(|&b| b == self).unwrap()
+    }
+
+    /// Human-readable range label (as in the Fig. 6 axis).
+    pub fn label(self) -> &'static str {
+        match self {
+            RetentionBucket::Zero => "0",
+            RetentionBucket::UpTo10Min => "0-10 min",
+            RetentionBucket::Min10To30 => "10-30 min",
+            RetentionBucket::Min30To60 => "30-60 min",
+            RetentionBucket::Hour1To12 => "1-12 h",
+            RetentionBucket::Over12Hours => "> 12 h",
+        }
+    }
+}
+
+/// The probe delays bracketing the buckets: a near-immediate read plus
+/// the four boundary times.
+fn probe_delays() -> [Seconds; 5] {
+    [
+        Seconds(0.001),
+        Seconds::from_minutes(10.0),
+        Seconds::from_minutes(30.0),
+        Seconds::from_minutes(60.0),
+        Seconds::from_hours(12.0),
+    ]
+}
+
+/// Builds the logical bit pattern that stores **physical** full `Vdd` in
+/// every cell of a row (logical zeros on anti-cell columns — the
+/// paper's §II-C convention: "we store opposite logic values to
+/// anti-cells, so that they physically hold the same voltage as
+/// true-cells").
+pub fn physical_ones_pattern(mc: &mut MemoryController, row: RowAddr) -> Vec<bool> {
+    crate::frac::physical_pattern(mc, row, true)
+}
+
+/// Measures the retention bucket of every cell in `row` after
+/// `frac_ops` Frac operations.
+///
+/// One independent trial per probe time: store physical `Vdd`, issue the
+/// Frac operations, stay silent for the probe delay, then read and mark
+/// which cells lost their data. A cell's bucket is set by the first
+/// probe at which it reads wrong.
+///
+/// # Errors
+///
+/// Propagates controller errors.
+pub fn measure_row(
+    mc: &mut MemoryController,
+    row: RowAddr,
+    frac_ops: usize,
+) -> Result<Vec<RetentionBucket>> {
+    let pattern = physical_ones_pattern(mc, row);
+    let width = pattern.len();
+    let mut buckets = vec![RetentionBucket::Over12Hours; width];
+    let mut alive = vec![true; width];
+    for (probe, delay) in probe_delays().into_iter().enumerate() {
+        mc.write_row(row, &pattern)?;
+        if frac_ops > 0 {
+            mc.run(&frac_program(row, frac_ops))?;
+        }
+        mc.wait_seconds(delay);
+        let read = mc.read_row(row)?;
+        for col in 0..width {
+            if alive[col] && read[col] != pattern[col] {
+                alive[col] = false;
+                buckets[col] = RetentionBucket::ALL[probe];
+            }
+        }
+    }
+    Ok(buckets)
+}
+
+/// Like [`measure_row`], but repeats the whole profile `votes` times
+/// and takes the per-cell **median** bucket — the paper's defense
+/// against boundary flicker (a cell whose true retention lands exactly
+/// on a probe boundary can bracket differently from trial to trial,
+/// which would misclassify it as "others" in Fig. 6).
+///
+/// # Errors
+///
+/// Propagates controller errors.
+pub fn measure_row_voted(
+    mc: &mut MemoryController,
+    row: RowAddr,
+    frac_ops: usize,
+    votes: usize,
+) -> Result<Vec<RetentionBucket>> {
+    let votes = votes.max(1);
+    let mut trials: Vec<Vec<RetentionBucket>> = Vec::with_capacity(votes);
+    for _ in 0..votes {
+        trials.push(measure_row(mc, row, frac_ops)?);
+    }
+    let width = trials[0].len();
+    Ok((0..width)
+        .map(|col| {
+            let mut ranks: Vec<usize> = trials.iter().map(|t| t[col].rank()).collect();
+            ranks.sort_unstable();
+            RetentionBucket::ALL[ranks[ranks.len() / 2]]
+        })
+        .collect())
+}
+
+/// Bucket counts of one measured row — a column of the Fig. 6 heatmap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCounts {
+    /// Number of cells per bucket, in [`RetentionBucket::ALL`] order.
+    pub counts: [usize; 6],
+}
+
+impl BucketCounts {
+    /// Tallies measured buckets.
+    pub fn from_buckets(buckets: &[RetentionBucket]) -> Self {
+        let mut counts = [0usize; 6];
+        for b in buckets {
+            counts[b.rank()] += 1;
+        }
+        BucketCounts { counts }
+    }
+
+    /// Total cells tallied.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// The probability density over buckets (one heatmap column).
+    pub fn pdf(&self) -> [f64; 6] {
+        let total = self.total().max(1) as f64;
+        let mut pdf = [0.0; 6];
+        for (p, &c) in pdf.iter_mut().zip(&self.counts) {
+            *p = c as f64 / total;
+        }
+        pdf
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &BucketCounts) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+/// Change-pattern category of one cell across increasing Frac counts
+/// (the bracketed proportions of Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellCategory {
+    /// `> 12 h` at every Frac count — retention longer than the profile
+    /// can resolve.
+    LongRetention,
+    /// Retention bucket decreases monotonically (and strictly at least
+    /// once) as Frac operations accumulate — the proof-of-concept cells.
+    MonotonicDecrease,
+    /// Anything else (variable retention time, boundary flicker).
+    Other,
+}
+
+/// Classifies each cell from its bucket trajectory over Frac counts
+/// (`per_count[n][col]` = bucket of `col` after `n` Frac operations).
+///
+/// # Panics
+///
+/// Panics if the trajectories are empty or have mismatched widths.
+pub fn classify_cells(per_count: &[Vec<RetentionBucket>]) -> Vec<CellCategory> {
+    assert!(!per_count.is_empty(), "need at least one Frac count");
+    let width = per_count[0].len();
+    assert!(
+        per_count.iter().all(|row| row.len() == width),
+        "mismatched widths"
+    );
+    (0..width)
+        .map(|col| {
+            let ranks: Vec<usize> = per_count.iter().map(|row| row[col].rank()).collect();
+            if ranks
+                .iter()
+                .all(|&r| r == RetentionBucket::Over12Hours.rank())
+            {
+                CellCategory::LongRetention
+            } else if ranks.windows(2).all(|w| w[1] <= w[0]) {
+                CellCategory::MonotonicDecrease
+            } else {
+                CellCategory::Other
+            }
+        })
+        .collect()
+}
+
+/// Category proportions — the bracketed `[long, monotonic, other]`
+/// numbers printed on each Fig. 6 panel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CategoryShares {
+    /// Fraction of cells with unresolvably long retention.
+    pub long: f64,
+    /// Fraction of cells whose retention decreases monotonically.
+    pub monotonic: f64,
+    /// Fraction with irregular patterns.
+    pub other: f64,
+}
+
+impl CategoryShares {
+    /// Computes shares from per-cell categories.
+    pub fn from_categories(categories: &[CellCategory]) -> Self {
+        let total = categories.len().max(1) as f64;
+        let count = |c: CellCategory| categories.iter().filter(|&&x| x == c).count() as f64 / total;
+        CategoryShares {
+            long: count(CellCategory::LongRetention),
+            monotonic: count(CellCategory::MonotonicDecrease),
+            other: count(CellCategory::Other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            61,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn bucket_ranks_are_ordered() {
+        let ranks: Vec<usize> = RetentionBucket::ALL.iter().map(|b| b.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(RetentionBucket::Zero.label(), "0");
+        assert_eq!(RetentionBucket::Over12Hours.label(), "> 12 h");
+    }
+
+    #[test]
+    fn physical_ones_survive_initial_read() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(0, 3);
+        let pattern = physical_ones_pattern(&mut mc, row);
+        // The pattern mixes logical ones (true cells) and zeros (anti).
+        assert!(pattern.iter().any(|&b| b));
+        assert!(pattern.iter().any(|&b| !b));
+        mc.write_row(row, &pattern).unwrap();
+        assert_eq!(mc.read_row(row).unwrap(), pattern);
+    }
+
+    #[test]
+    fn more_frac_ops_shift_buckets_down() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(0, 5);
+        let none = measure_row(&mut mc, row, 0).unwrap();
+        let five = measure_row(&mut mc, row, 5).unwrap();
+        let mean = |b: &[RetentionBucket]| {
+            b.iter().map(|x| x.rank()).sum::<usize>() as f64 / b.len() as f64
+        };
+        assert!(
+            mean(&five) < mean(&none),
+            "5 Frac ops must shorten retention: {} vs {}",
+            mean(&five),
+            mean(&none)
+        );
+    }
+
+    #[test]
+    fn full_vdd_profile_is_dominated_by_long_retention() {
+        let mut mc = controller(GroupId::B);
+        let buckets = measure_row(&mut mc, RowAddr::new(1, 7), 0).unwrap();
+        let counts = BucketCounts::from_buckets(&buckets);
+        assert_eq!(counts.total(), 64);
+        // At full Vdd the distribution skews heavily to > 12 h.
+        assert!(counts.counts[5] * 2 > counts.total(), "{counts:?}");
+        let pdf = counts.pdf();
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classification_finds_monotonic_cells() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(0, 9);
+        let per_count: Vec<Vec<RetentionBucket>> = (0..=5)
+            .map(|n| measure_row(&mut mc, row, n).unwrap())
+            .collect();
+        let categories = classify_cells(&per_count);
+        let shares = CategoryShares::from_categories(&categories);
+        assert!(
+            shares.monotonic > 0.2,
+            "monotonic share = {}",
+            shares.monotonic
+        );
+        assert!(shares.long + shares.monotonic + shares.other > 0.999);
+        assert!(shares.other < 0.2, "other share = {}", shares.other);
+    }
+
+    #[test]
+    fn voting_reduces_boundary_flicker() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(0, 11);
+        // With three votes, two independent voted profiles of the same
+        // configuration agree on at least as many cells as two raw ones.
+        let raw_a = measure_row(&mut mc, row, 3).unwrap();
+        let raw_b = measure_row(&mut mc, row, 3).unwrap();
+        let voted_a = measure_row_voted(&mut mc, row, 3, 3).unwrap();
+        let voted_b = measure_row_voted(&mut mc, row, 3, 3).unwrap();
+        let disagree = |a: &[RetentionBucket], b: &[RetentionBucket]| {
+            a.iter().zip(b).filter(|(x, y)| x != y).count()
+        };
+        // Voting may not strictly dominate on a 64-column sample, but it
+        // must stay within a whisker of the raw repeatability and keep
+        // the flicker population small in absolute terms.
+        assert!(
+            disagree(&voted_a, &voted_b) <= disagree(&raw_a, &raw_b) + 2,
+            "voted {} vs raw {}",
+            disagree(&voted_a, &voted_b),
+            disagree(&raw_a, &raw_b)
+        );
+        assert!(disagree(&voted_a, &voted_b) <= 6);
+        assert_eq!(voted_a.len(), 64);
+    }
+
+    #[test]
+    fn single_vote_equals_plain_measurement_shape() {
+        let mut mc = controller(GroupId::B);
+        let row = RowAddr::new(1, 4);
+        let voted = measure_row_voted(&mut mc, row, 0, 1).unwrap();
+        assert_eq!(voted.len(), 64);
+        // Full Vdd: dominated by long retention either way.
+        let long = voted
+            .iter()
+            .filter(|&&b| b == RetentionBucket::Over12Hours)
+            .count();
+        assert!(long * 2 > voted.len());
+    }
+
+    #[test]
+    fn bucket_counts_merge() {
+        let mut a = BucketCounts::from_buckets(&[RetentionBucket::Zero, RetentionBucket::Zero]);
+        let b = BucketCounts::from_buckets(&[RetentionBucket::Over12Hours]);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.counts[0], 2);
+        assert_eq!(a.counts[5], 1);
+    }
+
+    #[test]
+    fn classify_rejects_mismatched_widths() {
+        let r = std::panic::catch_unwind(|| {
+            classify_cells(&[
+                vec![RetentionBucket::Zero],
+                vec![RetentionBucket::Zero, RetentionBucket::Zero],
+            ])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn guarded_group_profile_is_unchanged_by_frac() {
+        let mut mc = controller(GroupId::J);
+        let row = RowAddr::new(0, 2);
+        let none = measure_row(&mut mc, row, 0).unwrap();
+        let five = measure_row(&mut mc, row, 5).unwrap();
+        // Groups J/K/L: "sending Frac operations has no effect in the
+        // retention time profile".
+        assert_eq!(none, five);
+    }
+}

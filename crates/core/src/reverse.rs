@@ -1,0 +1,259 @@
+//! Reverse-engineering DRAM parameters with fractional values (§VI-C).
+//!
+//! *"Finally, it can be used in reverse-engineering DRAM designs and
+//! parameters, such as the sense amplifier threshold."*
+//!
+//! The idea: each Frac operation moves a cell a known fraction closer
+//! to `Vdd/2`, so the sequence *initialize to a rail, apply `n` Frac
+//! operations, read* probes the column's decision threshold against a
+//! ladder of known voltage levels. The largest `n` at which the column
+//! still reads its initial value brackets the threshold between two
+//! ladder rungs. Doing this from **both** rails brackets thresholds on
+//! both sides of `Vdd/2` and measures each column's offset polarity.
+//!
+//! On real silicon the ladder comes from circuit analysis (the
+//! bit-line-to-cell capacitance ratio); here the same nominal ladder is
+//! used and validated against the simulator's ground truth.
+
+use fracdram_model::{RowAddr, Volts};
+use fracdram_softmc::MemoryController;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::frac::{frac_program, physical_pattern, require_frac_support};
+
+/// The nominal cell-voltage ladder: the expected level after `n` Frac
+/// operations starting from physical `Vdd` (mirror around `Vdd/2` for
+/// the ground-initialized ladder).
+///
+/// `v(n) = Vdd/2 + (Vdd/2) · r^n` with per-operation retention factor
+/// `r = 1 − settle · Cb/(Cb + Cc)`.
+pub fn ladder_level(vdd: f64, settle: f64, cap_ratio: f64, n: usize) -> f64 {
+    let r = 1.0 - settle * cap_ratio;
+    vdd / 2.0 + (vdd / 2.0) * r.powi(n as i32)
+}
+
+/// One column's reverse-engineered threshold bracket.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdEstimate {
+    /// Lower bound of the effective threshold (volts).
+    pub lo: Volts,
+    /// Upper bound (volts).
+    pub hi: Volts,
+}
+
+impl ThresholdEstimate {
+    /// Midpoint of the bracket.
+    pub fn midpoint(&self) -> Volts {
+        Volts((self.lo.value() + self.hi.value()) / 2.0)
+    }
+
+    /// Bracket width.
+    pub fn width(&self) -> f64 {
+        self.hi.value() - self.lo.value()
+    }
+
+    /// Offset of the midpoint from the ideal `Vdd/2` threshold, in
+    /// **cell-referred** volts.
+    ///
+    /// The scan compares cell voltages against the sense decision, so a
+    /// bit-line-referred amplifier offset appears amplified by the
+    /// inverse of the charge-sharing ratio `Cb/(Cb+Cc)` (≈ 6× for the
+    /// default geometry), and mirrored in sign on anti-cell columns.
+    pub fn offset_from(&self, half_vdd: f64) -> f64 {
+        self.midpoint().value() - half_vdd
+    }
+
+    /// The bit-line-referred amplifier offset implied by the bracket:
+    /// the cell-referred offset scaled back down by the charge-sharing
+    /// ratio (still polarity-mirrored on anti-cell columns).
+    pub fn bitline_referred_offset(&self, half_vdd: f64, cap_ratio: f64) -> f64 {
+        self.offset_from(half_vdd) * cap_ratio
+    }
+}
+
+/// Reverse-engineers the effective read threshold of every column of
+/// `row`, probing the Frac ladder from both rails with up to `max_ops`
+/// operations per rung.
+///
+/// A column whose threshold sits above `Vdd/2` stops reading one after
+/// few descending rungs; one below `Vdd/2` stops reading zero after few
+/// ascending rungs. The two scans together bracket the threshold.
+///
+/// # Errors
+///
+/// Returns [`crate::FracDramError::Unsupported`] on groups without
+/// Frac, and propagates controller errors.
+pub fn estimate_thresholds(
+    mc: &mut MemoryController,
+    row: RowAddr,
+    max_ops: usize,
+) -> Result<Vec<ThresholdEstimate>> {
+    require_frac_support(mc)?;
+    let width = mc.module().row_bits();
+    let vdd = mc.module().environment().vdd.value();
+    let params = mc.module().chips()[0].silicon().params().clone();
+    let cap_ratio =
+        params.bitline_cap.value() / (params.bitline_cap.value() + params.cell_cap.value());
+    let settle = params.interrupted_settle;
+    let level = |n: usize| ladder_level(vdd, settle, cap_ratio, n);
+
+    // last_one[col]: largest n (descending ladder from Vdd) at which the
+    // column still reads its stored physical one; None if it never does.
+    let scan = |mc: &mut MemoryController, from_ones: bool| -> Result<Vec<Option<usize>>> {
+        let pattern = physical_pattern(mc, row, from_ones);
+        let mut last_ok: Vec<Option<usize>> = vec![None; width];
+        for n in 0..=max_ops {
+            mc.write_row(row, &pattern)?;
+            if n > 0 {
+                mc.run(&frac_program(row, n))?;
+            }
+            let read = mc.read_row(row)?;
+            for col in 0..width {
+                if read[col] == pattern[col] {
+                    last_ok[col] = Some(n);
+                }
+            }
+        }
+        Ok(last_ok)
+    };
+    let from_above = scan(mc, true)?; // ladder v(n) descending toward Vdd/2
+    let from_below = scan(mc, false)?; // mirrored ladder ascending
+
+    let half = vdd / 2.0;
+    let estimates = (0..width)
+        .map(|col| {
+            // Threshold below v(last_ok) and above v(last_ok + 1) when
+            // the column eventually flips; the mirrored scan bounds the
+            // other side.
+            let (mut lo, mut hi) = (0.0f64, vdd);
+            match from_above[col] {
+                Some(n) if n < max_ops => {
+                    // Reads one at v(n), zero at v(n+1): th in (v(n+1), v(n)).
+                    hi = hi.min(level(n));
+                    lo = lo.max(level(n + 1));
+                }
+                Some(_) => hi = hi.min(level(max_ops)), // never flipped: th below the last rung
+                None => lo = lo.max(level(0)),          // flipped immediately (unusual)
+            }
+            match from_below[col] {
+                Some(n) if n < max_ops => {
+                    // Mirrored ladder: reads zero at 2·half − v(n).
+                    lo = lo.max(2.0 * half - level(n));
+                    hi = hi.min(2.0 * half - level(n + 1));
+                }
+                Some(_) => lo = lo.max(2.0 * half - level(max_ops)),
+                None => hi = hi.min(2.0 * half - level(0)),
+            }
+            if lo > hi {
+                // Inconsistent scans (noise at a rung boundary): collapse
+                // to the crossing point.
+                let mid = (lo + hi) / 2.0;
+                ThresholdEstimate {
+                    lo: Volts(mid),
+                    hi: Volts(mid),
+                }
+            } else {
+                ThresholdEstimate {
+                    lo: Volts(lo),
+                    hi: Volts(hi),
+                }
+            }
+        })
+        .collect();
+    Ok(estimates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+
+    fn controller() -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            GroupId::B,
+            29,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn ladder_is_monotone_decreasing_toward_half_vdd() {
+        let mut prev = f64::INFINITY;
+        for n in 0..12 {
+            let v = ladder_level(1.5, 0.8, 0.8, n);
+            assert!(v < prev);
+            assert!(v > 0.75);
+            prev = v;
+        }
+        assert!(ladder_level(1.5, 0.8, 0.8, 12) - 0.75 < 1e-3);
+    }
+
+    #[test]
+    fn brackets_are_consistent_and_within_the_rails() {
+        let mut mc = controller();
+        let estimates = estimate_thresholds(&mut mc, RowAddr::new(0, 6), 8).unwrap();
+        assert_eq!(estimates.len(), 64);
+        let mut near = 0;
+        for e in &estimates {
+            assert!(e.lo.value() <= e.hi.value());
+            let mid = e.midpoint().value();
+            assert!((0.0..=1.5).contains(&mid), "midpoint {mid} outside rails");
+            // Cell-referred offsets are ~6x the bit-line offsets, so most
+            // land within a few hundred mV of Vdd/2.
+            if (mid - 0.75).abs() < 0.40 {
+                near += 1;
+            }
+        }
+        assert!(near * 2 > estimates.len(), "only {near}/64 near Vdd/2");
+    }
+
+    #[test]
+    fn estimates_track_the_true_offsets() {
+        let mut mc = controller();
+        let row = RowAddr::new(0, 6);
+        let estimates = estimate_thresholds(&mut mc, row, 10).unwrap();
+        // Ground truth: offsets of sub-array 0, bank 0 (simulation-only
+        // oracle, exactly what the paper cannot see — the point of the
+        // reverse-engineering method is to recover it from outside).
+        // Anti-cell columns see the mirrored threshold, so the expected
+        // cell-referred offset flips sign there.
+        let truths: Vec<f64> = (0..64)
+            .map(|col| {
+                let offset = mc.module().chips()[0]
+                    .silicon()
+                    .sense_offset(0, 0, col)
+                    .value();
+                let anti = mc.module_mut().chip_mut(0).is_anti_column(0, 0, col);
+                if anti {
+                    -offset
+                } else {
+                    offset
+                }
+            })
+            .collect();
+        let mids: Vec<f64> = estimates.iter().map(|e| e.offset_from(0.75)).collect();
+        // Pearson correlation between estimated and true offsets.
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let (mt, me) = (mean(&truths), mean(&mids));
+        let cov: f64 = truths
+            .iter()
+            .zip(&mids)
+            .map(|(t, e)| (t - mt) * (e - me))
+            .sum();
+        let vt: f64 = truths.iter().map(|t| (t - mt) * (t - mt)).sum();
+        let ve: f64 = mids.iter().map(|e| (e - me) * (e - me)).sum();
+        let r = cov / (vt * ve).sqrt();
+        assert!(r > 0.6, "correlation with ground truth = {r}");
+    }
+
+    #[test]
+    fn rejected_on_guarded_groups() {
+        let mut mc = MemoryController::new(Module::new(ModuleConfig::single_chip(
+            GroupId::L,
+            29,
+            Geometry::tiny(),
+        )));
+        assert!(estimate_thresholds(&mut mc, RowAddr::new(0, 0), 4).is_err());
+    }
+}

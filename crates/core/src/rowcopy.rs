@@ -1,0 +1,133 @@
+//! RowClone-style in-DRAM row copy (ComputeDRAM §VI-A1 usage).
+//!
+//! Issuing `ACTIVATE(src)`, waiting for the full restore, then
+//! `PRECHARGE` immediately followed by `ACTIVATE(dst)` connects the
+//! destination row to bit-lines still driven by the latched sense
+//! amplifiers: the source data is written into the destination without
+//! ever crossing the memory bus.
+//!
+//! The paper uses this copy to initialize rows before Frac and to move
+//! operands into the reserved compute rows; its cost (18 cycles on the
+//! authors' platform, [`COPY_CYCLES`] here — the small difference comes
+//! from this model's internal latencies) is what makes F-MAJ's overhead
+//! "only 29 % more memory cycles than the original MAJ3".
+
+use fracdram_model::RowAddr;
+use fracdram_softmc::{MemoryController, Program};
+
+use crate::error::{FracDramError, Result};
+
+/// Memory cycles one in-DRAM row copy occupies with this model's
+/// internal timing (ACT · 13 idle · PRE · ACT · PRE · 5 idle).
+pub const COPY_CYCLES: u64 = 22;
+
+/// Builds the copy program `src → dst`.
+///
+/// Timeline (relative cycles): `ACT(src)@0` restores the source by cycle
+/// 14; `PRE@14` begins closing; `ACT(dst)@15` lands before the word-lines
+/// drop, so the destination connects to the still-driven bit-lines;
+/// `PRE@16` closes everything, and five idle cycles let it finish.
+pub fn copy_program(src: RowAddr, dst: RowAddr) -> Program {
+    Program::builder()
+        .act(src)
+        .delay(13) // restore completes (internal restore_done = 14)
+        .pre(src.bank)
+        .act(dst)
+        .pre(src.bank)
+        .delay(5)
+        .build()
+}
+
+/// Copies `src` to `dst` entirely inside the DRAM array.
+///
+/// Both rows must be in the same bank and the same sub-array (bit-lines
+/// are per-sub-array).
+///
+/// # Errors
+///
+/// Returns [`FracDramError::BadRowSet`] when the rows do not share a
+/// sub-array, and propagates controller errors.
+pub fn copy_row(mc: &mut MemoryController, src: RowAddr, dst: RowAddr) -> Result<()> {
+    if src.bank != dst.bank {
+        return Err(FracDramError::BadRowSet {
+            reason: format!("copy crosses banks ({} -> {})", src.bank, dst.bank),
+        });
+    }
+    let g = *mc.module().geometry();
+    let (ssub, _) = g.split_row(src.row);
+    let (dsub, _) = g.split_row(dst.row);
+    if ssub != dsub {
+        return Err(FracDramError::BadRowSet {
+            reason: format!(
+                "copy crosses sub-arrays ({ssub} -> {dsub}); bit-lines are per-sub-array"
+            ),
+        });
+    }
+    mc.run(&copy_program(src, dst))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+
+    fn controller() -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            GroupId::B,
+            11,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn program_cycle_count_is_documented_constant() {
+        let p = copy_program(RowAddr::new(0, 1), RowAddr::new(0, 2));
+        assert_eq!(p.total_cycles().value(), COPY_CYCLES);
+    }
+
+    #[test]
+    fn copy_duplicates_data() {
+        let mut mc = controller();
+        let src = RowAddr::new(0, 5);
+        let dst = RowAddr::new(0, 11);
+        let pattern: Vec<bool> = (0..64).map(|i| i % 7 < 3).collect();
+        mc.write_row(src, &pattern).unwrap();
+        copy_row(&mut mc, src, dst).unwrap();
+        assert_eq!(mc.read_row(dst).unwrap(), pattern, "destination");
+        assert_eq!(mc.read_row(src).unwrap(), pattern, "source preserved");
+    }
+
+    #[test]
+    fn copy_overwrites_previous_destination_content() {
+        let mut mc = controller();
+        let src = RowAddr::new(1, 3);
+        let dst = RowAddr::new(1, 9);
+        mc.write_row(dst, &[true; 64]).unwrap();
+        mc.write_row(src, &[false; 64]).unwrap();
+        copy_row(&mut mc, src, dst).unwrap();
+        assert!(mc.read_row(dst).unwrap().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn cross_subarray_copy_is_rejected() {
+        let mut mc = controller();
+        // Rows 5 and 40 are in different sub-arrays (32 rows each).
+        let err = copy_row(&mut mc, RowAddr::new(0, 5), RowAddr::new(0, 40)).unwrap_err();
+        assert!(matches!(err, FracDramError::BadRowSet { .. }));
+    }
+
+    #[test]
+    fn cross_bank_copy_is_rejected() {
+        let mut mc = controller();
+        let err = copy_row(&mut mc, RowAddr::new(0, 5), RowAddr::new(1, 5)).unwrap_err();
+        assert!(matches!(err, FracDramError::BadRowSet { .. }));
+    }
+
+    #[test]
+    fn copy_is_out_of_spec() {
+        let mc = controller();
+        let p = copy_program(RowAddr::new(0, 1), RowAddr::new(0, 2));
+        assert!(!mc.check(&p).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Row-set layout for multi-row activation.
+//!
+//! Multi-row activation only ever opens rows within one sub-array, and
+//! only specific `(R1, R2)` activation pairs glitch the decoder (§II-D,
+//! §VI-A1). This module encodes the canonical row sets the paper uses:
+//!
+//! * [`Triplet`] — the ComputeDRAM three-row set `{4k, 4k+1, 4k+2}`,
+//!   opened by `ACT(4k+1) – PRE – ACT(4k+2)` (group B only);
+//! * [`Quad`] — a four-row span, opened by a two-bit-differing pair.
+//!   The paper uses `{0, 1, 8, 9}` via `ACT(8) – PRE – ACT(1)` on group
+//!   B and `{0, 1, 2, 3}` via `ACT(1) – PRE – ACT(2)` on groups C/D.
+//!
+//! Rows are addressed *within a sub-array* here; [`Triplet::rows`] /
+//! [`Quad::rows`] return bank-level [`RowAddr`]s in **activation-role
+//! order** `[R1, R2, R3, R4]`, matching the role-indexed charge-sharing
+//! weights of the device model (the "primary row" asymmetry of §VI-A2).
+
+use fracdram_model::{Geometry, GroupId, RowAddr, SubarrayAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FracDramError, Result};
+
+/// A ComputeDRAM-style three-row activation set within one sub-array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Triplet {
+    subarray: SubarrayAddr,
+    /// `k` in `{4k, 4k+1, 4k+2}`.
+    base4: usize,
+}
+
+impl Triplet {
+    /// The triplet `{4k, 4k+1, 4k+2}` of sub-array `subarray`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the triplet does not fit in the sub-array.
+    pub fn new(geometry: &Geometry, subarray: SubarrayAddr, k: usize) -> Result<Self> {
+        if 4 * k + 2 >= geometry.rows_per_subarray {
+            return Err(FracDramError::BadRowSet {
+                reason: format!(
+                    "triplet base 4*{k} does not fit in {} rows",
+                    geometry.rows_per_subarray
+                ),
+            });
+        }
+        Ok(Triplet { subarray, base4: k })
+    }
+
+    /// The paper's canonical triplet: the first three rows (`k = 0`).
+    pub fn first(geometry: &Geometry, subarray: SubarrayAddr) -> Self {
+        Triplet::new(geometry, subarray, 0).expect("any sub-array holds rows 0..=2")
+    }
+
+    /// The sub-array this triplet lives in.
+    pub fn subarray(&self) -> SubarrayAddr {
+        self.subarray
+    }
+
+    /// The first explicitly activated row, `R1 = 4k + 1`.
+    pub fn r1(&self, geometry: &Geometry) -> RowAddr {
+        self.subarray.row(geometry, 4 * self.base4 + 1)
+    }
+
+    /// The second explicitly activated row, `R2 = 4k + 2`.
+    pub fn r2(&self, geometry: &Geometry) -> RowAddr {
+        self.subarray.row(geometry, 4 * self.base4 + 2)
+    }
+
+    /// The implicitly opened row, `R3 = 4k`.
+    pub fn r3(&self, geometry: &Geometry) -> RowAddr {
+        self.subarray.row(geometry, 4 * self.base4)
+    }
+
+    /// All three rows in activation-role order `[R1, R2, R3]`.
+    pub fn rows(&self, geometry: &Geometry) -> [RowAddr; 3] {
+        [self.r1(geometry), self.r2(geometry), self.r3(geometry)]
+    }
+}
+
+/// A four-row activation set (span) within one sub-array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Quad {
+    subarray: SubarrayAddr,
+    /// Local rows in activation-role order `[R1, R2, R3, R4]`.
+    roles: [usize; 4],
+}
+
+impl Quad {
+    /// A quad from an explicit `(R1, R2)` pair of local rows differing in
+    /// exactly two address bits; the implicit rows `R3 < R4` complete the
+    /// span.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pair does not differ in exactly two bits or the
+    /// span does not fit in the sub-array.
+    pub fn from_pair(
+        geometry: &Geometry,
+        subarray: SubarrayAddr,
+        r1: usize,
+        r2: usize,
+    ) -> Result<Self> {
+        let diff = r1 ^ r2;
+        if diff.count_ones() != 2 {
+            return Err(FracDramError::BadRowSet {
+                reason: format!(
+                    "rows {r1} and {r2} differ in {} bits, need 2",
+                    diff.count_ones()
+                ),
+            });
+        }
+        let fixed = r1 & !diff;
+        let mut implicit: Vec<usize> = (0..4)
+            .map(|s| {
+                // Enumerate the span by distributing subset bits of `diff`.
+                let mut bits = diff;
+                let lo = bits & bits.wrapping_neg();
+                bits ^= lo;
+                let hi = bits;
+                fixed | if s & 1 != 0 { lo } else { 0 } | if s & 2 != 0 { hi } else { 0 }
+            })
+            .filter(|&r| r != r1 && r != r2)
+            .collect();
+        implicit.sort_unstable();
+        let roles = [r1, r2, implicit[0], implicit[1]];
+        if roles.iter().any(|&r| r >= geometry.rows_per_subarray) {
+            return Err(FracDramError::BadRowSet {
+                reason: format!(
+                    "span {roles:?} does not fit in {} rows",
+                    geometry.rows_per_subarray
+                ),
+            });
+        }
+        Ok(Quad { subarray, roles })
+    }
+
+    /// The paper's canonical quad for a group: `{0, 1, 8, 9}` activated
+    /// as `(R1, R2) = (8, 1)` on group B, `{0, 1, 2, 3}` activated as
+    /// `(R1, R2) = (1, 2)` on groups C and D (§V-C, §VI-A2).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the group cannot open four rows at all.
+    pub fn canonical(geometry: &Geometry, subarray: SubarrayAddr, group: GroupId) -> Result<Self> {
+        let profile = group.profile();
+        if !profile.supports_four_row() {
+            return Err(FracDramError::Unsupported {
+                group,
+                operation: "four-row activation",
+            });
+        }
+        match group {
+            GroupId::B => Quad::from_pair(geometry, subarray, 8, 1),
+            _ => Quad::from_pair(geometry, subarray, 1, 2),
+        }
+    }
+
+    /// The sub-array this quad lives in.
+    pub fn subarray(&self) -> SubarrayAddr {
+        self.subarray
+    }
+
+    /// The first explicitly activated row.
+    pub fn r1(&self, geometry: &Geometry) -> RowAddr {
+        self.subarray.row(geometry, self.roles[0])
+    }
+
+    /// The second explicitly activated row.
+    pub fn r2(&self, geometry: &Geometry) -> RowAddr {
+        self.subarray.row(geometry, self.roles[1])
+    }
+
+    /// All four rows in activation-role order `[R1, R2, R3, R4]`.
+    pub fn rows(&self, geometry: &Geometry) -> [RowAddr; 4] {
+        [
+            self.subarray.row(geometry, self.roles[0]),
+            self.subarray.row(geometry, self.roles[1]),
+            self.subarray.row(geometry, self.roles[2]),
+            self.subarray.row(geometry, self.roles[3]),
+        ]
+    }
+
+    /// Local (sub-array) row numbers in activation-role order.
+    pub fn local_roles(&self) -> [usize; 4] {
+        self.roles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> Geometry {
+        Geometry::tiny() // 32 rows per sub-array
+    }
+
+    #[test]
+    fn triplet_rows_follow_computedram_pattern() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        let t = Triplet::new(&g, sa, 1).unwrap();
+        assert_eq!(t.r1(&g).row, 5);
+        assert_eq!(t.r2(&g).row, 6);
+        assert_eq!(t.r3(&g).row, 4);
+        assert_eq!(t.rows(&g).map(|r| r.row), [5, 6, 4]);
+    }
+
+    #[test]
+    fn triplet_in_second_subarray_offsets_rows() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(1, 1);
+        let t = Triplet::first(&g, sa);
+        // Sub-array 1 starts at bank-level row 32.
+        assert_eq!(t.rows(&g).map(|r| r.row), [33, 34, 32]);
+        assert!(t.rows(&g).iter().all(|r| r.bank == 1));
+    }
+
+    #[test]
+    fn triplet_must_fit() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        assert!(Triplet::new(&g, sa, 7).is_ok()); // rows 28..=30
+        assert!(Triplet::new(&g, sa, 8).is_err()); // rows 32..=34 > 31
+    }
+
+    #[test]
+    fn quad_from_paper_pair_b() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        let q = Quad::from_pair(&g, sa, 8, 1).unwrap();
+        assert_eq!(q.local_roles(), [8, 1, 0, 9]);
+        assert_eq!(q.rows(&g).map(|r| r.row), [8, 1, 0, 9]);
+    }
+
+    #[test]
+    fn quad_from_paper_pair_cd() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 1);
+        let q = Quad::from_pair(&g, sa, 1, 2).unwrap();
+        assert_eq!(q.local_roles(), [1, 2, 0, 3]);
+        // Bank-level rows offset by the sub-array base.
+        assert_eq!(q.rows(&g).map(|r| r.row), [33, 34, 32, 35]);
+    }
+
+    #[test]
+    fn quad_rejects_non_two_bit_pairs() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        assert!(Quad::from_pair(&g, sa, 1, 3).is_err()); // 1 bit
+        assert!(Quad::from_pair(&g, sa, 0, 7).is_err()); // 3 bits
+        assert!(Quad::from_pair(&g, sa, 5, 5).is_err()); // 0 bits
+    }
+
+    #[test]
+    fn quad_rejects_out_of_range_span() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        // Pair (24, 36): span includes rows >= 32.
+        assert!(Quad::from_pair(&g, sa, 24, 36).is_err());
+    }
+
+    #[test]
+    fn canonical_quads_match_paper() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        let qb = Quad::canonical(&g, sa, GroupId::B).unwrap();
+        assert_eq!(qb.local_roles(), [8, 1, 0, 9]);
+        let qc = Quad::canonical(&g, sa, GroupId::C).unwrap();
+        assert_eq!(qc.local_roles(), [1, 2, 0, 3]);
+        let qd = Quad::canonical(&g, sa, GroupId::D).unwrap();
+        assert_eq!(qd.local_roles(), [1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn canonical_quad_refused_on_incapable_group() {
+        let g = geometry();
+        let sa = SubarrayAddr::new(0, 0);
+        let err = Quad::canonical(&g, sa, GroupId::E).unwrap_err();
+        assert!(matches!(err, FracDramError::Unsupported { .. }));
+    }
+}

@@ -1,0 +1,395 @@
+//! Ternary storage in unmodified DRAM (§VI-C) — the paper's sketched
+//! extension, implemented.
+//!
+//! *"Using the Half-m operation, we can store fractional value, one, or
+//! zero in arbitrary DRAM columns, which enables the cell to store
+//! three different states. … the way we have proposed to read out the
+//! fractional value requires four copies of the data (the MAJ3 method
+//! mentioned in Section IV-B), and the fractional value is destroyed
+//! after readout. We leave the readout and data recovery issue to
+//! future work."*
+//!
+//! This module builds that storage system end to end:
+//!
+//! * a **trit row** is written with one Half-m operation per copy
+//!   ([`TernaryStore::write`]): `One`/`Zero` columns get the uniform
+//!   pattern (weak values that re-sense reliably), `Half` columns the
+//!   balanced pattern;
+//! * the **destructive readout** ([`TernaryStore::read`]) runs the
+//!   §IV-B2 two-majority procedure — `X₁` with a probe row of ones,
+//!   `X₂` with zeros — decoding `(1,1) → One`, `(0,0) → Zero`,
+//!   `(1,0) → Half`. Because each majority clobbers its operand rows,
+//!   the store keeps **two** Half-m copies of every trit row (the
+//!   paper's "four copies of the data" are the four rows of each
+//!   Half-m quad);
+//! * Half values are only distinguishable on a minority of columns
+//!   (Fig. 8), so [`TernaryStore::calibrate`] self-tests the device and
+//!   returns the usable column mask; the store then exposes a smaller,
+//!   *reliable* ternary capacity.
+//!
+//! The readout needs the three-row majority, so ternary storage works
+//! on ComputeDRAM-capable modules (group B).
+
+use fracdram_model::{Geometry, GroupId, RowAddr};
+use fracdram_softmc::MemoryController;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FracDramError, Result};
+use crate::frac::physical_pattern;
+use crate::halfm::halfm_in_place;
+use crate::maj3::maj3_in_place;
+use crate::rowsets::{Quad, Triplet};
+
+/// A ternary digit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Trit {
+    /// Logical zero (weak zero after Half-m).
+    Zero,
+    /// The Half value (≈ `Vdd/2`).
+    Half,
+    /// Logical one (weak one after Half-m).
+    One,
+}
+
+impl Trit {
+    /// All trits in ascending order.
+    pub const ALL: [Trit; 3] = [Trit::Zero, Trit::Half, Trit::One];
+
+    /// Numeric value (0, 1, 2) — for radix conversions.
+    pub fn value(self) -> u8 {
+        match self {
+            Trit::Zero => 0,
+            Trit::Half => 1,
+            Trit::One => 2,
+        }
+    }
+
+    /// Decodes the §IV-B2 majority pair.
+    ///
+    /// `X₁` is the majority with a probe row of ones, `X₂` with zeros:
+    /// stored rails ignore the probe row ((1,1) or (0,0)); the Half
+    /// value follows it ((1,0)). The inverted pair (0,1) cannot be
+    /// produced by a working column and decodes to `None`.
+    pub fn from_majority_pair(x1: bool, x2: bool) -> Option<Trit> {
+        match (x1, x2) {
+            (true, true) => Some(Trit::One),
+            (false, false) => Some(Trit::Zero),
+            (true, false) => Some(Trit::Half),
+            (false, true) => None,
+        }
+    }
+}
+
+/// The two Half-m quads (primary + mirror copy) holding one trit row,
+/// plus the spare probe row used by the destructive readout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TernarySlot {
+    /// Copy read for `X₁` (probe = ones).
+    pub copy_a: Quad,
+    /// Copy read for `X₂` (probe = zeros).
+    pub copy_b: Quad,
+}
+
+/// A calibrated ternary store on one module.
+#[derive(Debug)]
+pub struct TernaryStore {
+    slot: TernarySlot,
+    /// Columns that round-tripped all three trits during calibration.
+    usable: Vec<bool>,
+}
+
+impl TernaryStore {
+    /// Sets up ternary storage on a group-B module, self-calibrating
+    /// the usable columns: every column must round-trip `Zero`, `Half`,
+    /// and `One` `rounds` times to qualify.
+    ///
+    /// Uses the canonical quads of sub-arrays 0 and 1 of `bank` (the
+    /// two copies must live in different sub-arrays so the readout of
+    /// copy A cannot disturb copy B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::Unsupported`] on modules that cannot
+    /// perform both Half-m and MAJ3 (only group B can), and
+    /// [`FracDramError::BadRowSet`] when the bank has fewer than two
+    /// sub-arrays.
+    pub fn calibrate(mc: &mut MemoryController, bank: usize, rounds: usize) -> Result<Self> {
+        let profile = mc.module().profile();
+        if !profile.supports_three_row() || !profile.supports_four_row() {
+            return Err(FracDramError::Unsupported {
+                group: profile.group,
+                operation: "ternary storage (Half-m + MAJ3 readout)",
+            });
+        }
+        let geometry: Geometry = *mc.module().geometry();
+        if geometry.subarrays_per_bank < 2 {
+            return Err(FracDramError::BadRowSet {
+                reason: "ternary storage needs two sub-arrays per bank".into(),
+            });
+        }
+        let sa_a = fracdram_model::SubarrayAddr::new(bank, 0);
+        let sa_b = fracdram_model::SubarrayAddr::new(bank, 1);
+        let slot = TernarySlot {
+            copy_a: Quad::canonical(&geometry, sa_a, GroupId::B)?,
+            copy_b: Quad::canonical(&geometry, sa_b, GroupId::B)?,
+        };
+        let width = mc.module().row_bits();
+        let mut usable = vec![true; width];
+        let mut store = TernaryStore {
+            slot,
+            usable: vec![true; width], // provisional: all columns raw
+        };
+        for round in 0..rounds.max(1) {
+            for (i, &trit) in Trit::ALL.iter().enumerate() {
+                // Rotate the pattern so every column sees every trit.
+                let trits: Vec<Trit> = (0..width)
+                    .map(|col| Trit::ALL[(col + i + round) % 3])
+                    .collect();
+                store.write_raw(mc, &trits)?;
+                let read = store.read_raw(mc)?;
+                for col in 0..width {
+                    if read[col] != Some(trits[col]) {
+                        usable[col] = false;
+                    }
+                }
+                let _ = trit;
+            }
+        }
+        store.usable = usable;
+        Ok(store)
+    }
+
+    /// The usable-column mask (true = the column round-tripped all
+    /// three trits during calibration).
+    pub fn usable_columns(&self) -> &[bool] {
+        &self.usable
+    }
+
+    /// Reliable ternary capacity of the slot, in trits.
+    pub fn capacity(&self) -> usize {
+        self.usable.iter().filter(|&&u| u).count()
+    }
+
+    /// Writes one trit per *usable* column (unreliable columns are
+    /// padded with `Zero` internally).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::OperandWidth`] unless `trits` has
+    /// exactly [`TernaryStore::capacity`] elements.
+    pub fn write(&self, mc: &mut MemoryController, trits: &[Trit]) -> Result<()> {
+        if trits.len() != self.capacity() {
+            return Err(FracDramError::OperandWidth {
+                got: trits.len(),
+                expected: self.capacity(),
+            });
+        }
+        let mut full = vec![Trit::Zero; self.usable.len()];
+        let mut it = trits.iter();
+        for (col, flag) in self.usable.iter().enumerate() {
+            if *flag {
+                full[col] = *it.next().unwrap();
+            }
+        }
+        self.write_raw(mc, &full)
+    }
+
+    /// Destructively reads the stored trits back (usable columns only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn read(&self, mc: &mut MemoryController) -> Result<Vec<Trit>> {
+        let raw = self.read_raw(mc)?;
+        Ok(raw
+            .iter()
+            .zip(&self.usable)
+            .filter(|(_, &u)| u)
+            .map(|(t, _)| t.unwrap_or(Trit::Zero))
+            .collect())
+    }
+
+    /// Writes `trits` (full width) into both Half-m copies.
+    fn write_raw(&self, mc: &mut MemoryController, trits: &[Trit]) -> Result<()> {
+        for quad in [&self.slot.copy_a, &self.slot.copy_b] {
+            write_trit_quad(mc, quad, trits)?;
+        }
+        Ok(())
+    }
+
+    /// The §IV-B2 readout: `X₁` from copy A (probe ones), `X₂` from
+    /// copy B (probe zeros); both copies are destroyed.
+    fn read_raw(&self, mc: &mut MemoryController) -> Result<Vec<Option<Trit>>> {
+        let x1 = majority_against(mc, &self.slot.copy_a, true)?;
+        let x2 = majority_against(mc, &self.slot.copy_b, false)?;
+        Ok(x1
+            .into_iter()
+            .zip(x2)
+            .map(|(a, b)| Trit::from_majority_pair(a, b))
+            .collect())
+    }
+}
+
+/// Writes one Half-m quad from a trit row: `One`/`Zero` columns carry
+/// the uniform physical pattern, `Half` columns the balanced one.
+fn write_trit_quad(mc: &mut MemoryController, quad: &Quad, trits: &[Trit]) -> Result<()> {
+    let geometry = *mc.module().geometry();
+    let width = mc.module().row_bits();
+    if trits.len() != width {
+        return Err(FracDramError::OperandWidth {
+            got: trits.len(),
+            expected: width,
+        });
+    }
+    let balanced_one = [true, false, true, false];
+    let rows = quad.rows(&geometry);
+    for (slot, row) in rows.iter().enumerate() {
+        // Desired *physical* value per column for this role.
+        let to_logical = physical_pattern(mc, *row, true);
+        let bits: Vec<bool> = (0..width)
+            .map(|col| {
+                let physical = match trits[col] {
+                    Trit::One => true,
+                    Trit::Zero => false,
+                    Trit::Half => balanced_one[slot],
+                };
+                if physical {
+                    to_logical[col]
+                } else {
+                    !to_logical[col]
+                }
+            })
+            .collect();
+        mc.write_row(*row, &bits)?;
+    }
+    halfm_in_place(mc, quad)
+}
+
+/// Majority of a Half-m result against a uniform probe row: the quad's
+/// two lowest rows (local rows 0 and 1 in the canonical group-B layout)
+/// plus local row 2, physically probed with `probe_ones`.
+fn majority_against(mc: &mut MemoryController, quad: &Quad, probe_ones: bool) -> Result<Vec<bool>> {
+    let geometry = *mc.module().geometry();
+    let triplet = Triplet::first(&geometry, quad.subarray());
+    let probe_row: RowAddr = triplet.rows(&geometry)[1]; // local row 2 (R2)
+    let probe_bits = physical_pattern(mc, probe_row, probe_ones);
+    let anti: Vec<bool> = physical_pattern(mc, probe_row, true)
+        .into_iter()
+        .map(|b| !b)
+        .collect();
+    mc.write_row(probe_row, &probe_bits)?;
+    let logical = maj3_in_place(mc, &triplet)?;
+    Ok(logical
+        .into_iter()
+        .zip(anti)
+        .map(|(bit, a)| bit ^ a)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, Module, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        let geometry = Geometry {
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            columns: 256,
+        };
+        MemoryController::new(Module::new(ModuleConfig::single_chip(group, 19, geometry)))
+    }
+
+    #[test]
+    fn trit_pair_decoding() {
+        assert_eq!(Trit::from_majority_pair(true, true), Some(Trit::One));
+        assert_eq!(Trit::from_majority_pair(false, false), Some(Trit::Zero));
+        assert_eq!(Trit::from_majority_pair(true, false), Some(Trit::Half));
+        assert_eq!(Trit::from_majority_pair(false, true), None);
+        assert_eq!(Trit::Half.value(), 1);
+    }
+
+    #[test]
+    fn calibration_finds_a_usable_minority() {
+        let mut mc = controller(GroupId::B);
+        let store = TernaryStore::calibrate(&mut mc, 0, 2).unwrap();
+        let capacity = store.capacity();
+        let width = mc.module().row_bits();
+        // Half detection works on a minority of columns (Fig. 8), so the
+        // calibrated capacity is a nonzero strict subset.
+        assert!(capacity > 0, "no usable ternary columns at all");
+        assert!(capacity < width, "calibration rejected nothing");
+    }
+
+    #[test]
+    fn ternary_roundtrip_on_calibrated_columns() {
+        let mut mc = controller(GroupId::B);
+        let store = TernaryStore::calibrate(&mut mc, 0, 2).unwrap();
+        let n = store.capacity();
+        let data: Vec<Trit> = (0..n).map(|i| Trit::ALL[(i * 7 + 1) % 3]).collect();
+        store.write(&mut mc, &data).unwrap();
+        let read = store.read(&mut mc).unwrap();
+        let correct = read.iter().zip(&data).filter(|(a, b)| a == b).count();
+        // Calibrated columns are chosen for reliability; a small residual
+        // error rate remains (trial-to-trial jitter).
+        assert!(
+            correct * 100 >= n * 95,
+            "ternary round-trip: {correct}/{n} correct"
+        );
+    }
+
+    #[test]
+    fn readout_destroys_the_fractional_voltages() {
+        let mut mc = controller(GroupId::B);
+        let store = TernaryStore::calibrate(&mut mc, 0, 1).unwrap();
+        let n = store.capacity();
+        let data = vec![Trit::Half; n];
+        store.write(&mut mc, &data).unwrap();
+
+        let geometry = *mc.module().geometry();
+        let row = store.slot.copy_a.rows(&geometry)[2]; // local row 0
+        let mid_cells = |mc: &mut MemoryController, t: u64| {
+            (0..mc.module().row_bits())
+                .filter(|&col| {
+                    let v = mc.module_mut().probe_cell_voltage(row, col, t).value();
+                    (0.25..=1.25).contains(&v)
+                })
+                .count()
+        };
+        let t = mc.clock();
+        let before = mid_cells(&mut mc, t);
+        assert!(before > 0, "no fractional voltages after the Half-m write");
+
+        store.read(&mut mc).unwrap();
+        // The majority re-sensed and restored full rails: every cell of
+        // the read row is back at 0 or Vdd.
+        let t = mc.clock();
+        let after = mid_cells(&mut mc, t);
+        assert_eq!(after, 0, "fractional voltages survived the readout");
+
+        // Note: a *second* decode can still return Half — the two copies
+        // are left in complementary sensed states (X1 = 1 rails in copy
+        // A, X2 = 0 rails in copy B), which mimics the (1,0) signature.
+        // The voltages above prove the fractional state itself is gone.
+        let second = store.read(&mut mc).unwrap();
+        assert_eq!(second.len(), n);
+    }
+
+    #[test]
+    fn wrong_width_is_rejected() {
+        let mut mc = controller(GroupId::B);
+        let store = TernaryStore::calibrate(&mut mc, 0, 1).unwrap();
+        let err = store.write(&mut mc, &[Trit::One]).unwrap_err();
+        assert!(matches!(err, FracDramError::OperandWidth { .. }));
+    }
+
+    #[test]
+    fn non_group_b_modules_are_rejected() {
+        for group in [GroupId::C, GroupId::F, GroupId::J] {
+            let mut mc = controller(group);
+            let err = TernaryStore::calibrate(&mut mc, 0, 1).unwrap_err();
+            assert!(matches!(err, FracDramError::Unsupported { .. }), "{group}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Fractional-value verification via MAJ3 (§IV-B2, Fig. 7) — the second
+//! (destructive) readout method.
+//!
+//! Two majority operations are performed with the *same* fractional
+//! value in two of the three rows, but opposite full values in the
+//! third. If the "fractional" rows actually held a rail value, the
+//! majority would ignore the third row entirely; observing
+//! `X₁ = 1` with a one in the third row **and** `X₂ = 0` with a zero
+//! proves the stored level is neither rail — a fractional value close
+//! to `Vdd/2`.
+
+use fracdram_model::Geometry;
+use fracdram_softmc::MemoryController;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::frac::store_fractional;
+use crate::maj3::maj3_in_place;
+use crate::rowsets::Triplet;
+
+/// Which two triplet rows receive the fractional value (Fig. 7 runs
+/// both placements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FracPlacement {
+    /// Fractional values in `R1` and `R2`; the full value goes to `R3`
+    /// (Fig. 7 a/b).
+    R1R2,
+    /// Fractional values in `R1` and `R3`; the full value goes to `R2`
+    /// (Fig. 7 c/d).
+    R1R3,
+}
+
+/// Configuration of one verification run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VerifySetup {
+    /// Placement of the fractional rows.
+    pub placement: FracPlacement,
+    /// Initial value written before the Frac operations (`true` ⇒ the
+    /// fractional level lies between `Vdd/2` and `Vdd`).
+    pub init_ones: bool,
+    /// Number of Frac operations (0 reproduces the paper's baseline,
+    /// where `X₁ = X₂ =` the initial value).
+    pub frac_ops: usize,
+}
+
+/// The per-column verdict pair `(X₁, X₂)`.
+pub type XPair = (bool, bool);
+
+/// Runs the two-majority verification procedure and returns `(X₁, X₂)`
+/// per column.
+///
+/// # Errors
+///
+/// Returns errors on modules without three-row activation or Frac
+/// support, and propagates controller errors.
+pub fn verify_fractional(
+    mc: &mut MemoryController,
+    triplet: &Triplet,
+    setup: &VerifySetup,
+) -> Result<Vec<XPair>> {
+    let geometry: Geometry = *mc.module().geometry();
+    let rows = triplet.rows(&geometry); // role order [R1, R2, R3]
+    let (frac_rows, probe_row) = match setup.placement {
+        FracPlacement::R1R2 => ([rows[0], rows[1]], rows[2]),
+        FracPlacement::R1R3 => ([rows[0], rows[2]], rows[1]),
+    };
+    // Column polarity: the procedure reasons about *physical* voltages
+    // (§II-C), so the probe row is written polarity-corrected and the
+    // majority results are un-inverted back to physical values.
+    let anti: Vec<bool> = crate::frac::physical_pattern(mc, probe_row, true)
+        .into_iter()
+        .map(|logical_one| !logical_one)
+        .collect();
+    let mut run = |probe_value: bool| -> Result<Vec<bool>> {
+        for row in frac_rows {
+            store_fractional(mc, row, setup.init_ones, setup.frac_ops)?;
+        }
+        let probe_bits = crate::frac::physical_pattern(mc, probe_row, probe_value);
+        mc.write_row(probe_row, &probe_bits)?;
+        let logical = maj3_in_place(mc, triplet)?;
+        Ok(logical
+            .into_iter()
+            .zip(&anti)
+            .map(|(bit, &a)| bit ^ a)
+            .collect())
+    };
+    let x1 = run(true)?;
+    let x2 = run(false)?;
+    Ok(x1.into_iter().zip(x2).collect())
+}
+
+/// Proportions of the four `(X₁, X₂)` outcomes — one bar group of
+/// Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OutcomeShares {
+    /// `X₁ = 1, X₂ = 1` (rows behaved like full ones).
+    pub one_one: f64,
+    /// `X₁ = 0, X₂ = 0` (rows behaved like full zeros).
+    pub zero_zero: f64,
+    /// `X₁ = 1, X₂ = 0` — **the fractional-value signature**.
+    pub one_zero: f64,
+    /// `X₁ = 0, X₂ = 1` (inverted; anomalous).
+    pub zero_one: f64,
+}
+
+impl OutcomeShares {
+    /// Tallies verdict pairs into proportions.
+    pub fn from_pairs(pairs: &[XPair]) -> Self {
+        let total = pairs.len().max(1) as f64;
+        let share =
+            |x1: bool, x2: bool| pairs.iter().filter(|&&p| p == (x1, x2)).count() as f64 / total;
+        OutcomeShares {
+            one_one: share(true, true),
+            zero_zero: share(false, false),
+            one_zero: share(true, false),
+            zero_one: share(false, true),
+        }
+    }
+
+    /// The fraction of columns that *prove* a fractional value.
+    pub fn fractional_share(&self) -> f64 {
+        self.one_zero
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+
+    fn controller() -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            GroupId::B,
+            71,
+            Geometry::tiny(),
+        )))
+    }
+
+    fn triplet(mc: &MemoryController) -> Triplet {
+        Triplet::first(mc.module().geometry(), SubarrayAddr::new(0, 0))
+    }
+
+    #[test]
+    fn baseline_without_frac_follows_initial_value() {
+        let mut mc = controller();
+        let t = triplet(&mc);
+        for init_ones in [true, false] {
+            let setup = VerifySetup {
+                placement: FracPlacement::R1R2,
+                init_ones,
+                frac_ops: 0,
+            };
+            let pairs = verify_fractional(&mut mc, &t, &setup).unwrap();
+            let shares = OutcomeShares::from_pairs(&pairs);
+            // Without Frac, both majorities must echo the stored rails on
+            // the overwhelming majority of columns.
+            let echo = if init_ones {
+                shares.one_one
+            } else {
+                shares.zero_zero
+            };
+            assert!(echo > 0.8, "init {init_ones}: echo = {echo}");
+            assert!(shares.fractional_share() < 0.1);
+        }
+    }
+
+    #[test]
+    fn two_frac_ops_prove_fractional_on_most_columns() {
+        let mut mc = controller();
+        let t = triplet(&mc);
+        for (placement, init_ones) in [
+            (FracPlacement::R1R2, true),
+            (FracPlacement::R1R2, false),
+            (FracPlacement::R1R3, true),
+            (FracPlacement::R1R3, false),
+        ] {
+            let setup = VerifySetup {
+                placement,
+                init_ones,
+                frac_ops: 3,
+            };
+            let pairs = verify_fractional(&mut mc, &t, &setup).unwrap();
+            let shares = OutcomeShares::from_pairs(&pairs);
+            assert!(
+                shares.fractional_share() > 0.6,
+                "{placement:?} init {init_ones}: {shares:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outcome_shares_sum_to_one() {
+        let pairs = vec![(true, false), (true, true), (false, false), (true, false)];
+        let s = OutcomeShares::from_pairs(&pairs);
+        assert!((s.one_one + s.zero_zero + s.one_zero + s.zero_one - 1.0).abs() < 1e-12);
+        assert_eq!(s.fractional_share(), 0.5);
+    }
+}

@@ -1,0 +1,148 @@
+//! Calibration sweep diagnostics — ignored by default; run with
+//! `cargo test -p fracdram --test calibration_sweeps --release -- --ignored --nocapture`
+//! when retuning `DeviceParams` (see DESIGN.md §5). These print the full
+//! F-MAJ configuration grid and PUF-stream statistics rather than
+//! asserting tight bounds.
+use fracdram::fmaj::{combo_breakdown, FmajConfig};
+use fracdram::maj3::maj3_coverage;
+use fracdram::rowsets::{Quad, Triplet};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+#[test]
+#[ignore]
+fn fmaj_shape() {
+    for group in [GroupId::B, GroupId::C, GroupId::D] {
+        for seed in [1u64, 2, 3] {
+            let mut mc = MemoryController::new(Module::new(ModuleConfig::single_chip(
+                group,
+                seed,
+                Geometry {
+                    banks: 2,
+                    subarrays_per_bank: 2,
+                    rows_per_subarray: 32,
+                    columns: 256,
+                },
+            )));
+            if group == GroupId::B {
+                let t = Triplet::first(mc.module().geometry(), SubarrayAddr::new(0, 0));
+                let cov = maj3_coverage(&mut mc, &t).unwrap();
+                println!("{group} seed {seed}: MAJ3 baseline coverage = {cov:.3}");
+            }
+            let q =
+                Quad::canonical(mc.module().geometry(), SubarrayAddr::new(0, 0), group).unwrap();
+            for role in 0..4 {
+                for init in [true, false] {
+                    let covs: Vec<String> = (0..=5)
+                        .map(|n| {
+                            let cfg = FmajConfig {
+                                frac_role: role,
+                                init_ones: init,
+                                frac_ops: n,
+                            };
+                            format!("{:.3}", combo_breakdown(&mut mc, &q, &cfg).unwrap().overall)
+                        })
+                        .collect();
+                    println!(
+                        "  {group} s{seed} role R{} init {}: {}",
+                        role + 1,
+                        if init { 1 } else { 0 },
+                        covs.join(" ")
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn whitened_autocorrelation() {
+    use fracdram::puf::{challenge_set, evaluate, whitened_stream};
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+    let geometry = Geometry {
+        banks: 4,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 4096,
+    };
+    for group in [GroupId::A, GroupId::B] {
+        let mut mc =
+            MemoryController::new(Module::new(ModuleConfig::single_chip(group, 99, geometry)));
+        let challenges = challenge_set(&geometry, 64, 7);
+        let responses: Vec<_> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut mc, c).unwrap())
+            .collect();
+        // raw response autocorrelation across columns (first response)
+        let r = &responses[0];
+        for lag in [1usize, 2] {
+            let mut agree = 0usize;
+            for i in 0..r.len() - lag {
+                if r.get(i) == r.get(i + lag) {
+                    agree += 1;
+                }
+            }
+            println!(
+                "{group} raw lag {lag}: agree {:.4}",
+                agree as f64 / (r.len() - lag) as f64
+            );
+        }
+        let w = whitened_stream(&responses);
+        println!(
+            "{group} whitened len {} weight {:.4}",
+            w.len(),
+            w.hamming_weight()
+        );
+        for lag in [1usize, 2, 3, 4] {
+            let mut agree = 0usize;
+            for i in 0..w.len() - lag {
+                if w.get(i) == w.get(i + lag) {
+                    agree += 1;
+                }
+            }
+            println!(
+                "{group} whitened lag {lag}: agree {:.4}",
+                agree as f64 / (w.len() - lag) as f64
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore]
+fn runs_on_big_whitened() {
+    use fracdram::puf::{challenge_set, evaluate, whitened_stream};
+    use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+    use fracdram_stats::nist;
+    let geometry = Geometry {
+        banks: 8,
+        subarrays_per_bank: 4,
+        rows_per_subarray: 64,
+        columns: 4096,
+    };
+    for group in [GroupId::A, GroupId::B] {
+        let mut mc =
+            MemoryController::new(Module::new(ModuleConfig::single_chip(group, 99, geometry)));
+        let challenges = challenge_set(&geometry, 700, 7);
+        let responses: Vec<_> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut mc, c).unwrap())
+            .collect();
+        let w = whitened_stream(&responses);
+        let mut agree = 0usize;
+        for i in 0..w.len() - 1 {
+            if w.get(i) == w.get(i + 1) {
+                agree += 1;
+            }
+        }
+        println!(
+            "{group}: len {} weight {:.5} lag1 agree {:.5}",
+            w.len(),
+            w.hamming_weight(),
+            agree as f64 / (w.len() - 1) as f64
+        );
+        println!("  runs: {:?}", nist::runs(&w));
+        println!("  freq: {:?}", nist::frequency(&w));
+    }
+}

@@ -1,0 +1,112 @@
+//! **§VI-A1 decoder exploration**: "a thorough exploration using the
+//! sequence ACT(R1)–PRE–ACT(R2) with all possible combinations of row
+//! addresses" — reproducing the paper's three findings on groups C/D:
+//!
+//! 1. only `2^k` rows ever open simultaneously;
+//! 2. every pair that opens `2^k` rows differs in exactly `k` address
+//!    bits (the opened set is the span of the differing bits);
+//! 3. **not** every pair with `k` differing bits opens `2^k` rows.
+//!
+//! Group B additionally opens *three* rows for ComputeDRAM pairs.
+//!
+//! ```text
+//! cargo run --release -p fracdram-experiments --bin decoder_survey [-- --rows N]
+//! ```
+
+use std::collections::BTreeMap;
+
+use fracdram::multirow::explore_pairs;
+use fracdram_experiments::{render, setup, Args};
+use fracdram_model::{GroupId, SubarrayAddr};
+
+fn main() {
+    let args = Args::parse();
+    if args.usage(
+        "decoder_survey",
+        "reproduce §VI-A1: opened-row counts over all (R1, R2) pairs",
+        &[
+            (
+                "rows",
+                "rows scanned per sub-array (default 16 -> 240 pairs)",
+            ),
+            ("seed", "die seed (default 16)"),
+        ],
+    ) {
+        return;
+    }
+    let rows = args.usize("rows", 16);
+    let seed = args.u64("seed", 16);
+
+    for group in [GroupId::B, GroupId::C, GroupId::D, GroupId::F] {
+        let mut mc = setup::controller(group, setup::compute_geometry(), seed);
+        let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), rows).expect("explore");
+
+        println!(
+            "{}",
+            render::header(&format!(
+                "group {group} ({}) — {} ordered pairs",
+                group.profile().vendor,
+                probes.len()
+            ))
+        );
+        // Histogram of opened-row counts.
+        let mut by_count: BTreeMap<usize, usize> = BTreeMap::new();
+        for p in &probes {
+            *by_count.entry(p.opened).or_default() += 1;
+        }
+        print!("  opened-rows histogram:");
+        for (count, pairs) in &by_count {
+            print!("  {count} rows x {pairs}");
+        }
+        println!();
+
+        // Finding 1: power-of-two counts only (3 allowed on group B).
+        let bad: Vec<_> = probes
+            .iter()
+            .filter(|p| !(p.opened.is_power_of_two() || (group == GroupId::B && p.opened == 3)))
+            .collect();
+        println!(
+            "  finding 1 (2^k counts{}) — violations: {}",
+            if group == GroupId::B {
+                " + triplets"
+            } else {
+                ""
+            },
+            bad.len()
+        );
+
+        // Finding 2: multi-row pairs differ in exactly k bits.
+        let mut mismatches = 0;
+        for p in &probes {
+            if p.opened > 1 && p.opened.is_power_of_two() {
+                let k = (p.r1 ^ p.r2).count_ones();
+                if 1usize << k != p.opened {
+                    mismatches += 1;
+                }
+            }
+        }
+        println!("  finding 2 (count = 2^(bit difference)) — mismatches: {mismatches}");
+
+        // Finding 3: per k, how many k-bit-differing pairs actually glitch.
+        let mut glitched: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
+        for p in &probes {
+            let k = (p.r1 ^ p.r2).count_ones();
+            if k == 0 || group == GroupId::B && p.opened == 3 {
+                continue;
+            }
+            let entry = glitched.entry(k).or_default();
+            entry.1 += 1;
+            if p.opened == 1usize << k {
+                entry.0 += 1;
+            }
+        }
+        print!("  finding 3 (k-bit pairs that glitch): ");
+        for (k, (open, total)) in &glitched {
+            print!(" k={k}: {open}/{total}");
+        }
+        println!("\n");
+    }
+    println!("paper: \"only N rows can be opened where N is a power of two; all");
+    println!("combinations that open 2^k rows have k bits in difference; however,");
+    println!("not all combinations with k different bits can open 2^k rows.\"");
+}

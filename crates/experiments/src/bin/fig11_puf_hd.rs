@@ -1,0 +1,143 @@
+//! **Figure 11**: the Frac-PUF intra-/inter-device Hamming distance
+//! distributions per DRAM group, plus cross-group inter-HD and the
+//! per-group response Hamming weights.
+//!
+//! Each module answers the same challenge set twice (intra-HD pairs its
+//! two responses per challenge); inter-HD pairs responses to the same
+//! challenge across modules.
+//!
+//! ```text
+//! cargo run --release -p fracdram-experiments --bin fig11_puf_hd [-- --challenges N --cols N]
+//! ```
+
+use fracdram::puf::{challenge_set, evaluate};
+use fracdram_experiments::{render, setup, Args};
+use fracdram_model::GroupId;
+use fracdram_stats::bits::BitVec;
+use fracdram_stats::hamming::normalized_distance;
+use fracdram_stats::Summary;
+
+fn main() {
+    let args = Args::parse();
+    if args.usage(
+        "fig11_puf_hd",
+        "reproduce Fig. 11: PUF intra-/inter-HD and Hamming weights",
+        &[
+            (
+                "challenges",
+                "challenges per module (default 24; paper: 120)",
+            ),
+            ("modules", "modules per group (default 2)"),
+            (
+                "cols",
+                "columns per chip row (default 1024; paper row: 8192x8)",
+            ),
+            ("seed", "base seed (default 11)"),
+        ],
+    ) {
+        return;
+    }
+    let n_challenges = args.usize("challenges", 24);
+    let modules = args.usize("modules", 2);
+    let cols = args.usize("cols", 1024);
+    let seed = args.u64("seed", 11);
+
+    let geometry = setup::puf_geometry(cols);
+    let challenges = challenge_set(&geometry, n_challenges, seed);
+    let groups: Vec<GroupId> = GroupId::frac_capable_groups().collect();
+
+    println!(
+        "{}",
+        render::header("Fig. 11 — Frac-PUF Hamming distance distributions")
+    );
+    println!("challenges {n_challenges} x modules {modules} per group, {cols}-bit responses\n");
+    println!(
+        "{:<6} {:>8} {:>9} {:>9} {:>9} {:>9}   HW",
+        "Group", "max", "mean", "min", "mean", "",
+    );
+    println!(
+        "{:<6} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "", "intra", "intra", "inter", "inter", "",
+    );
+
+    // responses[group][module][challenge] -> (first, second) evaluation.
+    let mut first_by_group: Vec<Vec<Vec<BitVec>>> = Vec::new();
+    let mut global_max_intra: f64 = 0.0;
+    let mut global_min_inter: f64 = 1.0;
+    for (gi, &group) in groups.iter().enumerate() {
+        let mut first = Vec::new();
+        let mut intra = Vec::new();
+        let mut weights = Vec::new();
+        for m in 0..modules {
+            let mut mc = setup::controller(group, geometry, seed + m as u64);
+            let r1: Vec<BitVec> = challenges
+                .iter()
+                .map(|&c| evaluate(&mut mc, c).expect("puf"))
+                .collect();
+            let r2: Vec<BitVec> = challenges
+                .iter()
+                .map(|&c| evaluate(&mut mc, c).expect("puf"))
+                .collect();
+            for (a, b) in r1.iter().zip(&r2) {
+                intra.push(normalized_distance(a, b));
+            }
+            weights.extend(r1.iter().map(|r| r.hamming_weight()));
+            first.push(r1);
+        }
+        // Inter-HD within the group: same challenge, different modules.
+        let mut inter = Vec::new();
+        for a in 0..first.len() {
+            for b in a + 1..first.len() {
+                for (ra, rb) in first[a].iter().zip(&first[b]) {
+                    inter.push(normalized_distance(ra, rb));
+                }
+            }
+        }
+        let si = Summary::of(&intra);
+        let se = Summary::of(&inter);
+        let hw = Summary::of(&weights);
+        global_max_intra = global_max_intra.max(si.max);
+        global_min_inter = global_min_inter.min(se.min);
+        println!(
+            "{:<6} {:>8.3} {:>9.3} {:>9.3} {:>9.3} {:>9}   {:.2}",
+            group.to_string(),
+            si.max,
+            si.mean,
+            se.min,
+            se.mean,
+            "",
+            hw.mean,
+        );
+        first_by_group.push(first);
+        let _ = gi;
+    }
+
+    // Cross-group inter-HD: same challenge, modules from different groups.
+    let mut cross = Vec::new();
+    for a in 0..first_by_group.len() {
+        for b in a + 1..first_by_group.len() {
+            for ma in &first_by_group[a] {
+                for mb in &first_by_group[b] {
+                    for (ra, rb) in ma.iter().zip(mb) {
+                        cross.push(normalized_distance(ra, rb));
+                    }
+                }
+            }
+        }
+    }
+    let sc = Summary::of(&cross);
+    global_min_inter = global_min_inter.min(sc.min);
+    println!(
+        "{:<6} {:>8} {:>9} {:>9.3} {:>9.3}",
+        "cross", "", "", sc.min, sc.mean
+    );
+
+    println!("\nmax intra-HD (all groups) = {global_max_intra:.3} (paper max: 0.051)");
+    println!("min inter-HD (all pairs)  = {global_min_inter:.3} (paper min: 0.27)");
+    println!(
+        "separation {}: every fresh response is closer to its own enrollment than to any other device",
+        if global_max_intra < global_min_inter { "HOLDS" } else { "FAILS" }
+    );
+    println!("paper Hamming weights vary by group (e.g. group A ~0.21) — the bias");
+    println!("tracks each vendor's sense-amplifier offset distribution.");
+}

@@ -1,0 +1,128 @@
+//! **Figure 12**: Frac-PUF robustness to environmental changes — the
+//! intra-/inter-HD distributions when the fresh responses are collected
+//! at (a) a reduced supply voltage (1.4 V) and (b) elevated
+//! temperatures (40/60/80 °C), compared against enrollment responses
+//! taken at nominal conditions (20 °C, 1.5 V).
+//!
+//! ```text
+//! cargo run --release -p fracdram-experiments --bin fig12_puf_env [-- --challenges N]
+//! ```
+
+use fracdram::puf::{challenge_set, evaluate};
+use fracdram_experiments::{render, setup, Args};
+use fracdram_model::{Environment, GroupId, Volts};
+use fracdram_stats::bits::BitVec;
+use fracdram_stats::hamming::normalized_distance;
+use fracdram_stats::Summary;
+
+fn main() {
+    let args = Args::parse();
+    if args.usage(
+        "fig12_puf_env",
+        "reproduce Fig. 12: PUF HD under supply-voltage and temperature changes",
+        &[
+            ("challenges", "challenges per module (default 16)"),
+            ("modules", "modules per group (default 2)"),
+            ("cols", "columns per chip row (default 1024)"),
+            ("seed", "base seed (default 12)"),
+        ],
+    ) {
+        return;
+    }
+    let n_challenges = args.usize("challenges", 16);
+    let modules = args.usize("modules", 2);
+    let cols = args.usize("cols", 1024);
+    let seed = args.u64("seed", 12);
+
+    let geometry = setup::puf_geometry(cols);
+    let challenges = challenge_set(&geometry, n_challenges, seed);
+    let groups: Vec<GroupId> = GroupId::frac_capable_groups().collect();
+
+    // Enrollment at nominal conditions.
+    let mut enrolled: Vec<Vec<Vec<BitVec>>> = Vec::new(); // [group][module][challenge]
+    for &group in &groups {
+        let mut per_group = Vec::new();
+        for m in 0..modules {
+            let mut mc = setup::controller(group, geometry, seed + m as u64);
+            per_group.push(
+                challenges
+                    .iter()
+                    .map(|&c| evaluate(&mut mc, c).expect("puf"))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        enrolled.push(per_group);
+    }
+
+    let conditions = [
+        (
+            "1.4 V, 20 C (Fig. 12a)",
+            Environment::nominal().with_vdd(Volts(1.4)),
+        ),
+        ("1.5 V, 40 C", Environment::nominal().with_temperature(40.0)),
+        ("1.5 V, 60 C", Environment::nominal().with_temperature(60.0)),
+        (
+            "1.5 V, 80 C (Fig. 12b)",
+            Environment::nominal().with_temperature(80.0),
+        ),
+    ];
+
+    println!(
+        "{}",
+        render::header("Fig. 12 — Frac-PUF under environmental changes")
+    );
+    println!("enrollment at 20 C / 1.5 V; fresh responses under each condition\n");
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10}   verdict",
+        "condition", "max intra", "mean intra", "min inter", "mean inter"
+    );
+    for (label, env) in conditions {
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        let mut fresh_all: Vec<Vec<BitVec>> = Vec::new();
+        for (gi, &group) in groups.iter().enumerate() {
+            for (m, enrolled_module) in enrolled[gi].iter().enumerate() {
+                let mut mc = setup::controller(group, geometry, seed + m as u64);
+                mc.module_mut().set_environment(env);
+                let fresh: Vec<BitVec> = challenges
+                    .iter()
+                    .map(|&c| evaluate(&mut mc, c).expect("puf"))
+                    .collect();
+                for (a, b) in enrolled_module.iter().zip(&fresh) {
+                    intra.push(normalized_distance(a, b));
+                }
+                fresh_all.push(fresh);
+            }
+        }
+        // Inter-HD: fresh vs *other* modules' enrollment (within and
+        // across groups), same challenge.
+        let flat_enrolled: Vec<&Vec<BitVec>> = enrolled.iter().flatten().collect();
+        for (i, fresh) in fresh_all.iter().enumerate() {
+            for (j, enr) in flat_enrolled.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                for (a, b) in fresh.iter().zip(enr.iter()) {
+                    inter.push(normalized_distance(a, b));
+                }
+            }
+        }
+        let si = Summary::of(&intra);
+        let se = Summary::of(&inter);
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>10.3}   {}",
+            label,
+            si.max,
+            si.mean,
+            se.min,
+            se.mean,
+            if si.max < se.min {
+                "separated"
+            } else {
+                "OVERLAP!"
+            }
+        );
+    }
+    println!("\npaper: highest intra-HD 0.07 at 1.4 V, lowest inter-HD 0.30; intra-HD");
+    println!("grows slightly with temperature but stays far below the minimum inter-HD.");
+}

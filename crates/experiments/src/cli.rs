@@ -1,0 +1,163 @@
+//! Minimal `--key value` argument parsing for the experiment binaries.
+//!
+//! Every experiment accepts overrides for its scale parameters (module
+//! count, rows sampled, trial count, seed) so the paper-scale sweep can
+//! be requested explicitly while the default run finishes in seconds.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus a `--help`
+/// flag.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    help: bool,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a clear message) on a dangling `--key` without a
+    /// value or a positional argument.
+    pub fn parse() -> Self {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable entry point).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Args::parse`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut help = false;
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            if arg == "--help" || arg == "-h" {
+                help = true;
+                continue;
+            }
+            let key = arg
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected positional argument {arg:?}"));
+            let value = iter
+                .next()
+                .unwrap_or_else(|| panic!("--{key} requires a value"));
+            values.insert(key.to_string(), value);
+        }
+        Args { values, help }
+    }
+
+    /// Whether `--help` was passed.
+    pub fn wants_help(&self) -> bool {
+        self.help
+    }
+
+    /// Integer parameter with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse as an integer.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// `u64` parameter with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// Float parameter with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")),
+            None => default,
+        }
+    }
+
+    /// Prints a standard usage banner and returns `true` when the caller
+    /// should exit (i.e. `--help` was requested).
+    pub fn usage(&self, name: &str, description: &str, params: &[(&str, &str)]) -> bool {
+        if !self.help {
+            return false;
+        }
+        println!("{name} — {description}\n");
+        println!("options:");
+        for (key, what) in params {
+            println!("  --{key:<14} {what}");
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = args(&["--chips", "4", "--trials", "100"]);
+        assert_eq!(a.usize("chips", 1), 4);
+        assert_eq!(a.usize("trials", 1), 100);
+        assert_eq!(a.usize("rows", 7), 7, "default when absent");
+        assert!(!a.wants_help());
+    }
+
+    #[test]
+    fn parses_help() {
+        assert!(args(&["--help"]).wants_help());
+        assert!(args(&["-h"]).wants_help());
+    }
+
+    #[test]
+    fn u64_and_f64() {
+        let a = args(&["--seed", "99", "--alpha", "0.5"]);
+        assert_eq!(a.u64("seed", 1), 99);
+        assert_eq!(a.f64("alpha", 0.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn dangling_key_panics() {
+        args(&["--chips"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positional")]
+    fn positional_panics() {
+        args(&["chips"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        args(&["--chips", "four"]).usize("chips", 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Shared support for the experiment binaries: a tiny `--key value`
+//! command-line parser, standard module setups, and ASCII rendering
+//! helpers for tables, bars, and heatmaps.
+//!
+//! Every binary regenerates one table or figure of the FracDRAM paper;
+//! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+//! recorded paper-vs-measured results.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod render;
+pub mod setup;
+
+pub use cli::Args;

@@ -1,0 +1,67 @@
+//! Experiment index: lists the binaries that regenerate each table and
+//! figure of the FracDRAM paper.
+
+fn main() {
+    println!("FracDRAM experiment binaries (run with `cargo run --release -p fracdram-experiments --bin <name>`):\n");
+    for (bin, what) in [
+        (
+            "table1",
+            "Table I  — per-group capability matrix (Frac / 3-row / 4-row)",
+        ),
+        (
+            "fig3_frac_trace",
+            "Fig. 3   — cell/bit-line voltage during Frac",
+        ),
+        (
+            "fig4_halfm_trace",
+            "Fig. 4   — cell voltages during Half-m (weak 1 / weak 0 / Half)",
+        ),
+        (
+            "fig6_retention",
+            "Fig. 6   — retention PDF heatmap vs #Frac + cell categories",
+        ),
+        (
+            "fig7_maj3_verify",
+            "Fig. 7   — (X1, X2) verification proportions vs #Frac",
+        ),
+        (
+            "fig8_halfm_eval",
+            "Fig. 8   — Half-m retention + MAJ3 verification",
+        ),
+        (
+            "fig9_fmaj_coverage",
+            "Fig. 9   — F-MAJ coverage vs #Frac per configuration",
+        ),
+        (
+            "fig10_fmaj_stability",
+            "Fig. 10  — per-combo breakdown + stability CDFs (9.1% -> 2.2%)",
+        ),
+        (
+            "fig11_puf_hd",
+            "Fig. 11  — PUF intra-/inter-HD and Hamming weights",
+        ),
+        (
+            "fig12_puf_env",
+            "Fig. 12  — PUF robustness to voltage/temperature changes",
+        ),
+        (
+            "nist_suite",
+            "SVI-B2   — NIST SP 800-22 (15 tests) on whitened PUF output",
+        ),
+        (
+            "overhead",
+            "SVI-A/B  — cycle accounting: primitives, F-MAJ overhead, PUF eval time",
+        ),
+        (
+            "ablation",
+            "extra    — per-mechanism ablation: which knob drives which result",
+        ),
+        (
+            "decoder_survey",
+            "SVI-A1   — opened-row counts over all (R1,R2) pairs (2^k findings)",
+        ),
+    ] {
+        println!("  {bin:<22} {what}");
+    }
+    println!("\nEvery binary accepts --help and scale overrides (--modules, --trials, ...).");
+}

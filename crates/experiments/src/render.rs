@@ -1,0 +1,77 @@
+//! ASCII rendering for the experiment reports: shade-character heatmaps
+//! (Fig. 6/8), proportion bars (Fig. 7), and percentage formatting.
+
+/// Shade characters from empty to full, used for heatmap cells.
+const SHADES: [char; 5] = [' ', '░', '▒', '▓', '█'];
+
+/// A heatmap cell character for a probability in `[0, 1]`.
+pub fn shade(p: f64) -> char {
+    let idx = (p.clamp(0.0, 1.0) * (SHADES.len() as f64 - 1.0)).round() as usize;
+    SHADES[idx.min(SHADES.len() - 1)]
+}
+
+/// A horizontal bar of `width` characters for a proportion in `[0, 1]`.
+pub fn bar(p: f64, width: usize) -> String {
+    let filled = (p.clamp(0.0, 1.0) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < filled { '#' } else { '.' });
+    }
+    s
+}
+
+/// Percentage with one decimal: `42.3%`.
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+/// A ruled table row: values padded to `width` columns.
+pub fn row(cells: &[String], width: usize) -> String {
+    cells
+        .iter()
+        .map(|c| format!("{c:<width$}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Section header with an underline.
+pub fn header(title: &str) -> String {
+    format!("{title}\n{}", "─".repeat(title.chars().count()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shade_endpoints() {
+        assert_eq!(shade(0.0), ' ');
+        assert_eq!(shade(1.0), '█');
+        assert_eq!(shade(-3.0), ' ');
+        assert_eq!(shade(7.0), '█');
+    }
+
+    #[test]
+    fn bar_is_fixed_width() {
+        assert_eq!(bar(0.5, 10), "#####.....");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn row_pads() {
+        let r = row(&["a".into(), "bb".into()], 3);
+        assert_eq!(r, "a   bb ");
+    }
+
+    #[test]
+    fn header_underlines() {
+        assert_eq!(header("Hi"), "Hi\n──");
+    }
+}

@@ -1,0 +1,74 @@
+//! Standard module setups for the experiments.
+
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
+use fracdram_softmc::MemoryController;
+
+/// The default geometry for compute experiments: small enough for quick
+/// sweeps, wide enough for smooth per-column statistics.
+pub fn compute_geometry() -> Geometry {
+    Geometry {
+        banks: 2,
+        subarrays_per_bank: 4,
+        rows_per_subarray: 32,
+        columns: 512,
+    }
+}
+
+/// The geometry for PUF experiments: one module row is `chips × columns`
+/// bits (the paper's 8 KB row corresponds to 8 chips × 8192 columns —
+/// pass `--cols 8192 --chips 8` for paper scale).
+pub fn puf_geometry(columns: usize) -> Geometry {
+    Geometry {
+        banks: 4,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns,
+    }
+}
+
+/// A single-chip module of `group` under test, with a distinct die seed.
+pub fn controller(group: GroupId, geometry: Geometry, seed: u64) -> MemoryController {
+    // Mix the group into the seed so "module 0 of group A" and "module 0
+    // of group B" are distinct dies.
+    let die = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(group as u64 + 1);
+    MemoryController::new(Module::new(ModuleConfig::single_chip(group, die, geometry)))
+}
+
+/// A multi-chip (rank) module — used by the PUF experiments when paper
+/// scale is requested.
+pub fn rank_controller(group: GroupId, geometry: Geometry, seed: u64) -> MemoryController {
+    let die = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(group as u64 + 1);
+    MemoryController::new(Module::new(ModuleConfig::rank(group, die, geometry)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controllers_are_distinct_dies() {
+        let a = controller(GroupId::B, compute_geometry(), 0);
+        let b = controller(GroupId::B, compute_geometry(), 1);
+        assert_ne!(
+            a.module().chips()[0].silicon().sense_offset(0, 0, 0),
+            b.module().chips()[0].silicon().sense_offset(0, 0, 0),
+        );
+        let c = controller(GroupId::C, compute_geometry(), 0);
+        assert_ne!(
+            a.module().chips()[0].silicon().sense_offset(0, 0, 0),
+            c.module().chips()[0].silicon().sense_offset(0, 0, 0),
+        );
+    }
+
+    #[test]
+    fn geometries_have_expected_shape() {
+        assert_eq!(compute_geometry().rows_per_subarray, 32);
+        assert_eq!(puf_geometry(1024).columns, 1024);
+        let r = rank_controller(GroupId::B, puf_geometry(64), 3);
+        assert_eq!(r.module().chips().len(), 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Bit-line charge-sharing math.
+//!
+//! Raising a word-line connects a row of cell capacitors to the bit-lines.
+//! Charge redistributes until cell and bit-line sit at a common voltage —
+//! the capacitance-weighted mean of the participants. Because the bit-line
+//! capacitance is several times the cell's, a single cell only nudges the
+//! bit-line slightly away from its precharged `Vdd/2` (Fig. 3 of the
+//! paper); several simultaneously opened cells pull it further (Fig. 4),
+//! which is what makes in-memory majority possible.
+
+use crate::units::{Femtofarads, Volts};
+
+/// One participant in a charge-sharing event: a cell at voltage `v` with
+/// effective capacitance `cap` scaled by the activation-role `weight`
+/// (the "primary row" of a multi-row activation couples more strongly).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingCell {
+    /// Cell voltage before the event.
+    pub v: Volts,
+    /// Physical cell capacitance.
+    pub cap: Femtofarads,
+    /// Coupling weight (1.0 = nominal; the primary row is heavier).
+    pub weight: f64,
+}
+
+/// Computes the equilibrium bit-line voltage after charge sharing between
+/// a bit-line (`bl_v`, `bl_cap`) and a set of cells.
+///
+/// Returns `bl_v` unchanged when `cells` is empty.
+pub fn share(bl_v: Volts, bl_cap: Femtofarads, cells: &[SharingCell]) -> Volts {
+    if cells.is_empty() {
+        return bl_v;
+    }
+    let mut num = bl_cap.value() * bl_v.value();
+    let mut den = bl_cap.value();
+    for c in cells {
+        let eff = c.cap.value() * c.weight;
+        num += eff * c.v.value();
+        den += eff;
+    }
+    Volts(num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CC: Femtofarads = Femtofarads(22.0);
+    const CB: Femtofarads = Femtofarads(88.0);
+
+    fn cell(v: f64) -> SharingCell {
+        SharingCell {
+            v: Volts(v),
+            cap: CC,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_share_is_identity() {
+        assert_eq!(share(Volts(0.75), CB, &[]), Volts(0.75));
+    }
+
+    #[test]
+    fn single_cell_nudges_bitline_up() {
+        // Vdd cell against a Vdd/2 bit-line, 4:1 capacitance ratio:
+        // equilibrium = (4*0.75 + 1.5) / 5 = 0.9.
+        let v = share(Volts(0.75), CB, &[cell(1.5)]);
+        assert!((v.value() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_cell_nudges_bitline_down() {
+        let v = share(Volts(0.75), CB, &[cell(0.0)]);
+        assert!((v.value() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_is_closer_to_bitline() {
+        // "The equilibrium voltage is closer to the initial bit-line
+        // voltage because the bit-line capacitance is much larger than
+        // the cell's" (§III-A).
+        let v = share(Volts(0.75), CB, &[cell(1.5)]);
+        assert!((v.value() - 0.75).abs() < (v.value() - 1.5).abs());
+    }
+
+    #[test]
+    fn three_cells_majority_direction() {
+        // Two ones, one zero: bit-line ends above Vdd/2.
+        let v = share(Volts(0.75), CB, &[cell(1.5), cell(1.5), cell(0.0)]);
+        assert!(v.value() > 0.75);
+        // Two zeros, one one: below Vdd/2.
+        let v = share(Volts(0.75), CB, &[cell(0.0), cell(0.0), cell(1.5)]);
+        assert!(v.value() < 0.75);
+    }
+
+    #[test]
+    fn balanced_four_cells_stay_at_half() {
+        let v = share(
+            Volts(0.75),
+            CB,
+            &[cell(1.5), cell(0.0), cell(1.5), cell(0.0)],
+        );
+        assert!((v.value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavier_weight_dominates() {
+        let heavy = SharingCell {
+            v: Volts(0.0),
+            cap: CC,
+            weight: 3.0,
+        };
+        // One heavy zero vs two nominal ones: the heavy cell wins even
+        // though it is outnumbered — the "primary row" failure mode of
+        // the original MAJ3 (§VI-A2).
+        let v = share(Volts(0.75), CB, &[heavy, cell(1.5), cell(1.5)]);
+        assert!(v.value() < 0.75, "v = {v}");
+    }
+
+    #[test]
+    fn share_is_order_independent() {
+        let cells = [cell(1.5), cell(0.0), cell(1.5)];
+        let mut rev = cells;
+        rev.reverse();
+        assert_eq!(share(Volts(0.75), CB, &cells), share(Volts(0.75), CB, &rev));
+    }
+
+    #[test]
+    fn conservation_bound() {
+        // Result always lies within [min, max] of participants.
+        let v = share(Volts(0.75), CB, &[cell(1.5), cell(0.3)]);
+        assert!(v.value() <= 1.5 && v.value() >= 0.3);
+    }
+}

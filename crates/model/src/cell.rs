@@ -1,0 +1,108 @@
+//! Cell-level charge dynamics: storage, leakage, and retention math.
+//!
+//! A DRAM cell is a capacitor; its voltage occupies the full continuum
+//! between ground and `Vdd` — the "grey part" the paper exploits. This
+//! module provides the pure functions the sub-array state machine uses to
+//! evolve cell voltages over time.
+
+use crate::units::{Seconds, Volts};
+
+/// Exponential charge decay: a cell at voltage `v` decays toward ground
+/// with time constant `tau` over duration `dt`.
+///
+/// Leakage is monotonic — the foundation of the paper's retention-time
+/// verification method (§IV-B1): "the higher the initial voltage is, the
+/// longer the retention time will be".
+pub fn decay(v: Volts, dt: Seconds, tau: Seconds) -> Volts {
+    if dt.value() <= 0.0 || v.value() == 0.0 {
+        return v;
+    }
+    Volts(v.value() * (-dt.value() / tau.value()).exp())
+}
+
+/// Time for a cell starting at `v0` to decay below `threshold`:
+/// `tau * ln(v0 / threshold)`. Returns zero when the cell already reads
+/// below the threshold — the paper's "zero retention time" bucket.
+pub fn retention_time(v0: Volts, threshold: Volts, tau: Seconds) -> Seconds {
+    if v0.value() <= threshold.value() {
+        return Seconds(0.0);
+    }
+    Seconds(tau.value() * (v0.value() / threshold.value()).ln())
+}
+
+/// One charge-sharing step between a cell and a bit-line, with partial
+/// settling: the cell moves `settle_fraction` of the way to the bit-line
+/// voltage. A full (uninterrupted) activation uses `settle_fraction = 1`;
+/// the interrupted activations of Frac/Half-m use the much smaller value
+/// from [`DeviceParams::interrupted_settle`].
+///
+/// [`DeviceParams::interrupted_settle`]: crate::params::DeviceParams::interrupted_settle
+pub fn settle_toward(cell: Volts, bitline: Volts, settle_fraction: f64) -> Volts {
+    Volts(cell.value() + settle_fraction * (bitline.value() - cell.value()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_is_monotonic_in_time() {
+        let v0 = Volts(1.5);
+        let tau = Seconds::from_hours(10.0);
+        let mut prev = v0;
+        for h in 1..20 {
+            let v = decay(v0, Seconds::from_hours(h as f64), tau);
+            assert!(v < prev);
+            assert!(v.value() > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn decay_zero_dt_is_identity() {
+        let v = Volts(0.9);
+        assert_eq!(decay(v, Seconds(0.0), Seconds(100.0)), v);
+    }
+
+    #[test]
+    fn higher_voltage_longer_retention() {
+        let tau = Seconds::from_hours(5.0);
+        let th = Volts(0.75);
+        let t_full = retention_time(Volts(1.5), th, tau);
+        let t_frac = retention_time(Volts(0.9), th, tau);
+        assert!(t_full > t_frac);
+        assert!(t_frac.value() > 0.0);
+    }
+
+    #[test]
+    fn below_threshold_is_zero_retention() {
+        let t = retention_time(Volts(0.7), Volts(0.75), Seconds::from_hours(5.0));
+        assert_eq!(t, Seconds(0.0));
+    }
+
+    #[test]
+    fn retention_matches_decay() {
+        // decay(v0, retention_time) lands exactly on the threshold.
+        let v0 = Volts(1.5);
+        let th = Volts(0.6);
+        let tau = Seconds::from_hours(3.0);
+        let t = retention_time(v0, th, tau);
+        let v = decay(v0, t, tau);
+        assert!((v.value() - th.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn settle_full_reaches_bitline() {
+        let v = settle_toward(Volts(1.5), Volts(0.75), 1.0);
+        assert_eq!(v, Volts(0.75));
+    }
+
+    #[test]
+    fn settle_partial_moves_proportionally() {
+        let v = settle_toward(Volts(1.5), Volts(0.75), 0.35);
+        assert!((v.value() - (1.5 + 0.35 * (0.75 - 1.5))).abs() < 1e-12);
+        // Direction is correct from below, too.
+        let up = settle_toward(Volts(0.0), Volts(0.75), 0.35);
+        assert!((up.value() - 0.2625).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,297 @@
+//! Row-decoder glitch model for multi-row activation.
+//!
+//! Under nominal timing the decoder drives exactly one word-line. The
+//! out-of-spec sequence `ACTIVATE(R1) - PRECHARGE - ACTIVATE(R2)` with no
+//! idle cycles catches the decoder mid-transition and implicitly raises
+//! additional word-lines (§II-D, §VI-A1 of the paper; also observed by
+//! ComputeDRAM and QUAC-TRNG).
+//!
+//! The paper's exploration on groups C and D found:
+//!
+//! * only `2^k` rows can be opened simultaneously;
+//! * every pair `(R1, R2)` that opens `2^k` rows differs in exactly `k`
+//!   address bits — the opened set is the *span* of the differing bits;
+//! * **not** every pair with `k` differing bits actually opens `2^k` rows.
+//!
+//! Group B additionally opens *three* rows for pairs of the ComputeDRAM
+//! pattern `(4k+1, 4k+2)`, which is what makes the original MAJ3 possible
+//! there and nowhere else.
+
+use serde::{Deserialize, Serialize};
+
+use crate::variation::{ParamId, VariationSampler};
+
+/// How a chip's row decoder responds to the glitch sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DecoderBehavior {
+    /// No multi-row activation: the second ACTIVATE simply wins and only
+    /// `R2` ends up open (groups A, E–I; also J–L, whose timing guard
+    /// prevents the sequence from ever reaching the decoder).
+    SingleOnly,
+    /// Group B: ComputeDRAM-style pairs `(4k+1, 4k+2)` open three rows
+    /// `{4k, 4k+1, 4k+2}`; pairs differing in two non-adjacent bits can
+    /// open the four-row span.
+    TriQuad,
+    /// Groups C and D: only power-of-two row sets can open; three rows are
+    /// impossible.
+    PowerOfTwo,
+}
+
+impl DecoderBehavior {
+    /// Whether this decoder can ever open exactly three rows.
+    pub fn can_open_three(self) -> bool {
+        matches!(self, DecoderBehavior::TriQuad)
+    }
+
+    /// Whether this decoder can ever open four rows.
+    pub fn can_open_four(self) -> bool {
+        matches!(self, DecoderBehavior::TriQuad | DecoderBehavior::PowerOfTwo)
+    }
+}
+
+/// The set of local rows (within one sub-array) left open by the glitch
+/// sequence, in *activation-role order* `[R1, R2, R3, R4, ...]`: the
+/// explicitly activated rows first, then the implicitly opened ones in
+/// ascending order. Role order matters because charge-sharing weights are
+/// assigned per role (the "primary row" asymmetry).
+pub fn glitch_rows(
+    behavior: DecoderBehavior,
+    r1: usize,
+    r2: usize,
+    rows_in_subarray: usize,
+    sampler: &VariationSampler,
+) -> Vec<usize> {
+    debug_assert!(r1 < rows_in_subarray && r2 < rows_in_subarray);
+    if r1 == r2 {
+        return vec![r2];
+    }
+    match behavior {
+        DecoderBehavior::SingleOnly => vec![r2],
+        DecoderBehavior::TriQuad => {
+            if let Some(base) = computedram_triplet(r1, r2) {
+                if base + 2 < rows_in_subarray {
+                    // Role order: R1, R2, then the implicit row.
+                    let implicit = base; // base = 4k, rows are {4k, 4k+1, 4k+2}
+                    return vec![r1, r2, implicit];
+                }
+            }
+            span_or_fallback(r1, r2, rows_in_subarray, sampler)
+        }
+        DecoderBehavior::PowerOfTwo => span_or_fallback(r1, r2, rows_in_subarray, sampler),
+    }
+}
+
+/// Returns `Some(4k)` when `(r1, r2)` is a ComputeDRAM three-row pair
+/// `{4k+1, 4k+2}` (in either order).
+fn computedram_triplet(r1: usize, r2: usize) -> Option<usize> {
+    let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+    if lo % 4 == 1 && hi == lo + 1 {
+        Some(lo - 1)
+    } else {
+        None
+    }
+}
+
+/// Power-of-two span activation: if the pair differs in `k` bits and the
+/// pair-specific gate is open, the whole `2^k` span opens; otherwise the
+/// decoder recovers and only `R2` stays open.
+fn span_or_fallback(
+    r1: usize,
+    r2: usize,
+    rows_in_subarray: usize,
+    sampler: &VariationSampler,
+) -> Vec<usize> {
+    let diff = r1 ^ r2;
+    let k = diff.count_ones();
+    if k == 0 || k > 4 {
+        return vec![r2];
+    }
+    if !pair_gate_open(r1, r2, sampler) {
+        return vec![r2];
+    }
+    let span = span_rows(r1, diff);
+    if span.iter().any(|&r| r >= rows_in_subarray) {
+        return vec![r2];
+    }
+    // Role order: R1, R2, then implicit rows ascending.
+    let mut out = vec![r1, r2];
+    for r in span {
+        if r != r1 && r != r2 {
+            out.push(r);
+        }
+    }
+    out
+}
+
+/// All rows sharing the non-differing address bits of `base`: the set
+/// `{ (base & !diff) | s : s subset of diff }`, ascending.
+pub fn span_rows(base: usize, diff: usize) -> Vec<usize> {
+    let fixed = base & !diff;
+    let mut rows = Vec::with_capacity(1 << diff.count_ones());
+    // Iterate over subsets of `diff` in ascending numeric order.
+    let mut s = 0usize;
+    loop {
+        rows.push(fixed | s);
+        if s == diff {
+            break;
+        }
+        s = (s.wrapping_sub(diff)) & diff; // next subset
+    }
+    rows.sort_unstable();
+    rows
+}
+
+/// Whether a specific `(R1, R2)` pair actually triggers the span glitch.
+///
+/// The paper observes that canonical low-address pairs (the ones it uses
+/// for Half-m and F-MAJ: 1↔2 and 8↔1) work reliably, while arbitrary
+/// pairs with the same bit-difference count often do not. We model that
+/// as: two-bit differences confined to the low four address bits always
+/// glitch; other pairs glitch with a fixed per-pair (chip-specific)
+/// probability.
+fn pair_gate_open(r1: usize, r2: usize, sampler: &VariationSampler) -> bool {
+    let diff = r1 ^ r2;
+    let k = diff.count_ones();
+    if k == 2 && diff < 16 {
+        return true;
+    }
+    let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+    let p = match k {
+        1 => 0.9,
+        2 => 0.55,
+        3 => 0.3,
+        _ => 0.15,
+    };
+    sampler.bernoulli(ParamId::GlitchPairGate, &[lo as u64, hi as u64], p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sampler() -> VariationSampler {
+        VariationSampler::new(0xF00D)
+    }
+
+    #[test]
+    fn single_only_opens_just_r2() {
+        assert_eq!(
+            glitch_rows(DecoderBehavior::SingleOnly, 1, 2, 64, &sampler()),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn group_b_computedram_pair_opens_three() {
+        // ACT(1)-PRE-ACT(2) opens rows {0,1,2} with roles [R1=1, R2=2, R3=0].
+        let rows = glitch_rows(DecoderBehavior::TriQuad, 1, 2, 64, &sampler());
+        assert_eq!(rows, vec![1, 2, 0]);
+        // Higher-aligned triplets too: (5, 6) -> {4,5,6}.
+        let rows = glitch_rows(DecoderBehavior::TriQuad, 5, 6, 64, &sampler());
+        assert_eq!(rows, vec![5, 6, 4]);
+        // Order-insensitive.
+        let rows = glitch_rows(DecoderBehavior::TriQuad, 2, 1, 64, &sampler());
+        assert_eq!(rows, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn group_b_quad_pair_opens_four() {
+        // The paper's Half-m pair: ACT(8)-PRE-ACT(1) opens {0,1,8,9} with
+        // roles [R1=8, R2=1, R3=0, R4=9].
+        let rows = glitch_rows(DecoderBehavior::TriQuad, 8, 1, 64, &sampler());
+        assert_eq!(rows, vec![8, 1, 0, 9]);
+    }
+
+    #[test]
+    fn power_of_two_canonical_pair() {
+        // The paper's F-MAJ pair for groups C/D: {R1,R2} = {1,2} opens
+        // {0,1,2,3} with roles [R1=1, R2=2, R3=0, R4=3].
+        let rows = glitch_rows(DecoderBehavior::PowerOfTwo, 1, 2, 64, &sampler());
+        assert_eq!(rows, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn power_of_two_never_opens_three() {
+        let s = sampler();
+        for r1 in 0..32 {
+            for r2 in 0..32 {
+                if r1 == r2 {
+                    continue;
+                }
+                let n = glitch_rows(DecoderBehavior::PowerOfTwo, r1, r2, 32, &s).len();
+                assert!(n.is_power_of_two(), "({r1},{r2}) opened {n} rows");
+            }
+        }
+    }
+
+    #[test]
+    fn span_size_is_two_to_the_k() {
+        let s = sampler();
+        for r1 in 0..64 {
+            for r2 in 0..64 {
+                if r1 == r2 {
+                    continue;
+                }
+                let rows = glitch_rows(DecoderBehavior::PowerOfTwo, r1, r2, 64, &s);
+                let k = (r1 ^ r2).count_ones();
+                let n = rows.len();
+                // Either the gate stayed shut (1 row) or the full span opened.
+                assert!(
+                    n == 1 || n == (1 << k),
+                    "({r1},{r2}): k={k} but {n} rows opened"
+                );
+                // Any opened span has all rows agreeing on common bits.
+                if n > 1 {
+                    for &r in &rows {
+                        assert_eq!(r & !(r1 ^ r2), r1 & !(r1 ^ r2));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn not_all_k_bit_pairs_glitch() {
+        // The paper: "not all combinations of R1 and R2 that have k
+        // different bits can open 2^k rows". With enough high-bit pairs,
+        // some must fall back.
+        let s = sampler();
+        let mut opened = 0;
+        let mut total = 0;
+        for base in 0..16 {
+            let r1 = base * 16; // keep diff in high bits (>= 16)
+            let r2 = r1 ^ 0b11_0000;
+            if r2 < 256 {
+                total += 1;
+                if glitch_rows(DecoderBehavior::PowerOfTwo, r1, r2, 256, &s).len() == 4 {
+                    opened += 1;
+                }
+            }
+        }
+        assert!(opened > 0, "no high pair ever glitches");
+        assert!(opened < total, "every high pair glitches");
+    }
+
+    #[test]
+    fn span_rows_enumerates_subsets() {
+        assert_eq!(span_rows(8, 9), vec![0, 1, 8, 9]);
+        assert_eq!(span_rows(1, 3), vec![0, 1, 2, 3]);
+        assert_eq!(span_rows(5, 0), vec![5]);
+    }
+
+    #[test]
+    fn out_of_range_span_falls_back() {
+        // (3, 9) differ in bits {1, 3}: span {1, 3, 9, 11} does not fit a
+        // 10-row sub-array, so only R2 opens.
+        let rows = glitch_rows(DecoderBehavior::PowerOfTwo, 3, 9, 10, &sampler());
+        assert_eq!(rows, vec![9]);
+    }
+
+    #[test]
+    fn same_row_twice_is_single() {
+        assert_eq!(
+            glitch_rows(DecoderBehavior::TriQuad, 5, 5, 64, &sampler()),
+            vec![5]
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Operating environment: temperature and supply voltage.
+//!
+//! The paper evaluates the Frac-PUF at a reduced supply voltage (1.4 V vs
+//! the nominal 1.5 V) and at elevated temperatures (Fig. 12). The
+//! environment is a property of the *test bench*, not the chip, so it can
+//! be changed between operations on the same simulated module.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Volts;
+
+/// Ambient conditions the DRAM module operates under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Environment {
+    /// Die temperature in degrees Celsius.
+    pub temperature_c: f64,
+    /// Supply voltage.
+    pub vdd: Volts,
+}
+
+impl Environment {
+    /// Room temperature (20 °C, per the paper) at the nominal DDR3 supply
+    /// voltage of 1.5 V.
+    pub fn nominal() -> Self {
+        Environment {
+            temperature_c: 20.0,
+            vdd: Volts(1.5),
+        }
+    }
+
+    /// Same temperature, different supply voltage.
+    pub fn with_vdd(self, vdd: Volts) -> Self {
+        Environment { vdd, ..self }
+    }
+
+    /// Same supply voltage, different temperature.
+    pub fn with_temperature(self, temperature_c: f64) -> Self {
+        Environment {
+            temperature_c,
+            ..self
+        }
+    }
+
+    /// Multiplicative factor applied to leakage time constants at this
+    /// temperature: leakage roughly doubles every `halving_celsius`
+    /// degrees above the 20 °C reference.
+    pub fn leakage_tau_scale(&self, halving_celsius: f64) -> f64 {
+        2f64.powf(-(self.temperature_c - 20.0) / halving_celsius)
+    }
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Environment::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_matches_paper_setup() {
+        let e = Environment::nominal();
+        assert_eq!(e.temperature_c, 20.0);
+        assert_eq!(e.vdd, Volts(1.5));
+    }
+
+    #[test]
+    fn builders_replace_one_field() {
+        let e = Environment::nominal()
+            .with_vdd(Volts(1.4))
+            .with_temperature(60.0);
+        assert_eq!(e.vdd, Volts(1.4));
+        assert_eq!(e.temperature_c, 60.0);
+    }
+
+    #[test]
+    fn hotter_leaks_faster() {
+        let cold = Environment::nominal();
+        let hot = cold.with_temperature(40.0);
+        assert_eq!(cold.leakage_tau_scale(10.0), 1.0);
+        // +20 °C with a 10 °C halving period: tau shrinks 4x.
+        assert!((hot.leakage_tau_scale(10.0) - 0.25).abs() < 1e-12);
+    }
+}

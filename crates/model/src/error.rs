@@ -1,0 +1,95 @@
+//! Error type of the device model.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors reported by the device model.
+///
+/// The model only rejects *structurally* invalid requests (addresses out
+/// of range, malformed data lengths). Out-of-spec command *timing* is
+/// never an error here — producing defined behavior for undefined timing
+/// is the whole point of the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A bank index exceeded the chip geometry.
+    BankOutOfRange {
+        /// Requested bank.
+        bank: usize,
+        /// Number of banks in the chip.
+        banks: usize,
+    },
+    /// A row number exceeded the bank size.
+    RowOutOfRange {
+        /// Requested row.
+        row: usize,
+        /// Rows per bank.
+        rows: usize,
+    },
+    /// A data buffer did not match the row width.
+    WidthMismatch {
+        /// Provided length in bits.
+        got: usize,
+        /// Expected length in bits.
+        expected: usize,
+    },
+    /// A command that requires an open row found the bank closed (e.g.
+    /// READ or WRITE with no prior sensed ACTIVATE).
+    BankClosed {
+        /// Bank the command targeted.
+        bank: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BankOutOfRange { bank, banks } => {
+                write!(f, "bank {bank} out of range (chip has {banks} banks)")
+            }
+            ModelError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (bank has {rows} rows)")
+            }
+            ModelError::WidthMismatch { got, expected } => {
+                write!(f, "data width {got} does not match row width {expected}")
+            }
+            ModelError::BankClosed { bank } => {
+                write!(f, "bank {bank} has no sensed open row")
+            }
+        }
+    }
+}
+
+impl StdError for ModelError {}
+
+/// Convenience result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_without_period() {
+        let msgs = [
+            ModelError::BankOutOfRange { bank: 9, banks: 8 }.to_string(),
+            ModelError::RowOutOfRange { row: 99, rows: 64 }.to_string(),
+            ModelError::WidthMismatch {
+                got: 3,
+                expected: 64,
+            }
+            .to_string(),
+            ModelError::BankClosed { bank: 1 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: StdError + Send + Sync + 'static>() {}
+        assert_traits::<ModelError>();
+    }
+}

@@ -1,0 +1,203 @@
+//! DRAM organization: geometry and addressing.
+//!
+//! The model follows the hierarchy described in §II-A of the paper:
+//! a module contains chips, a chip contains banks, a bank contains
+//! sub-arrays, and a sub-array is a grid of rows × columns with one
+//! sense amplifier per column. Command addressing uses *bank-level row
+//! numbers* (as DRAM commands do); the sub-array index and the local row
+//! within it are derived from the geometry, since multi-row activation
+//! only ever happens within one sub-array.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of a simulated chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Number of banks per chip.
+    pub banks: usize,
+    /// Number of sub-arrays per bank.
+    pub subarrays_per_bank: usize,
+    /// Number of rows per sub-array.
+    pub rows_per_subarray: usize,
+    /// Number of columns (bit-lines / sense amplifiers) per sub-array.
+    pub columns: usize,
+}
+
+impl Geometry {
+    /// A small geometry suitable for unit tests: 2 banks × 2 sub-arrays ×
+    /// 32 rows × 64 columns.
+    pub fn tiny() -> Self {
+        Geometry {
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            columns: 64,
+        }
+    }
+
+    /// The default experiment geometry: big enough for every paper
+    /// experiment while keeping simulation time reasonable.
+    pub fn experiment() -> Self {
+        Geometry {
+            banks: 8,
+            subarrays_per_bank: 8,
+            rows_per_subarray: 64,
+            columns: 1024,
+        }
+    }
+
+    /// Geometry of a realistic x8 DDR3 chip slice used for the PUF
+    /// experiments: an 8 KB module row spreads 8192 bits across each of
+    /// 8 chips.
+    pub fn puf() -> Self {
+        Geometry {
+            banks: 8,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 64,
+            columns: 8192,
+        }
+    }
+
+    /// Total number of rows in a bank.
+    pub fn rows_per_bank(&self) -> usize {
+        self.subarrays_per_bank * self.rows_per_subarray
+    }
+
+    /// Total number of cells in the chip.
+    pub fn total_cells(&self) -> usize {
+        self.banks * self.rows_per_bank() * self.columns
+    }
+
+    /// Splits a bank-level row number into (sub-array index, local row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range for the bank.
+    pub fn split_row(&self, row: usize) -> (usize, usize) {
+        assert!(
+            row < self.rows_per_bank(),
+            "row {row} out of range ({} rows per bank)",
+            self.rows_per_bank()
+        );
+        (row / self.rows_per_subarray, row % self.rows_per_subarray)
+    }
+
+    /// Combines (sub-array index, local row) into a bank-level row number.
+    pub fn join_row(&self, subarray: usize, local_row: usize) -> usize {
+        debug_assert!(subarray < self.subarrays_per_bank);
+        debug_assert!(local_row < self.rows_per_subarray);
+        subarray * self.rows_per_subarray + local_row
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::experiment()
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} banks x {} subarrays x {} rows x {} cols",
+            self.banks, self.subarrays_per_bank, self.rows_per_subarray, self.columns
+        )
+    }
+}
+
+/// Address of a row at bank granularity — what ACTIVATE takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RowAddr {
+    /// Bank index within the chip/module.
+    pub bank: usize,
+    /// Bank-level row number.
+    pub row: usize,
+}
+
+impl RowAddr {
+    /// Creates a row address.
+    pub fn new(bank: usize, row: usize) -> Self {
+        RowAddr { bank, row }
+    }
+}
+
+impl fmt::Display for RowAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank {} row {}", self.bank, self.row)
+    }
+}
+
+/// Address of a sub-array within a chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubarrayAddr {
+    /// Bank index.
+    pub bank: usize,
+    /// Sub-array index within the bank.
+    pub subarray: usize,
+}
+
+impl SubarrayAddr {
+    /// Creates a sub-array address.
+    pub fn new(bank: usize, subarray: usize) -> Self {
+        SubarrayAddr { bank, subarray }
+    }
+
+    /// The bank-level row number of `local_row` inside this sub-array.
+    pub fn row(&self, geometry: &Geometry, local_row: usize) -> RowAddr {
+        RowAddr::new(self.bank, geometry.join_row(self.subarray, local_row))
+    }
+}
+
+impl fmt::Display for SubarrayAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank {} subarray {}", self.bank, self.subarray)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_join_roundtrip() {
+        let g = Geometry::tiny();
+        for row in 0..g.rows_per_bank() {
+            let (sa, local) = g.split_row(row);
+            assert_eq!(g.join_row(sa, local), row);
+            assert!(sa < g.subarrays_per_bank);
+            assert!(local < g.rows_per_subarray);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn split_rejects_out_of_range() {
+        let g = Geometry::tiny();
+        g.split_row(g.rows_per_bank());
+    }
+
+    #[test]
+    fn subarray_addr_row_is_bank_level() {
+        let g = Geometry::tiny();
+        let sa = SubarrayAddr::new(1, 1);
+        let addr = sa.row(&g, 3);
+        assert_eq!(addr.bank, 1);
+        assert_eq!(addr.row, g.rows_per_subarray + 3);
+    }
+
+    #[test]
+    fn totals() {
+        let g = Geometry::tiny();
+        assert_eq!(g.rows_per_bank(), 64);
+        assert_eq!(g.total_cells(), 2 * 64 * 64);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RowAddr::new(2, 7).to_string(), "bank 2 row 7");
+        assert!(Geometry::tiny().to_string().contains("2 banks"));
+    }
+}

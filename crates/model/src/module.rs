@@ -1,0 +1,314 @@
+//! A DRAM module (DIMM rank): several chips operated in lock-step.
+//!
+//! The platform in the paper exercises DDR3 modules whose 64-bit data bus
+//! is built from eight x8 chips; an 8 KB module row spreads across all of
+//! them in byte lanes. Commands go to every chip simultaneously; data is
+//! striped. A single-chip module is also supported (and is what most
+//! experiments use — per-chip behavior is what the paper characterizes).
+
+use serde::{Deserialize, Serialize};
+
+use crate::chip::{Chip, ChipConfig};
+use crate::env::Environment;
+use crate::error::Result;
+use crate::geometry::{Geometry, RowAddr};
+use crate::params::DeviceParams;
+use crate::units::Volts;
+use crate::variation::hash_coords;
+use crate::vendor::{GroupId, VendorProfile};
+
+/// Width of one data lane in bits (x8 chips).
+pub const LANE_BITS: usize = 8;
+
+/// Configuration of a module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleConfig {
+    /// Vendor group of all chips on the module.
+    pub group: GroupId,
+    /// Module seed; each chip derives its own die seed from it.
+    pub seed: u64,
+    /// Geometry of each chip.
+    pub geometry: Geometry,
+    /// Number of chips (1 for single-chip studies, 8 for a realistic
+    /// 64-bit rank).
+    pub chips: usize,
+    /// Analog parameters shared by all chips.
+    pub params: DeviceParams,
+}
+
+impl ModuleConfig {
+    /// A single-chip module with default parameters.
+    pub fn single_chip(group: GroupId, seed: u64, geometry: Geometry) -> Self {
+        ModuleConfig {
+            group,
+            seed,
+            geometry,
+            chips: 1,
+            params: DeviceParams::default(),
+        }
+    }
+
+    /// A realistic eight-chip rank with default parameters.
+    pub fn rank(group: GroupId, seed: u64, geometry: Geometry) -> Self {
+        ModuleConfig {
+            group,
+            seed,
+            geometry,
+            chips: 8,
+            params: DeviceParams::default(),
+        }
+    }
+}
+
+/// A simulated DRAM module.
+#[derive(Debug, Clone)]
+pub struct Module {
+    config: ModuleConfig,
+    chips: Vec<Chip>,
+}
+
+impl Module {
+    /// Builds a module; chip `i` receives die seed
+    /// `hash(module_seed, i)`.
+    pub fn new(config: ModuleConfig) -> Self {
+        assert!(config.chips >= 1, "a module needs at least one chip");
+        let chips = (0..config.chips)
+            .map(|i| {
+                Chip::new(ChipConfig {
+                    group: config.group,
+                    seed: hash_coords(&[config.seed, i as u64]),
+                    geometry: config.geometry,
+                    params: config.params.clone(),
+                })
+            })
+            .collect();
+        Module { config, chips }
+    }
+
+    /// The module configuration.
+    pub fn config(&self) -> &ModuleConfig {
+        &self.config
+    }
+
+    /// The vendor profile of the module's chips.
+    pub fn profile(&self) -> VendorProfile {
+        self.config.group.profile()
+    }
+
+    /// Per-chip geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.config.geometry
+    }
+
+    /// Total row width in bits across all chips.
+    pub fn row_bits(&self) -> usize {
+        self.config.geometry.columns * self.chips.len()
+    }
+
+    /// The chips of the module.
+    pub fn chips(&self) -> &[Chip] {
+        &self.chips
+    }
+
+    /// Mutable access to one chip (test-bench instrumentation).
+    pub fn chip_mut(&mut self, index: usize) -> &mut Chip {
+        &mut self.chips[index]
+    }
+
+    /// Sets the operating environment of every chip.
+    pub fn set_environment(&mut self, env: Environment) {
+        for chip in &mut self.chips {
+            chip.set_environment(env);
+        }
+    }
+
+    /// Current environment (all chips share it).
+    pub fn environment(&self) -> &Environment {
+        self.chips[0].environment()
+    }
+
+    /// Maps a module-level column to `(chip index, chip column)` using
+    /// byte-lane striping.
+    pub fn map_column(&self, col: usize) -> (usize, usize) {
+        let n = self.chips.len();
+        let lane = (col / LANE_BITS) % n;
+        let chip_col = (col / (LANE_BITS * n)) * LANE_BITS + col % LANE_BITS;
+        (lane, chip_col)
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcast command interface
+    // ------------------------------------------------------------------
+
+    /// ACTIVATE on every chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-range errors.
+    pub fn activate(&mut self, addr: RowAddr, t: u64) -> Result<()> {
+        for chip in &mut self.chips {
+            chip.activate(addr, t)?;
+        }
+        Ok(())
+    }
+
+    /// PRECHARGE on every chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-range errors.
+    pub fn precharge(&mut self, bank: usize, t: u64) -> Result<()> {
+        for chip in &mut self.chips {
+            chip.precharge(bank, t)?;
+        }
+        Ok(())
+    }
+
+    /// REFRESH a bank on every chip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates address-range errors.
+    pub fn refresh(&mut self, bank: usize, t: u64) -> Result<()> {
+        for chip in &mut self.chips {
+            chip.refresh(bank, t)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the full module row (logical bits, byte-lane de-striped).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any chip's bank has no sensed open row.
+    pub fn read(&mut self, bank: usize, t: u64) -> Result<Vec<bool>> {
+        let per_chip: Vec<Vec<bool>> = self
+            .chips
+            .iter_mut()
+            .map(|c| c.read(bank, t))
+            .collect::<Result<_>>()?;
+        let width = self.row_bits();
+        let mut out = vec![false; width];
+        for (col, bit) in out.iter_mut().enumerate() {
+            let (chip, chip_col) = self.map_column(col);
+            *bit = per_chip[chip][chip_col];
+        }
+        Ok(out)
+    }
+
+    /// Writes a full module row (logical bits).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any chip's bank is closed or `bits` has the wrong width.
+    pub fn write(&mut self, bank: usize, bits: &[bool], t: u64) -> Result<()> {
+        let width = self.row_bits();
+        if bits.len() != width {
+            return Err(crate::error::ModelError::WidthMismatch {
+                got: bits.len(),
+                expected: width,
+            });
+        }
+        let chip_cols = self.config.geometry.columns;
+        let mut per_chip = vec![vec![false; chip_cols]; self.chips.len()];
+        for (col, &bit) in bits.iter().enumerate() {
+            let (chip, chip_col) = self.map_column(col);
+            per_chip[chip][chip_col] = bit;
+        }
+        for (chip, data) in self.chips.iter_mut().zip(&per_chip) {
+            chip.write(bank, 0, data, t)?;
+        }
+        Ok(())
+    }
+
+    /// Direct view of one cell's voltage (module column addressing).
+    pub fn probe_cell_voltage(&mut self, addr: RowAddr, col: usize, t: u64) -> Volts {
+        let (chip, chip_col) = self.map_column(col);
+        self.chips[chip].probe_cell_voltage(addr, chip_col, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(chips: usize) -> Module {
+        Module::new(ModuleConfig {
+            group: GroupId::B,
+            seed: 99,
+            geometry: Geometry::tiny(),
+            chips,
+            params: DeviceParams::default(),
+        })
+    }
+
+    #[test]
+    fn column_mapping_is_a_bijection() {
+        let m = module(8);
+        let width = m.row_bits();
+        let mut seen = vec![false; width];
+        for col in 0..width {
+            let (chip, chip_col) = m.map_column(col);
+            let flat = chip * m.geometry().columns + chip_col;
+            assert!(!seen[flat], "collision at module col {col}");
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_chip_mapping_is_identity() {
+        let m = module(1);
+        for col in 0..m.row_bits() {
+            assert_eq!(m.map_column(col), (0, col));
+        }
+    }
+
+    #[test]
+    fn module_roundtrip() {
+        let mut m = module(8);
+        let width = m.row_bits();
+        let pattern: Vec<bool> = (0..width).map(|i| (i * 13) % 7 < 3).collect();
+        let addr = RowAddr::new(0, 4);
+        m.activate(addr, 100).unwrap();
+        m.write(0, &pattern, 110).unwrap();
+        m.precharge(0, 120).unwrap();
+        m.activate(addr, 150).unwrap();
+        let bits = m.read(0, 160).unwrap();
+        m.precharge(0, 170).unwrap();
+        assert_eq!(bits, pattern);
+    }
+
+    #[test]
+    fn chips_on_same_module_are_distinct_dies() {
+        let m = module(2);
+        let a = m.chips()[0].silicon().sense_offset(0, 0, 0);
+        let b = m.chips()[1].silicon().sense_offset(0, 0, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_modules_are_distinct() {
+        let m1 = Module::new(ModuleConfig::single_chip(GroupId::B, 1, Geometry::tiny()));
+        let m2 = Module::new(ModuleConfig::single_chip(GroupId::B, 2, Geometry::tiny()));
+        assert_ne!(
+            m1.chips()[0].silicon().sense_offset(0, 0, 0),
+            m2.chips()[0].silicon().sense_offset(0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn write_width_checked() {
+        let mut m = module(2);
+        let addr = RowAddr::new(0, 0);
+        m.activate(addr, 10).unwrap();
+        assert!(m.write(0, &[true; 3], 20).is_err());
+    }
+
+    #[test]
+    fn rank_config_has_eight_chips() {
+        let m = Module::new(ModuleConfig::rank(GroupId::C, 5, Geometry::tiny()));
+        assert_eq!(m.chips().len(), 8);
+        assert_eq!(m.row_bits(), 8 * Geometry::tiny().columns);
+    }
+}

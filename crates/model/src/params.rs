@@ -1,0 +1,227 @@
+//! Physical parameters of the simulated DRAM device.
+//!
+//! The defaults were calibrated (see `tests/calibration.rs` at the
+//! workspace root) so that the *shapes* reported in the FracDRAM paper
+//! emerge from the analog mechanisms: Frac convergence toward `Vdd/2`,
+//! retention-bucket migration, the ~9% baseline MAJ3 error improving to
+//! ~2% under F-MAJ, and an intra-/inter-HD separation for the PUF.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Femtofarads, Seconds, Volts};
+
+/// Internal device latencies, in memory cycles (2.5 ns each).
+///
+/// These model what the silicon does, not what JEDEC allows; the JEDEC
+/// constraint table lives in `fracdram-softmc` and is deliberately
+/// violable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InternalTiming {
+    /// Cycles from ACTIVATE issue until the word-line is fully raised and
+    /// charge sharing with the bit-line begins.
+    pub wordline_raise: u64,
+    /// Cycles from ACTIVATE issue until the sense amplifier is enabled
+    /// (if no PRECHARGE interrupts it first).
+    pub sense_enable: u64,
+    /// Cycles from ACTIVATE issue until restoration of the open row(s) is
+    /// complete (the device-side analog of tRAS).
+    pub restore_done: u64,
+    /// Cycles from PRECHARGE issue until the word-lines are actually
+    /// lowered. A second ACTIVATE arriving before this point cancels the
+    /// closure and triggers the row-decoder glitch.
+    pub precharge_close: u64,
+    /// Cycles from PRECHARGE issue until the bit-lines are equalized to
+    /// `Vdd/2` (the device-side analog of tRP).
+    pub precharge_done: u64,
+}
+
+impl Default for InternalTiming {
+    fn default() -> Self {
+        // Chosen so the paper's sequences behave as described:
+        // - Frac: ACT@0, PRE@1 -> close@3 < sense@4 -> interrupted.
+        // - Multi-row: ACT@0, PRE@1, ACT@2 -> ACT lands before close@3.
+        // - Half-m: ...ACT(R2)@2, PRE@3 -> close@5 < sense@6(=2+4).
+        InternalTiming {
+            wordline_raise: 1,
+            sense_enable: 4,
+            restore_done: 14,
+            precharge_close: 2,
+            precharge_done: 5,
+        }
+    }
+}
+
+/// Statistical and analog parameters of the device model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceParams {
+    /// Nominal supply voltage. DDR3 uses 1.5 V.
+    pub vdd_nominal: Volts,
+    /// Nominal cell capacitance.
+    pub cell_cap: Femtofarads,
+    /// Relative (fractional) sigma of per-cell capacitance variation.
+    pub cell_cap_rel_sigma: f64,
+    /// Bit-line capacitance. The ratio to `cell_cap` sets how far a single
+    /// charge-sharing step moves the bit-line away from `Vdd/2`.
+    pub bitline_cap: Femtofarads,
+    /// Fraction of the cell→equilibrium voltage gap closed during one
+    /// *interrupted* activation (word-line up for only ~1 cycle). Full,
+    /// uninterrupted activations always settle completely.
+    pub interrupted_settle: f64,
+    /// Settle fraction during an interrupted **multi-row** activation
+    /// (Half-m). The glitch raises the extra word-lines late and only
+    /// partially, so the cells move a smaller fraction of the way to the
+    /// shared equilibrium than in a clean single-row interruption —
+    /// which is why Half-m's "weak" ones and zeros stay near their rails
+    /// (Fig. 4) and re-sense like normal values (Fig. 8).
+    pub multirow_settle: f64,
+    /// Sigma of the per-column sense-amplifier input-referred offset, in
+    /// volts. Static per chip; the entropy source of the Frac-PUF.
+    pub sense_offset_sigma: Volts,
+    /// Sigma of the temporal sensing noise per activation, in volts.
+    pub sense_noise_sigma: Volts,
+    /// Sigma of thermal noise added to the bit-line during charge sharing.
+    pub bitline_noise_sigma: Volts,
+    /// Sigma of the static, per-cell charge-injection offset (access
+    /// transistor mismatch, clock feedthrough) expressed at the *cell*
+    /// level; its bit-line-referred effect is scaled by the sharing
+    /// ratio. This is what makes responses from different rows of the
+    /// same sub-array distinct — the row-level entropy of the Frac-PUF
+    /// challenge space.
+    pub cell_inject_sigma: Volts,
+    /// Per-trial (temporal) relative jitter of the multi-row
+    /// charge-sharing weights: the decoder glitch does not open the rows
+    /// at exactly the same instant on every trial, so each row's
+    /// effective contribution varies run to run. This — not additive
+    /// bit-line noise — is what makes the in-memory majority unstable
+    /// (the 9.1 % baseline error of §VI-A2).
+    pub share_temporal_sigma: f64,
+    /// Median of the per-cell leakage time constant at 20 °C.
+    pub leak_tau_median: Seconds,
+    /// Sigma (of the underlying normal) of the log-normal tau distribution.
+    pub leak_tau_sigma_ln: f64,
+    /// Temperature increase that halves the leakage time constant, in °C.
+    pub leak_tau_halving_celsius: f64,
+    /// Fraction of cells exhibiting variable retention time (VRT).
+    pub vrt_fraction: f64,
+    /// Ratio between the two leakage time constants of a VRT cell.
+    pub vrt_tau_ratio: f64,
+    /// Duration of one VRT phase epoch; the active tau re-randomizes each
+    /// epoch.
+    pub vrt_epoch: Seconds,
+    /// Sigma of the per-(row-slot, column) charge-sharing weight jitter
+    /// during multi-row activation. This is what limits F-MAJ stability.
+    pub share_weight_sigma: f64,
+    /// Per-column sigma of the closure asymmetry an interrupted
+    /// multi-row activation leaves on its cells, *before* the
+    /// metastability scaling: columns whose bit-line ended near `Vdd/2`
+    /// amplify the word-line-drop asymmetry (a metastable node follows
+    /// any perturbation), while strongly driven columns suppress it.
+    /// The voltage is clamped to the rails, so large values mean "the
+    /// column's Half value collapses toward a rail" — which is why only
+    /// ~16 % of columns produce a clean, distinguishable Half value
+    /// (Fig. 8).
+    pub halfm_asym_sigma: Volts,
+    /// Sigma of the per-column temperature coefficient of the sense offset
+    /// (volts per °C); drives the small intra-HD growth in Fig. 12b.
+    pub sense_temp_coeff_sigma: f64,
+    /// Fraction of the supply-voltage change that leaks into the sense
+    /// threshold beyond the ideal `Vdd/2` tracking (Fig. 12a).
+    pub sense_vdd_coupling: f64,
+    /// Fraction of rows wired as anti-cells (physical `Vdd` reads as
+    /// logical zero).
+    pub anti_cell_fraction: f64,
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        DeviceParams {
+            vdd_nominal: Volts(1.5),
+            cell_cap: Femtofarads(22.0),
+            cell_cap_rel_sigma: 0.05,
+            bitline_cap: Femtofarads(88.0),
+            interrupted_settle: 0.8,
+            multirow_settle: 0.35,
+            sense_offset_sigma: Volts(0.020),
+            sense_noise_sigma: Volts(0.0015),
+            bitline_noise_sigma: Volts(0.002),
+            cell_inject_sigma: Volts(0.05),
+            share_temporal_sigma: 0.06,
+            leak_tau_median: Seconds::from_hours(250.0),
+            leak_tau_sigma_ln: 1.8,
+            leak_tau_halving_celsius: 10.0,
+            vrt_fraction: 0.005,
+            vrt_tau_ratio: 0.05,
+            vrt_epoch: Seconds::from_minutes(7.0),
+            share_weight_sigma: 0.06,
+            halfm_asym_sigma: Volts(3.0),
+            sense_temp_coeff_sigma: 7.0e-5,
+            sense_vdd_coupling: 0.02,
+            anti_cell_fraction: 0.5,
+        }
+    }
+}
+
+impl DeviceParams {
+    /// The precharge voltage (`Vdd/2`) for a given supply voltage.
+    pub fn half_vdd(&self, vdd: Volts) -> Volts {
+        vdd / 2.0
+    }
+
+    /// Fraction of the gap to equilibrium closed by one interrupted
+    /// charge-sharing step, for a cell of capacitance `cc` against the
+    /// bit-line: `settle * Cb / (Cb + Cc)`.
+    ///
+    /// A cell at voltage `v` connected to a bit-line precharged to `p`
+    /// ends the step at `v + frac * (p - v)`.
+    pub fn interrupted_pull(&self, cc: Femtofarads) -> f64 {
+        self.interrupted_settle * (self.bitline_cap / (self.bitline_cap + cc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timing_supports_paper_sequences() {
+        let t = InternalTiming::default();
+        // Frac: PRE issued 1 cycle after ACT must close the word-line
+        // before the sense amplifier would enable.
+        assert!(1 + t.precharge_close < t.sense_enable);
+        // Multi-row: ACT(R2) issued 2 cycles after ACT(R1) (1 cycle after
+        // PRE) must land before the PRE closes anything.
+        assert!(2 < 1 + t.precharge_close);
+        // Half-m: trailing PRE at cycle 3 closes at 5, before the second
+        // activation's sense enable at 2 + sense_enable = 6.
+        assert!(3 + t.precharge_close < 2 + t.sense_enable);
+        // A normal activation lives long enough to restore.
+        assert!(t.sense_enable < t.restore_done);
+    }
+
+    #[test]
+    fn frac_geometric_convergence() {
+        let p = DeviceParams::default();
+        let pull = p.interrupted_pull(p.cell_cap);
+        assert!(pull > 0.0 && pull < 1.0);
+        // Start from Vdd, repeatedly share with a Vdd/2 bit-line.
+        let vdd = p.vdd_nominal.value();
+        let mut v = vdd;
+        let mut prev_delta = v - vdd / 2.0;
+        for _ in 0..10 {
+            v += pull * (vdd / 2.0 - v);
+            let delta = v - vdd / 2.0;
+            assert!(delta > 0.0, "never crosses Vdd/2");
+            assert!(delta < prev_delta, "monotonic convergence");
+            prev_delta = delta;
+        }
+        // Ten Frac ops bring the voltage close to Vdd/2 (PUF regime).
+        assert!(prev_delta < 0.02 * vdd, "delta after 10 = {prev_delta}");
+    }
+
+    #[test]
+    fn half_vdd_tracks_supply() {
+        let p = DeviceParams::default();
+        assert_eq!(p.half_vdd(Volts(1.5)), Volts(0.75));
+        assert_eq!(p.half_vdd(Volts(1.4)), Volts(0.7));
+    }
+}

@@ -1,0 +1,104 @@
+//! Sense-amplifier model.
+//!
+//! At the end of each bit-line sits a differential sense amplifier that,
+//! when enabled, compares the bit-line voltage against `Vdd/2` and drives
+//! it to full rail. "Whether Vdd/2 is regarded as a zero or one is
+//! determined by the sense amplifier circuit, which is essentially a
+//! comparator" (§VI-B1) — its per-column input-referred offset is the
+//! entropy source of the Frac-based PUF and, because the offset is a
+//! static manufacturing artifact, the comparison is largely independent
+//! of temperature and supply voltage (the paper's Fig. 12 robustness).
+
+use crate::env::Environment;
+use crate::params::DeviceParams;
+use crate::units::Volts;
+
+/// Computes the effective decision threshold of one column's sense
+/// amplifier under the given environment.
+///
+/// The ideal threshold is `Vdd/2`; the static `offset` and a small
+/// per-column temperature drift shift it, and a fraction of any supply
+/// deviation from nominal couples in as a common-mode shift.
+pub fn threshold(
+    params: &DeviceParams,
+    env: &Environment,
+    offset: Volts,
+    temp_coeff: f64,
+) -> Volts {
+    let half = params.half_vdd(env.vdd);
+    let temp_shift = temp_coeff * (env.temperature_c - 20.0);
+    let vdd_shift = params.sense_vdd_coupling * (env.vdd.value() - params.vdd_nominal.value());
+    Volts(half.value() + offset.value() + temp_shift + vdd_shift)
+}
+
+/// The sense decision: does a bit-line at `bitline` volts (noise already
+/// applied by the caller) read as a physical one?
+pub fn senses_one(bitline: Volts, threshold: Volts) -> bool {
+    bitline.value() > threshold.value()
+}
+
+/// The effective *cell-side* threshold for an anti-cell column.
+///
+/// The row buffer always latches the same side of the differential
+/// amplifier, so the amplifier's offset tips a metastable (≈ `Vdd/2`)
+/// column toward the same *logical* value regardless of cell polarity
+/// (§II-C, §VI-B1). Anti-cell columns connect their cells to the
+/// complementary bit-line; seen from the cell side, the decision
+/// threshold is therefore the reflection of the row-buffer-side
+/// threshold around `Vdd/2`.
+pub fn mirror_for_anti(threshold: Volts, env: &Environment) -> Volts {
+    Volts(env.vdd.value() - threshold.value())
+}
+
+/// The full-rail restore values driven onto the bit-line (and all
+/// connected cells) once the amplifier latches.
+pub fn restore_level(sensed_one: bool, env: &Environment) -> Volts {
+    if sensed_one {
+        env.vdd
+    } else {
+        Volts(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_threshold_is_half_vdd_plus_offset() {
+        let p = DeviceParams::default();
+        let e = Environment::nominal();
+        let th = threshold(&p, &e, Volts(0.01), 0.0);
+        assert!((th.value() - 0.76).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_tracks_supply() {
+        let p = DeviceParams::default();
+        let low = Environment::nominal().with_vdd(Volts(1.4));
+        let th = threshold(&p, &low, Volts(0.0), 0.0);
+        // Ideal tracking would be 0.70; the coupling term moves it only
+        // slightly, which is why the PUF survives a supply change.
+        assert!((th.value() - 0.70).abs() < 0.005, "th = {th}");
+    }
+
+    #[test]
+    fn temperature_drift_is_small() {
+        let p = DeviceParams::default();
+        let hot = Environment::nominal().with_temperature(80.0);
+        let th_cold = threshold(&p, &Environment::nominal(), Volts(0.0), 2e-4);
+        let th_hot = threshold(&p, &hot, Volts(0.0), 2e-4);
+        let drift = (th_hot.value() - th_cold.value()).abs();
+        assert!(drift > 0.0);
+        assert!(drift < 0.02, "drift {drift} too large for Fig. 12 shape");
+    }
+
+    #[test]
+    fn decision_and_restore() {
+        let e = Environment::nominal();
+        assert!(senses_one(Volts(0.8), Volts(0.75)));
+        assert!(!senses_one(Volts(0.7), Volts(0.75)));
+        assert_eq!(restore_level(true, &e), Volts(1.5));
+        assert_eq!(restore_level(false, &e), Volts(0.0));
+    }
+}

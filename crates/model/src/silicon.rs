@@ -1,0 +1,291 @@
+//! Per-coordinate static silicon parameters.
+//!
+//! [`Silicon`] combines a chip's [`VariationSampler`] with the group-wide
+//! [`DeviceParams`] and [`VendorProfile`] to answer questions like "what
+//! is the leakage time constant of cell (bank 3, sub-array 1, row 40,
+//! column 17)?". Every answer is a pure function of the chip seed and the
+//! coordinates — identical across calls, distinct across chips.
+
+use crate::params::DeviceParams;
+use crate::units::{Femtofarads, Seconds, Volts};
+use crate::variation::{ParamId, VariationSampler};
+use crate::vendor::VendorProfile;
+
+/// Static parameter oracle for one chip.
+#[derive(Debug, Clone)]
+pub struct Silicon {
+    sampler: VariationSampler,
+    params: DeviceParams,
+    profile: VendorProfile,
+}
+
+impl Silicon {
+    /// Creates the oracle for a chip with the given seed, parameters, and
+    /// vendor profile.
+    pub fn new(seed: u64, params: DeviceParams, profile: VendorProfile) -> Self {
+        Silicon {
+            sampler: VariationSampler::new(seed),
+            params,
+            profile,
+        }
+    }
+
+    /// The chip-level variation sampler (used by the decoder gate).
+    pub fn sampler(&self) -> &VariationSampler {
+        &self.sampler
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Vendor profile.
+    pub fn profile(&self) -> &VendorProfile {
+        &self.profile
+    }
+
+    /// Capacitance of one cell.
+    pub fn cell_capacitance(&self, bank: usize, sub: usize, row: usize, col: usize) -> Femtofarads {
+        let rel = self.sampler.normal(
+            ParamId::CellCapacitance,
+            &[bank as u64, sub as u64, row as u64, col as u64],
+            1.0,
+            self.params.cell_cap_rel_sigma,
+        );
+        // Clamp: capacitance cannot be negative or wildly off.
+        self.params.cell_cap * rel.clamp(0.5, 1.5)
+    }
+
+    /// Leakage time constant of one cell at 20 °C (before environmental
+    /// scaling), including the group's retention flavor.
+    pub fn leak_tau(&self, bank: usize, sub: usize, row: usize, col: usize) -> Seconds {
+        let tau = self.sampler.lognormal(
+            ParamId::LeakageTau,
+            &[bank as u64, sub as u64, row as u64, col as u64],
+            self.params.leak_tau_median.value(),
+            self.params.leak_tau_sigma_ln,
+        );
+        Seconds(tau * self.profile.leak_tau_scale)
+    }
+
+    /// Whether the cell exhibits variable retention time.
+    pub fn is_vrt(&self, bank: usize, sub: usize, row: usize, col: usize) -> bool {
+        self.sampler.bernoulli(
+            ParamId::VrtFlag,
+            &[bank as u64, sub as u64, row as u64, col as u64],
+            self.params.vrt_fraction,
+        )
+    }
+
+    /// The leakage tau effective for a VRT cell during the epoch that
+    /// contains `at`: randomly either the nominal tau or the much shorter
+    /// alternate tau, re-drawn per epoch.
+    pub fn vrt_effective_tau(
+        &self,
+        bank: usize,
+        sub: usize,
+        row: usize,
+        col: usize,
+        nominal: Seconds,
+        at: Seconds,
+    ) -> Seconds {
+        let epoch = (at.value() / self.params.vrt_epoch.value()).floor() as u64;
+        let fast = self.sampler.bernoulli(
+            ParamId::VrtPhase,
+            &[bank as u64, sub as u64, row as u64, col as u64, epoch],
+            0.5,
+        );
+        if fast {
+            Seconds(nominal.value() * self.params.vrt_tau_ratio)
+        } else {
+            nominal
+        }
+    }
+
+    /// Static input-referred offset of a column's sense amplifier,
+    /// including the group-wide bias that shapes the PUF Hamming weight.
+    pub fn sense_offset(&self, bank: usize, sub: usize, col: usize) -> Volts {
+        Volts(self.sampler.normal(
+            ParamId::SenseOffset,
+            &[bank as u64, sub as u64, col as u64],
+            self.profile.sense_offset_mean.value(),
+            self.params.sense_offset_sigma.value(),
+        ))
+    }
+
+    /// Temperature coefficient of a column's sense offset (V per °C).
+    pub fn sense_temp_coeff(&self, bank: usize, sub: usize, col: usize) -> f64 {
+        self.sampler.normal(
+            ParamId::SenseTempCoeff,
+            &[bank as u64, sub as u64, col as u64],
+            0.0,
+            self.params.sense_temp_coeff_sigma,
+        )
+    }
+
+    /// Charge-sharing weight of activation-role `slot` (0 = R1, 1 = R2,
+    /// ...) for a column during multi-row activation. Values below 0.05
+    /// are clamped; a word-line cannot contribute negative charge.
+    pub fn share_weight(&self, bank: usize, sub: usize, slot: usize, col: usize) -> f64 {
+        let mean = self
+            .profile
+            .row_weight_means
+            .get(slot)
+            .copied()
+            .unwrap_or(1.0);
+        self.sampler
+            .normal(
+                ParamId::RowShareWeight,
+                &[bank as u64, sub as u64, slot as u64, col as u64],
+                mean,
+                self.params.share_weight_sigma,
+            )
+            .max(0.05)
+    }
+
+    /// Static charge-injection offset of one cell (cell-level volts):
+    /// access-transistor mismatch perturbs the charge the cell delivers
+    /// to the bit-line. Per (bank, sub-array, row, column) — the
+    /// row-dependent entropy of the Frac-PUF.
+    pub fn cell_inject(&self, bank: usize, sub: usize, row: usize, col: usize) -> Volts {
+        Volts(self.sampler.normal(
+            ParamId::CellInject,
+            &[bank as u64, sub as u64, row as u64, col as u64],
+            0.0,
+            self.params.cell_inject_sigma.value(),
+        ))
+    }
+
+    /// Whether a column of a sub-array is wired as anti-cells (cells on
+    /// the reference side of the sense amplifier; physical `Vdd` reads as
+    /// logical zero).
+    pub fn is_anti_column(&self, bank: usize, sub: usize, col: usize) -> bool {
+        self.sampler.bernoulli(
+            ParamId::Polarity,
+            &[bank as u64, sub as u64, col as u64],
+            self.params.anti_cell_fraction,
+        )
+    }
+
+    /// Residual per-cell asymmetry the Half-m operation leaves on the
+    /// "Half" columns (most columns do not land exactly at `Vdd/2`; the
+    /// paper finds only ~16 % produce a clean distinguishable Half value).
+    pub fn halfm_asymmetry(&self, bank: usize, sub: usize, col: usize) -> Volts {
+        Volts(self.sampler.normal(
+            ParamId::HalfmAsymmetry,
+            &[bank as u64, sub as u64, col as u64],
+            0.0,
+            self.params.halfm_asym_sigma.value(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vendor::GroupId;
+
+    fn silicon(seed: u64) -> Silicon {
+        Silicon::new(seed, DeviceParams::default(), GroupId::B.profile())
+    }
+
+    #[test]
+    fn parameters_are_stable_per_chip() {
+        let s = silicon(1);
+        assert_eq!(s.leak_tau(0, 0, 5, 9), s.leak_tau(0, 0, 5, 9));
+        assert_eq!(s.sense_offset(1, 0, 3), s.sense_offset(1, 0, 3));
+        assert_eq!(s.share_weight(0, 0, 1, 7), s.share_weight(0, 0, 1, 7));
+    }
+
+    #[test]
+    fn different_chips_differ() {
+        let a = silicon(1);
+        let b = silicon(2);
+        assert_ne!(a.sense_offset(0, 0, 0), b.sense_offset(0, 0, 0));
+        assert_ne!(a.leak_tau(0, 0, 0, 0), b.leak_tau(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn cell_capacitance_is_clamped_positive() {
+        let s = silicon(3);
+        for col in 0..500 {
+            let c = s.cell_capacitance(0, 0, 0, col);
+            assert!(c.value() > 0.0);
+            assert!(c.value() >= DeviceParams::default().cell_cap.value() * 0.5);
+            assert!(c.value() <= DeviceParams::default().cell_cap.value() * 1.5);
+        }
+    }
+
+    #[test]
+    fn vrt_fraction_is_small() {
+        let s = silicon(4);
+        let n = 20_000;
+        let vrt = (0..n).filter(|&c| s.is_vrt(0, 0, 0, c)).count();
+        let frac = vrt as f64 / n as f64;
+        assert!(frac < 0.02, "VRT fraction {frac} too large");
+        assert!(frac > 0.0005, "VRT fraction {frac} suspiciously small");
+    }
+
+    #[test]
+    fn vrt_tau_flips_between_epochs() {
+        let s = silicon(5);
+        // Find a VRT cell.
+        let col = (0..50_000)
+            .find(|&c| s.is_vrt(0, 0, 0, c))
+            .expect("no VRT cell found");
+        let nominal = s.leak_tau(0, 0, 0, col);
+        let taus: Vec<Seconds> = (0..40)
+            .map(|e| {
+                s.vrt_effective_tau(
+                    0,
+                    0,
+                    0,
+                    col,
+                    nominal,
+                    Seconds(e as f64 * DeviceParams::default().vrt_epoch.value() + 1.0),
+                )
+            })
+            .collect();
+        assert!(taus.contains(&nominal), "never nominal");
+        assert!(taus.iter().any(|&t| t != nominal), "never fast");
+    }
+
+    #[test]
+    fn group_b_primary_slot_weight_is_heavier() {
+        let s = silicon(6);
+        let n = 3000;
+        let mean_slot =
+            |slot: usize| (0..n).map(|c| s.share_weight(0, 0, slot, c)).sum::<f64>() / n as f64;
+        let w1 = mean_slot(1); // R2: group B primary
+        let w2 = mean_slot(2);
+        assert!(w1 > w2 + 0.3, "primary {w1} vs other {w2}");
+    }
+
+    #[test]
+    fn share_weight_never_negative() {
+        let s = silicon(7);
+        for c in 0..2000 {
+            assert!(s.share_weight(0, 0, 3, c) >= 0.05);
+        }
+    }
+
+    #[test]
+    fn anti_columns_about_half() {
+        let s = silicon(8);
+        let n = 10_000;
+        let anti = (0..n).filter(|&c| s.is_anti_column(0, 0, c)).count();
+        let frac = anti as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "anti fraction {frac}");
+    }
+
+    #[test]
+    fn group_a_offset_bias_is_positive() {
+        let s = Silicon::new(11, DeviceParams::default(), GroupId::A.profile());
+        let n = 5000;
+        let mean: f64 = (0..n).map(|c| s.sense_offset(0, 0, c).value()).sum::<f64>() / n as f64;
+        // Group A's profile biases the offset up, which makes most bits
+        // read zero (Hamming weight ~0.21 in Fig. 11).
+        assert!(mean > 0.01, "mean offset {mean}");
+    }
+}

@@ -1,0 +1,1208 @@
+//! The sub-array state machine: word-lines, bit-lines, sense amplifiers,
+//! and the out-of-spec interactions between ACTIVATE and PRECHARGE.
+//!
+//! This is where the paper's primitives physically happen:
+//!
+//! * a PRECHARGE landing between word-line raise and sense-amplifier
+//!   enable disconnects the cells mid-charge-share, leaving a *fractional
+//!   value* in them (**Frac**, Fig. 3);
+//! * an ACTIVATE landing while a PRECHARGE is still in flight cancels the
+//!   closure and glitches the row decoder into opening extra rows
+//!   (**multi-row activation**, §II-D);
+//! * a trailing PRECHARGE after a four-row activation freezes the shared
+//!   charge into all four rows (**Half-m**, Fig. 4).
+//!
+//! Commands arrive with absolute cycle timestamps. Internal consequences
+//! (word-line raise, charge share, sense enable, word-line close) are
+//! *scheduled events* fired lazily, in fire-time order, before the next
+//! command is processed — so the semantics depend only on command timing,
+//! exactly like real silicon.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitline::{self, SharingCell};
+use crate::cell;
+use crate::decoder::glitch_rows;
+use crate::env::Environment;
+use crate::error::{ModelError, Result};
+use crate::params::InternalTiming;
+use crate::sense_amp;
+use crate::silicon::Silicon;
+use crate::units::{Femtofarads, Seconds, Volts, CYCLE_SECONDS};
+use crate::variation::NoiseRng;
+
+/// Mutable execution context threaded through command processing.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// Static silicon parameter oracle of the owning chip.
+    pub silicon: &'a Silicon,
+    /// Ambient conditions during this command.
+    pub env: &'a Environment,
+    /// Internal device latencies.
+    pub timing: &'a InternalTiming,
+    /// Temporal noise source of the owning chip.
+    pub noise: &'a mut NoiseRng,
+}
+
+/// Materialized state of one row.
+#[derive(Debug, Clone)]
+struct RowState {
+    /// Cell voltages in volts.
+    v: Vec<f64>,
+    /// Cycle at which leakage was last applied.
+    last: u64,
+    /// Cached per-cell capacitance (fF).
+    cap: Vec<f32>,
+    /// Cached per-cell leakage tau at 20 °C (seconds).
+    tau20: Vec<f32>,
+    /// Columns whose cell is VRT (sparse).
+    vrt: Vec<u32>,
+}
+
+/// Cached per-column static parameters of the sub-array.
+#[derive(Debug, Clone)]
+struct ColumnStatics {
+    offset: Vec<f64>,
+    temp_coeff: Vec<f64>,
+    anti: Vec<bool>,
+}
+
+/// A voltage probe recording the analog trajectory of one cell and its
+/// bit-line — how Fig. 3 and Fig. 4 of the paper are regenerated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeSample {
+    /// Cycle at which the sample was taken.
+    pub cycle: u64,
+    /// Cell voltage.
+    pub cell_v: Volts,
+    /// Bit-line voltage.
+    pub bitline_v: Volts,
+    /// Which internal event produced the sample.
+    pub event: ProbeEvent,
+}
+
+/// Internal events visible to a voltage probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeEvent {
+    /// Bit-lines equalized to `Vdd/2`.
+    Precharged,
+    /// Word-line raised; charge sharing completed.
+    ChargeShared,
+    /// Sense amplifier enabled; full-rail restore.
+    Sensed,
+    /// Word-lines dropped; cells disconnected.
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct Probe {
+    row: usize,
+    col: usize,
+    samples: Vec<ProbeSample>,
+}
+
+/// One sub-array: a grid of rows × columns sharing bit-lines and sense
+/// amplifiers, plus the transient activation state.
+#[derive(Debug, Clone)]
+pub struct Subarray {
+    bank: usize,
+    index: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<Option<Box<RowState>>>,
+    /// Bit-line voltages (transient; meaningful between share and close).
+    bl: Vec<f64>,
+    /// Physical bits latched by the last sense.
+    sensed_bits: Vec<bool>,
+    /// Role-ordered open rows (index 0 = R1).
+    open: Vec<usize>,
+    sensed: bool,
+    multi_row: bool,
+    pending_share: Option<u64>,
+    pending_sense: Option<u64>,
+    pending_close: Option<u64>,
+    statics: Option<Box<ColumnStatics>>,
+    weights: [Option<Vec<f32>>; 4],
+    probes: Vec<Probe>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    // Variant order defines the tie-break at equal fire times: charge
+    // sharing precedes sensing precedes closing.
+    Share,
+    Sense,
+    Close,
+}
+
+impl Subarray {
+    /// Creates an empty (never-written) sub-array.
+    pub fn new(bank: usize, index: usize, rows: usize, cols: usize) -> Self {
+        Subarray {
+            bank,
+            index,
+            rows,
+            cols,
+            data: vec![None; rows],
+            bl: vec![0.0; cols],
+            sensed_bits: vec![false; cols],
+            open: Vec::new(),
+            sensed: false,
+            multi_row: false,
+            pending_share: None,
+            pending_sense: None,
+            pending_close: None,
+            statics: None,
+            weights: [None, None, None, None],
+            probes: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn columns(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the sub-array has neither open rows nor scheduled events.
+    pub fn is_idle(&self) -> bool {
+        self.open.is_empty()
+            && self.pending_share.is_none()
+            && self.pending_sense.is_none()
+            && self.pending_close.is_none()
+    }
+
+    /// Currently open rows in activation-role order.
+    pub fn open_rows(&self) -> &[usize] {
+        &self.open
+    }
+
+    /// Whether the sense amplifiers latched for the current activation.
+    pub fn is_sensed(&self) -> bool {
+        self.sensed
+    }
+
+    /// Whether the column is wired as anti-cells.
+    pub fn is_anti_column(&mut self, ctx: &Ctx<'_>, col: usize) -> bool {
+        self.ensure_statics(ctx);
+        self.statics.as_ref().unwrap().anti[col]
+    }
+
+    /// Attaches a voltage probe to `(row, col)`; samples accumulate until
+    /// taken with [`Subarray::take_probe_samples`].
+    pub fn attach_probe(&mut self, row: usize, col: usize) {
+        self.probes.push(Probe {
+            row,
+            col,
+            samples: Vec::new(),
+        });
+    }
+
+    /// Removes all probes and returns their samples (one vector per
+    /// probe, in attachment order).
+    pub fn take_probe_samples(&mut self) -> Vec<Vec<ProbeSample>> {
+        std::mem::take(&mut self.probes)
+            .into_iter()
+            .map(|p| p.samples)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Command interface
+    // ------------------------------------------------------------------
+
+    /// Processes an ACTIVATE to `local_row` at absolute cycle `t`.
+    pub fn activate(&mut self, ctx: &mut Ctx<'_>, local_row: usize, t: u64) -> Result<()> {
+        if local_row >= self.rows {
+            return Err(ModelError::RowOutOfRange {
+                row: local_row,
+                rows: self.rows,
+            });
+        }
+        self.advance(ctx, t);
+
+        let pre_in_flight = self.pending_close.is_some();
+        if pre_in_flight && !self.open.is_empty() && !self.sensed {
+            // ACT lands while a PRECHARGE is mid-close after an un-sensed
+            // activation: the decoder glitch path (multi-row activation).
+            self.pending_close = None;
+            let r1 = self.open[0];
+            let new_set = glitch_rows(
+                ctx.silicon.profile().decoder,
+                r1,
+                local_row,
+                self.rows,
+                ctx.silicon.sampler(),
+            );
+            // Rows that were open but did not survive the glitch are
+            // disconnected right here, keeping whatever partial charge
+            // they hold (their state needs no action: cells store their
+            // own voltage).
+            self.open = new_set;
+            self.multi_row = self.open.len() > 1;
+            self.pending_share = Some(t + ctx.timing.wordline_raise);
+            self.pending_sense = Some(t + ctx.timing.sense_enable);
+            self.sensed = false;
+        } else if pre_in_flight && self.sensed && !self.open.is_empty() {
+            // ACT lands while a PRECHARGE is mid-close after a *sensed*
+            // activation: the destination row connects to bit-lines still
+            // driven by the sense amplifiers — RowClone-style copy.
+            self.pending_close = None;
+            if !self.open.contains(&local_row) {
+                self.open.push(local_row);
+            }
+            self.drive_row_from_sense(ctx, local_row, t + ctx.timing.wordline_raise);
+        } else if self.open.is_empty() {
+            // Normal activation (an in-flight PRE with nothing to close is
+            // superseded).
+            self.pending_close = None;
+            self.open.push(local_row);
+            self.multi_row = false;
+            self.sensed = false;
+            // Bit-lines sit at the (current) precharge level.
+            let half = ctx.silicon.params().half_vdd(ctx.env.vdd).value();
+            self.bl.fill(half);
+            self.record_probes(ctx, t, ProbeEvent::Precharged);
+            self.pending_share = Some(t + ctx.timing.wordline_raise);
+            self.pending_sense = Some(t + ctx.timing.sense_enable);
+        }
+        // ACT to an already-open, sensed bank without a PRE in flight is a
+        // JEDEC violation real chips ignore; we do the same.
+        Ok(())
+    }
+
+    /// Processes a PRECHARGE at absolute cycle `t`.
+    pub fn precharge(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        if self.is_idle() {
+            return;
+        }
+        self.advance(ctx, t);
+        if self.open.is_empty() {
+            return;
+        }
+        self.pending_close = Some(t + ctx.timing.precharge_close);
+    }
+
+    /// Reads the latched row buffer (physical bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BankClosed`] if no activation has been
+    /// sensed.
+    pub fn read(&mut self, ctx: &mut Ctx<'_>, t: u64) -> Result<Vec<bool>> {
+        self.advance(ctx, t);
+        if !self.sensed {
+            return Err(ModelError::BankClosed { bank: self.bank });
+        }
+        Ok(self.sensed_bits.clone())
+    }
+
+    /// Writes physical bits through the sense amplifiers into all open
+    /// rows (full-rail overwrite), optionally restricted to a column
+    /// range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BankClosed`] if no activation has been
+    /// sensed, or [`ModelError::WidthMismatch`] if `bits` does not match
+    /// the column range.
+    pub fn write(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        t: u64,
+        start_col: usize,
+        bits: &[bool],
+    ) -> Result<()> {
+        self.advance(ctx, t);
+        if !self.sensed {
+            return Err(ModelError::BankClosed { bank: self.bank });
+        }
+        if start_col + bits.len() > self.cols {
+            return Err(ModelError::WidthMismatch {
+                got: start_col + bits.len(),
+                expected: self.cols,
+            });
+        }
+        let vdd = ctx.env.vdd.value();
+        for (i, &b) in bits.iter().enumerate() {
+            let col = start_col + i;
+            self.sensed_bits[col] = b;
+            let rail = if b { vdd } else { 0.0 };
+            self.bl[col] = rail;
+        }
+        let open = self.open.clone();
+        for row in open {
+            self.ensure_row(ctx, row);
+            let rs = self.data[row].as_mut().unwrap();
+            for (i, &b) in bits.iter().enumerate() {
+                rs.v[start_col + i] = if b { vdd } else { 0.0 };
+            }
+            rs.last = t;
+        }
+        Ok(())
+    }
+
+    /// Performs an internal refresh of one row: activate, sense, restore,
+    /// close — destroying any fractional value it held (§III-C).
+    pub fn refresh_row(&mut self, ctx: &mut Ctx<'_>, local_row: usize, t: u64) {
+        self.advance(ctx, t);
+        if self.data[local_row].is_none() {
+            return; // never-written rows hold no charge worth refreshing
+        }
+        self.ensure_statics(ctx);
+        self.leak_row(ctx, local_row, t);
+        let params = ctx.silicon.params();
+        let half = params.half_vdd(ctx.env.vdd).value();
+        let bl_cap = params.bitline_cap;
+        let statics = self.statics.as_ref().unwrap();
+        let rs = self.data[local_row].as_mut().unwrap();
+        for col in 0..self.cols {
+            let inject = ctx
+                .silicon
+                .cell_inject(self.bank, self.index, local_row, col)
+                .value();
+            let shared = bitline::share(
+                Volts(half),
+                bl_cap,
+                &[SharingCell {
+                    v: Volts(rs.v[col] + inject),
+                    cap: Femtofarads(rs.cap[col] as f64),
+                    weight: 1.0,
+                }],
+            );
+            let mut th = sense_amp::threshold(
+                params,
+                ctx.env,
+                Volts(statics.offset[col]),
+                statics.temp_coeff[col],
+            );
+            if statics.anti[col] {
+                th = sense_amp::mirror_for_anti(th, ctx.env);
+            }
+            let noisy = shared + Volts(ctx.noise.normal(0.0, params.sense_noise_sigma.value()));
+            let one = sense_amp::senses_one(noisy, th);
+            rs.v[col] = sense_amp::restore_level(one, ctx.env).value();
+        }
+        rs.last = t;
+    }
+
+    /// Non-destructively inspects the current voltage of a cell at cycle
+    /// `t` (pending events fired, leakage applied).
+    pub fn cell_voltage(&mut self, ctx: &mut Ctx<'_>, row: usize, col: usize, t: u64) -> Volts {
+        self.advance(ctx, t);
+        self.leak_row(ctx, row, t);
+        match &self.data[row] {
+            Some(rs) => Volts(rs.v[col]),
+            None => Volts(0.0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event engine
+    // ------------------------------------------------------------------
+
+    /// Fires every scheduled internal event with fire time ≤ `t`, in
+    /// chronological order.
+    pub fn advance(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        loop {
+            let mut next: Option<(u64, EventKind)> = None;
+            let mut consider = |time: Option<u64>, kind: EventKind| {
+                if let Some(ft) = time {
+                    if ft <= t && next.is_none_or(|(bt, bk)| (ft, kind) < (bt, bk)) {
+                        next = Some((ft, kind));
+                    }
+                }
+            };
+            consider(self.pending_share, EventKind::Share);
+            consider(self.pending_sense, EventKind::Sense);
+            consider(self.pending_close, EventKind::Close);
+            let Some((ft, kind)) = next else { break };
+            match kind {
+                EventKind::Share => {
+                    self.pending_share = None;
+                    self.fire_share(ctx, ft);
+                }
+                EventKind::Sense => {
+                    self.pending_sense = None;
+                    self.fire_sense(ctx, ft);
+                }
+                EventKind::Close => {
+                    self.pending_close = None;
+                    self.fire_close(ctx, ft);
+                }
+            }
+        }
+    }
+
+    /// Charge sharing between the bit-lines and all open rows.
+    fn fire_share(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        self.ensure_statics(ctx);
+        let open = self.open.clone();
+        for &row in &open {
+            self.ensure_row(ctx, row);
+            self.leak_row(ctx, row, t);
+        }
+        if open.is_empty() {
+            return;
+        }
+        let params = ctx.silicon.params();
+        let profile = ctx.silicon.profile();
+        let bl_cap = params.bitline_cap;
+        let multi = self.multi_row;
+        let settle = if multi {
+            params.multirow_settle
+        } else {
+            params.interrupted_settle
+        };
+        let bias = if multi {
+            profile.multirow_bias.value()
+        } else {
+            0.0
+        };
+        if multi {
+            for slot in 0..open.len().min(4) {
+                self.ensure_weights(ctx, slot);
+            }
+        }
+        let noise_sigma = params.bitline_noise_sigma.value();
+        let temporal_sigma = params.share_temporal_sigma;
+        for col in 0..self.cols {
+            let mut participants: [SharingCell; 16] = [SharingCell {
+                v: Volts(0.0),
+                cap: Femtofarads(0.0),
+                weight: 0.0,
+            }; 16];
+            let n = open.len().min(16);
+            for (slot, &row) in open.iter().take(n).enumerate() {
+                let rs = self.data[row].as_ref().unwrap();
+                let weight = if multi && slot < 4 {
+                    // Static per-(slot, column) weight plus the per-trial
+                    // decoder-timing jitter (§VI-A2 instability source).
+                    let w = self.weights[slot].as_ref().unwrap()[col] as f64;
+                    (w * (1.0 + ctx.noise.normal(0.0, temporal_sigma))).max(0.01)
+                } else {
+                    1.0
+                };
+                // Static per-cell charge-injection offset: the cell's
+                // access transistor delivers slightly more or less charge
+                // than its voltage alone implies.
+                let inject = ctx
+                    .silicon
+                    .cell_inject(self.bank, self.index, row, col)
+                    .value();
+                participants[slot] = SharingCell {
+                    v: Volts(rs.v[col] + inject),
+                    cap: Femtofarads(rs.cap[col] as f64),
+                    weight,
+                };
+            }
+            let mut v_eq = bitline::share(Volts(self.bl[col]), bl_cap, &participants[..n]).value();
+            v_eq += bias + ctx.noise.normal(0.0, noise_sigma);
+            v_eq = v_eq.clamp(0.0, ctx.env.vdd.value() * 1.05);
+            self.bl[col] = v_eq;
+            for &row in open.iter().take(n) {
+                let rs = self.data[row].as_mut().unwrap();
+                rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
+            }
+        }
+        self.record_probes(ctx, t, ProbeEvent::ChargeShared);
+    }
+
+    /// Sense-amplifier enable: latch, drive rails, restore all open rows.
+    fn fire_sense(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        self.ensure_statics(ctx);
+        let params = ctx.silicon.params();
+        let statics = self.statics.as_ref().unwrap();
+        let vdd = ctx.env.vdd.value();
+        for col in 0..self.cols {
+            let mut th = sense_amp::threshold(
+                params,
+                ctx.env,
+                Volts(statics.offset[col]),
+                statics.temp_coeff[col],
+            );
+            if statics.anti[col] {
+                th = sense_amp::mirror_for_anti(th, ctx.env);
+            }
+            let noisy = self.bl[col] + ctx.noise.normal(0.0, params.sense_noise_sigma.value());
+            let one = sense_amp::senses_one(Volts(noisy), th);
+            self.sensed_bits[col] = one;
+            self.bl[col] = if one { vdd } else { 0.0 };
+        }
+        let open = self.open.clone();
+        for row in open {
+            // Leakage was applied at share time moments ago; just restore.
+            let bl = &self.bl;
+            let rs = self.data[row].as_mut().unwrap();
+            rs.v.copy_from_slice(bl);
+            rs.last = t;
+        }
+        self.sensed = true;
+        self.record_probes(ctx, t, ProbeEvent::Sensed);
+    }
+
+    /// Word-line closure: disconnect cells (they keep whatever voltage
+    /// they hold), cancel a not-yet-fired sense, equalize bit-lines.
+    fn fire_close(&mut self, ctx: &mut Ctx<'_>, t: u64) {
+        // Interrupting a *multi-row* activation (Half-m) drops several
+        // word-lines mid-share; the per-column asymmetry of that closure
+        // leaves a static residue on the cells. This is why only some
+        // columns produce a clean, distinguishable Half value (Fig. 8),
+        // while Frac (single-row interruption) stays uniform.
+        if self.multi_row && !self.sensed && !self.open.is_empty() {
+            let vdd = ctx.env.vdd.value();
+            let half = vdd / 2.0;
+            // The raw per-column asymmetry is scaled by how metastable
+            // the column's bit-line ended up: a column parked near Vdd/2
+            // amplifies the word-line-drop disturbance, a strongly
+            // driven column shrugs it off (seventh-power roll-off).
+            let asym: Vec<f64> = (0..self.cols)
+                .map(|col| {
+                    let metastable = (1.0 - (self.bl[col] - half).abs() / half).clamp(0.0, 1.0);
+                    ctx.silicon
+                        .halfm_asymmetry(self.bank, self.index, col)
+                        .value()
+                        * metastable.powi(7)
+                })
+                .collect();
+            let open = self.open.clone();
+            for &row in &open {
+                let Some(rs) = self.data[row].as_mut() else {
+                    continue;
+                };
+                for (v, a) in rs.v.iter_mut().zip(&asym) {
+                    *v = (*v + a).clamp(0.0, vdd);
+                }
+            }
+        }
+        self.pending_sense = None;
+        self.pending_share = None;
+        self.record_probes(ctx, t, ProbeEvent::Closed);
+        self.open.clear();
+        self.multi_row = false;
+        self.sensed = false;
+        let half = ctx.silicon.params().half_vdd(ctx.env.vdd).value();
+        self.bl.fill(half);
+        self.record_probes(ctx, t + 1, ProbeEvent::Precharged);
+    }
+
+    /// RowClone copy path: drive a freshly opened row directly from the
+    /// latched sense amplifiers.
+    fn drive_row_from_sense(&mut self, ctx: &mut Ctx<'_>, row: usize, t: u64) {
+        self.ensure_row(ctx, row);
+        let vdd = ctx.env.vdd.value();
+        let bits = self.sensed_bits.clone();
+        let rs = self.data[row].as_mut().unwrap();
+        for (v, &bit) in rs.v.iter_mut().zip(&bits) {
+            *v = if bit { vdd } else { 0.0 };
+        }
+        rs.last = t;
+    }
+
+    // ------------------------------------------------------------------
+    // Lazy state
+    // ------------------------------------------------------------------
+
+    fn ensure_statics(&mut self, ctx: &Ctx<'_>) {
+        if self.statics.is_some() {
+            return;
+        }
+        let s = ctx.silicon;
+        let mut offset = Vec::with_capacity(self.cols);
+        let mut temp_coeff = Vec::with_capacity(self.cols);
+        let mut anti = Vec::with_capacity(self.cols);
+        for col in 0..self.cols {
+            offset.push(s.sense_offset(self.bank, self.index, col).value());
+            temp_coeff.push(s.sense_temp_coeff(self.bank, self.index, col));
+            anti.push(s.is_anti_column(self.bank, self.index, col));
+        }
+        self.statics = Some(Box::new(ColumnStatics {
+            offset,
+            temp_coeff,
+            anti,
+        }));
+    }
+
+    fn ensure_weights(&mut self, ctx: &Ctx<'_>, slot: usize) {
+        if slot >= 4 || self.weights[slot].is_some() {
+            return;
+        }
+        let s = ctx.silicon;
+        let w: Vec<f32> = (0..self.cols)
+            .map(|col| s.share_weight(self.bank, self.index, slot, col) as f32)
+            .collect();
+        self.weights[slot] = Some(w);
+    }
+
+    fn ensure_row(&mut self, ctx: &Ctx<'_>, row: usize) {
+        if self.data[row].is_some() {
+            return;
+        }
+        let s = ctx.silicon;
+        let mut cap = Vec::with_capacity(self.cols);
+        let mut tau20 = Vec::with_capacity(self.cols);
+        let mut vrt = Vec::new();
+        for col in 0..self.cols {
+            cap.push(s.cell_capacitance(self.bank, self.index, row, col).value() as f32);
+            tau20.push(s.leak_tau(self.bank, self.index, row, col).value() as f32);
+            if s.is_vrt(self.bank, self.index, row, col) {
+                vrt.push(col as u32);
+            }
+        }
+        self.data[row] = Some(Box::new(RowState {
+            v: vec![0.0; self.cols],
+            last: 0,
+            cap,
+            tau20,
+            vrt,
+        }));
+    }
+
+    /// Applies leakage to a row up to cycle `t`.
+    fn leak_row(&mut self, ctx: &Ctx<'_>, row: usize, t: u64) {
+        let Some(rs) = self.data[row].as_mut() else {
+            return;
+        };
+        if t <= rs.last {
+            return;
+        }
+        let dt = Seconds((t - rs.last) as f64 * CYCLE_SECONDS);
+        if dt.value() < 1e-6 {
+            // Sub-microsecond gaps leak nothing measurable; skip the
+            // exponentials but keep the clock honest.
+            rs.last = t;
+            return;
+        }
+        let scale = ctx
+            .env
+            .leakage_tau_scale(ctx.silicon.params().leak_tau_halving_celsius);
+        for col in 0..self.cols {
+            let tau = Seconds(rs.tau20[col] as f64 * scale);
+            rs.v[col] = cell::decay(Volts(rs.v[col]), dt, tau).value();
+        }
+        // VRT cells override with their epoch-dependent tau.
+        let at = Seconds(rs.last as f64 * CYCLE_SECONDS);
+        for &col in &rs.vrt.clone() {
+            let nominal = Seconds(rs.tau20[col as usize] as f64 * scale);
+            let eff = ctx.silicon.vrt_effective_tau(
+                self.bank,
+                self.index,
+                row,
+                col as usize,
+                nominal,
+                at,
+            );
+            // Undo the nominal decay and re-apply with the effective tau.
+            let v = rs.v[col as usize] * (dt.value() / nominal.value()).exp();
+            rs.v[col as usize] = cell::decay(Volts(v), dt, eff).value();
+        }
+        rs.last = t;
+    }
+
+    fn record_probes(&mut self, ctx: &mut Ctx<'_>, t: u64, event: ProbeEvent) {
+        if self.probes.is_empty() {
+            return;
+        }
+        let probes = std::mem::take(&mut self.probes);
+        let mut filled = Vec::with_capacity(probes.len());
+        for mut p in probes {
+            self.leak_row(ctx, p.row, t);
+            let cell_v = match &self.data[p.row] {
+                Some(rs) => Volts(rs.v[p.col]),
+                None => Volts(0.0),
+            };
+            p.samples.push(ProbeSample {
+                cycle: t,
+                cell_v,
+                bitline_v: Volts(self.bl[p.col]),
+                event,
+            });
+            filled.push(p);
+        }
+        self.probes = filled;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+    use crate::vendor::GroupId;
+
+    struct Bench {
+        silicon: Silicon,
+        env: Environment,
+        timing: InternalTiming,
+        noise: NoiseRng,
+        sub: Subarray,
+        now: u64,
+    }
+
+    impl Bench {
+        fn new(group: GroupId) -> Self {
+            Bench::with_params(group, DeviceParams::default())
+        }
+
+        fn with_params(group: GroupId, params: DeviceParams) -> Self {
+            Bench {
+                silicon: Silicon::new(0xBEEF, params, group.profile()),
+                env: Environment::nominal(),
+                timing: InternalTiming::default(),
+                noise: NoiseRng::new(42),
+                sub: Subarray::new(0, 0, 32, 32),
+                now: 100,
+            }
+        }
+
+        fn quiet(group: GroupId) -> Self {
+            // Noise-free, variation-light configuration for deterministic
+            // semantic tests.
+            let params = DeviceParams {
+                sense_offset_sigma: Volts(0.0),
+                sense_noise_sigma: Volts(0.0),
+                bitline_noise_sigma: Volts(0.0),
+                cell_inject_sigma: Volts(0.0),
+                share_weight_sigma: 0.0,
+                share_temporal_sigma: 0.0,
+                halfm_asym_sigma: Volts(0.0),
+                cell_cap_rel_sigma: 0.0,
+                vrt_fraction: 0.0,
+                ..DeviceParams::default()
+            };
+            Bench::with_params(group, params)
+        }
+
+        /// Issues commands at relative cycle offsets from `self.now`, then
+        /// bumps the clock past the last command.
+        fn write_row(&mut self, row: usize, bits: &[bool]) {
+            let t = self.now;
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+            };
+            self.sub.activate(&mut ctx, row, t).unwrap();
+            self.sub.write(&mut ctx, t + 10, 0, bits).unwrap();
+            self.sub.precharge(&mut ctx, t + 20);
+            self.sub.advance(&mut ctx, t + 30);
+            self.now = t + 30;
+        }
+
+        fn read_row(&mut self, row: usize) -> Vec<bool> {
+            let t = self.now;
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+            };
+            self.sub.activate(&mut ctx, row, t).unwrap();
+            let bits = self.sub.read(&mut ctx, t + 10).unwrap();
+            self.sub.precharge(&mut ctx, t + 20);
+            self.sub.advance(&mut ctx, t + 30);
+            self.now = t + 30;
+            bits
+        }
+
+        fn frac(&mut self, row: usize) {
+            let t = self.now;
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+            };
+            self.sub.activate(&mut ctx, row, t).unwrap();
+            self.sub.precharge(&mut ctx, t + 1);
+            self.sub.advance(&mut ctx, t + 7);
+            self.now = t + 7;
+        }
+
+        fn cell_v(&mut self, row: usize, col: usize) -> f64 {
+            let t = self.now;
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+            };
+            self.sub.cell_voltage(&mut ctx, row, col, t).value()
+        }
+    }
+
+    fn ones(n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+
+    fn zeros(n: usize) -> Vec<bool> {
+        vec![false; n]
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut b = Bench::new(GroupId::B);
+        let pattern: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+        b.write_row(5, &pattern);
+        assert_eq!(b.read_row(5), pattern);
+        // And it survives a second read.
+        assert_eq!(b.read_row(5), pattern);
+    }
+
+    #[test]
+    fn read_without_activation_fails() {
+        let mut b = Bench::new(GroupId::B);
+        let mut sub = Subarray::new(0, 0, 8, 8);
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        assert_eq!(
+            sub.read(&mut ctx, 10).unwrap_err(),
+            ModelError::BankClosed { bank: 0 }
+        );
+    }
+
+    #[test]
+    fn activate_out_of_range_fails() {
+        let mut b = Bench::new(GroupId::B);
+        let mut sub = Subarray::new(0, 0, 8, 8);
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        assert!(matches!(
+            sub.activate(&mut ctx, 99, 5),
+            Err(ModelError::RowOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn frac_reduces_cell_voltage_monotonically() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(3, &ones(32));
+        let mut prev = b.cell_v(3, 0);
+        assert!((prev - 1.5).abs() < 1e-9, "full write = {prev}");
+        for _ in 0..6 {
+            b.frac(3);
+            let v = b.cell_v(3, 0);
+            assert!(v < prev, "frac must lower the voltage: {v} vs {prev}");
+            assert!(v > 0.75, "frac cannot cross Vdd/2 from above: {v}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn frac_raises_voltage_from_zero() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(3, &zeros(32));
+        let mut prev = b.cell_v(3, 0);
+        assert_eq!(prev, 0.0);
+        for _ in 0..6 {
+            b.frac(3);
+            let v = b.cell_v(3, 0);
+            assert!(v > prev, "frac must raise the voltage from 0");
+            assert!(v < 0.75, "frac cannot cross Vdd/2 from below");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn frac_has_no_effect_on_timing_guarded_groups_via_chip_policy() {
+        // The guard lives at chip level, but verify the subarray-level
+        // mechanics: an uninterrupted activation restores full levels.
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(2, &ones(32));
+        // Normal full activation cycle (PRE only after restore).
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 2, t).unwrap();
+        b.sub.precharge(&mut ctx, t + 20);
+        b.sub.advance(&mut ctx, t + 30);
+        b.now = t + 30;
+        assert!((b.cell_v(2, 0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn glitch_opens_three_rows_on_group_b() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(0, &ones(32));
+        b.write_row(1, &ones(32));
+        b.write_row(2, &zeros(32));
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 1, t).unwrap();
+        b.sub.precharge(&mut ctx, t + 1);
+        b.sub.activate(&mut ctx, 2, t + 2).unwrap();
+        b.sub.advance(&mut ctx, t + 3);
+        assert_eq!(b.sub.open_rows(), &[1, 2, 0]);
+        // Let the sense fire: majority (1,1,0 in every column... rows 0
+        // and 1 hold ones, row 2 zeros) = 1.
+        b.sub.advance(&mut ctx, t + 10);
+        assert!(b.sub.is_sensed());
+        let bits = b.sub.read(&mut ctx, t + 12).unwrap();
+        assert!(bits.iter().all(|&x| x), "maj(1,1,0) must be 1");
+        b.sub.precharge(&mut ctx, t + 20);
+        b.sub.advance(&mut ctx, t + 30);
+        b.now = t + 30;
+        // The majority result is written back to all three rows.
+        for row in 0..3 {
+            assert!(
+                (b.cell_v(row, 0) - 1.5).abs() < 1e-9,
+                "row {row} not restored to result"
+            );
+        }
+    }
+
+    #[test]
+    fn majority_of_three_zero_wins() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(0, &zeros(32));
+        b.write_row(1, &zeros(32));
+        b.write_row(2, &ones(32));
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 1, t).unwrap();
+        b.sub.precharge(&mut ctx, t + 1);
+        b.sub.activate(&mut ctx, 2, t + 2).unwrap();
+        b.sub.advance(&mut ctx, t + 10);
+        let bits = b.sub.read(&mut ctx, t + 12).unwrap();
+        assert!(bits.iter().all(|&x| !x), "maj(0,0,1) must be 0");
+    }
+
+    #[test]
+    fn interrupted_four_row_activation_is_halfm() {
+        let mut b = Bench::quiet(GroupId::B);
+        // Paper layout: R1=8, R2=1 -> opens {8,1,0,9}. Ones in 8 and 0,
+        // zeros in 1 and 9 -> balanced -> Half value near Vdd/2.
+        b.write_row(8, &ones(32));
+        b.write_row(0, &ones(32));
+        b.write_row(1, &zeros(32));
+        b.write_row(9, &zeros(32));
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 8, t).unwrap();
+        b.sub.precharge(&mut ctx, t + 1);
+        b.sub.activate(&mut ctx, 1, t + 2).unwrap();
+        b.sub.precharge(&mut ctx, t + 3); // trailing PRE beats the sense
+        b.sub.advance(&mut ctx, t + 10);
+        assert!(!b.sub.is_sensed(), "sense must have been interrupted");
+        assert!(b.sub.open_rows().is_empty());
+        b.now = t + 10;
+        // All four cells hold a fractional value strictly between rails.
+        for row in [8, 1, 0, 9] {
+            let v = b.cell_v(row, 0);
+            assert!(v > 0.1 && v < 1.4, "row {row} = {v}");
+        }
+        // Ones became "weak ones" (above Vdd/2), zeros "weak zeros".
+        assert!(b.cell_v(8, 0) > 0.75);
+        assert!(b.cell_v(1, 0) < 0.75);
+    }
+
+    #[test]
+    fn single_only_decoder_closes_r1_with_partial_charge() {
+        let mut b = Bench::quiet(GroupId::E);
+        b.write_row(1, &ones(32));
+        b.write_row(2, &zeros(32));
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 1, t).unwrap();
+        b.sub.precharge(&mut ctx, t + 1);
+        b.sub.activate(&mut ctx, 2, t + 2).unwrap();
+        b.sub.advance(&mut ctx, t + 3);
+        assert_eq!(b.sub.open_rows(), &[2]);
+        b.sub.advance(&mut ctx, t + 10);
+        b.sub.precharge(&mut ctx, t + 20);
+        b.sub.advance(&mut ctx, t + 30);
+        b.now = t + 30;
+        // R1 was interrupted mid-share: it holds a fractional value.
+        let v1 = b.cell_v(1, 0);
+        assert!(v1 < 1.5 && v1 > 0.75, "r1 = {v1}");
+        // R2 completed normally: full restore of its zeros.
+        assert!(b.cell_v(2, 0) < 1e-9);
+    }
+
+    #[test]
+    fn rowclone_copy_via_overlapped_precharge() {
+        let mut b = Bench::quiet(GroupId::B);
+        let pattern: Vec<bool> = (0..32).map(|i| i % 5 == 0).collect();
+        b.write_row(4, &pattern);
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 4, t).unwrap();
+        // Wait for full restore, then PRE and immediately ACT(dst).
+        b.sub.precharge(&mut ctx, t + 15);
+        b.sub.activate(&mut ctx, 7, t + 16).unwrap();
+        b.sub.precharge(&mut ctx, t + 17 + 5);
+        b.sub.advance(&mut ctx, t + 40);
+        b.now = t + 40;
+        assert_eq!(b.read_row(7), pattern, "copy destination");
+        assert_eq!(b.read_row(4), pattern, "source preserved");
+    }
+
+    #[test]
+    fn leakage_flips_written_ones_eventually() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(6, &ones(32));
+        // Jump 100 hours into the future. (Quiet bench has no offset
+        // variation; the threshold is exactly 0.75 V on every column.)
+        let hundred_hours = (Seconds::from_hours(100.0).value() / CYCLE_SECONDS) as u64;
+        b.now += hundred_hours;
+        let bits = b.read_row(6);
+        let survivors = bits.iter().filter(|&&x| x).count();
+        // With tau median 250 h (group scale 1.25), retention median is
+        // ~0.69 * 312 h = 216 h; some cells flip by 100 h, some survive.
+        assert!(survivors > 0, "all cells flipped");
+        assert!(survivors < 32, "no cell flipped in 100 h");
+    }
+
+    #[test]
+    fn zeros_do_not_leak_upward() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(6, &zeros(32));
+        let t = (Seconds::from_hours(200.0).value() / CYCLE_SECONDS) as u64;
+        b.now += t;
+        let bits = b.read_row(6);
+        assert!(bits.iter().all(|&x| !x), "a physical zero leaked to one");
+    }
+
+    #[test]
+    fn probe_records_frac_trajectory() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(3, &ones(32));
+        b.sub.attach_probe(3, 0);
+        b.frac(3);
+        let samples = b.sub.take_probe_samples().remove(0);
+        assert!(samples.len() >= 2);
+        // The share sample shows cell above bitline equilibrium-pull.
+        let shared = samples
+            .iter()
+            .find(|s| s.event == ProbeEvent::ChargeShared)
+            .expect("no share sample");
+        assert!(shared.bitline_v.value() > 0.75 && shared.bitline_v.value() < 1.5);
+        let closed = samples
+            .iter()
+            .find(|s| s.event == ProbeEvent::Closed)
+            .expect("no close sample");
+        assert!(closed.cell_v.value() < 1.5);
+    }
+
+    #[test]
+    fn masked_write_only_touches_range() {
+        let mut b = Bench::new(GroupId::B);
+        b.write_row(9, &ones(32));
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 9, t).unwrap();
+        b.sub.write(&mut ctx, t + 10, 8, &zeros(8)).unwrap();
+        b.sub.precharge(&mut ctx, t + 20);
+        b.sub.advance(&mut ctx, t + 30);
+        b.now = t + 30;
+        let bits = b.read_row(9);
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!(bit, !(8..16).contains(&i), "col {i}");
+        }
+    }
+
+    #[test]
+    fn refresh_destroys_fractional_value() {
+        let mut b = Bench::quiet(GroupId::B);
+        b.write_row(3, &ones(32));
+        for _ in 0..3 {
+            b.frac(3);
+        }
+        let v_frac = b.cell_v(3, 0);
+        assert!(v_frac < 1.4);
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.refresh_row(&mut ctx, 3, t);
+        b.now = t + 10;
+        // The fractional value is destroyed: the sense amplifier resolves
+        // it to whichever rail its threshold dictates (after three Frac
+        // operations the level sits near the decision point, so either
+        // rail is legitimate — but no fractional value may remain).
+        let v = b.cell_v(3, 0);
+        assert!(
+            v.abs() < 1e-9 || (v - 1.5).abs() < 1e-9,
+            "refresh must snap the fractional value to a rail, got {v}"
+        );
+
+        // A barely-disturbed row (one Frac, still near Vdd) must restore
+        // to full Vdd.
+        b.write_row(4, &ones(32));
+        b.frac(4);
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.refresh_row(&mut ctx, 4, t);
+        b.now = t + 10;
+        assert!((b.cell_v(4, 0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_width_mismatch_is_rejected() {
+        let mut b = Bench::new(GroupId::B);
+        let t = b.now;
+        let mut ctx = Ctx {
+            silicon: &b.silicon,
+            env: &b.env,
+            timing: &b.timing,
+            noise: &mut b.noise,
+        };
+        b.sub.activate(&mut ctx, 0, t).unwrap();
+        let err = b.sub.write(&mut ctx, t + 10, 30, &ones(8)).unwrap_err();
+        assert!(matches!(err, ModelError::WidthMismatch { .. }));
+    }
+}

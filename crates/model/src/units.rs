@@ -1,0 +1,339 @@
+//! Physical and temporal units used throughout the device model.
+//!
+//! All units are thin newtypes ([`Volts`], [`Femtofarads`], [`Seconds`],
+//! [`Cycles`]) so that quantities with different meanings cannot be mixed
+//! accidentally (C-NEWTYPE). Conversions between cycles and wall-clock time
+//! assume the SoftMC platform frequency of the paper: 400 MHz, i.e. one
+//! memory cycle every 2.5 ns, regardless of the DRAM speed grade.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Duration of one memory cycle on the (simulated) SoftMC platform, in
+/// nanoseconds. The paper fixes the controller frequency to 400 MHz, so a
+/// memory cycle is always 2.5 ns no matter what speed grade the DRAM has.
+pub const CYCLE_NS: f64 = 2.5;
+
+/// Duration of one memory cycle in seconds.
+pub const CYCLE_SECONDS: f64 = CYCLE_NS * 1e-9;
+
+macro_rules! float_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value of the quantity.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the smaller of two quantities.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two quantities.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Clamps the quantity to the inclusive range `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $suffix)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+    };
+}
+
+float_unit!(
+    /// An electric potential in volts.
+    ///
+    /// Cell and bit-line voltages are stored in absolute volts (not
+    /// normalized to `Vdd`) so that experiments which change the supply
+    /// voltage between write and read (Fig. 12 of the paper) observe the
+    /// stored charge unchanged while the sense threshold moves.
+    Volts,
+    " V"
+);
+
+float_unit!(
+    /// A capacitance in femtofarads. Cell capacitors are ~20 fF while
+    /// bit-lines are several times larger, which is what makes the charge
+    /// sharing of a single cell nudge the bit-line only slightly away from
+    /// `Vdd/2`.
+    Femtofarads,
+    " fF"
+);
+
+float_unit!(
+    /// A duration in seconds; used for leakage/retention math where times
+    /// range from microseconds to days.
+    Seconds,
+    " s"
+);
+
+impl Seconds {
+    /// Constructs a duration from minutes.
+    pub fn from_minutes(m: f64) -> Self {
+        Seconds(m * 60.0)
+    }
+
+    /// Constructs a duration from hours.
+    pub fn from_hours(h: f64) -> Self {
+        Seconds(h * 3600.0)
+    }
+
+    /// The duration expressed in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0 / 60.0
+    }
+
+    /// The duration expressed in hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 / 3600.0
+    }
+}
+
+/// A count of memory cycles (2.5 ns each).
+///
+/// `Cycles` is the unit in which all command timing is expressed, mirroring
+/// the way SoftMC programs encode inter-command idle cycles.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// One cycle.
+    pub const ONE: Cycles = Cycles(1);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Converts the cycle count to seconds at 2.5 ns per cycle.
+    #[inline]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds(self.0 as f64 * CYCLE_SECONDS)
+    }
+
+    /// Converts the cycle count to nanoseconds.
+    #[inline]
+    pub fn to_nanoseconds(self) -> f64 {
+        self.0 as f64 * CYCLE_NS
+    }
+
+    /// Number of whole cycles needed to cover `s` seconds (rounds up).
+    pub fn from_seconds_ceil(s: Seconds) -> Self {
+        Cycles((s.0 / CYCLE_SECONDS).ceil() as u64)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Cycles(iter.map(|c| c.0).sum())
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_time_matches_softmc_platform() {
+        assert_eq!(Cycles(1).to_nanoseconds(), 2.5);
+        assert_eq!(Cycles(4).to_nanoseconds(), 10.0);
+        assert!((Cycles(400_000_000).to_seconds().value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycles_from_seconds_rounds_up() {
+        assert_eq!(Cycles::from_seconds_ceil(Seconds(0.0)), Cycles(0));
+        assert_eq!(Cycles::from_seconds_ceil(Seconds(2.5e-9)), Cycles(1));
+        assert_eq!(Cycles::from_seconds_ceil(Seconds(2.6e-9)), Cycles(2));
+    }
+
+    #[test]
+    fn volts_arithmetic() {
+        let a = Volts(1.5);
+        let b = Volts(0.75);
+        assert_eq!(a - b, Volts(0.75));
+        assert_eq!(a + b, Volts(2.25));
+        assert_eq!(a * 2.0, Volts(3.0));
+        assert_eq!(a / 2.0, Volts(0.75));
+        assert!((a / b - 2.0).abs() < 1e-12);
+        assert_eq!((-b).abs(), b);
+    }
+
+    #[test]
+    fn volts_clamp_and_minmax() {
+        let v = Volts(2.0);
+        assert_eq!(v.clamp(Volts(0.0), Volts(1.5)), Volts(1.5));
+        assert_eq!(Volts(-0.1).clamp(Volts(0.0), Volts(1.5)), Volts(0.0));
+        assert_eq!(Volts(1.0).min(Volts(0.5)), Volts(0.5));
+        assert_eq!(Volts(1.0).max(Volts(0.5)), Volts(1.0));
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert_eq!(Seconds::from_minutes(10.0).value(), 600.0);
+        assert_eq!(Seconds::from_hours(2.0).as_minutes(), 120.0);
+        assert_eq!(Seconds(7200.0).as_hours(), 2.0);
+    }
+
+    #[test]
+    fn cycles_sum_and_saturating() {
+        let total: Cycles = [Cycles(2), Cycles(5)].into_iter().sum();
+        assert_eq!(total, Cycles(7));
+        assert_eq!(Cycles(3).saturating_sub(Cycles(5)), Cycles(0));
+    }
+
+    #[test]
+    fn display_includes_unit_suffix() {
+        assert_eq!(Volts(0.75).to_string(), "0.75 V");
+        assert_eq!(Cycles(7).to_string(), "7 cycles");
+    }
+}

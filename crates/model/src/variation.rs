@@ -1,0 +1,338 @@
+//! Deterministic process-variation sampling and temporal noise.
+//!
+//! Every *static* physical parameter of the simulated silicon (a cell's
+//! capacitance, leakage time constant, a column's sense-amplifier offset,
+//! a row's charge-sharing weight, ...) is a pure function of its
+//! coordinates: it is obtained by hashing
+//! `(chip seed, parameter id, coordinates...)` through SplitMix64 and
+//! shaping the resulting uniform bits into the desired distribution.
+//!
+//! This gives the model three properties the paper's experiments rely on:
+//!
+//! 1. **Reproducibility** — re-creating a chip from the same seed yields an
+//!    identical piece of "silicon"; a PUF response is stable across reads.
+//! 2. **Uniqueness** — chips built from different seeds differ in every
+//!    parameter, exactly like manufacturing variation (Fig. 11 inter-HD).
+//! 3. **Zero storage** — no per-cell parameter tables; a 65536-column row
+//!    costs nothing until touched.
+//!
+//! *Temporal* noise (thermal noise on a bit-line, sense-amp sampling
+//! noise) is drawn from a stateful [`NoiseRng`] instead, because it must
+//! differ between repeated evaluations of the same cell.
+
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer; a strong 64-bit mixing function.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a slice of coordinate words into a single well-mixed 64-bit value.
+pub fn hash_coords(words: &[u64]) -> u64 {
+    let mut acc: u64 = 0x51C6_4372_11E5_BEEF;
+    for &w in words {
+        acc = splitmix64(acc ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
+    splitmix64(acc)
+}
+
+/// Converts 64 random bits into a uniform `f64` in `[0, 1)`.
+#[inline]
+fn to_unit_f64(bits: u64) -> f64 {
+    // Use the top 53 bits for a uniformly distributed mantissa.
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Identifiers for the distinct static parameters sampled per coordinate.
+///
+/// Using an explicit id (rather than ad-hoc salt constants scattered around
+/// the codebase) guarantees two different parameters of the same cell never
+/// collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u64)]
+pub enum ParamId {
+    /// Cell capacitance variation.
+    CellCapacitance = 1,
+    /// Cell leakage time constant.
+    LeakageTau = 2,
+    /// Whether the cell exhibits variable retention time (VRT).
+    VrtFlag = 3,
+    /// Secondary leakage time constant used by VRT cells.
+    VrtAltTau = 4,
+    /// Sense-amplifier input-referred offset of a column.
+    SenseOffset = 5,
+    /// Temperature coefficient of a column's sense offset.
+    SenseTempCoeff = 6,
+    /// Charge-sharing weight of a row slot during multi-row activation.
+    RowShareWeight = 7,
+    /// Whether a given (R1, R2) address pair triggers the decoder glitch.
+    GlitchPairGate = 8,
+    /// Cell polarity (true-cell vs anti-cell) region selector.
+    Polarity = 9,
+    /// Phase selector for VRT cells (which tau is active in an epoch).
+    VrtPhase = 10,
+    /// Residual per-cell asymmetry of the Half-m fractional value.
+    HalfmAsymmetry = 11,
+    /// Per-cell charge-injection offset during sharing.
+    CellInject,
+}
+
+/// Deterministic sampler for static (manufacturing-time) parameters.
+///
+/// A `VariationSampler` is cheap to copy; it only holds the chip seed.
+///
+/// # Examples
+///
+/// ```
+/// use fracdram_model::variation::{ParamId, VariationSampler};
+///
+/// let a = VariationSampler::new(1);
+/// let b = VariationSampler::new(2);
+/// // Same chip, same coordinates: identical silicon.
+/// assert_eq!(
+///     a.normal(ParamId::SenseOffset, &[0, 3, 17], 0.0, 1.0),
+///     a.normal(ParamId::SenseOffset, &[0, 3, 17], 0.0, 1.0),
+/// );
+/// // Different chips differ.
+/// assert_ne!(
+///     a.normal(ParamId::SenseOffset, &[0, 3, 17], 0.0, 1.0),
+///     b.normal(ParamId::SenseOffset, &[0, 3, 17], 0.0, 1.0),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VariationSampler {
+    seed: u64,
+}
+
+impl VariationSampler {
+    /// Creates a sampler for the chip identified by `seed`.
+    pub fn new(seed: u64) -> Self {
+        VariationSampler { seed }
+    }
+
+    /// The chip seed this sampler was built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raw 64 mixed bits for a parameter at some coordinates.
+    pub fn bits(&self, param: ParamId, coords: &[u64]) -> u64 {
+        let mut words = Vec::with_capacity(coords.len() + 2);
+        words.push(self.seed);
+        words.push(param as u64);
+        words.extend_from_slice(coords);
+        hash_coords(&words)
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn uniform(&self, param: ParamId, coords: &[u64]) -> f64 {
+        to_unit_f64(self.bits(param, coords))
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    pub fn bernoulli(&self, param: ParamId, coords: &[u64], p: f64) -> bool {
+        self.uniform(param, coords) < p
+    }
+
+    /// Standard normal sample (Box–Muller on two derived uniforms).
+    pub fn standard_normal(&self, param: ParamId, coords: &[u64]) -> f64 {
+        let bits = self.bits(param, coords);
+        let u1 = to_unit_f64(bits).max(1e-300);
+        let u2 = to_unit_f64(splitmix64(bits ^ 0xA5A5_A5A5_5A5A_5A5A));
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal sample with mean `mu` and standard deviation `sigma`.
+    pub fn normal(&self, param: ParamId, coords: &[u64], mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.standard_normal(param, coords)
+    }
+
+    /// Log-normal sample parameterized by its median and the standard
+    /// deviation of the underlying normal (`sigma_ln`).
+    pub fn lognormal(&self, param: ParamId, coords: &[u64], median: f64, sigma_ln: f64) -> f64 {
+        median * (sigma_ln * self.standard_normal(param, coords)).exp()
+    }
+}
+
+/// Stateful xorshift-based RNG for temporal noise.
+///
+/// Deterministic given its seed, but each draw advances the state so that
+/// repeated evaluations of the same physical event see fresh noise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseRng {
+    state: u64,
+}
+
+impl NoiseRng {
+    /// Creates a noise source; `seed` is mixed so that low-entropy seeds
+    /// (0, 1, 2...) still produce well-distributed streams.
+    pub fn new(seed: u64) -> Self {
+        NoiseRng {
+            state: splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+        }
+    }
+
+    /// Next raw 64 bits.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* with a SplitMix finalize for good equidistribution.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        splitmix64(x)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        to_unit_f64(self.next_u64())
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn standard_normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(1e-300);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    ///
+    /// A `sigma` of zero short-circuits to `mu` without advancing the state
+    /// differently; noise-free configurations remain fully deterministic.
+    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        if sigma == 0.0 {
+            return mu;
+        }
+        mu + sigma * self.standard_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_mixes_neighboring_inputs() {
+        // Avalanche sanity check: consecutive inputs produce outputs that
+        // differ in roughly half of their 64 bits.
+        for i in 0..64u64 {
+            let d = (splitmix64(i) ^ splitmix64(i + 1)).count_ones();
+            assert!((16..=48).contains(&d), "poor mixing at {i}: {d} bits");
+        }
+    }
+
+    #[test]
+    fn hash_coords_varies_with_every_word() {
+        let base = hash_coords(&[1, 2, 3]);
+        assert_ne!(base, hash_coords(&[1, 2, 4]));
+        assert_ne!(base, hash_coords(&[1, 3, 3]));
+        assert_ne!(base, hash_coords(&[2, 2, 3]));
+        assert_ne!(base, hash_coords(&[1, 2]));
+        assert_ne!(base, hash_coords(&[1, 2, 3, 0]));
+    }
+
+    #[test]
+    fn sampler_is_deterministic_per_seed() {
+        let s = VariationSampler::new(42);
+        let v1 = s.lognormal(ParamId::LeakageTau, &[0, 1, 2, 3], 10.0, 1.5);
+        let v2 = s.lognormal(ParamId::LeakageTau, &[0, 1, 2, 3], 10.0, 1.5);
+        assert_eq!(v1, v2);
+        assert!(v1 > 0.0);
+    }
+
+    #[test]
+    fn params_do_not_collide() {
+        let s = VariationSampler::new(7);
+        let a = s.uniform(ParamId::CellCapacitance, &[5, 5]);
+        let b = s.uniform(ParamId::LeakageTau, &[5, 5]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_is_roughly_uniform() {
+        let s = VariationSampler::new(99);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|i| s.uniform(ParamId::SenseOffset, &[i]))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let s = VariationSampler::new(1234);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| s.standard_normal(ParamId::SenseOffset, &[i]))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn lognormal_median_is_respected() {
+        let s = VariationSampler::new(5);
+        let n = 20_001;
+        let mut samples: Vec<f64> = (0..n)
+            .map(|i| s.lognormal(ParamId::LeakageTau, &[i], 20.0, 1.8))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n as usize / 2];
+        assert!(
+            (median / 20.0).ln().abs() < 0.1,
+            "median = {median}, expected ~20"
+        );
+    }
+
+    #[test]
+    fn bernoulli_probability() {
+        let s = VariationSampler::new(77);
+        let n = 50_000;
+        let hits = (0..n)
+            .filter(|&i| s.bernoulli(ParamId::VrtFlag, &[i], 0.3))
+            .count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn noise_rng_advances() {
+        let mut rng = NoiseRng::new(3);
+        let a = rng.uniform();
+        let b = rng.uniform();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn noise_rng_is_reproducible() {
+        let mut a = NoiseRng::new(11);
+        let mut b = NoiseRng::new(11);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn noise_normal_zero_sigma_is_exact() {
+        let mut rng = NoiseRng::new(1);
+        assert_eq!(rng.normal(0.75, 0.0), 0.75);
+    }
+
+    #[test]
+    fn noise_normal_moments() {
+        let mut rng = NoiseRng::new(2024);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(1.0, 0.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean = {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var = {var}");
+    }
+}

@@ -1,0 +1,390 @@
+//! Vendor profiles for the twelve DRAM groups of Table I.
+//!
+//! The paper characterizes 528 DDR3 chips in 12 groups (A–L) spanning
+//! seven vendors. Each group behaves differently under out-of-spec
+//! command timing; the profile captures that behavior as a small set of
+//! analog biases and capability knobs from which the Table I capability
+//! matrix, the Fig. 9 configuration preferences, and the Fig. 11 Hamming
+//! weights all *emerge* (they are measured by the experiments, not
+//! returned by lookups).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::decoder::DecoderBehavior;
+use crate::units::Volts;
+
+/// The DRAM groups of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GroupId {
+    /// SK Hynix DDR3-1066.
+    A,
+    /// SK Hynix DDR3-1333 (the only ComputeDRAM-capable group).
+    B,
+    /// SK Hynix DDR3-1333 (power-of-two activation only).
+    C,
+    /// SK Hynix DDR3-1600 (power-of-two activation only).
+    D,
+    /// Samsung DDR3-1066.
+    E,
+    /// Samsung DDR3-1333.
+    F,
+    /// Samsung DDR3-1600.
+    G,
+    /// TimeTec DDR3-1333.
+    H,
+    /// Corsair DDR3-1333.
+    I,
+    /// Micron DDR3-1333 (command-timing guard; Frac has no effect).
+    J,
+    /// Elpida DDR3-1333 (command-timing guard; Frac has no effect).
+    K,
+    /// Nanya DDR3-1333 (command-timing guard; Frac has no effect).
+    L,
+}
+
+impl GroupId {
+    /// All twelve groups in Table I order.
+    pub const ALL: [GroupId; 12] = [
+        GroupId::A,
+        GroupId::B,
+        GroupId::C,
+        GroupId::D,
+        GroupId::E,
+        GroupId::F,
+        GroupId::G,
+        GroupId::H,
+        GroupId::I,
+        GroupId::J,
+        GroupId::K,
+        GroupId::L,
+    ];
+
+    /// Groups for which the paper demonstrates the Frac operation (A–I).
+    pub fn frac_capable_groups() -> impl Iterator<Item = GroupId> {
+        Self::ALL.into_iter().filter(|g| !g.profile().timing_guard)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Static description of how chips in one group respond to out-of-spec
+/// command sequences, plus the Table I census data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VendorProfile {
+    /// Which group this profile describes.
+    pub group: GroupId,
+    /// Vendor name as listed in Table I.
+    pub vendor: &'static str,
+    /// Nominal DRAM frequency (speed grade) in MHz.
+    pub freq_mhz: u32,
+    /// Number of chips of this group evaluated in the paper.
+    pub chips_evaluated: u32,
+    /// Row-decoder behavior under the ACT–PRE–ACT glitch sequence.
+    pub decoder: DecoderBehavior,
+    /// Whether the chip implements command-timing checking circuits that
+    /// ignore back-to-back commands (groups J, K, L). Such chips perform
+    /// neither Frac nor any multi-row activation.
+    pub timing_guard: bool,
+    /// Group-wide mean of the per-column sense-amplifier offset. This
+    /// bias determines the Hamming weight of PUF responses (Fig. 11:
+    /// e.g. only 21 % of group A bits read as one).
+    pub sense_offset_mean: Volts,
+    /// Mean charge-sharing weight for each command-sequence role
+    /// (R1, R2, R3, R4) during multi-row activation. The heavy slot is
+    /// the "primary row" of §VI-A2; storing the fractional value there is
+    /// each group's best F-MAJ configuration.
+    pub row_weight_means: [f64; 4],
+    /// Systematic bit-line bias during multi-row charge sharing. A
+    /// negative bias skews results toward zero, which is why group C
+    /// favors a fractional value *above* `Vdd/2` (initial ones) while
+    /// group D (positive bias) favors one below.
+    pub multirow_bias: Volts,
+    /// Per-group scaling of the leakage-tau median (retention flavor —
+    /// the visible per-group differences in the Fig. 6 heatmap).
+    pub leak_tau_scale: f64,
+}
+
+impl VendorProfile {
+    /// Returns the profile for a group.
+    pub fn for_group(group: GroupId) -> Self {
+        group.profile()
+    }
+
+    /// Whether chips of this group can store fractional values with Frac.
+    ///
+    /// The paper finds Frac works on every group whose chips do not gate
+    /// command timing (A–I) and speculates J/K/L "implement time checking
+    /// circuits".
+    pub fn supports_frac(&self) -> bool {
+        !self.timing_guard
+    }
+
+    /// Whether the ACT–PRE–ACT sequence can open exactly three rows
+    /// (prerequisite for the original ComputeDRAM MAJ3).
+    pub fn supports_three_row(&self) -> bool {
+        !self.timing_guard && self.decoder.can_open_three()
+    }
+
+    /// Whether the ACT–PRE–ACT sequence can open four rows (prerequisite
+    /// for Half-m and F-MAJ).
+    pub fn supports_four_row(&self) -> bool {
+        !self.timing_guard && self.decoder.can_open_four()
+    }
+
+    /// Number of 8-chip modules this group contributes (Table I counts
+    /// individual chips; the platform exercises x8 chips in groups of 8).
+    pub fn modules_evaluated(&self) -> u32 {
+        self.chips_evaluated / 8
+    }
+
+    /// Index of the primary (heaviest) row slot in the activation roles.
+    pub fn primary_slot(&self) -> usize {
+        let mut best = 0;
+        for (i, &w) in self.row_weight_means.iter().enumerate() {
+            if w > self.row_weight_means[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl GroupId {
+    /// Returns the [`VendorProfile`] of this group.
+    pub fn profile(self) -> VendorProfile {
+        // Baseline weights: R1 (activated first) retains a mild edge over
+        // the implicitly opened rows simply because its word-line has been
+        // up longest.
+        const EVEN: [f64; 4] = [1.15, 1.0, 1.0, 1.0];
+        match self {
+            GroupId::A => VendorProfile {
+                group: self,
+                vendor: "SK Hynix",
+                freq_mhz: 1066,
+                chips_evaluated: 16,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0181),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.0,
+            },
+            GroupId::B => VendorProfile {
+                group: self,
+                vendor: "SK Hynix",
+                freq_mhz: 1333,
+                chips_evaluated: 80,
+                decoder: DecoderBehavior::TriQuad,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0097),
+                // R2 is the primary row: the paper's best F-MAJ config for
+                // group B stores the fractional value in R2.
+                row_weight_means: [1.05, 1.45, 1.0, 1.0],
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.25,
+            },
+            GroupId::C => VendorProfile {
+                group: self,
+                vendor: "SK Hynix",
+                freq_mhz: 1333,
+                chips_evaluated: 160,
+                decoder: DecoderBehavior::PowerOfTwo,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0045),
+                // R1 primary; negative bias makes a fractional value above
+                // Vdd/2 (initial ones) the favored configuration.
+                row_weight_means: [1.75, 1.0, 1.0, 1.0],
+                multirow_bias: Volts(-0.022),
+                leak_tau_scale: 0.8,
+            },
+            GroupId::D => VendorProfile {
+                group: self,
+                vendor: "SK Hynix",
+                freq_mhz: 1600,
+                chips_evaluated: 16,
+                decoder: DecoderBehavior::PowerOfTwo,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0030),
+                // R4 primary; positive bias favors a fractional value
+                // below Vdd/2 (initial zeros) in R4.
+                row_weight_means: [1.1, 1.0, 1.0, 1.7],
+                multirow_bias: Volts(0.022),
+                leak_tau_scale: 1.6,
+            },
+            GroupId::E => VendorProfile {
+                group: self,
+                vendor: "Samsung",
+                freq_mhz: 1066,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0125),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 0.6,
+            },
+            GroupId::F => VendorProfile {
+                group: self,
+                vendor: "Samsung",
+                freq_mhz: 1333,
+                chips_evaluated: 48,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0010),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.1,
+            },
+            GroupId::G => VendorProfile {
+                group: self,
+                vendor: "Samsung",
+                freq_mhz: 1600,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(-0.0005),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 2.0,
+            },
+            GroupId::H => VendorProfile {
+                group: self,
+                vendor: "TimeTec",
+                freq_mhz: 1333,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0060),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 0.9,
+            },
+            GroupId::I => VendorProfile {
+                group: self,
+                vendor: "Corsair",
+                freq_mhz: 1333,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: false,
+                sense_offset_mean: Volts(0.0035),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.4,
+            },
+            GroupId::J => VendorProfile {
+                group: self,
+                vendor: "Micron",
+                freq_mhz: 1333,
+                chips_evaluated: 16,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: true,
+                sense_offset_mean: Volts(0.0),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.0,
+            },
+            GroupId::K => VendorProfile {
+                group: self,
+                vendor: "Elpida",
+                freq_mhz: 1333,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: true,
+                sense_offset_mean: Volts(0.0),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.0,
+            },
+            GroupId::L => VendorProfile {
+                group: self,
+                vendor: "Nanya",
+                freq_mhz: 1333,
+                chips_evaluated: 32,
+                decoder: DecoderBehavior::SingleOnly,
+                timing_guard: true,
+                sense_offset_mean: Volts(0.0),
+                row_weight_means: EVEN,
+                multirow_bias: Volts(0.0),
+                leak_tau_scale: 1.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capability_matrix() {
+        use GroupId::*;
+        // Frac: groups A-I check, J-L blank.
+        for g in [A, B, C, D, E, F, G, H, I] {
+            assert!(g.profile().supports_frac(), "{g} should support Frac");
+        }
+        for g in [J, K, L] {
+            assert!(!g.profile().supports_frac(), "{g} must not support Frac");
+        }
+        // Three-row activation: only group B.
+        for g in GroupId::ALL {
+            assert_eq!(g.profile().supports_three_row(), g == B, "{g} three-row");
+        }
+        // Four-row activation: groups B, C, D.
+        for g in GroupId::ALL {
+            assert_eq!(
+                g.profile().supports_four_row(),
+                matches!(g, B | C | D),
+                "{g} four-row"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_census_totals() {
+        let total: u32 = GroupId::ALL
+            .iter()
+            .map(|g| g.profile().chips_evaluated)
+            .sum();
+        // Table I lists 528 evaluated chips across the 12 groups.
+        assert_eq!(total, 528);
+    }
+
+    #[test]
+    fn primary_slots_match_paper_configs() {
+        // Group B: frac in R2 is best; group C: R1; group D: R4.
+        assert_eq!(GroupId::B.profile().primary_slot(), 1);
+        assert_eq!(GroupId::C.profile().primary_slot(), 0);
+        assert_eq!(GroupId::D.profile().primary_slot(), 3);
+    }
+
+    #[test]
+    fn bias_directions_match_favored_frac_levels() {
+        // C favors frac above Vdd/2 => bias must be negative (skews low).
+        assert!(GroupId::C.profile().multirow_bias.value() < 0.0);
+        // D favors frac below Vdd/2 => bias positive.
+        assert!(GroupId::D.profile().multirow_bias.value() > 0.0);
+    }
+
+    #[test]
+    fn frac_capable_groups_is_nine() {
+        assert_eq!(GroupId::frac_capable_groups().count(), 9);
+    }
+
+    #[test]
+    fn modules_evaluated_divides_chips() {
+        assert_eq!(GroupId::B.profile().modules_evaluated(), 10);
+        assert_eq!(GroupId::A.profile().modules_evaluated(), 2);
+    }
+
+    #[test]
+    fn display_is_single_letter() {
+        assert_eq!(GroupId::A.to_string(), "A");
+        assert_eq!(GroupId::L.to_string(), "L");
+    }
+}

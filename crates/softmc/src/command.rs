@@ -1,0 +1,123 @@
+//! DRAM command encoding.
+//!
+//! These are the commands the (simulated) memory controller can place on
+//! the command bus. Following SoftMC, the controller will issue *any*
+//! sequence with *any* timing — JEDEC compliance is checked separately
+//! and deliberately violable (that is the entire point of FracDRAM).
+
+use std::fmt;
+
+use fracdram_model::RowAddr;
+use serde::{Deserialize, Serialize};
+
+/// One DRAM command.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DramCommand {
+    /// Open a row: raise its word-line and (nominally) sense it.
+    Activate(RowAddr),
+    /// Close all open rows in a bank and equalize its bit-lines.
+    Precharge {
+        /// Target bank.
+        bank: usize,
+    },
+    /// Read the full row buffer of a bank's open row.
+    Read {
+        /// Target bank.
+        bank: usize,
+    },
+    /// Write bits through the sense amplifiers, starting at a column.
+    Write {
+        /// Target bank.
+        bank: usize,
+        /// First column written.
+        start_col: usize,
+        /// The data (one bool per column).
+        bits: Vec<bool>,
+    },
+    /// Refresh every row of a bank.
+    Refresh {
+        /// Target bank.
+        bank: usize,
+    },
+    /// No operation (consumes one command-bus cycle).
+    Nop,
+}
+
+impl DramCommand {
+    /// Short mnemonic, as used in command traces.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCommand::Activate(_) => "ACT",
+            DramCommand::Precharge { .. } => "PRE",
+            DramCommand::Read { .. } => "RD",
+            DramCommand::Write { .. } => "WR",
+            DramCommand::Refresh { .. } => "REF",
+            DramCommand::Nop => "NOP",
+        }
+    }
+
+    /// The bank the command addresses, if any.
+    pub fn bank(&self) -> Option<usize> {
+        match self {
+            DramCommand::Activate(addr) => Some(addr.bank),
+            DramCommand::Precharge { bank }
+            | DramCommand::Read { bank }
+            | DramCommand::Write { bank, .. }
+            | DramCommand::Refresh { bank } => Some(*bank),
+            DramCommand::Nop => None,
+        }
+    }
+}
+
+impl fmt::Display for DramCommand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramCommand::Activate(addr) => write!(f, "ACT({}, {})", addr.bank, addr.row),
+            DramCommand::Precharge { bank } => write!(f, "PRE({bank})"),
+            DramCommand::Read { bank } => write!(f, "RD({bank})"),
+            DramCommand::Write {
+                bank,
+                start_col,
+                bits,
+            } => write!(f, "WR({bank}, {start_col}+{})", bits.len()),
+            DramCommand::Refresh { bank } => write!(f, "REF({bank})"),
+            DramCommand::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(DramCommand::Activate(RowAddr::new(0, 1)).mnemonic(), "ACT");
+        assert_eq!(DramCommand::Precharge { bank: 0 }.mnemonic(), "PRE");
+        assert_eq!(DramCommand::Nop.mnemonic(), "NOP");
+    }
+
+    #[test]
+    fn bank_extraction() {
+        assert_eq!(DramCommand::Activate(RowAddr::new(3, 1)).bank(), Some(3));
+        assert_eq!(DramCommand::Refresh { bank: 2 }.bank(), Some(2));
+        assert_eq!(DramCommand::Nop.bank(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            DramCommand::Activate(RowAddr::new(1, 8)).to_string(),
+            "ACT(1, 8)"
+        );
+        assert_eq!(
+            DramCommand::Write {
+                bank: 0,
+                start_col: 16,
+                bits: vec![true; 4]
+            }
+            .to_string(),
+            "WR(0, 16+4)"
+        );
+    }
+}

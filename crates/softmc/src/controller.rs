@@ -1,0 +1,424 @@
+//! The software-controlled memory controller.
+//!
+//! [`MemoryController`] mirrors the role SoftMC plays in the paper's
+//! platform (Fig. 5): the host composes [`Program`]s — command sequences
+//! with explicit cycle spacing — and the controller issues them to the
+//! DRAM module cycle-accurately, *without* enforcing JEDEC timing. A
+//! separate checker ([`MemoryController::check`]) reports which
+//! constraints a program violates.
+//!
+//! It also provides conventional, legally timed data-movement helpers
+//! ([`MemoryController::write_row`], [`MemoryController::read_row`]) so
+//! higher layers only hand-roll programs for the out-of-spec primitives.
+
+use fracdram_model::{Cycles, Module, RowAddr, Seconds};
+
+use crate::command::DramCommand;
+use crate::error::{ControllerError, Result};
+use crate::program::Program;
+use crate::timing::{check_program, TimingParams, TimingViolation};
+use crate::trace::{CommandTrace, CycleStats};
+
+/// Result of executing one program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOutcome {
+    /// Data returned by each READ in the program, in issue order.
+    pub reads: Vec<Vec<bool>>,
+    /// Cycle at which the program started.
+    pub start_cycle: u64,
+    /// Cycle after the program's last instruction (including its idle
+    /// gap) completed.
+    pub end_cycle: u64,
+}
+
+impl RunOutcome {
+    /// Total cycles the program occupied the command bus.
+    pub fn cycles(&self) -> Cycles {
+        Cycles(self.end_cycle - self.start_cycle)
+    }
+}
+
+/// A cycle-accurate, violation-capable memory controller driving one
+/// simulated DRAM module.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    module: Module,
+    clock: u64,
+    timing: TimingParams,
+    stats: CycleStats,
+    trace: Option<CommandTrace>,
+}
+
+impl MemoryController {
+    /// Takes control of a module. The clock starts at a non-zero cycle so
+    /// that "time zero" artifacts cannot hide bugs.
+    pub fn new(module: Module) -> Self {
+        MemoryController {
+            module,
+            clock: 1_000,
+            timing: TimingParams::default(),
+            stats: CycleStats::default(),
+            trace: None,
+        }
+    }
+
+    /// The controlled module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Mutable access to the module (environment changes, probes).
+    pub fn module_mut(&mut self) -> &mut Module {
+        &mut self.module
+    }
+
+    /// Releases the module.
+    pub fn into_module(self) -> Module {
+        self.module
+    }
+
+    /// Current cycle.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The JEDEC timing table used for checking and for the safe helpers.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Always-on command counters.
+    pub fn stats(&self) -> &CycleStats {
+        &self.stats
+    }
+
+    /// Starts recording a full command trace.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(CommandTrace::new());
+        }
+    }
+
+    /// Stops tracing and returns the recorded trace (if any).
+    pub fn take_trace(&mut self) -> Option<CommandTrace> {
+        self.trace.take()
+    }
+
+    /// Lets `cycles` pass with no commands on the bus.
+    pub fn wait(&mut self, cycles: Cycles) {
+        self.clock += cycles.value();
+    }
+
+    /// Lets wall-clock time pass (rounded up to whole cycles) — how
+    /// retention experiments "stop sending any memory commands in order
+    /// to let the charge leak out of the cell" (§V-A).
+    pub fn wait_seconds(&mut self, s: Seconds) {
+        self.clock += Cycles::from_seconds_ceil(s).value();
+    }
+
+    /// Checks a program against JEDEC timing without executing it.
+    pub fn check(&self, program: &Program) -> Vec<TimingViolation> {
+        check_program(&self.timing, program)
+    }
+
+    /// Executes a program with its exact specified timing, violations and
+    /// all — the SoftMC contract.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on *structural* problems (bad addresses, reads from a
+    /// closed bank); timing violations execute with their (defined by the
+    /// model, undefined by JEDEC) analog consequences.
+    pub fn run(&mut self, program: &Program) -> Result<RunOutcome> {
+        let start_cycle = self.clock;
+        let mut reads = Vec::new();
+        for inst in program.instructions() {
+            let t = self.clock;
+            self.stats.record(&inst.command);
+            if let Some(trace) = &mut self.trace {
+                trace.record(t, inst.command.clone());
+            }
+            match &inst.command {
+                DramCommand::Activate(addr) => self.module.activate(*addr, t)?,
+                DramCommand::Precharge { bank } => self.module.precharge(*bank, t)?,
+                DramCommand::Read { bank } => reads.push(self.module.read(*bank, t)?),
+                DramCommand::Write {
+                    bank,
+                    start_col,
+                    bits,
+                } => self.execute_write(*bank, *start_col, bits, t)?,
+                DramCommand::Refresh { bank } => self.module.refresh(*bank, t)?,
+                DramCommand::Nop => {}
+            }
+            self.clock = t + 1 + inst.idle_after.value();
+        }
+        Ok(RunOutcome {
+            reads,
+            start_cycle,
+            end_cycle: self.clock,
+        })
+    }
+
+    /// Executes a program only if it is fully JEDEC-compliant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::TimingViolations`] when the program is
+    /// out-of-spec, otherwise behaves like [`MemoryController::run`].
+    pub fn run_checked(&mut self, program: &Program) -> Result<RunOutcome> {
+        let violations = self.check(program);
+        if !violations.is_empty() {
+            return Err(ControllerError::TimingViolations(violations));
+        }
+        self.run(program)
+    }
+
+    fn execute_write(
+        &mut self,
+        bank: usize,
+        start_col: usize,
+        bits: &[bool],
+        t: u64,
+    ) -> Result<()> {
+        if start_col == 0 && bits.len() == self.module.row_bits() {
+            self.module.write(bank, bits, t)?;
+            return Ok(());
+        }
+        if self.module.chips().len() == 1 {
+            self.module.chip_mut(0).write(bank, start_col, bits, t)?;
+            return Ok(());
+        }
+        Err(ControllerError::PartialWriteUnsupported {
+            chips: self.module.chips().len(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Legally timed data movement
+    // ------------------------------------------------------------------
+
+    /// A JEDEC-compliant program that writes a full row.
+    pub fn write_row_program(&self, addr: RowAddr, bits: Vec<bool>) -> Program {
+        let t = &self.timing;
+        Program::builder()
+            .act(addr)
+            .delay(t.t_rcd.value())
+            .write(addr.bank, bits)
+            .delay(t.t_ras.value()) // generous: covers tWR and tRAS
+            .pre(addr.bank)
+            .delay(t.t_rp.value())
+            .build()
+    }
+
+    /// A JEDEC-compliant program that reads a full row.
+    pub fn read_row_program(&self, addr: RowAddr) -> Program {
+        let t = &self.timing;
+        Program::builder()
+            .act(addr)
+            .delay(t.t_rcd.value())
+            .read(addr.bank)
+            .delay(t.t_ras.value())
+            .pre(addr.bank)
+            .delay(t.t_rp.value())
+            .build()
+    }
+
+    /// Writes a full row with legal timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address is out of range or the data width does not
+    /// match the module row.
+    pub fn write_row(&mut self, addr: RowAddr, bits: &[bool]) -> Result<()> {
+        let program = self.write_row_program(addr, bits.to_vec());
+        debug_assert!(self.check(&program).is_empty());
+        self.run(&program)?;
+        Ok(())
+    }
+
+    /// Reads a full row with legal timing.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address is out of range.
+    pub fn read_row(&mut self, addr: RowAddr) -> Result<Vec<bool>> {
+        let program = self.read_row_program(addr);
+        debug_assert!(self.check(&program).is_empty());
+        let outcome = self.run(&program)?;
+        Ok(outcome.reads.into_iter().next().unwrap_or_default())
+    }
+
+    /// Refreshes every bank (destroying all fractional values).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn refresh_all(&mut self) -> Result<()> {
+        let banks = self.module.geometry().banks;
+        for bank in 0..banks {
+            let p = Program::builder()
+                .refresh(bank)
+                .delay(self.timing.t_rfc.value())
+                .build();
+            self.run(&p)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::{Geometry, GroupId, ModuleConfig};
+
+    fn controller(group: GroupId) -> MemoryController {
+        MemoryController::new(Module::new(ModuleConfig::single_chip(
+            group,
+            77,
+            Geometry::tiny(),
+        )))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut mc = controller(GroupId::B);
+        let width = mc.module().row_bits();
+        let pattern: Vec<bool> = (0..width).map(|i| i % 4 != 2).collect();
+        let addr = RowAddr::new(0, 7);
+        mc.write_row(addr, &pattern).unwrap();
+        assert_eq!(mc.read_row(addr).unwrap(), pattern);
+    }
+
+    #[test]
+    fn clock_advances_by_program_length() {
+        let mut mc = controller(GroupId::B);
+        let t0 = mc.clock();
+        let p = Program::builder().nop().delay(9).build();
+        let outcome = mc.run(&p).unwrap();
+        assert_eq!(outcome.cycles(), Cycles(10));
+        assert_eq!(mc.clock(), t0 + 10);
+    }
+
+    #[test]
+    fn run_checked_rejects_frac() {
+        let mut mc = controller(GroupId::B);
+        let frac = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .delay(5)
+            .build();
+        let err = mc.run_checked(&frac).unwrap_err();
+        assert!(matches!(err, ControllerError::TimingViolations(_)));
+        // But run() executes it.
+        mc.run(&frac).unwrap();
+    }
+
+    #[test]
+    fn safe_helpers_are_jedec_clean() {
+        let mc = controller(GroupId::B);
+        let w = mc.write_row_program(RowAddr::new(0, 1), vec![true; 64]);
+        let r = mc.read_row_program(RowAddr::new(0, 1));
+        assert!(mc.check(&w).is_empty(), "{:?}", mc.check(&w));
+        assert!(mc.check(&r).is_empty(), "{:?}", mc.check(&r));
+    }
+
+    #[test]
+    fn frac_program_changes_stored_charge_on_group_b() {
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 3);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        // Ten Frac operations.
+        for _ in 0..10 {
+            let frac = Program::builder().act(addr).pre(0).delay(5).build();
+            mc.run(&frac).unwrap();
+        }
+        // The stored values are now fractional: a read returns a mixture
+        // decided by per-column sense offsets, not all ones.
+        let bits = mc.read_row(addr).unwrap();
+        let ones = bits.iter().filter(|&&b| b).count();
+        assert!(ones > 0 && ones < 64, "ones = {ones}");
+    }
+
+    #[test]
+    fn stats_count_commands() {
+        let mut mc = controller(GroupId::B);
+        mc.write_row(RowAddr::new(0, 1), &[false; 64]).unwrap();
+        let s = *mc.stats();
+        assert_eq!(s.activates, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.precharges, 1);
+    }
+
+    #[test]
+    fn trace_is_opt_in() {
+        let mut mc = controller(GroupId::B);
+        mc.write_row(RowAddr::new(0, 1), &[false; 64]).unwrap();
+        assert!(mc.take_trace().is_none());
+        mc.enable_trace();
+        mc.read_row(RowAddr::new(0, 1)).unwrap();
+        let trace = mc.take_trace().unwrap();
+        assert_eq!(trace.len(), 3); // ACT, RD, PRE
+    }
+
+    #[test]
+    fn wait_seconds_moves_clock() {
+        let mut mc = controller(GroupId::B);
+        let t0 = mc.clock();
+        mc.wait_seconds(Seconds(1.0));
+        assert_eq!(mc.clock() - t0, 400_000_000);
+    }
+
+    #[test]
+    fn retention_experiment_shape() {
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 2);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        mc.wait_seconds(Seconds::from_hours(60.0));
+        let bits = mc.read_row(addr).unwrap();
+        let kept = bits.iter().filter(|&&b| b).count();
+        assert!(kept < 64, "no leakage after 60 h");
+        assert!(kept > 0, "total loss after 60 h");
+    }
+
+    #[test]
+    fn partial_write_single_chip_ok_multichip_err() {
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 1);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        let p = Program::builder()
+            .act(addr)
+            .delay(6)
+            .write_at(0, 8, vec![false; 8])
+            .delay(15)
+            .pre(0)
+            .delay(6)
+            .build();
+        mc.run(&p).unwrap();
+        let bits = mc.read_row(addr).unwrap();
+        assert!(bits[0] && !bits[8] && bits[16]);
+
+        let mut mc8 = MemoryController::new(Module::new(ModuleConfig::rank(
+            GroupId::B,
+            5,
+            Geometry::tiny(),
+        )));
+        mc8.write_row(RowAddr::new(0, 1), &vec![true; 512]).unwrap();
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .delay(6)
+            .write_at(0, 8, vec![false; 8])
+            .build();
+        assert!(matches!(
+            mc8.run(&p),
+            Err(ControllerError::PartialWriteUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn refresh_all_runs() {
+        let mut mc = controller(GroupId::B);
+        mc.write_row(RowAddr::new(1, 3), &[true; 64]).unwrap();
+        mc.refresh_all().unwrap();
+        assert_eq!(mc.read_row(RowAddr::new(1, 3)).unwrap(), vec![true; 64]);
+    }
+}

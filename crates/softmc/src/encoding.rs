@@ -1,0 +1,266 @@
+//! Binary instruction encoding — the wire format between the host and
+//! the controller.
+//!
+//! The real SoftMC receives programs over PCIe as fixed-width encoded
+//! instructions; this module provides the equivalent for the simulated
+//! platform so programs can be serialized, stored, diffed, and shipped.
+//! Each instruction packs into one little-endian `u64`:
+//!
+//! ```text
+//! bits 63..56  opcode
+//! bits 55..40  idle cycles after the command (16 bits)
+//! bits 39..24  row address          (ACT)
+//! bits 23..16  bank address         (ACT / PRE / RD / WR / REF)
+//! bits 15..0   payload length/index (WR: column offset)
+//! ```
+//!
+//! WRITE data does not fit in one word; it follows the instruction as
+//! `ceil(bits/64)` raw data words (LSB-first within each word), after a
+//! length word. The format round-trips every [`Program`] exactly.
+
+use fracdram_model::{Cycles, RowAddr};
+
+use crate::command::DramCommand;
+use crate::program::Program;
+
+/// Opcodes of the wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum Opcode {
+    Nop = 0,
+    Activate = 1,
+    Precharge = 2,
+    Read = 3,
+    Write = 4,
+    Refresh = 5,
+}
+
+/// Errors produced while decoding a program image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// The image ended in the middle of an instruction's payload.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Truncated => write!(f, "program image ends mid-instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn pack(op: Opcode, idle: u64, row: usize, bank: usize, aux: usize) -> u64 {
+    debug_assert!(idle < (1 << 16), "idle gap too long to encode");
+    debug_assert!(row < (1 << 16));
+    debug_assert!(bank < (1 << 8));
+    debug_assert!(aux < (1 << 16));
+    ((op as u64) << 56)
+        | ((idle & 0xFFFF) << 40)
+        | ((row as u64 & 0xFFFF) << 24)
+        | ((bank as u64 & 0xFF) << 16)
+        | (aux as u64 & 0xFFFF)
+}
+
+/// Encodes a program into its wire image.
+pub fn encode(program: &Program) -> Vec<u64> {
+    let mut out = Vec::with_capacity(program.len() + 1);
+    for inst in program.instructions() {
+        let idle = inst.idle_after.value();
+        match &inst.command {
+            DramCommand::Nop => out.push(pack(Opcode::Nop, idle, 0, 0, 0)),
+            DramCommand::Activate(addr) => {
+                out.push(pack(Opcode::Activate, idle, addr.row, addr.bank, 0));
+            }
+            DramCommand::Precharge { bank } => {
+                out.push(pack(Opcode::Precharge, idle, 0, *bank, 0));
+            }
+            DramCommand::Read { bank } => out.push(pack(Opcode::Read, idle, 0, *bank, 0)),
+            DramCommand::Refresh { bank } => out.push(pack(Opcode::Refresh, idle, 0, *bank, 0)),
+            DramCommand::Write {
+                bank,
+                start_col,
+                bits,
+            } => {
+                out.push(pack(Opcode::Write, idle, 0, *bank, *start_col));
+                out.push(bits.len() as u64);
+                let mut word = 0u64;
+                for (i, &bit) in bits.iter().enumerate() {
+                    if bit {
+                        word |= 1 << (i % 64);
+                    }
+                    if i % 64 == 63 {
+                        out.push(word);
+                        word = 0;
+                    }
+                }
+                if bits.len() % 64 != 0 {
+                    out.push(word);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a wire image back into a program.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for unknown opcodes or truncated payloads.
+pub fn decode(image: &[u64]) -> Result<Program, DecodeError> {
+    let mut program = Program::new();
+    let mut i = 0;
+    while i < image.len() {
+        let word = image[i];
+        i += 1;
+        let op = (word >> 56) as u8;
+        let idle = Cycles((word >> 40) & 0xFFFF);
+        let row = ((word >> 24) & 0xFFFF) as usize;
+        let bank = ((word >> 16) & 0xFF) as usize;
+        let aux = (word & 0xFFFF) as usize;
+        let command = match op {
+            0 => DramCommand::Nop,
+            1 => DramCommand::Activate(RowAddr::new(bank, row)),
+            2 => DramCommand::Precharge { bank },
+            3 => DramCommand::Read { bank },
+            4 => {
+                let len = *image.get(i).ok_or(DecodeError::Truncated)? as usize;
+                i += 1;
+                let words = len.div_ceil(64);
+                if i + words > image.len() {
+                    return Err(DecodeError::Truncated);
+                }
+                let mut bits = Vec::with_capacity(len);
+                for b in 0..len {
+                    bits.push((image[i + b / 64] >> (b % 64)) & 1 == 1);
+                }
+                i += words;
+                DramCommand::Write {
+                    bank,
+                    start_col: aux,
+                    bits,
+                }
+            }
+            5 => DramCommand::Refresh { bank },
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        program.push(command, idle);
+    }
+    Ok(program)
+}
+
+/// Size of a program's wire image in bytes.
+pub fn encoded_size(program: &Program) -> usize {
+    encode(program).len() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Instruction;
+
+    fn instructions_eq(a: &Program, b: &Program) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        a.instructions()
+            .iter()
+            .zip(b.instructions())
+            .all(|(x, y): (&Instruction, &Instruction)| {
+                x.command == y.command && x.idle_after == y.idle_after
+            })
+    }
+
+    #[test]
+    fn command_only_roundtrip() {
+        let p = Program::builder()
+            .act(RowAddr::new(2, 300))
+            .pre(2)
+            .delay(5)
+            .nop()
+            .read(2)
+            .refresh(1)
+            .delay(100)
+            .build();
+        let image = encode(&p);
+        assert_eq!(image.len(), 5);
+        let q = decode(&image).unwrap();
+        assert!(instructions_eq(&p, &q));
+    }
+
+    #[test]
+    fn write_payload_roundtrip() {
+        let bits: Vec<bool> = (0..130).map(|i| i % 3 == 0).collect();
+        let p = Program::builder()
+            .act(RowAddr::new(0, 7))
+            .delay(10)
+            .write_at(0, 64, bits)
+            .delay(15)
+            .pre(0)
+            .build();
+        let image = encode(&p);
+        // ACT + (WR header + len + 3 data words) + PRE.
+        assert_eq!(image.len(), 1 + 5 + 1);
+        let q = decode(&image).unwrap();
+        assert!(instructions_eq(&p, &q));
+    }
+
+    #[test]
+    fn empty_and_exact_multiple_payloads() {
+        for len in [0usize, 64, 128] {
+            let p = Program::builder()
+                .act(RowAddr::new(0, 0))
+                .write(0, vec![true; len])
+                .build();
+            let q = decode(&encode(&p)).unwrap();
+            assert!(instructions_eq(&p, &q), "len {len}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_is_rejected() {
+        let err = decode(&[0xFFu64 << 56]).unwrap_err();
+        assert!(matches!(err, DecodeError::BadOpcode(0xFF)));
+        assert!(err.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn truncated_write_is_rejected() {
+        let p = Program::builder()
+            .act(RowAddr::new(0, 0))
+            .write(0, vec![true; 100])
+            .build();
+        let mut image = encode(&p);
+        image.truncate(image.len() - 1);
+        assert_eq!(decode(&image).unwrap_err(), DecodeError::Truncated);
+        // Cutting the length word off too.
+        let image2 = &encode(&p)[..2];
+        assert_eq!(decode(image2).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn encoded_size_is_eight_bytes_per_word() {
+        let p = Program::builder().act(RowAddr::new(0, 1)).pre(0).build();
+        assert_eq!(encoded_size(&p), 16);
+    }
+
+    #[test]
+    fn frac_program_image_is_compact() {
+        // The 7-cycle Frac op ships as just two words — the property that
+        // makes SoftMC-style experimentation practical.
+        let p = Program::builder()
+            .act(RowAddr::new(0, 3))
+            .pre(0)
+            .delay(5)
+            .build();
+        assert_eq!(encode(&p).len(), 2);
+        let q = decode(&encode(&p)).unwrap();
+        assert_eq!(q.total_cycles(), p.total_cycles());
+    }
+}

@@ -1,0 +1,85 @@
+//! Controller error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use fracdram_model::ModelError;
+
+use crate::timing::TimingViolation;
+
+/// Errors reported by the memory controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControllerError {
+    /// The device model rejected a command (address/width problems, or a
+    /// data command to a closed bank).
+    Model(ModelError),
+    /// A checked run refused a program containing timing violations.
+    TimingViolations(Vec<TimingViolation>),
+    /// A partial-row WRITE was attempted on a multi-chip module (byte-lane
+    /// striping makes partial writes ambiguous; use a single-chip module
+    /// or a full-row write).
+    PartialWriteUnsupported {
+        /// Number of chips on the module.
+        chips: usize,
+    },
+}
+
+impl fmt::Display for ControllerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerError::Model(e) => write!(f, "device error: {e}"),
+            ControllerError::TimingViolations(v) => {
+                write!(f, "program violates {} JEDEC timing constraint(s)", v.len())
+            }
+            ControllerError::PartialWriteUnsupported { chips } => write!(
+                f,
+                "partial-row write is unsupported on a {chips}-chip module"
+            ),
+        }
+    }
+}
+
+impl StdError for ControllerError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            ControllerError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ControllerError {
+    fn from(e: ModelError) -> Self {
+        ControllerError::Model(e)
+    }
+}
+
+/// Convenience result alias for controller operations.
+pub type Result<T> = std::result::Result<T, ControllerError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::Cycles;
+
+    #[test]
+    fn display_and_source() {
+        let e = ControllerError::Model(ModelError::BankClosed { bank: 2 });
+        assert!(e.to_string().contains("bank 2"));
+        assert!(e.source().is_some());
+
+        let v = ControllerError::TimingViolations(vec![TimingViolation {
+            instruction: 0,
+            rule: crate::timing::TimingRule::Ras,
+            required: Cycles(15),
+            actual: Cycles(1),
+        }]);
+        assert!(v.to_string().contains("1 JEDEC"));
+    }
+
+    #[test]
+    fn from_model_error() {
+        let e: ControllerError = ModelError::BankClosed { bank: 0 }.into();
+        assert!(matches!(e, ControllerError::Model(_)));
+    }
+}

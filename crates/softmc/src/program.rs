@@ -1,0 +1,280 @@
+//! SoftMC-style command programs.
+//!
+//! A [`Program`] is an ordered list of DRAM commands, each followed by an
+//! explicit number of idle cycles. This mirrors how SoftMC exposes the
+//! command bus to software: the host composes an instruction sequence with
+//! exact inter-command spacing, ships it to the FPGA, and the hardware
+//! issues it cycle-accurately. All FracDRAM primitives are just programs
+//! with particular (out-of-spec) spacings.
+
+use std::fmt;
+
+use fracdram_model::{Cycles, RowAddr};
+use serde::{Deserialize, Serialize};
+
+use crate::command::DramCommand;
+
+/// One program slot: a command plus the idle gap after it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instruction {
+    /// The command to issue.
+    pub command: DramCommand,
+    /// Idle cycles inserted *after* the command before the next one.
+    pub idle_after: Cycles,
+}
+
+/// An executable command sequence.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Starts building a program fluently.
+    pub fn builder() -> ProgramBuilder {
+        ProgramBuilder {
+            program: Program::new(),
+        }
+    }
+
+    /// The instructions in issue order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Total duration: every command occupies one bus cycle plus its idle
+    /// gap. This is the figure the paper quotes when it says a Frac
+    /// operation takes 7 memory cycles (2 command cycles + 5 idle).
+    pub fn total_cycles(&self) -> Cycles {
+        self.instructions
+            .iter()
+            .map(|i| Cycles::ONE + i.idle_after)
+            .sum()
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, command: DramCommand, idle_after: Cycles) {
+        self.instructions.push(Instruction {
+            command,
+            idle_after,
+        });
+    }
+
+    /// Appends all instructions of another program.
+    pub fn extend_from(&mut self, other: &Program) {
+        self.instructions.extend(other.instructions.iter().cloned());
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.instructions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}", inst.command)?;
+            if inst.idle_after.value() > 0 {
+                write!(f, " <{}>", inst.idle_after.value())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program {
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+/// Fluent builder for [`Program`].
+///
+/// Commands default to zero idle cycles after them — back-to-back issue,
+/// the FracDRAM regime. Use [`ProgramBuilder::delay`] to insert idle
+/// cycles after the most recent command.
+///
+/// # Examples
+///
+/// The paper's Frac primitive (§III-A): ACTIVATE then PRECHARGE
+/// back-to-back, then wait out the precharge — 7 cycles total.
+///
+/// ```
+/// use fracdram_softmc::Program;
+/// use fracdram_model::RowAddr;
+///
+/// let frac = Program::builder()
+///     .act(RowAddr::new(0, 1))
+///     .pre(0)
+///     .delay(5)
+///     .build();
+/// assert_eq!(frac.total_cycles().value(), 7);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    program: Program,
+}
+
+impl ProgramBuilder {
+    /// Appends an ACTIVATE.
+    pub fn act(mut self, addr: RowAddr) -> Self {
+        self.program.push(DramCommand::Activate(addr), Cycles::ZERO);
+        self
+    }
+
+    /// Appends a PRECHARGE.
+    pub fn pre(mut self, bank: usize) -> Self {
+        self.program
+            .push(DramCommand::Precharge { bank }, Cycles::ZERO);
+        self
+    }
+
+    /// Appends a READ.
+    pub fn read(mut self, bank: usize) -> Self {
+        self.program.push(DramCommand::Read { bank }, Cycles::ZERO);
+        self
+    }
+
+    /// Appends a WRITE of `bits` starting at column 0.
+    pub fn write(self, bank: usize, bits: Vec<bool>) -> Self {
+        self.write_at(bank, 0, bits)
+    }
+
+    /// Appends a WRITE of `bits` starting at `start_col`.
+    pub fn write_at(mut self, bank: usize, start_col: usize, bits: Vec<bool>) -> Self {
+        self.program.push(
+            DramCommand::Write {
+                bank,
+                start_col,
+                bits,
+            },
+            Cycles::ZERO,
+        );
+        self
+    }
+
+    /// Appends a REFRESH.
+    pub fn refresh(mut self, bank: usize) -> Self {
+        self.program
+            .push(DramCommand::Refresh { bank }, Cycles::ZERO);
+        self
+    }
+
+    /// Appends an explicit NOP bus cycle.
+    pub fn nop(mut self) -> Self {
+        self.program.push(DramCommand::Nop, Cycles::ZERO);
+        self
+    }
+
+    /// Adds `cycles` idle cycles after the most recent command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no command has been appended yet (an initial delay is
+    /// meaningless — programs start when their first command issues).
+    pub fn delay(mut self, cycles: u64) -> Self {
+        let last = self
+            .program
+            .instructions
+            .last_mut()
+            .expect("delay requires a preceding command");
+        last.idle_after += Cycles(cycles);
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frac_program_is_seven_cycles() {
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .delay(5)
+            .build();
+        assert_eq!(p.total_cycles(), Cycles(7));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn multirow_activation_program() {
+        // ACT(R1)-PRE-ACT(R2) with no idle cycles: 3 cycles of commands.
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .act(RowAddr::new(0, 2))
+            .build();
+        assert_eq!(p.total_cycles(), Cycles(3));
+    }
+
+    #[test]
+    fn delay_accumulates() {
+        let p = Program::builder().nop().delay(3).delay(4).build();
+        assert_eq!(p.total_cycles(), Cycles(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "preceding command")]
+    fn leading_delay_panics() {
+        let _ = Program::builder().delay(1);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Program::builder().nop().build();
+        let b = Program::builder().pre(0).delay(5).build();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.total_cycles(), Cycles(7));
+    }
+
+    #[test]
+    fn display_shows_gaps() {
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .delay(5)
+            .build();
+        assert_eq!(p.to_string(), "ACT(0, 1) PRE(0) <5>");
+    }
+
+    #[test]
+    fn collect_from_instructions() {
+        let p: Program = vec![Instruction {
+            command: DramCommand::Nop,
+            idle_after: Cycles(2),
+        }]
+        .into_iter()
+        .collect();
+        assert_eq!(p.total_cycles(), Cycles(3));
+    }
+}

@@ -1,0 +1,268 @@
+//! JEDEC DDR3 timing constraints and violation detection.
+//!
+//! The JEDEC standard (JESD79-3) specifies minimum gaps between DRAM
+//! commands; it is "the MC's responsibility to issue DRAM commands with
+//! enough idle cycles in between" (§II-B of the paper). FracDRAM's whole
+//! mechanism is *violating* these constraints, so the checker here only
+//! reports violations — the controller still executes the program. The
+//! report is useful to (a) prove that a primitive really is out-of-spec
+//! and (b) verify that the "safe" data-movement helpers are in-spec.
+
+use std::fmt;
+
+use fracdram_model::Cycles;
+use serde::{Deserialize, Serialize};
+
+use crate::command::DramCommand;
+use crate::program::Program;
+
+/// Minimum command spacings in memory cycles (2.5 ns each).
+///
+/// Defaults correspond to DDR3-1333 (the speed grade of the paper's group
+/// B modules) expressed in 2.5 ns SoftMC cycles, rounded up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// ACTIVATE → READ/WRITE to the same bank (row to column delay).
+    pub t_rcd: Cycles,
+    /// ACTIVATE → PRECHARGE to the same bank (row active time).
+    pub t_ras: Cycles,
+    /// PRECHARGE → ACTIVATE to the same bank (row precharge time).
+    pub t_rp: Cycles,
+    /// ACTIVATE → ACTIVATE to the same bank (row cycle time).
+    pub t_rc: Cycles,
+    /// WRITE → PRECHARGE to the same bank (write recovery).
+    pub t_wr: Cycles,
+    /// REFRESH → any command to the same bank (refresh cycle time).
+    pub t_rfc: Cycles,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        // DDR3-1333: tRCD = tRP = 13.5 ns, tRAS = 36 ns, tRC = 49.5 ns,
+        // tWR = 15 ns, tRFC = 160 ns; at 2.5 ns/cycle.
+        TimingParams {
+            t_rcd: Cycles(6),
+            t_ras: Cycles(15),
+            t_rp: Cycles(6),
+            t_rc: Cycles(20),
+            t_wr: Cycles(6),
+            t_rfc: Cycles(64),
+        }
+    }
+}
+
+/// Which JEDEC rule a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingRule {
+    /// tRCD: column command too soon after ACTIVATE.
+    Rcd,
+    /// tRAS: PRECHARGE too soon after ACTIVATE.
+    Ras,
+    /// tRP: ACTIVATE too soon after PRECHARGE.
+    Rp,
+    /// tRC: ACTIVATE too soon after the previous ACTIVATE.
+    Rc,
+    /// tWR: PRECHARGE too soon after WRITE.
+    Wr,
+    /// tRFC: command too soon after REFRESH.
+    Rfc,
+}
+
+impl fmt::Display for TimingRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TimingRule::Rcd => "tRCD",
+            TimingRule::Ras => "tRAS",
+            TimingRule::Rp => "tRP",
+            TimingRule::Rc => "tRC",
+            TimingRule::Wr => "tWR",
+            TimingRule::Rfc => "tRFC",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected timing violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingViolation {
+    /// Index of the offending instruction within the program.
+    pub instruction: usize,
+    /// The violated rule.
+    pub rule: TimingRule,
+    /// Minimum required gap.
+    pub required: Cycles,
+    /// Actual gap in the program.
+    pub actual: Cycles,
+}
+
+impl fmt::Display for TimingViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "instruction {}: {} requires {} but got {}",
+            self.instruction, self.rule, self.required, self.actual
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BankHistory {
+    last_act: Option<u64>,
+    last_pre: Option<u64>,
+    last_wr: Option<u64>,
+    last_ref: Option<u64>,
+}
+
+/// Checks a program against the JEDEC constraints, assuming the first
+/// command issues at cycle 0 on an idle device. Returns every violation
+/// found (empty = fully in-spec).
+pub fn check_program(params: &TimingParams, program: &Program) -> Vec<TimingViolation> {
+    let mut violations = Vec::new();
+    // Bank histories, grown on demand.
+    let mut banks: Vec<BankHistory> = Vec::new();
+    let mut t: u64 = 0;
+    for (idx, inst) in program.instructions().iter().enumerate() {
+        if let Some(bank) = inst.command.bank() {
+            if banks.len() <= bank {
+                banks.resize(bank + 1, BankHistory::default());
+            }
+            let h = &mut banks[bank];
+            let mut require = |rule: TimingRule, since: Option<u64>, min: Cycles| {
+                if let Some(s) = since {
+                    let gap = Cycles(t - s);
+                    if gap < min {
+                        violations.push(TimingViolation {
+                            instruction: idx,
+                            rule,
+                            required: min,
+                            actual: gap,
+                        });
+                    }
+                }
+            };
+            match &inst.command {
+                DramCommand::Activate(_) => {
+                    require(TimingRule::Rp, h.last_pre, params.t_rp);
+                    require(TimingRule::Rc, h.last_act, params.t_rc);
+                    require(TimingRule::Rfc, h.last_ref, params.t_rfc);
+                    h.last_act = Some(t);
+                }
+                DramCommand::Precharge { .. } => {
+                    require(TimingRule::Ras, h.last_act, params.t_ras);
+                    require(TimingRule::Wr, h.last_wr, params.t_wr);
+                    require(TimingRule::Rfc, h.last_ref, params.t_rfc);
+                    h.last_pre = Some(t);
+                }
+                DramCommand::Read { .. } => {
+                    require(TimingRule::Rcd, h.last_act, params.t_rcd);
+                    require(TimingRule::Rfc, h.last_ref, params.t_rfc);
+                }
+                DramCommand::Write { .. } => {
+                    require(TimingRule::Rcd, h.last_act, params.t_rcd);
+                    require(TimingRule::Rfc, h.last_ref, params.t_rfc);
+                    h.last_wr = Some(t);
+                }
+                DramCommand::Refresh { .. } => {
+                    require(TimingRule::Rp, h.last_pre, params.t_rp);
+                    h.last_ref = Some(t);
+                }
+                DramCommand::Nop => {}
+            }
+        }
+        t += 1 + inst.idle_after.value();
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::RowAddr;
+
+    fn addr(row: usize) -> RowAddr {
+        RowAddr::new(0, row)
+    }
+
+    #[test]
+    fn legal_read_sequence_is_clean() {
+        let t = TimingParams::default();
+        let p = Program::builder()
+            .act(addr(1))
+            .delay(t.t_rcd.value())
+            .read(0)
+            .delay(t.t_ras.value()) // generous
+            .pre(0)
+            .delay(t.t_rp.value())
+            .build();
+        assert!(check_program(&t, &p).is_empty());
+    }
+
+    #[test]
+    fn frac_violates_t_ras() {
+        let t = TimingParams::default();
+        let frac = Program::builder().act(addr(1)).pre(0).delay(5).build();
+        let v = check_program(&t, &frac);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, TimingRule::Ras);
+        assert_eq!(v[0].actual, Cycles(1));
+        assert_eq!(v[0].required, Cycles(15));
+    }
+
+    #[test]
+    fn multirow_activation_violates_ras_and_rp() {
+        let t = TimingParams::default();
+        let p = Program::builder().act(addr(1)).pre(0).act(addr(2)).build();
+        let v = check_program(&t, &p);
+        let rules: Vec<TimingRule> = v.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&TimingRule::Ras), "{rules:?}");
+        assert!(rules.contains(&TimingRule::Rp), "{rules:?}");
+        assert!(rules.contains(&TimingRule::Rc), "{rules:?}");
+    }
+
+    #[test]
+    fn early_read_violates_t_rcd() {
+        let t = TimingParams::default();
+        let p = Program::builder().act(addr(1)).read(0).build();
+        let v = check_program(&t, &p);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Rcd));
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let t = TimingParams::default();
+        // Back-to-back ACTs to *different* banks are legal (we do not
+        // model tRRD).
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .act(RowAddr::new(1, 1))
+            .build();
+        assert!(check_program(&t, &p).is_empty());
+    }
+
+    #[test]
+    fn write_recovery_checked() {
+        let t = TimingParams::default();
+        let p = Program::builder()
+            .act(addr(1))
+            .delay(t.t_rcd.value())
+            .write(0, vec![true; 4])
+            .pre(0) // too soon after WR (and fine for RAS: 7 < 15 - also RAS)
+            .build();
+        let v = check_program(&t, &p);
+        assert!(v.iter().any(|x| x.rule == TimingRule::Wr));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = TimingViolation {
+            instruction: 1,
+            rule: TimingRule::Ras,
+            required: Cycles(15),
+            actual: Cycles(1),
+        };
+        assert_eq!(
+            v.to_string(),
+            "instruction 1: tRAS requires 15 cycles but got 1 cycles"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Command traces and cycle accounting.
+//!
+//! The paper's efficiency claims are cycle counts ("F-MAJ takes only 29 %
+//! more memory cycles than the original MAJ3", "a Frac operation only
+//! consists of two memory commands — 7 memory cycles"). [`CycleStats`]
+//! gives the always-on counters that reproduce those numbers; the full
+//! [`CommandTrace`] is opt-in because PUF-scale experiments issue millions
+//! of commands.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::command::DramCommand;
+
+/// One trace entry: a command and the cycle it issued at.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Absolute issue cycle.
+    pub cycle: u64,
+    /// The issued command.
+    pub command: DramCommand,
+}
+
+/// A recorded command trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommandTrace {
+    entries: Vec<TraceEntry>,
+}
+
+impl CommandTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        CommandTrace::default()
+    }
+
+    /// Records a command issue.
+    pub fn record(&mut self, cycle: u64, command: DramCommand) {
+        self.entries.push(TraceEntry { cycle, command });
+    }
+
+    /// The recorded entries, in issue order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for CommandTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            writeln!(f, "{:>10}  {}", e.cycle, e.command)?;
+        }
+        Ok(())
+    }
+}
+
+/// Always-on cheap counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleStats {
+    /// Total commands issued (including NOPs).
+    pub commands: u64,
+    /// ACTIVATE count.
+    pub activates: u64,
+    /// PRECHARGE count.
+    pub precharges: u64,
+    /// READ count.
+    pub reads: u64,
+    /// WRITE count.
+    pub writes: u64,
+    /// REFRESH count.
+    pub refreshes: u64,
+}
+
+impl CycleStats {
+    /// Records one command into the counters.
+    pub fn record(&mut self, command: &DramCommand) {
+        self.commands += 1;
+        match command {
+            DramCommand::Activate(_) => self.activates += 1,
+            DramCommand::Precharge { .. } => self.precharges += 1,
+            DramCommand::Read { .. } => self.reads += 1,
+            DramCommand::Write { .. } => self.writes += 1,
+            DramCommand::Refresh { .. } => self.refreshes += 1,
+            DramCommand::Nop => {}
+        }
+    }
+
+    /// Difference between two snapshots (`later - self`).
+    pub fn delta(&self, later: &CycleStats) -> CycleStats {
+        CycleStats {
+            commands: later.commands - self.commands,
+            activates: later.activates - self.activates,
+            precharges: later.precharges - self.precharges,
+            reads: later.reads - self.reads,
+            writes: later.writes - self.writes,
+            refreshes: later.refreshes - self.refreshes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fracdram_model::RowAddr;
+
+    #[test]
+    fn trace_records_in_order() {
+        let mut t = CommandTrace::new();
+        t.record(5, DramCommand::Activate(RowAddr::new(0, 1)));
+        t.record(6, DramCommand::Precharge { bank: 0 });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].cycle, 5);
+        assert_eq!(t.entries()[1].command.mnemonic(), "PRE");
+    }
+
+    #[test]
+    fn stats_count_by_kind() {
+        let mut s = CycleStats::default();
+        s.record(&DramCommand::Activate(RowAddr::new(0, 0)));
+        s.record(&DramCommand::Activate(RowAddr::new(0, 1)));
+        s.record(&DramCommand::Nop);
+        s.record(&DramCommand::Read { bank: 0 });
+        assert_eq!(s.commands, 4);
+        assert_eq!(s.activates, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.precharges, 0);
+    }
+
+    #[test]
+    fn stats_delta() {
+        let mut s = CycleStats::default();
+        s.record(&DramCommand::Nop);
+        let snap = s;
+        s.record(&DramCommand::Read { bank: 1 });
+        s.record(&DramCommand::Read { bank: 1 });
+        let d = snap.delta(&s);
+        assert_eq!(d.commands, 2);
+        assert_eq!(d.reads, 2);
+    }
+
+    #[test]
+    fn trace_display_lists_lines() {
+        let mut t = CommandTrace::new();
+        t.record(1, DramCommand::Nop);
+        let s = t.to_string();
+        assert!(s.contains("NOP"));
+        assert!(s.trim_end().lines().count() == 1);
+    }
+}

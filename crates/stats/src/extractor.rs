@@ -1,0 +1,142 @@
+//! Randomness extractors.
+//!
+//! Raw Frac-PUF responses are biased (their Hamming weight depends on the
+//! DRAM group; e.g. only 21 % of group A bits read as one). Before feeding
+//! the NIST suite the paper whitens responses with "a modified Von Neumann
+//! randomness extractor" (§VI-B2). Given independent bits of any fixed
+//! bias, Von Neumann extraction produces exactly unbiased output.
+
+use crate::bits::BitVec;
+
+/// Classic Von Neumann extractor: consume non-overlapping bit pairs,
+/// emit `0` for `01`, `1` for `10`, nothing for `00`/`11`.
+pub fn von_neumann(input: &BitVec) -> BitVec {
+    let mut out = BitVec::with_capacity(input.len() / 4);
+    let mut i = 0;
+    while i + 1 < input.len() {
+        let a = input.get(i).unwrap();
+        let b = input.get(i + 1).unwrap();
+        if a != b {
+            out.push(b);
+        }
+        i += 2;
+    }
+    out
+}
+
+/// Iterated ("modified") Von Neumann extractor: the classic extractor
+/// discards the `00`/`11` pairs; iterating on the discarded-pair stream
+/// recovers additional entropy. `levels = 1` equals [`von_neumann`].
+pub fn von_neumann_iterated(input: &BitVec, levels: usize) -> BitVec {
+    let mut out = BitVec::with_capacity(input.len() / 3);
+    let mut current = input.clone();
+    for _ in 0..levels.max(1) {
+        let mut discarded = BitVec::new();
+        let mut i = 0;
+        while i + 1 < current.len() {
+            let a = current.get(i).unwrap();
+            let b = current.get(i + 1).unwrap();
+            if a != b {
+                out.push(b);
+            } else {
+                // Both equal: the *value* still carries entropy at the
+                // next level (this is the pair-value sub-stream).
+                discarded.push(a);
+            }
+            i += 2;
+        }
+        if discarded.len() < 2 {
+            break;
+        }
+        current = discarded;
+    }
+    out
+}
+
+/// Expected output fraction of the classic extractor for input bias `p`:
+/// one output bit per pair with probability `2p(1-p)`.
+pub fn expected_yield(p: f64) -> f64 {
+    p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(s: &str) -> BitVec {
+        s.chars().map(|c| c == '1').collect()
+    }
+
+    #[test]
+    fn classic_pairs() {
+        // Pairs: 01 -> 1, 10 -> 0, 11 -> skip, 00 -> skip.
+        let out = von_neumann(&bits("01101100"));
+        assert_eq!(out.to_bools(), vec![true, false]);
+    }
+
+    #[test]
+    fn odd_trailing_bit_ignored() {
+        let out = von_neumann(&bits("011"));
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn constant_input_yields_nothing() {
+        assert!(von_neumann(&bits("1111111111")).is_empty());
+        assert!(von_neumann(&bits("0000000000")).is_empty());
+    }
+
+    #[test]
+    fn output_is_unbiased_for_biased_input() {
+        // Deterministic biased source: P(1) ~ 0.25.
+        let mut state = 42u64;
+        let mut input = BitVec::new();
+        for _ in 0..200_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            input.push((state >> 33).is_multiple_of(4));
+        }
+        let raw_weight = input.hamming_weight();
+        assert!((raw_weight - 0.25).abs() < 0.01, "raw {raw_weight}");
+        let out = von_neumann(&input);
+        let w = out.hamming_weight();
+        assert!((w - 0.5).abs() < 0.01, "extracted weight {w}");
+        // Yield approximates 2p(1-p) per pair = p(1-p) per input bit.
+        let yield_frac = out.len() as f64 / input.len() as f64;
+        assert!(
+            (yield_frac - expected_yield(0.25)).abs() < 0.01,
+            "yield {yield_frac}"
+        );
+    }
+
+    #[test]
+    fn iterated_extracts_more() {
+        let mut state = 7u64;
+        let mut input = BitVec::new();
+        for _ in 0..100_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            input.push((state >> 33).is_multiple_of(4));
+        }
+        let classic = von_neumann(&input);
+        let iterated = von_neumann_iterated(&input, 3);
+        assert!(iterated.len() > classic.len());
+        let w = iterated.hamming_weight();
+        assert!((w - 0.5).abs() < 0.02, "iterated weight {w}");
+    }
+
+    #[test]
+    fn level_one_equals_classic() {
+        let input = bits("0110110010101100");
+        assert_eq!(von_neumann_iterated(&input, 1), von_neumann(&input));
+    }
+
+    #[test]
+    fn expected_yield_peaks_at_half() {
+        assert!(expected_yield(0.5) > expected_yield(0.3));
+        assert_eq!(expected_yield(0.0), 0.0);
+        assert!((expected_yield(0.5) - 0.25).abs() < 1e-12);
+    }
+}

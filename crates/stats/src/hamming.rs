@@ -1,0 +1,138 @@
+//! Hamming-distance analysis for PUF evaluation.
+//!
+//! The paper's Fig. 11/12 metric is the *normalized Hamming distance*:
+//! the number of differing bits between two responses divided by the
+//! response length. *Intra-HD* compares responses of the same device to
+//! the same challenge (ideal: 0); *Inter-HD* compares responses of
+//! different devices (ideal: 0.5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::bits::BitVec;
+use crate::summary::Summary;
+
+/// Normalized Hamming distance between two equal-length responses.
+///
+/// # Panics
+///
+/// Panics when lengths differ or the responses are empty.
+pub fn normalized_distance(a: &BitVec, b: &BitVec) -> f64 {
+    assert!(!a.is_empty(), "empty response");
+    a.hamming_distance(b) as f64 / a.len() as f64
+}
+
+/// Intra-/Inter-HD statistics over a set of devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HdReport {
+    /// All pairwise intra-device distances.
+    pub intra: Vec<f64>,
+    /// All pairwise inter-device distances.
+    pub inter: Vec<f64>,
+}
+
+impl HdReport {
+    /// Computes the report from per-device response sets:
+    /// `responses[d][r]` is response `r` of device `d` (all to the same
+    /// challenge, all the same length).
+    pub fn from_responses(responses: &[Vec<BitVec>]) -> Self {
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for (d, device) in responses.iter().enumerate() {
+            for i in 0..device.len() {
+                for j in (i + 1)..device.len() {
+                    intra.push(normalized_distance(&device[i], &device[j]));
+                }
+            }
+            for other in responses.iter().skip(d + 1) {
+                for a in device {
+                    for b in other {
+                        inter.push(normalized_distance(a, b));
+                    }
+                }
+            }
+        }
+        HdReport { intra, inter }
+    }
+
+    /// Maximum intra-HD observed (0.0 when no pairs exist).
+    pub fn max_intra(&self) -> f64 {
+        self.intra.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Minimum inter-HD observed (1.0 when no pairs exist).
+    pub fn min_inter(&self) -> f64 {
+        self.inter.iter().copied().fold(1.0, f64::min)
+    }
+
+    /// Whether the identification gap exists: every intra-HD is strictly
+    /// below every inter-HD — the property that makes the PUF usable for
+    /// authentication.
+    pub fn separated(&self) -> bool {
+        !self.intra.is_empty() && !self.inter.is_empty() && self.max_intra() < self.min_inter()
+    }
+
+    /// Summary statistics of the intra-HD distribution.
+    pub fn intra_summary(&self) -> Summary {
+        Summary::of(&self.intra)
+    }
+
+    /// Summary statistics of the inter-HD distribution.
+    pub fn inter_summary(&self) -> Summary {
+        Summary::of(&self.inter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn response(pattern: u64, len: usize) -> BitVec {
+        (0..len).map(|i| (pattern >> (i % 64)) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn normalized_distance_basics() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert!((normalized_distance(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(normalized_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn report_separates_good_puf() {
+        // Two devices, three identical responses each, devices differ in
+        // half their bits.
+        let d0 = vec![response(0xAAAA, 64); 3];
+        let d1 = vec![response(0xFFFF, 64); 3];
+        let report = HdReport::from_responses(&[d0, d1]);
+        assert_eq!(report.intra.len(), 3 + 3); // C(3,2) per device
+        assert_eq!(report.inter.len(), 9);
+        assert_eq!(report.max_intra(), 0.0);
+        assert!(report.min_inter() > 0.0);
+        assert!(report.separated());
+    }
+
+    #[test]
+    fn report_detects_unreliable_puf() {
+        // Device 0's responses disagree more than the devices differ.
+        let d0 = vec![response(0x0, 16), response(0xFFFF, 16)];
+        let d1 = vec![response(0x1, 16)];
+        let report = HdReport::from_responses(&[d0, d1]);
+        assert!(!report.separated());
+    }
+
+    #[test]
+    fn empty_groups_not_separated() {
+        let report = HdReport::from_responses(&[]);
+        assert!(!report.separated());
+    }
+
+    #[test]
+    fn summaries_expose_distributions() {
+        let d0 = vec![response(0, 32), response(0, 32)];
+        let d1 = vec![response(u64::MAX, 32)];
+        let report = HdReport::from_responses(&[d0, d1]);
+        assert_eq!(report.intra_summary().mean, 0.0);
+        assert!((report.inter_summary().mean - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Bucketed histograms / probability density functions.
+//!
+//! Fig. 6 and Fig. 8 of the paper present retention times as PDFs over a
+//! small set of coarse time ranges; [`Histogram`] is that structure
+//! generalized: explicit bucket edges, counting, and normalization.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over contiguous buckets defined by their upper edges.
+///
+/// A sample `x` falls into the first bucket whose upper edge satisfies
+/// `x <= edge`; samples above the last edge land in the overflow bucket.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper edges; one
+    /// overflow bucket is added beyond the last edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `edges` is empty or not strictly ascending.
+    pub fn new(edges: Vec<f64>) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let buckets = edges.len() + 1;
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(&self, value: f64) -> usize {
+        self.edges.partition_point(|&e| e < value)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        let idx = self.bucket_of(value);
+        self.counts[idx] += 1;
+    }
+
+    /// Records many samples.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Bucket upper edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Raw counts (including the final overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The normalized PDF (fractions summing to 1; all zeros when empty).
+    pub fn pdf(&self) -> Vec<f64> {
+        let total = self.total();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Merges the counts of another histogram with identical edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the edges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.edges, other.edges, "cannot merge differing buckets");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pdf = self.pdf();
+        let mut lo = f64::NEG_INFINITY;
+        for (i, &edge) in self.edges.iter().enumerate() {
+            writeln!(f, "({lo:>10.3}, {edge:>10.3}]  {:6.2}%", pdf[i] * 100.0)?;
+            lo = edge;
+        }
+        writeln!(
+            f,
+            "({lo:>10.3},        inf)  {:6.2}%",
+            pdf[self.edges.len()] * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_line() {
+        let h = Histogram::new(vec![0.0, 10.0, 30.0]);
+        assert_eq!(h.bucket_of(-5.0), 0);
+        assert_eq!(h.bucket_of(0.0), 0); // inclusive upper edge
+        assert_eq!(h.bucket_of(0.1), 1);
+        assert_eq!(h.bucket_of(10.0), 1);
+        assert_eq!(h.bucket_of(29.9), 2);
+        assert_eq!(h.bucket_of(31.0), 3); // overflow
+    }
+
+    #[test]
+    fn record_and_pdf() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record_all([0.5, 1.5, 1.7, 5.0]);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        let pdf = h.pdf();
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pdf[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_pdf_is_zero() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.pdf(), vec![0.0, 0.0]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(vec![1.0]);
+        let mut b = Histogram::new(vec![1.0]);
+        a.record(0.5);
+        b.record(0.5);
+        b.record(2.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_edges_panic() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn display_prints_every_bucket() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.record(0.0);
+        let s = h.to_string();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("100.00%"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # fracdram-stats — statistics substrate for the FracDRAM reproduction
+//!
+//! Every piece of numerical analysis the paper's evaluation needs,
+//! implemented from scratch:
+//!
+//! - [`bits::BitVec`] — packed bit vectors for PUF responses and
+//!   million-bit randomness streams;
+//! - [`hamming`] — normalized Hamming distance/weight and the
+//!   intra-/inter-device report used by Figures 11 and 12;
+//! - [`histogram`] / [`summary`] — retention-time PDFs (Figure 6) and
+//!   mean/CI summaries (Figure 9's shaded confidence bands);
+//! - [`extractor`] — the modified Von Neumann whitening the paper
+//!   applies before feeding PUF responses to the NIST suite;
+//! - [`special`], [`fft`], [`matrix_rank`] — the numerical kernels
+//!   (erfc, incomplete gamma, DFT, GF(2) rank) the NIST tests need;
+//! - [`nist`] — the full NIST SP 800-22 suite (all 15 tests, §VI-B2).
+//!
+//! ## Example
+//!
+//! ```
+//! use fracdram_stats::bits::BitVec;
+//! use fracdram_stats::extractor::von_neumann;
+//! use fracdram_stats::nist;
+//!
+//! // A biased stream (like a raw PUF response with Hamming weight 0.2)
+//! // is whitened before the suite sees it.
+//! let raw: BitVec = (0..100_000u32)
+//!     .map(|i| (i.wrapping_mul(2654435761) >> 29) == 0)
+//!     .collect();
+//! let white = von_neumann(&raw);
+//! let report = nist::run_all(&white);
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bits;
+pub mod extractor;
+pub mod fft;
+pub mod hamming;
+pub mod histogram;
+pub mod matrix_rank;
+pub mod nist;
+pub mod special;
+pub mod summary;
+
+pub use bits::BitVec;
+pub use hamming::HdReport;
+pub use histogram::Histogram;
+pub use summary::Summary;

@@ -1,0 +1,194 @@
+//! Binary matrix rank over GF(2).
+//!
+//! Kernel of the NIST binary-matrix-rank test: 32×32 matrices are carved
+//! out of the bit stream and their rank over GF(2) is computed by Gaussian
+//! elimination; the distribution of ranks distinguishes random data from
+//! structured data.
+
+/// A square bit matrix stored one `u64` word per row (up to 64×64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    rows: Vec<u64>,
+    size: usize,
+}
+
+impl BitMatrix {
+    /// Creates a zero matrix of `size`×`size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `size` exceeds 64.
+    pub fn zero(size: usize) -> Self {
+        assert!(size <= 64, "BitMatrix supports up to 64x64");
+        BitMatrix {
+            rows: vec![0; size],
+            size,
+        }
+    }
+
+    /// Builds a matrix from a row-major bit iterator (must yield at least
+    /// `size*size` bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the iterator is exhausted early.
+    pub fn from_bits<I: Iterator<Item = bool>>(size: usize, mut bits: I) -> Self {
+        let mut m = BitMatrix::zero(size);
+        for r in 0..size {
+            for c in 0..size {
+                let bit = bits.next().expect("not enough bits for matrix");
+                if bit {
+                    m.rows[r] |= 1u64 << c;
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Gets element `(row, col)`.
+    pub fn get(&self, row: usize, col: usize) -> bool {
+        (self.rows[row] >> col) & 1 == 1
+    }
+
+    /// Sets element `(row, col)`.
+    pub fn set(&mut self, row: usize, col: usize, v: bool) {
+        if v {
+            self.rows[row] |= 1u64 << col;
+        } else {
+            self.rows[row] &= !(1u64 << col);
+        }
+    }
+
+    /// Rank over GF(2) by Gaussian elimination (destructive on a copy).
+    pub fn rank(&self) -> usize {
+        let mut rows = self.rows.clone();
+        let mut rank = 0;
+        for col in 0..self.size {
+            let mask = 1u64 << col;
+            // Find a pivot row at or below `rank`.
+            let Some(pivot) = (rank..rows.len()).find(|&r| rows[r] & mask != 0) else {
+                continue;
+            };
+            rows.swap(rank, pivot);
+            let pivot_row = rows[rank];
+            for (r, row) in rows.iter_mut().enumerate() {
+                if r != rank && *row & mask != 0 {
+                    *row ^= pivot_row;
+                }
+            }
+            rank += 1;
+            if rank == rows.len() {
+                break;
+            }
+        }
+        rank
+    }
+}
+
+/// Asymptotic probability that a random `m`×`m` GF(2) matrix has rank
+/// `m - d` (`d` = deficiency); the NIST test uses d = 0, 1 and lumps the
+/// rest.
+pub fn rank_probability(m: usize, deficiency: usize) -> f64 {
+    let r = m - deficiency;
+    // P(rank = r) = 2^{r(2m - r) - m²} * Π_{i=0}^{r-1} [(1-2^{i-m})² / (1-2^{i-r})]
+    let mut p = 2f64.powi((r as i32) * (2 * m as i32 - r as i32) - (m as i32) * (m as i32));
+    for i in 0..r {
+        let num = 1.0 - 2f64.powi(i as i32 - m as i32);
+        let den = 1.0 - 2f64.powi(i as i32 - r as i32);
+        p *= num * num / den;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_full_rank() {
+        let mut m = BitMatrix::zero(8);
+        for i in 0..8 {
+            m.set(i, i, true);
+        }
+        assert_eq!(m.rank(), 8);
+    }
+
+    #[test]
+    fn zero_matrix_rank_zero() {
+        assert_eq!(BitMatrix::zero(32).rank(), 0);
+    }
+
+    #[test]
+    fn duplicate_rows_reduce_rank() {
+        let mut m = BitMatrix::zero(4);
+        m.set(0, 0, true);
+        m.set(0, 1, true);
+        m.set(1, 0, true);
+        m.set(1, 1, true); // row1 == row0
+        m.set(2, 2, true);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn xor_dependency_detected() {
+        // row2 = row0 ^ row1.
+        let mut m = BitMatrix::zero(3);
+        m.set(0, 0, true);
+        m.set(1, 1, true);
+        m.set(2, 0, true);
+        m.set(2, 1, true);
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn from_bits_row_major() {
+        let bits = [true, false, false, true]; // 2x2 identity
+        let m = BitMatrix::from_bits(2, bits.into_iter());
+        assert!(m.get(0, 0) && m.get(1, 1));
+        assert!(!m.get(0, 1) && !m.get(1, 0));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn nist_rank_probabilities_for_32() {
+        // SP 800-22 §2.5: full rank 0.2888, rank 31 0.5776, rest 0.1336.
+        let p0 = rank_probability(32, 0);
+        let p1 = rank_probability(32, 1);
+        assert!((p0 - 0.2888).abs() < 3e-4, "p0 = {p0}");
+        assert!((p1 - 0.5776).abs() < 3e-4, "p1 = {p1}");
+        assert!((1.0 - p0 - p1 - 0.1336).abs() < 3e-4);
+    }
+
+    #[test]
+    fn random_matrices_follow_rank_distribution() {
+        // Deterministic pseudo-random bits via a simple LCG.
+        let mut state = 0x1234_5678u64;
+        let mut next_bit = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) & 1 == 1
+        };
+        let trials = 400;
+        let mut full = 0;
+        for _ in 0..trials {
+            let m = BitMatrix::from_bits(32, std::iter::from_fn(|| Some(next_bit())));
+            if m.rank() == 32 {
+                full += 1;
+            }
+        }
+        let frac = full as f64 / trials as f64;
+        assert!((frac - 0.2888).abs() < 0.08, "full-rank fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough bits")]
+    fn from_bits_underflow_panics() {
+        let _ = BitMatrix::from_bits(4, [true; 3].into_iter());
+    }
+}

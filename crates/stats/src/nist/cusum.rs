@@ -1,0 +1,113 @@
+//! SP 800-22 §2.13 Cumulative sums (cusum) test.
+
+use crate::bits::BitVec;
+use crate::special::normal_cdf;
+
+use super::TestResult;
+
+/// P-value of the cusum test given the maximum partial-sum excursion `z`
+/// over `n` ±1 steps (SP 800-22 §2.13.5).
+fn cusum_p_value(n: usize, z: i64) -> f64 {
+    let n = n as f64;
+    let z = z as f64;
+    if z == 0.0 {
+        return 0.0; // degenerate: a nonempty walk always has |S| ≥ 1
+    }
+    let sqrt_n = n.sqrt();
+    let mut p = 1.0;
+
+    let k_lo = ((-n / z + 1.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p -= normal_cdf((4.0 * k + 1.0) * z / sqrt_n) - normal_cdf((4.0 * k - 1.0) * z / sqrt_n);
+    }
+
+    let k_lo = ((-n / z - 3.0) / 4.0).ceil() as i64;
+    let k_hi = ((n / z - 1.0) / 4.0).floor() as i64;
+    for k in k_lo..=k_hi {
+        let k = k as f64;
+        p += normal_cdf((4.0 * k + 3.0) * z / sqrt_n) - normal_cdf((4.0 * k + 1.0) * z / sqrt_n);
+    }
+
+    p.clamp(0.0, 1.0)
+}
+
+/// Maximum absolute partial sum of the ±1 walk over `bits`, scanning
+/// forward (`reverse = false`) or backward (`reverse = true`).
+fn max_excursion(bits: &BitVec, reverse: bool) -> i64 {
+    let mut s: i64 = 0;
+    let mut z: i64 = 0;
+    let n = bits.len();
+    for i in 0..n {
+        let idx = if reverse { n - 1 - i } else { i };
+        s += if bits.get(idx).unwrap() { 1 } else { -1 };
+        z = z.max(s.abs());
+    }
+    z
+}
+
+/// §2.13 Cumulative sums: is the maximal excursion of the random walk
+/// formed by the ±1-mapped sequence consistent with randomness?
+///
+/// Produces two p-values: forward and backward mode. Requires n ≥ 100.
+pub fn cumulative_sums(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return TestResult::not_applicable("Cumulative sums", format!("n = {n} < 100"));
+    }
+    let p_fwd = cusum_p_value(n, max_excursion(bits, false));
+    let p_bwd = cusum_p_value(n, max_excursion(bits, true));
+    TestResult::from_p_values("Cumulative sums", vec![p_fwd, p_bwd])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn random_passes() {
+        let bits = reference_random_bits(100_000, 5);
+        let r = cumulative_sums(&bits);
+        assert!(r.passed(), "{r:?}");
+    }
+
+    #[test]
+    fn all_ones_fails() {
+        let bits: BitVec = (0..10_000).map(|_| true).collect();
+        let r = cumulative_sums(&bits);
+        assert!(r.applicable && !r.passed());
+    }
+
+    #[test]
+    fn sts_worked_example() {
+        // SP 800-22 §2.13.8: ε = "1011010111" (n = 10) gives z = 4 and
+        // P-value = 0.4116588 in forward mode. The spec's example ignores
+        // the n ≥ 100 gate, so we call the kernel directly.
+        let bits: BitVec = "1011010111".chars().map(|c| c == '1').collect();
+        let z = max_excursion(&bits, false);
+        assert_eq!(z, 4);
+        let p = cusum_p_value(bits.len(), z);
+        assert!((p - 0.4116588).abs() < 1e-4, "p = {p}");
+    }
+
+    #[test]
+    fn short_input_not_applicable() {
+        let bits = reference_random_bits(50, 1);
+        assert!(!cumulative_sums(&bits).applicable);
+    }
+
+    #[test]
+    fn forward_and_backward_agree_on_palindrome() {
+        let mut bits = BitVec::new();
+        for i in 0..256 {
+            bits.push(i % 3 == 0);
+        }
+        let fwd = max_excursion(&bits, false);
+        let bwd = max_excursion(&bits, true);
+        // Not equal in general, but both must be at least 1 and at most n.
+        assert!(fwd >= 1 && bwd >= 1);
+        assert!(fwd <= 256 && bwd <= 256);
+    }
+}

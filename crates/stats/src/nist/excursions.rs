@@ -1,0 +1,182 @@
+//! SP 800-22 §2.14 Random excursions and §2.15 Random excursions
+//! variant tests.
+//!
+//! Both view the ±1-mapped sequence as a random walk, split it into
+//! "cycles" (excursions that start and end at the origin), and check
+//! that visits to the states near the origin have the distribution a
+//! true random walk would produce.
+
+use crate::bits::BitVec;
+use crate::special::{erfc, gamma_q};
+
+use super::TestResult;
+
+/// Minimum number of zero-crossing cycles the STS requires before the
+/// excursion tests are meaningful.
+const MIN_CYCLES: usize = 500;
+
+/// Builds the partial-sum walk S₁..Sₙ of the ±1-mapped sequence.
+fn walk(bits: &BitVec) -> Vec<i64> {
+    let mut s = 0i64;
+    bits.iter()
+        .map(|b| {
+            s += if b { 1 } else { -1 };
+            s
+        })
+        .collect()
+}
+
+/// Splits the walk (augmented with a leading and trailing zero) into
+/// cycles; returns, for each cycle, the number of visits to each state
+/// in −4..=4 (index = state + 4; index 4, the origin, is unused).
+fn cycle_visits(walk: &[i64]) -> Vec<[u64; 9]> {
+    let mut cycles = Vec::new();
+    let mut current = [0u64; 9];
+    for &s in walk {
+        if s == 0 {
+            cycles.push(current);
+            current = [0u64; 9];
+        } else if (-4..=4).contains(&s) {
+            current[(s + 4) as usize] += 1;
+        }
+    }
+    // Final unterminated cycle: the STS appends a virtual trailing zero
+    // when the walk does not already end at the origin.
+    if walk.last().is_some_and(|&s| s != 0) {
+        cycles.push(current);
+    }
+    cycles
+}
+
+/// Probability that a random walk visits state `x` exactly `k` times in
+/// one cycle (SP 800-22 §3.14), with `k = 5` meaning "5 or more".
+fn pi(x: i64, k: usize) -> f64 {
+    let ax = x.abs() as f64;
+    let stay = 1.0 - 1.0 / (2.0 * ax);
+    match k {
+        0 => stay,
+        1..=4 => (1.0 / (4.0 * ax * ax)) * stay.powi(k as i32 - 1),
+        _ => (1.0 / (2.0 * ax)) * stay.powi(4),
+    }
+}
+
+/// §2.14 Random excursions: for each state x ∈ {±1..±4}, a χ² test on
+/// the number of cycles with 0, 1, …, ≥5 visits to x.
+///
+/// Produces eight p-values. Not applicable when the walk has fewer than
+/// 500 zero-crossing cycles (the STS threshold).
+pub fn random_excursions(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return TestResult::not_applicable("Random excursions", format!("n = {n} < 100"));
+    }
+    let walk = walk(bits);
+    let cycles = cycle_visits(&walk);
+    let j = cycles.len();
+    if j < MIN_CYCLES {
+        return TestResult::not_applicable(
+            "Random excursions",
+            format!("J = {j} cycles < {MIN_CYCLES}"),
+        );
+    }
+    let mut p_values = Vec::with_capacity(8);
+    for x in [-4i64, -3, -2, -1, 1, 2, 3, 4] {
+        // nu[k] = number of cycles in which state x was visited exactly
+        // k times (k = 5 bucketing "≥5").
+        let mut nu = [0u64; 6];
+        for c in &cycles {
+            let visits = c[(x + 4) as usize] as usize;
+            nu[visits.min(5)] += 1;
+        }
+        let mut chi2 = 0.0;
+        for (k, &count) in nu.iter().enumerate() {
+            let expected = j as f64 * pi(x, k);
+            chi2 += (count as f64 - expected).powi(2) / expected;
+        }
+        p_values.push(gamma_q(2.5, chi2 / 2.0));
+    }
+    TestResult::from_p_values("Random excursions", p_values)
+}
+
+/// §2.15 Random excursions variant: for each state x ∈ {±1..±9}, the
+/// total number of visits ξ(x) is compared with the expectation J via a
+/// half-normal statistic.
+///
+/// Produces eighteen p-values. Not applicable when the walk has fewer
+/// than 500 zero-crossing cycles.
+pub fn random_excursions_variant(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return TestResult::not_applicable("Random excursions variant", format!("n = {n} < 100"));
+    }
+    let walk = walk(bits);
+    let j = walk.iter().filter(|&&s| s == 0).count()
+        + usize::from(walk.last().is_some_and(|&s| s != 0));
+    if j < MIN_CYCLES {
+        return TestResult::not_applicable(
+            "Random excursions variant",
+            format!("J = {j} cycles < {MIN_CYCLES}"),
+        );
+    }
+    let mut p_values = Vec::with_capacity(18);
+    for x in (-9i64..=9).filter(|&x| x != 0) {
+        let xi = walk.iter().filter(|&&s| s == x).count() as f64;
+        let jf = j as f64;
+        let denom = (2.0 * jf * (4.0 * x.abs() as f64 - 2.0)).sqrt();
+        p_values.push(erfc((xi - jf).abs() / denom));
+    }
+    TestResult::from_p_values("Random excursions variant", p_values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn pi_distribution_sums_to_one() {
+        for x in [-4i64, -2, 1, 3] {
+            let total: f64 = (0..=5).map(|k| pi(x, k)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "x = {x}: {total}");
+        }
+    }
+
+    #[test]
+    fn walk_matches_manual_sum() {
+        let bits: BitVec = "0110110101".chars().map(|c| c == '1').collect();
+        // SP 800-22 §2.14.4 example walk for ε = 0110110101.
+        assert_eq!(walk(&bits), vec![-1, 0, 1, 0, 1, 2, 1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn cycles_counted_per_spec_example() {
+        // The §2.14 example has J = 3 cycles: {-1,0}, {1,0}, {1,2,1,2,1,2}
+        // (the trailing unterminated excursion counts as a cycle).
+        let bits: BitVec = "0110110101".chars().map(|c| c == '1').collect();
+        let cycles = cycle_visits(&walk(&bits));
+        assert_eq!(cycles.len(), 3);
+        // Third cycle visits +1 three times and +2 three times.
+        assert_eq!(cycles[2][(1 + 4) as usize], 3);
+        assert_eq!(cycles[2][(2 + 4) as usize], 3);
+    }
+
+    #[test]
+    fn random_long_input_passes() {
+        // ~1M bits gives an expected J ≈ √(2n/π) ≈ 800 > 500.
+        let bits = reference_random_bits(1_000_000, 0);
+        let re = random_excursions(&bits);
+        let rev = random_excursions_variant(&bits);
+        assert!(re.applicable, "{re:?}");
+        assert!(re.passed(), "{re:?}");
+        assert!(rev.applicable, "{rev:?}");
+        assert!(rev.passed(), "{rev:?}");
+    }
+
+    #[test]
+    fn short_walk_not_applicable() {
+        let bits = reference_random_bits(10_000, 2);
+        // Expected J ≈ 80 < 500.
+        assert!(!random_excursions(&bits).applicable);
+        assert!(!random_excursions_variant(&bits).applicable);
+    }
+}

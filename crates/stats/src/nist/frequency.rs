@@ -1,0 +1,105 @@
+//! SP 800-22 §2.1 Frequency (monobit) and §2.2 Block frequency tests.
+
+use crate::bits::BitVec;
+use crate::special::{erfc, gamma_q};
+
+use super::TestResult;
+
+/// §2.1 Frequency (monobit): are ones and zeros balanced overall?
+///
+/// Requires n ≥ 100.
+pub fn frequency(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return TestResult::not_applicable("Frequency (monobit)", format!("n = {n} < 100"));
+    }
+    let ones = bits.count_ones() as i64;
+    let s = 2 * ones - n as i64; // sum of ±1
+    let s_obs = (s.unsigned_abs() as f64) / (n as f64).sqrt();
+    let p = erfc(s_obs / std::f64::consts::SQRT_2);
+    TestResult::from_p_values("Frequency (monobit)", vec![p])
+}
+
+/// §2.2 Block frequency: are ones balanced within M-bit blocks?
+///
+/// Requires n ≥ 100 and at least one full block.
+pub fn block_frequency(bits: &BitVec, block_len: usize) -> TestResult {
+    let n = bits.len();
+    let m = block_len;
+    if n < 100 || n < m {
+        return TestResult::not_applicable("Block frequency", format!("n = {n} < max(100, M)"));
+    }
+    let blocks = n / m;
+    let mut chi2 = 0.0;
+    for b in 0..blocks {
+        let ones = (b * m..(b + 1) * m)
+            .filter(|&i| bits.get(i).unwrap())
+            .count();
+        let pi = ones as f64 / m as f64;
+        chi2 += (pi - 0.5) * (pi - 0.5);
+    }
+    chi2 *= 4.0 * m as f64;
+    let p = gamma_q(blocks as f64 / 2.0, chi2 / 2.0);
+    TestResult::from_p_values("Block frequency", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn random_passes() {
+        let bits = reference_random_bits(10_000, 1);
+        assert!(frequency(&bits).passed());
+        assert!(block_frequency(&bits, 128).passed());
+    }
+
+    #[test]
+    fn all_ones_fails() {
+        let bits: BitVec = (0..1000).map(|_| true).collect();
+        let r = frequency(&bits);
+        assert!(r.applicable && !r.passed());
+        assert!(r.min_p() < 1e-10);
+    }
+
+    #[test]
+    fn alternating_passes_frequency_but_fails_block_clumps() {
+        // 0101... is perfectly balanced: monobit passes.
+        let bits: BitVec = (0..10_000).map(|i| i % 2 == 0).collect();
+        assert!(frequency(&bits).passed());
+        // Blocks of alternating bits are each balanced too; but blocks of
+        // clumped data fail.
+        let clumped: BitVec = (0..10_000).map(|i| (i / 128) % 2 == 0).collect();
+        assert!(frequency(&clumped).passed());
+        assert!(!block_frequency(&clumped, 128).passed());
+    }
+
+    #[test]
+    fn known_answer_sp80022_example() {
+        // SP 800-22 §2.1.8: ε = 1100100100001111110110101010001000100001011010001100
+        //                        001000110100110001001100011001100010100010111000 (n=100),
+        // the first 100 binary digits of π; P-value = 0.109599.
+        let pi_bits = "1100100100001111110110101010001000100001011010001100\
+                       001000110100110001001100011001100010100010111000";
+        let bits: BitVec = pi_bits
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c == '1')
+            .collect();
+        assert_eq!(bits.len(), 100);
+        let r = frequency(&bits);
+        assert!(
+            (r.p_values[0] - 0.109599).abs() < 1e-4,
+            "p = {}",
+            r.p_values[0]
+        );
+    }
+
+    #[test]
+    fn short_input_not_applicable() {
+        let bits = BitVec::zeros(50);
+        assert!(!frequency(&bits).applicable);
+        assert!(!block_frequency(&bits, 128).applicable);
+    }
+}

@@ -1,0 +1,71 @@
+//! SP 800-22 §2.5 Binary matrix rank test.
+
+use crate::bits::BitVec;
+use crate::matrix_rank::{rank_probability, BitMatrix};
+use crate::special::gamma_q;
+
+use super::TestResult;
+
+/// §2.5 Binary matrix rank: linear dependence among fixed-length
+/// substreams. 32×32 matrices; requires at least 38 of them.
+pub fn binary_matrix_rank(bits: &BitVec) -> TestResult {
+    const M: usize = 32;
+    let n = bits.len();
+    let matrices = n / (M * M);
+    if matrices < 38 {
+        return TestResult::not_applicable(
+            "Binary matrix rank",
+            format!("{matrices} matrices < 38 (n = {n})"),
+        );
+    }
+    let p_full = rank_probability(M, 0);
+    let p_minus1 = rank_probability(M, 1);
+    let p_rest = 1.0 - p_full - p_minus1;
+
+    let mut f_full = 0u64;
+    let mut f_minus1 = 0u64;
+    for k in 0..matrices {
+        let offset = k * M * M;
+        let matrix = BitMatrix::from_bits(M, (offset..offset + M * M).map(|i| bits[i]));
+        match matrix.rank() {
+            r if r == M => f_full += 1,
+            r if r == M - 1 => f_minus1 += 1,
+            _ => {}
+        }
+    }
+    let f_rest = matrices as u64 - f_full - f_minus1;
+    let nf = matrices as f64;
+    let chi2 = (f_full as f64 - p_full * nf).powi(2) / (p_full * nf)
+        + (f_minus1 as f64 - p_minus1 * nf).powi(2) / (p_minus1 * nf)
+        + (f_rest as f64 - p_rest * nf).powi(2) / (p_rest * nf);
+    let p = gamma_q(1.0, chi2 / 2.0); // chi-square with 2 degrees of freedom
+    TestResult::from_p_values("Binary matrix rank", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn random_passes() {
+        let bits = reference_random_bits(64_000, 5);
+        let r = binary_matrix_rank(&bits);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn linearly_dependent_rows_fail() {
+        // Repeat the same 32-bit word everywhere: every matrix has rank 1.
+        let bits: BitVec = (0..64_000).map(|i| (i % 32) % 3 == 0).collect();
+        let r = binary_matrix_rank(&bits);
+        assert!(r.applicable && !r.passed());
+        assert!(r.min_p() < 1e-6);
+    }
+
+    #[test]
+    fn insufficient_matrices_not_applicable() {
+        let bits = reference_random_bits(1024 * 10, 1);
+        assert!(!binary_matrix_rank(&bits).applicable);
+    }
+}

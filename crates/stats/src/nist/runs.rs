@@ -1,0 +1,163 @@
+//! SP 800-22 §2.3 Runs and §2.4 Longest-run-of-ones tests.
+
+use crate::bits::BitVec;
+use crate::special::{erfc, gamma_q};
+
+use super::TestResult;
+
+/// §2.3 Runs: does the number of uninterrupted runs of identical bits
+/// match expectation?
+///
+/// Requires n ≥ 100. The test is only meaningful when the frequency
+/// prerequisite holds; outside it the p-value is 0 by specification.
+pub fn runs(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 100 {
+        return TestResult::not_applicable("Runs", format!("n = {n} < 100"));
+    }
+    let pi = bits.count_ones() as f64 / n as f64;
+    // Prerequisite: |π - 1/2| < 2/√n, else p = 0 (§2.3.4 step 2).
+    if (pi - 0.5).abs() >= 2.0 / (n as f64).sqrt() {
+        let mut r = TestResult::from_p_values("Runs", vec![0.0]);
+        r.note = Some("frequency prerequisite failed".into());
+        return r;
+    }
+    let mut v = 1u64;
+    let mut prev = bits.get(0).unwrap();
+    for i in 1..n {
+        let cur = bits.get(i).unwrap();
+        if cur != prev {
+            v += 1;
+        }
+        prev = cur;
+    }
+    let num = (v as f64 - 2.0 * n as f64 * pi * (1.0 - pi)).abs();
+    let den = 2.0 * (2.0 * n as f64).sqrt() * pi * (1.0 - pi);
+    let p = erfc(num / den);
+    TestResult::from_p_values("Runs", vec![p])
+}
+
+/// §2.4 Longest run of ones in a block.
+///
+/// Block size and category probabilities follow the spec's three
+/// regimes (n ≥ 128 / 6272 / 750000).
+pub fn longest_run_of_ones(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 128 {
+        return TestResult::not_applicable("Longest run of ones", format!("n = {n} < 128"));
+    }
+    // (M, lower class bound v_min, class count K+1, class probabilities)
+    let (m, v_min, pi): (usize, u64, &[f64]) = if n < 6272 {
+        (8, 1, &[0.2148, 0.3672, 0.2305, 0.1875])
+    } else if n < 750_000 {
+        (128, 4, &[0.1174, 0.2430, 0.2493, 0.1752, 0.1027, 0.1124])
+    } else {
+        (
+            10_000,
+            10,
+            &[0.0882, 0.2092, 0.2483, 0.1933, 0.1208, 0.0675, 0.0727],
+        )
+    };
+    let classes = pi.len();
+    let blocks = n / m;
+    let mut nu = vec![0u64; classes];
+    for b in 0..blocks {
+        let mut longest = 0u64;
+        let mut run = 0u64;
+        for i in b * m..(b + 1) * m {
+            if bits.get(i).unwrap() {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        let class = (longest.saturating_sub(v_min)).min(classes as u64 - 1) as usize;
+        nu[class] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(pi)
+        .map(|(&obs, &p)| {
+            let exp = nf * p;
+            (obs as f64 - exp) * (obs as f64 - exp) / exp
+        })
+        .sum();
+    let k = classes as f64 - 1.0;
+    let p = gamma_q(k / 2.0, chi2 / 2.0);
+    TestResult::from_p_values("Longest run of ones", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn random_passes_both() {
+        let bits = reference_random_bits(20_000, 3);
+        assert!(runs(&bits).passed());
+        assert!(longest_run_of_ones(&bits).passed());
+    }
+
+    #[test]
+    fn alternating_fails_runs() {
+        // 0101... has the maximum possible number of runs.
+        let bits: BitVec = (0..1_000).map(|i| i % 2 == 0).collect();
+        let r = runs(&bits);
+        assert!(r.applicable && !r.passed());
+    }
+
+    #[test]
+    fn clumped_fails_longest_run() {
+        // Long blocks of ones produce far-too-long longest runs.
+        let bits: BitVec = (0..10_000).map(|i| (i / 50) % 2 == 0).collect();
+        let r = longest_run_of_ones(&bits);
+        assert!(r.applicable && !r.passed());
+    }
+
+    #[test]
+    fn biased_input_shortcircuits_runs() {
+        let mut bits = BitVec::zeros(1_000);
+        for i in 0..100 {
+            bits.set(i, true);
+        }
+        let r = runs(&bits);
+        assert_eq!(r.p_values, vec![0.0]);
+        assert!(r.note.is_some());
+    }
+
+    #[test]
+    fn runs_known_answer_sp80022() {
+        // §2.3.8 example: first 100 binary digits of π; P-value = 0.500798.
+        let pi_bits = "1100100100001111110110101010001000100001011010001100\
+                       001000110100110001001100011001100010100010111000";
+        let bits: BitVec = pi_bits
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .map(|c| c == '1')
+            .collect();
+        let r = runs(&bits);
+        assert!(
+            (r.p_values[0] - 0.500798).abs() < 1e-4,
+            "p = {}",
+            r.p_values[0]
+        );
+    }
+
+    #[test]
+    fn short_input_not_applicable() {
+        assert!(!runs(&BitVec::zeros(50)).applicable);
+        assert!(!longest_run_of_ones(&BitVec::zeros(100)).applicable);
+    }
+
+    #[test]
+    fn longest_run_uses_medium_regime() {
+        // 10_000 bits: M = 128 regime must be selected and still pass on
+        // random data.
+        let bits = reference_random_bits(10_000, 11);
+        let r = longest_run_of_ones(&bits);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+}

@@ -1,0 +1,55 @@
+//! SP 800-22 §2.6 Discrete Fourier transform (spectral) test.
+
+use crate::bits::BitVec;
+use crate::fft::dft_magnitudes;
+use crate::special::erfc;
+
+use super::TestResult;
+
+/// §2.6 Spectral test: periodic features in the ±1 sequence show up as
+/// excessive peaks in the DFT modulus.
+///
+/// Requires n ≥ 1000 (spec recommends ≥ 1000).
+pub fn spectral(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    if n < 1000 {
+        return TestResult::not_applicable("Spectral (DFT)", format!("n = {n} < 1000"));
+    }
+    let x: Vec<f64> = bits.iter().map(|b| if b { 1.0 } else { -1.0 }).collect();
+    let mags = dft_magnitudes(&x);
+    // 95 % threshold under H0.
+    let t = ((1.0f64 / 0.05).ln() * n as f64).sqrt();
+    let half = n / 2;
+    let n0 = 0.95 * half as f64;
+    let n1 = mags[..half].iter().filter(|&&m| m < t).count() as f64;
+    let d = (n1 - n0) / (n as f64 * 0.95 * 0.05 / 4.0).sqrt();
+    let p = erfc(d.abs() / std::f64::consts::SQRT_2);
+    TestResult::from_p_values("Spectral (DFT)", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn random_passes() {
+        // Use a non-power-of-two length to exercise Bluestein.
+        let bits = reference_random_bits(10_000, 9);
+        let r = spectral(&bits);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn periodic_signal_fails() {
+        // Strong period-8 structure: a huge spectral line.
+        let bits: BitVec = (0..4_096).map(|i| i % 8 < 4).collect();
+        let r = spectral(&bits);
+        assert!(r.applicable && !r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn short_input_not_applicable() {
+        assert!(!spectral(&BitVec::zeros(500)).applicable);
+    }
+}

@@ -1,0 +1,188 @@
+//! SP 800-22 §2.7 Non-overlapping and §2.8 overlapping template tests.
+
+use crate::bits::BitVec;
+use crate::special::gamma_q;
+
+use super::TestResult;
+
+/// Template length used by both tests (the STS default).
+pub const TEMPLATE_LEN: usize = 9;
+
+/// Generates all aperiodic templates of length `m` in ascending numeric
+/// order. A template is aperiodic when no proper shift of it matches
+/// itself — the condition under which non-overlapping match counts are
+/// independent.
+pub fn aperiodic_templates(m: usize) -> Vec<Vec<bool>> {
+    assert!(m <= 16, "template length too large");
+    let mut out = Vec::new();
+    'patterns: for value in 0..(1u32 << m) {
+        let bits: Vec<bool> = (0..m).map(|i| (value >> (m - 1 - i)) & 1 == 1).collect();
+        for k in 1..m {
+            if bits[..m - k] == bits[k..] {
+                continue 'patterns;
+            }
+        }
+        out.push(bits);
+    }
+    out
+}
+
+/// §2.7 Non-overlapping template matching: occurrences of an aperiodic
+/// pattern in N = 8 blocks, scanned without overlap.
+///
+/// Runs the first `template_count` aperiodic 9-bit templates and emits
+/// one p-value per template. Requires blocks long enough for the normal
+/// approximation (n ≥ 8 × 128).
+pub fn non_overlapping_template(bits: &BitVec, template_count: usize) -> TestResult {
+    const N_BLOCKS: usize = 8;
+    let n = bits.len();
+    let m = TEMPLATE_LEN;
+    let block = n / N_BLOCKS;
+    if block < 128 {
+        return TestResult::not_applicable(
+            "Non-overlapping template",
+            format!("block {block} < 128 (n = {n})"),
+        );
+    }
+    let templates = aperiodic_templates(m);
+    let used = templates.len().min(template_count.max(1));
+    let mean = (block - m + 1) as f64 / 2f64.powi(m as i32);
+    let var =
+        block as f64 * (2f64.powi(-(m as i32)) - (2 * m - 1) as f64 * 2f64.powi(-2 * m as i32));
+    let data = bits.to_bools();
+    let mut p_values = Vec::with_capacity(used);
+    for template in templates.iter().take(used) {
+        let mut chi2 = 0.0;
+        for b in 0..N_BLOCKS {
+            let slice = &data[b * block..(b + 1) * block];
+            let mut count = 0u64;
+            let mut i = 0;
+            while i + m <= slice.len() {
+                if slice[i..i + m] == template[..] {
+                    count += 1;
+                    i += m; // non-overlapping: skip past the match
+                } else {
+                    i += 1;
+                }
+            }
+            chi2 += (count as f64 - mean) * (count as f64 - mean) / var;
+        }
+        p_values.push(gamma_q(N_BLOCKS as f64 / 2.0, chi2 / 2.0));
+    }
+    TestResult::from_p_values("Non-overlapping template", p_values)
+}
+
+/// §2.8 Overlapping template matching: occurrences of the all-ones
+/// 9-bit template counted *with* overlap in 1032-bit blocks, classified
+/// into 6 categories against the spec's theoretical probabilities.
+///
+/// Requires n ≥ 1032 × 38 (enough blocks for the χ² approximation; the
+/// spec uses N = 968 at n = 10⁶).
+pub fn overlapping_template(bits: &BitVec) -> TestResult {
+    const M_BLOCK: usize = 1032;
+    const K: usize = 5;
+    // §2.8.4 / STS source: theoretical category probabilities for
+    // m = 9, M = 1032 (λ = 2).
+    const PI: [f64; 6] = [
+        0.364_091, 0.185_659, 0.139_381, 0.100_571, 0.070_432, 0.139_865,
+    ];
+    let n = bits.len();
+    let m = TEMPLATE_LEN;
+    let blocks = n / M_BLOCK;
+    if blocks < 38 {
+        return TestResult::not_applicable(
+            "Overlapping template",
+            format!("{blocks} blocks < 38 (n = {n})"),
+        );
+    }
+    let data = bits.to_bools();
+    let mut nu = [0u64; K + 1];
+    for b in 0..blocks {
+        let slice = &data[b * M_BLOCK..(b + 1) * M_BLOCK];
+        let mut count = 0usize;
+        for i in 0..=(M_BLOCK - m) {
+            if slice[i..i + m].iter().all(|&x| x) {
+                count += 1;
+            }
+        }
+        nu[count.min(K)] += 1;
+    }
+    let nf = blocks as f64;
+    let chi2: f64 = nu
+        .iter()
+        .zip(PI.iter())
+        .map(|(&obs, &p)| {
+            let exp = nf * p;
+            (obs as f64 - exp) * (obs as f64 - exp) / exp
+        })
+        .sum();
+    let p = gamma_q(K as f64 / 2.0, chi2 / 2.0);
+    TestResult::from_p_values("Overlapping template", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn aperiodic_generation_for_m9_matches_sts_count() {
+        let templates = aperiodic_templates(9);
+        // The STS template library for m = 9 contains 148 aperiodic
+        // patterns.
+        assert_eq!(templates.len(), 148);
+        // Canonical members and non-members.
+        let as_bits = |s: &str| -> Vec<bool> { s.chars().map(|c| c == '1').collect() };
+        assert!(templates.contains(&as_bits("000000001")));
+        assert!(templates.contains(&as_bits("011111111")));
+        assert!(!templates.contains(&as_bits("101010101")), "periodic");
+        assert!(!templates.contains(&as_bits("111111111")), "periodic");
+    }
+
+    #[test]
+    fn small_m_aperiodic() {
+        // m=2: "01" and "10" are aperiodic; "00" and "11" are not.
+        let t = aperiodic_templates(2);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn random_passes_both() {
+        let bits = reference_random_bits(60_000, 21);
+        let r = non_overlapping_template(&bits, 10);
+        assert_eq!(r.p_values.len(), 10);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+        let r = overlapping_template(&bits);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn planted_template_fails_non_overlapping() {
+        // Plant "000000001" far more often than chance.
+        let mut bits = reference_random_bits(40_000, 4).to_bools();
+        let template = [false, false, false, false, false, false, false, false, true];
+        let mut i = 0;
+        while i + 9 <= bits.len() {
+            if i % 100 == 0 {
+                bits[i..i + 9].copy_from_slice(&template);
+            }
+            i += 9;
+        }
+        let r = non_overlapping_template(&BitVec::from_bools(&bits), 3);
+        // Template #0 is "000000001" (ascending numeric order).
+        assert!(r.p_values[0] < 0.01, "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn all_ones_fails_overlapping() {
+        let bits: BitVec = (0..60_000).map(|_| true).collect();
+        let r = overlapping_template(&bits);
+        assert!(r.applicable && !r.passed());
+    }
+
+    #[test]
+    fn short_inputs_not_applicable() {
+        assert!(!non_overlapping_template(&BitVec::zeros(500), 4).applicable);
+        assert!(!overlapping_template(&BitVec::zeros(5000)).applicable);
+    }
+}

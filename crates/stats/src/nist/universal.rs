@@ -1,0 +1,131 @@
+//! SP 800-22 §2.9 Maurer's "universal statistical" test.
+
+use crate::bits::BitVec;
+use crate::special::erfc;
+
+use super::TestResult;
+
+/// Expected value and variance of the statistic per block length L
+/// (SP 800-22 Table 2-4/2-5, L = 6..16).
+const TABLE: [(usize, f64, f64); 11] = [
+    (6, 5.217_705_2, 2.954),
+    (7, 6.196_250_7, 3.125),
+    (8, 7.183_665_6, 3.238),
+    (9, 8.176_424_8, 3.311),
+    (10, 9.172_324_3, 3.356),
+    (11, 10.170_032, 3.384),
+    (12, 11.168_765, 3.401),
+    (13, 12.168_070, 3.410),
+    (14, 13.167_693, 3.416),
+    (15, 14.167_488, 3.419),
+    (16, 15.167_379, 3.421),
+];
+
+/// Minimum total bits for each L (n ≥ 1010 × 2^L × L roughly; the spec's
+/// table: L=6 needs 387,840; L=7 needs 904,960; ...).
+fn choose_l(n: usize) -> Option<usize> {
+    const THRESHOLDS: [(usize, usize); 11] = [
+        (6, 387_840),
+        (7, 904_960),
+        (8, 2_068_480),
+        (9, 4_654_080),
+        (10, 10_342_400),
+        (11, 22_753_280),
+        (12, 49_643_520),
+        (13, 107_560_960),
+        (14, 231_669_760),
+        (15, 496_435_200),
+        (16, 1_059_061_760),
+    ];
+    let mut best = None;
+    for &(l, min_n) in &THRESHOLDS {
+        if n >= min_n {
+            best = Some(l);
+        }
+    }
+    best
+}
+
+/// §2.9 Maurer's universal test: compressibility via the distances
+/// between repeated L-bit blocks.
+///
+/// Requires n ≥ 387,840 (the L = 6 threshold).
+pub fn universal(bits: &BitVec) -> TestResult {
+    let n = bits.len();
+    let Some(l) = choose_l(n) else {
+        return TestResult::not_applicable(
+            "Universal (Maurer)",
+            format!("n = {n} < 387840 (L = 6 minimum)"),
+        );
+    };
+    let q = 10 * (1usize << l); // initialization blocks
+    let total_blocks = n / l;
+    let k = total_blocks - q; // test blocks
+    let (_, expected, variance) = TABLE
+        .iter()
+        .copied()
+        .find(|&(tl, _, _)| tl == l)
+        .expect("L covered by table");
+
+    // last_seen[pattern] = index (1-based block number) of last occurrence.
+    let mut last_seen = vec![0u64; 1 << l];
+    let block_value = |b: usize| -> usize {
+        let mut v = 0usize;
+        for i in 0..l {
+            v = (v << 1) | usize::from(bits[b * l + i]);
+        }
+        v
+    };
+    for b in 0..q {
+        last_seen[block_value(b)] = (b + 1) as u64;
+    }
+    let mut sum = 0.0f64;
+    for b in q..total_blocks {
+        let v = block_value(b);
+        let idx = (b + 1) as u64;
+        let dist = idx - last_seen[v];
+        sum += (dist as f64).log2();
+        last_seen[v] = idx;
+    }
+    let fn_stat = sum / k as f64;
+    // Standard deviation with the finite-K correction factor c.
+    let c =
+        0.7 - 0.8 / l as f64 + (4.0 + 32.0 / l as f64) * (k as f64).powf(-3.0 / l as f64) / 15.0;
+    let sigma = c * (variance / k as f64).sqrt();
+    let p = erfc(((fn_stat - expected) / sigma).abs() / std::f64::consts::SQRT_2);
+    TestResult::from_p_values("Universal (Maurer)", vec![p])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::reference_random_bits;
+    use super::*;
+
+    #[test]
+    fn l_selection() {
+        assert_eq!(choose_l(100_000), None);
+        assert_eq!(choose_l(400_000), Some(6));
+        assert_eq!(choose_l(1_000_000), Some(7));
+        assert_eq!(choose_l(3_000_000), Some(8));
+    }
+
+    #[test]
+    fn random_passes() {
+        let bits = reference_random_bits(400_000, 31);
+        let r = universal(&bits);
+        assert!(r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn repetitive_fails() {
+        // A repeating 12-bit motif is maximally compressible.
+        let bits: BitVec = (0..400_000).map(|i| (i % 12) < 5).collect();
+        let r = universal(&bits);
+        assert!(r.applicable && !r.passed(), "p = {:?}", r.p_values);
+    }
+
+    #[test]
+    fn short_input_not_applicable() {
+        assert!(!universal(&BitVec::zeros(10_000)).applicable);
+    }
+}

@@ -1,0 +1,142 @@
+//! Summary statistics: mean, deviation, extrema, quantiles, confidence
+//! intervals — the numbers under the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// Basic descriptive statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 when n < 2).
+    pub std_dev: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Maximum (0 for empty samples).
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Half-width of the 95 % normal-approximation confidence interval of
+    /// the mean (the shaded bands of Fig. 9).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        1.96 * self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+/// Empirical quantile with linear interpolation; `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics on an empty sample or a `q` outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Empirical cumulative distribution function evaluated at each of the
+/// given thresholds: fraction of samples ≤ threshold.
+pub fn ecdf(samples: &[f64], thresholds: &[f64]) -> Vec<f64> {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    thresholds
+        .iter()
+        .map(|&t| {
+            let count = sorted.partition_point(|&x| x <= t);
+            count as f64 / sorted.len().max(1) as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev with Bessel correction: sqrt(32/7).
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_empty_and_single() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_n() {
+        let small = Summary::of(&[0.0, 1.0, 0.0, 1.0]);
+        let big = Summary::of(&[0.0, 1.0].repeat(100));
+        assert!(big.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 5.0);
+        assert_eq!(quantile(&data, 0.5), 3.0);
+        assert!((quantile(&data, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_steps() {
+        let data = [1.0, 2.0, 2.0, 3.0];
+        let cdf = ecdf(&data, &[0.5, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf, vec![0.0, 0.25, 0.75, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_empty_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,89 @@
+//! Bitmap-index search inside DRAM — the data-movement use case that
+//! motivates processing-with-memory (§I).
+//!
+//! A tiny analytics engine stores one bitmap per attribute (one bit per
+//! record) in DRAM rows and answers conjunctive/disjunctive queries
+//! with the reserved-row compute engine: the AND/OR happens in the
+//! array via charge sharing, so only the final bitmap crosses the bus.
+//!
+//! ```text
+//! cargo run --release -p fracdram --example bitmap_search
+//! ```
+
+use fracdram::ComputeEngine;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 1024, // 1024 records per bitmap row
+    };
+    // Group C hardware — no native MAJ3; the engine transparently uses
+    // F-MAJ with a fractional helper row.
+    let module = Module::new(ModuleConfig::single_chip(GroupId::C, 0xDB, geometry));
+    let mut mc = MemoryController::new(module);
+    let engine = ComputeEngine::bind(&mc, SubarrayAddr::new(0, 0), false)?;
+    println!(
+        "engine bound ({:?}), reserved rows {:?}",
+        engine.kind(),
+        engine.reserved_rows()
+    );
+
+    // Attribute bitmaps over 1024 synthetic "orders".
+    let n = geometry.columns;
+    let premium: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+    let recent: Vec<bool> = (0..n).map(|i| i % 5 < 2).collect();
+    let eu_region: Vec<bool> = (0..n).map(|i| (i / 7) % 2 == 0).collect();
+
+    let rows = [
+        RowAddr::new(0, 16),
+        RowAddr::new(0, 17),
+        RowAddr::new(0, 18),
+    ];
+    let scratch = RowAddr::new(0, 20);
+    let tmp = RowAddr::new(0, 21);
+    let dst = RowAddr::new(0, 22);
+    mc.write_row(rows[0], &premium)?;
+    mc.write_row(rows[1], &recent)?;
+    mc.write_row(rows[2], &eu_region)?;
+
+    // Query 1: premium AND recent.
+    let receipt = engine.and(&mut mc, rows[0], rows[1], scratch, tmp)?;
+    let q1 = mc.read_row(tmp)?;
+    let expected1: Vec<bool> = (0..n).map(|i| premium[i] && recent[i]).collect();
+    let acc1 = q1.iter().zip(&expected1).filter(|(a, b)| a == b).count();
+    println!(
+        "premium AND recent:      {} hits ({} in-array, {}/{} columns exact)",
+        q1.iter().filter(|&&b| b).count(),
+        receipt.cycles,
+        acc1,
+        n
+    );
+
+    // Query 2: (premium AND recent) OR eu_region — chained in-memory.
+    mc.write_row(tmp, &expected1)?; // error-free intermediate for the demo
+    let receipt = engine.or(&mut mc, tmp, rows[2], scratch, dst)?;
+    let q2 = mc.read_row(dst)?;
+    let expected2: Vec<bool> = (0..n).map(|i| (premium[i] && recent[i]) || eu_region[i]).collect();
+    let acc2 = q2.iter().zip(&expected2).filter(|(a, b)| a == b).count();
+    println!(
+        "(...) OR eu_region:      {} hits ({} in-array, {}/{} columns exact)",
+        q2.iter().filter(|&&b| b).count(),
+        receipt.cycles,
+        acc2,
+        n
+    );
+
+    // Data-movement accounting: the in-array op moves zero operand bits
+    // over the bus; a CPU-side evaluation reads every operand row.
+    let bus_reads_avoided = 2 * n; // two operand bitmaps per op
+    println!(
+        "\nper query: {bus_reads_avoided} operand bits never cross the memory bus;"
+    );
+    println!("a few per-mille of columns err (Fig. 9 coverage) — production use masks");
+    println!("the known-bad columns found by a one-time self-test, as the paper notes.");
+    Ok(())
+}

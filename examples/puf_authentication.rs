@@ -1,0 +1,94 @@
+//! Device authentication with the Frac-PUF (§VI-B).
+//!
+//! A verifier enrolls a fleet of DRAM modules by recording
+//! challenge-response pairs, then authenticates devices later — even
+//! under different supply voltage and temperature — and rejects a clone
+//! that tries to replay another device's identity.
+//!
+//! ```text
+//! cargo run --release -p fracdram --example puf_authentication
+//! ```
+
+use fracdram::puf::{authenticate, challenge_set, evaluate};
+use fracdram_model::{Environment, Geometry, GroupId, Module, ModuleConfig, Volts};
+use fracdram_softmc::MemoryController;
+use fracdram_stats::bits::BitVec;
+
+const THRESHOLD: f64 = 0.15; // between max intra-HD and min inter-HD
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let geometry = Geometry {
+        banks: 4,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 1024,
+    };
+    // A small fleet: three modules from two vendors.
+    let fleet: Vec<(&str, GroupId, u64)> = vec![
+        ("device-0 (SK Hynix)", GroupId::B, 1001),
+        ("device-1 (SK Hynix)", GroupId::B, 1002),
+        ("device-2 (Samsung)", GroupId::F, 1003),
+    ];
+    let mut devices: Vec<MemoryController> = fleet
+        .iter()
+        .map(|&(_, group, seed)| {
+            MemoryController::new(Module::new(ModuleConfig::single_chip(
+                group, seed, geometry,
+            )))
+        })
+        .collect();
+
+    // --- enrollment: record 5 challenge-response pairs per device -----
+    let challenges = challenge_set(&geometry, 5, 0xC0FFEE);
+    let mut database: Vec<Vec<BitVec>> = Vec::new();
+    for d in devices.iter_mut() {
+        database.push(
+            challenges
+                .iter()
+                .map(|&c| evaluate(d, c))
+                .collect::<Result<_, _>>()?,
+        );
+    }
+    println!(
+        "enrolled {} devices x {} challenges ({}-bit responses)\n",
+        fleet.len(),
+        challenges.len(),
+        geometry.columns
+    );
+
+    // --- authentication in the field (hot device, sagging supply) -----
+    let field = Environment::nominal()
+        .with_temperature(45.0)
+        .with_vdd(Volts(1.45));
+    for (i, d) in devices.iter_mut().enumerate() {
+        d.module_mut().set_environment(field);
+        let c = challenges[i % challenges.len()];
+        let fresh = evaluate(d, c)?;
+        let claimed = &database[i][i % challenges.len()];
+        let hd = fracdram_stats::hamming::normalized_distance(claimed, &fresh);
+        let ok = authenticate(claimed, &fresh, THRESHOLD);
+        println!(
+            "{}: HD to own enrollment = {hd:.3} -> {}",
+            fleet[i].0,
+            if ok { "AUTHENTICATED" } else { "rejected" }
+        );
+        assert!(ok);
+    }
+
+    // --- a clone replaying device-0's identity from device-1 ----------
+    let c = challenges[0];
+    let clone_response = evaluate(&mut devices[1], c)?;
+    let hd = fracdram_stats::hamming::normalized_distance(&database[0][0], &clone_response);
+    let ok = authenticate(&database[0][0], &clone_response, THRESHOLD);
+    println!(
+        "\nclone attack (device-1 claiming device-0): HD = {hd:.3} -> {}",
+        if ok { "ACCEPTED (bad!)" } else { "REJECTED" }
+    );
+    assert!(!ok);
+
+    println!(
+        "\neach evaluation costs {:.2} us of DRAM command time",
+        fracdram::puf::EvalCost::for_row(geometry.columns, false).total_micros()
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Retention-time characterization with fractional values (§VI-C).
+//!
+//! Fractional values turn retention profiling into voltage metrology:
+//! storing different levels in the same cell and measuring the time to
+//! failure traces the leakage curve — without an oscilloscope, using
+//! only DRAM commands. This reproduces the paper's suggested use of
+//! Frac for "assisting the characterization of DRAM retention time".
+//!
+//! ```text
+//! cargo run --release -p fracdram --example retention_profiler
+//! ```
+
+use fracdram::retention::{measure_row, BucketCounts, RetentionBucket};
+use fracdram_model::{Environment, Geometry, GroupId, Module, ModuleConfig, RowAddr};
+use fracdram_softmc::MemoryController;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        0xBEE,
+        Geometry::tiny(),
+    ));
+    let mut mc = MemoryController::new(module);
+    let row = RowAddr::new(0, 9);
+
+    println!("retention profile of {row} at 20 C, by stored voltage level:\n");
+    println!(
+        "{:<28} {:>5} {:>9} {:>9} {:>9} {:>8} {:>7}",
+        "stored level", "0", "0-10m", "10-30m", "30-60m", "1-12h", ">12h"
+    );
+    for (label, frac_ops) in [
+        ("full Vdd (no Frac)", 0usize),
+        ("1 Frac  (~1.02 V)", 1),
+        ("2 Frac  (~0.85 V)", 2),
+        ("3 Frac  (~0.79 V)", 3),
+        ("5 Frac  (~0.76 V)", 5),
+    ] {
+        let buckets = measure_row(&mut mc, row, frac_ops)?;
+        let pdf = BucketCounts::from_buckets(&buckets).pdf();
+        print!("{label:<28}");
+        for p in pdf {
+            print!(" {:>8.1}%", p * 100.0);
+        }
+        println!();
+    }
+
+    // Temperature dependence: the same row leaks faster when hot.
+    println!("\nsame row at elevated temperature (2 Frac ops):");
+    for temp in [20.0, 45.0, 70.0] {
+        mc.module_mut()
+            .set_environment(Environment::nominal().with_temperature(temp));
+        let buckets = measure_row(&mut mc, row, 2)?;
+        let long = buckets
+            .iter()
+            .filter(|&&b| b == RetentionBucket::Over12Hours)
+            .count();
+        println!(
+            "  {temp:>4.0} C: {:>5.1}% of cells still hold for > 12 h",
+            long as f64 / buckets.len() as f64 * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,154 @@
+//! Calibration targets from DESIGN.md §5: the *shapes* of the paper's
+//! results must emerge from the analog mechanisms at test scale.
+
+use fracdram::fmaj::{fmaj_coverage, FmajConfig};
+use fracdram::frac::{frac_program, physical_pattern, store_fractional};
+use fracdram::maj3::maj3_coverage;
+use fracdram::multirow::survey;
+use fracdram::retention::{measure_row, RetentionBucket};
+use fracdram::rowsets::{Quad, Triplet};
+use fracdram::verify::{verify_fractional, FracPlacement, OutcomeShares, VerifySetup};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+
+fn controller(group: GroupId, seed: u64) -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 256,
+    };
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        group, seed, geometry,
+    )))
+}
+
+#[test]
+fn frac_voltage_converges_geometrically_toward_half_vdd() {
+    let mut mc = controller(GroupId::B, 1);
+    let row = RowAddr::new(0, 4);
+    let mut deltas = Vec::new();
+    for count in 1..=6 {
+        store_fractional(&mut mc, row, true, count).unwrap();
+        let t = mc.clock();
+        let v = mc.module_mut().probe_cell_voltage(row, 0, t).value();
+        deltas.push(v - 0.75);
+    }
+    // Monotone decreasing, never crossing Vdd/2; geometric while far
+    // from equilibrium (the floor is the cell's own injection offset).
+    for w in deltas.windows(2) {
+        assert!(w[1] > 0.0, "crossed Vdd/2: {deltas:?}");
+        assert!(w[1] <= w[0], "not monotone: {deltas:?}");
+        if w[0] > 0.05 {
+            assert!(w[1] / w[0] < 0.75, "convergence too slow: {deltas:?}");
+        }
+    }
+    assert!(deltas[5] < 0.05, "asymptote too far from Vdd/2: {deltas:?}");
+}
+
+#[test]
+fn retention_buckets_shift_monotonically_with_frac_count() {
+    let mut mc = controller(GroupId::B, 2);
+    let row = RowAddr::new(0, 7);
+    let mean_rank = |buckets: &[RetentionBucket]| {
+        buckets.iter().map(|b| b.rank()).sum::<usize>() as f64 / buckets.len() as f64
+    };
+    let mut prev = f64::INFINITY;
+    for count in [0usize, 1, 3, 5] {
+        let rank = mean_rank(&measure_row(&mut mc, row, count).unwrap());
+        assert!(
+            rank < prev,
+            "mean retention rank must fall as Frac ops accumulate ({count} ops: {rank} !< {prev})"
+        );
+        prev = rank;
+    }
+}
+
+#[test]
+fn baseline_maj3_coverage_sits_near_the_papers_98_percent() {
+    let mut mc = controller(GroupId::B, 3);
+    let geometry = *mc.module().geometry();
+    let triplet = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+    let coverage = maj3_coverage(&mut mc, &triplet).unwrap();
+    assert!(
+        (0.90..1.0).contains(&coverage),
+        "baseline coverage = {coverage} (paper: 0.98)"
+    );
+}
+
+#[test]
+fn best_fmaj_config_beats_the_maj3_baseline_on_group_b() {
+    let mut mc = controller(GroupId::B, 3);
+    let geometry = *mc.module().geometry();
+    let triplet = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 1), GroupId::B).unwrap();
+    let baseline = maj3_coverage(&mut mc, &triplet).unwrap();
+    let config = FmajConfig::best_for(GroupId::B);
+    let fmaj = fmaj_coverage(&mut mc, &quad, &config).unwrap();
+    assert!(
+        fmaj >= baseline - 0.01,
+        "F-MAJ ({fmaj}) must match or beat MAJ3 ({baseline})"
+    );
+    assert!(
+        fmaj > 0.93,
+        "group B F-MAJ coverage = {fmaj} (paper: 0.998)"
+    );
+}
+
+#[test]
+fn groups_c_and_d_gain_majority_through_fmaj() {
+    for (group, seed) in [(GroupId::C, 4), (GroupId::D, 5)] {
+        let mut mc = controller(group, seed);
+        let geometry = *mc.module().geometry();
+        let triplet = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+        // The original MAJ3 is impossible...
+        assert!(fracdram::maj3::maj3_in_place(&mut mc, &triplet).is_err());
+        // ...but F-MAJ works.
+        let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), group).unwrap();
+        let config = FmajConfig::best_for(group);
+        let coverage = fmaj_coverage(&mut mc, &quad, &config).unwrap();
+        assert!(coverage > 0.8, "group {group}: F-MAJ coverage = {coverage}");
+    }
+}
+
+#[test]
+fn verification_signature_appears_only_with_frac() {
+    let mut mc = controller(GroupId::B, 6);
+    let geometry = *mc.module().geometry();
+    let triplet = Triplet::first(&geometry, SubarrayAddr::new(1, 0));
+    let run = |mc: &mut MemoryController, ops: usize| {
+        let setup = VerifySetup {
+            placement: FracPlacement::R1R2,
+            init_ones: true,
+            frac_ops: ops,
+        };
+        OutcomeShares::from_pairs(&verify_fractional(mc, &triplet, &setup).unwrap())
+    };
+    assert!(run(&mut mc, 0).fractional_share() < 0.05);
+    assert!(run(&mut mc, 2).fractional_share() > 0.9);
+}
+
+#[test]
+fn capability_survey_matches_table_1_for_all_groups() {
+    for group in GroupId::ALL {
+        let mut mc = controller(group, 7);
+        let caps = survey(&mut mc).unwrap();
+        let p = group.profile();
+        assert_eq!(caps.frac, p.supports_frac(), "{group} frac");
+        assert_eq!(caps.three_row, p.supports_three_row(), "{group} 3-row");
+        assert_eq!(caps.four_row, p.supports_four_row(), "{group} 4-row");
+    }
+}
+
+#[test]
+fn guarded_groups_are_inert_under_every_primitive() {
+    for group in [GroupId::J, GroupId::K, GroupId::L] {
+        let mut mc = controller(group, 8);
+        let row = RowAddr::new(0, 3);
+        let pattern = physical_pattern(&mut mc, row, true);
+        mc.write_row(row, &pattern).unwrap();
+        mc.run(&frac_program(row, 10)).unwrap();
+        mc.wait(fracdram_model::Cycles(600));
+        assert_eq!(mc.read_row(row).unwrap(), pattern, "{group} lost data");
+    }
+}

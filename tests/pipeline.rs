@@ -1,0 +1,140 @@
+//! Cross-crate pipeline tests: full flows through controller, model,
+//! primitives, and session bookkeeping.
+
+use fracdram::frac::physical_pattern;
+use fracdram::halfm::halfm_masked;
+use fracdram::puf::Challenge;
+use fracdram::rowsets::{Quad, Triplet};
+use fracdram::session::FracDram;
+use fracdram::FracDramError;
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, Seconds, SubarrayAddr};
+use fracdram_softmc::{MemoryController, Program};
+
+fn module(group: GroupId, seed: u64) -> Module {
+    Module::new(ModuleConfig::single_chip(group, seed, Geometry::tiny()))
+}
+
+#[test]
+fn session_guards_the_refresh_window_end_to_end() {
+    let mut dram = FracDram::new(module(GroupId::B, 11));
+    let row = RowAddr::new(0, 6);
+    dram.store_fractional(row, true, 3).unwrap();
+
+    // Refresh is blocked while the fractional value lives...
+    assert!(matches!(
+        dram.refresh(),
+        Err(FracDramError::RefreshWouldDestroyFractional { rows: 1 })
+    ));
+    // ...and the 64 ms budget is tracked.
+    assert!(!dram.fractional_overdue());
+    dram.controller_mut().wait_seconds(Seconds(0.1));
+    assert!(dram.fractional_overdue());
+
+    // Consuming the value re-opens refresh.
+    dram.read_row(row).unwrap();
+    dram.refresh().unwrap();
+}
+
+#[test]
+fn fmaj_through_the_session_computes_logical_majority() {
+    let mut dram = FracDram::new(module(GroupId::C, 12));
+    let geometry = dram.geometry();
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::C).unwrap();
+    let width = geometry.columns;
+    let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+    let b: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+    let c: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+    let config = fracdram::FmajConfig::best_for(GroupId::C);
+    let result = dram.fmaj(&quad, &config, [&a, &b, &c]).unwrap();
+    let correct = (0..width)
+        .filter(|&i| result[i] == ([a[i], b[i], c[i]].iter().filter(|&&x| x).count() >= 2))
+        .count();
+    assert!(correct * 10 >= width * 9, "{correct}/{width} correct");
+    assert!(
+        dram.fractional_rows().is_empty(),
+        "F-MAJ consumes the helper"
+    );
+}
+
+#[test]
+fn ternary_storage_roundtrip_with_halfm() {
+    // §VI-C: write binary data + Half marks, read the mixture back.
+    let mut mc = MemoryController::new(module(GroupId::B, 13));
+    let geometry = *mc.module().geometry();
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::B).unwrap();
+    let width = geometry.columns;
+    let data: Vec<bool> = (0..width).map(|i| i % 4 < 2).collect();
+    let mask: Vec<bool> = (0..width).map(|i| i % 8 == 0).collect();
+    halfm_masked(&mut mc, &quad, &data, &mask).unwrap();
+    let read = mc.read_row(quad.rows(&geometry)[2]).unwrap();
+    let data_cols_ok = (0..width)
+        .filter(|&i| !mask[i])
+        .filter(|&i| read[i] == data[i])
+        .count();
+    let data_cols = mask.iter().filter(|&&m| !m).count();
+    assert!(
+        data_cols_ok * 20 >= data_cols * 19,
+        "binary columns corrupted: {data_cols_ok}/{data_cols}"
+    );
+}
+
+#[test]
+fn maj3_chains_feed_results_into_further_operations() {
+    // Use an in-memory majority result as an operand of the next one.
+    let mut mc = MemoryController::new(module(GroupId::B, 14));
+    let geometry = *mc.module().geometry();
+    let t0 = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+    let width = geometry.columns;
+    let ones = vec![true; width];
+    let zeros = vec![false; width];
+    let first = fracdram::maj3::maj3(&mut mc, &t0, [&ones, &ones, &zeros]).unwrap();
+    let second = fracdram::maj3::maj3(&mut mc, &t0, [&first, &zeros, &zeros]).unwrap();
+    // maj(maj(1,1,0), 0, 0) = maj(1, 0, 0) = 0 on well-behaved columns.
+    let zero_share = second.iter().filter(|&&b| !b).count();
+    assert!(zero_share * 10 >= width * 9, "{zero_share}/{width}");
+}
+
+#[test]
+fn out_of_spec_programs_are_flagged_but_executable() {
+    let mut mc = MemoryController::new(module(GroupId::B, 15));
+    let frac = fracdram::frac::frac_program(RowAddr::new(0, 1), 1);
+    assert!(!mc.check(&frac).is_empty(), "Frac must violate JEDEC");
+    assert!(mc.run_checked(&frac).is_err(), "checked mode refuses it");
+    assert!(mc.run(&frac).is_ok(), "SoftMC mode executes it");
+
+    // A legal read-modify-write program passes the checker.
+    let addr = RowAddr::new(0, 2);
+    let legal: Program = mc.write_row_program(addr, vec![true; 64]);
+    assert!(mc.check(&legal).is_empty());
+    mc.run_checked(&legal).unwrap();
+}
+
+#[test]
+fn session_puf_responses_are_stable_across_refreshes() {
+    let mut dram = FracDram::new(module(GroupId::B, 16));
+    let challenge = Challenge::new(1, 9);
+    let first = dram.puf_response(challenge).unwrap();
+    dram.refresh().unwrap();
+    let second = dram.puf_response(challenge).unwrap();
+    let hd = fracdram_stats::hamming::normalized_distance(&first, &second);
+    assert!(hd < 0.08, "intra-HD across refresh = {hd}");
+}
+
+#[test]
+fn physical_patterns_respect_polarity_on_every_bank() {
+    let mut mc = MemoryController::new(module(GroupId::F, 17));
+    let geometry = *mc.module().geometry();
+    for bank in 0..geometry.banks {
+        let row = RowAddr::new(bank, 5);
+        let ones = physical_pattern(&mut mc, row, true);
+        let zeros = physical_pattern(&mut mc, row, false);
+        assert!(ones.iter().zip(&zeros).all(|(a, b)| a != b));
+        mc.write_row(row, &ones).unwrap();
+        // Every cell now physically holds Vdd.
+        let t = mc.clock();
+        for col in [0, 7, 31] {
+            let v = mc.module_mut().probe_cell_voltage(row, col, t).value();
+            assert!((v - 1.5).abs() < 1e-6, "bank {bank} col {col}: {v}");
+        }
+    }
+}

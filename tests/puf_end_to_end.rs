@@ -1,0 +1,138 @@
+//! End-to-end Frac-PUF tests: enrollment, authentication, environmental
+//! robustness, uniqueness, and randomness of the whitened output.
+
+use fracdram::puf::{authenticate, challenge_set, evaluate, whitened_stream, Challenge, EvalCost};
+use fracdram_model::{Environment, Geometry, GroupId, Module, ModuleConfig, Volts};
+use fracdram_softmc::MemoryController;
+use fracdram_stats::bits::BitVec;
+use fracdram_stats::hamming::normalized_distance;
+use fracdram_stats::nist;
+
+fn geometry() -> Geometry {
+    Geometry {
+        banks: 4,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 512,
+    }
+}
+
+fn device(group: GroupId, seed: u64) -> MemoryController {
+    MemoryController::new(Module::new(ModuleConfig::single_chip(
+        group,
+        seed,
+        geometry(),
+    )))
+}
+
+#[test]
+fn enrollment_and_authentication_flow() {
+    let challenges = challenge_set(&geometry(), 8, 42);
+    // Enroll three devices.
+    let mut devices: Vec<MemoryController> = (0..3).map(|i| device(GroupId::B, 100 + i)).collect();
+    let enrolled: Vec<Vec<BitVec>> = devices
+        .iter_mut()
+        .map(|d| {
+            challenges
+                .iter()
+                .map(|&c| evaluate(d, c).unwrap())
+                .collect()
+        })
+        .collect();
+    // Every device authenticates as itself and as nobody else.
+    for (i, d) in devices.iter_mut().enumerate() {
+        for (ci, &c) in challenges.iter().enumerate() {
+            let fresh = evaluate(d, c).unwrap();
+            for (j, enr) in enrolled.iter().enumerate() {
+                let accepted = authenticate(&enr[ci], &fresh, 0.15);
+                assert_eq!(accepted, i == j, "device {i} vs enrollment {j}");
+            }
+        }
+    }
+}
+
+#[test]
+fn responses_are_robust_across_voltage_and_temperature() {
+    let challenges = challenge_set(&geometry(), 6, 43);
+    let mut d = device(GroupId::E, 7);
+    let enrolled: Vec<BitVec> = challenges
+        .iter()
+        .map(|&c| evaluate(&mut d, c).unwrap())
+        .collect();
+    for env in [
+        Environment::nominal().with_vdd(Volts(1.4)),
+        Environment::nominal().with_temperature(60.0),
+        Environment::nominal()
+            .with_vdd(Volts(1.4))
+            .with_temperature(40.0),
+    ] {
+        d.module_mut().set_environment(env);
+        for (enr, &c) in enrolled.iter().zip(&challenges) {
+            let fresh = evaluate(&mut d, c).unwrap();
+            let hd = normalized_distance(enr, &fresh);
+            assert!(hd < 0.15, "{env:?}: intra-HD = {hd}");
+        }
+        d.module_mut().set_environment(Environment::nominal());
+    }
+}
+
+#[test]
+fn different_rows_of_one_subarray_give_distinct_responses() {
+    // The challenge space is the full address range: even rows sharing
+    // sense amplifiers must answer differently (cell-level entropy).
+    let mut d = device(GroupId::B, 9);
+    let r1 = evaluate(&mut d, Challenge::new(0, 3)).unwrap();
+    let r2 = evaluate(&mut d, Challenge::new(0, 4)).unwrap();
+    let hd = normalized_distance(&r1, &r2);
+    assert!(hd > 0.1, "same-subarray challenge HD = {hd}");
+}
+
+#[test]
+fn whitened_output_passes_core_randomness_tests() {
+    let mut d = device(GroupId::A, 21);
+    let challenges = challenge_set(&geometry(), 64, 44);
+    let responses: Vec<BitVec> = challenges
+        .iter()
+        .map(|&c| evaluate(&mut d, c).unwrap())
+        .collect();
+    let stream = whitened_stream(&responses);
+    assert!(stream.len() > 4_000, "yield too low: {}", stream.len());
+    for result in [
+        nist::frequency(&stream),
+        nist::runs(&stream),
+        nist::block_frequency(&stream, 128),
+        nist::cumulative_sums(&stream),
+        nist::approximate_entropy(&stream, 6),
+    ] {
+        assert!(result.passed(), "{result}");
+    }
+}
+
+#[test]
+fn eval_cost_reproduces_paper_latencies() {
+    let conservative = EvalCost::for_row(65_536, false);
+    assert!((conservative.total_micros() - 1.5).abs() < 0.2);
+    let optimized = EvalCost::for_row(65_536, true);
+    assert!((optimized.total_micros() - 0.7).abs() < 0.25);
+    // Smaller responses read proportionally faster.
+    assert!(EvalCost::for_row(8_192, false).total() < conservative.total());
+}
+
+#[test]
+fn responses_differ_between_vendor_groups() {
+    let challenges = challenge_set(&geometry(), 4, 45);
+    let mut a = device(GroupId::A, 5);
+    let mut g = device(GroupId::G, 5);
+    for &c in &challenges {
+        let ra = evaluate(&mut a, c).unwrap();
+        let rg = evaluate(&mut g, c).unwrap();
+        assert!(normalized_distance(&ra, &rg) > 0.2);
+    }
+    // And the group A bias shows up as a low Hamming weight.
+    let ra = evaluate(&mut a, challenges[0]).unwrap();
+    assert!(
+        ra.hamming_weight() < 0.45,
+        "group A weight = {}",
+        ra.hamming_weight()
+    );
+}

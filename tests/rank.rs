@@ -1,0 +1,107 @@
+//! Rank-level integration: every FracDRAM operation must survive the
+//! 8-chip, byte-lane-striped module organization the paper's platform
+//! actually drives (x8 chips behind one command bus).
+
+use fracdram::fmaj::{fmaj, FmajConfig};
+use fracdram::frac::store_fractional;
+use fracdram::maj3::maj3;
+use fracdram::multirow::survey;
+use fracdram::puf::{evaluate, Challenge};
+use fracdram::rowsets::{Quad, Triplet};
+use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
+use fracdram_softmc::MemoryController;
+use fracdram_stats::hamming::normalized_distance;
+
+fn rank(group: GroupId, seed: u64) -> MemoryController {
+    let geometry = Geometry {
+        banks: 2,
+        subarrays_per_bank: 2,
+        rows_per_subarray: 32,
+        columns: 128,
+    };
+    MemoryController::new(Module::new(ModuleConfig::rank(group, seed, geometry)))
+}
+
+#[test]
+fn rank_roundtrip_uses_all_chips() {
+    let mut mc = rank(GroupId::B, 51);
+    let width = mc.module().row_bits();
+    assert_eq!(width, 8 * 128, "eight chips of 128 columns");
+    let pattern: Vec<bool> = (0..width).map(|i| (i * 31) % 7 < 3).collect();
+    let addr = RowAddr::new(0, 9);
+    mc.write_row(addr, &pattern).unwrap();
+    assert_eq!(mc.read_row(addr).unwrap(), pattern);
+}
+
+#[test]
+fn rank_survey_matches_single_chip() {
+    for group in [GroupId::B, GroupId::C, GroupId::J] {
+        let mut mc = rank(group, 52);
+        let caps = survey(&mut mc).unwrap();
+        let p = group.profile();
+        assert_eq!(caps.frac, p.supports_frac(), "{group}");
+        assert_eq!(caps.three_row, p.supports_three_row(), "{group}");
+        assert_eq!(caps.four_row, p.supports_four_row(), "{group}");
+    }
+}
+
+#[test]
+fn rank_maj3_and_fmaj_compute_across_lanes() {
+    let mut mc = rank(GroupId::B, 53);
+    let geometry = *mc.module().geometry();
+    let width = mc.module().row_bits();
+    let a: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+    let b: Vec<bool> = (0..width).map(|i| i % 3 == 0).collect();
+    let c: Vec<bool> = (0..width).map(|i| i % 5 == 0).collect();
+    let expect = |i: usize| [a[i], b[i], c[i]].iter().filter(|&&x| x).count() >= 2;
+
+    let triplet = Triplet::first(&geometry, SubarrayAddr::new(0, 0));
+    let result = maj3(&mut mc, &triplet, [&a, &b, &c]).unwrap();
+    let ok = (0..width).filter(|&i| result[i] == expect(i)).count();
+    assert!(ok * 10 >= width * 9, "rank MAJ3: {ok}/{width}");
+
+    let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 1), GroupId::B).unwrap();
+    let config = FmajConfig::best_for(GroupId::B);
+    let result = fmaj(&mut mc, &quad, &config, [&a, &b, &c]).unwrap();
+    let ok = (0..width).filter(|&i| result[i] == expect(i)).count();
+    assert!(ok * 10 >= width * 9, "rank F-MAJ: {ok}/{width}");
+}
+
+#[test]
+fn rank_puf_has_chip_level_diversity() {
+    let challenge = Challenge::new(1, 7);
+    let mut m1 = rank(GroupId::B, 54);
+    let mut m2 = rank(GroupId::B, 55);
+    let r1a = evaluate(&mut m1, challenge).unwrap();
+    let r1b = evaluate(&mut m1, challenge).unwrap();
+    let r2 = evaluate(&mut m2, challenge).unwrap();
+    assert!(normalized_distance(&r1a, &r1b) < 0.08, "rank intra");
+    assert!(normalized_distance(&r1a, &r2) > 0.2, "rank inter");
+    // Per-lane weights: every chip contributes biased-but-nonconstant
+    // bits (byte-lane striping interleaves them 8 bits at a time).
+    for lane in 0..8 {
+        let lane_bits: Vec<bool> = (0..r1a.len())
+            .filter(|col| (col / 8) % 8 == lane)
+            .map(|col| r1a.get(col).unwrap())
+            .collect();
+        let ones = lane_bits.iter().filter(|&&b| b).count();
+        assert!(ones > 0 && ones < lane_bits.len(), "lane {lane} constant");
+    }
+}
+
+#[test]
+fn rank_fractional_state_is_consistent_across_chips() {
+    let mut mc = rank(GroupId::B, 56);
+    let row = RowAddr::new(0, 5);
+    store_fractional(&mut mc, row, true, 3).unwrap();
+    let t = mc.clock();
+    // Every chip's cell 0 sits strictly between Vdd/2 and Vdd.
+    for chip in 0..8 {
+        let v = mc
+            .module_mut()
+            .chip_mut(chip)
+            .probe_cell_voltage(row, 0, t)
+            .value();
+        assert!(v > 0.74 && v < 1.5, "chip {chip}: v = {v}");
+    }
+}
