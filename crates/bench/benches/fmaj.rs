@@ -2,9 +2,9 @@
 //! activation (including the fractional-row preparation) and the
 //! six-combination coverage scan, on groups B and C.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram::fmaj::{combo_breakdown, fmaj, FmajConfig};
 use fracdram::rowsets::Quad;
+use fracdram_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
 use fracdram_softmc::MemoryController;
 

@@ -1,9 +1,9 @@
 //! Half-m benches (Figs. 4 and 8): the masked ternary write (four row
 //! stores + the interrupted four-row activation) and its read-back.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fracdram::halfm::{halfm_all, halfm_masked, read_back};
 use fracdram::rowsets::Quad;
+use fracdram_bench::{criterion_group, criterion_main, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
 use fracdram_softmc::MemoryController;
 

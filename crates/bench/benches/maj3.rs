@@ -2,10 +2,10 @@
 //! in-memory majority, the six-combination coverage scan, and the
 //! two-majority fractional verification.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fracdram::maj3::{maj3, maj3_coverage};
 use fracdram::rowsets::Triplet;
 use fracdram::verify::{verify_fractional, FracPlacement, VerifySetup};
+use fracdram_bench::{criterion_group, criterion_main, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, SubarrayAddr};
 use fracdram_softmc::MemoryController;
 

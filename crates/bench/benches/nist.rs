@@ -1,7 +1,7 @@
 //! NIST SP 800-22 benches (§VI-B2): the full 15-test suite on a 100k-bit
 //! stream, plus the three heaviest individual tests.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fracdram_bench::{criterion_group, criterion_main, Criterion};
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::nist;
 

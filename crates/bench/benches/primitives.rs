@@ -2,12 +2,12 @@
 //! glitch sequence, the in-DRAM row copy, and plain row traffic as the
 //! baseline — simulator throughput for each command program.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram::frac::frac_program;
 use fracdram::halfm::halfm_program;
 use fracdram::multirow::glitch_program;
 use fracdram::rowcopy::copy_program;
 use fracdram::rowsets::Quad;
+use fracdram_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
 use fracdram_softmc::MemoryController;
 

@@ -1,8 +1,8 @@
 //! Frac-PUF benches (Figs. 11-12): one challenge evaluation at two
 //! response widths, the intra-HD comparison, and the whitening pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram::puf::{challenge_set, evaluate, whitened_stream, Challenge};
+use fracdram_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
 use fracdram_softmc::MemoryController;
 use fracdram_stats::hamming::normalized_distance;

@@ -2,8 +2,8 @@
 //! measurement of a row, with and without Frac operations, plus the
 //! classification pass.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram::retention::{classify_cells, measure_row};
+use fracdram_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr};
 use fracdram_softmc::MemoryController;
 

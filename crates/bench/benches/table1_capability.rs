@@ -1,8 +1,8 @@
 //! Table I bench: the per-module capability survey (Frac probe +
 //! canonical multi-row activation probes) across representative groups.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram::multirow::survey;
+use fracdram_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig};
 use fracdram_softmc::MemoryController;
 

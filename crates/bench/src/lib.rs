@@ -1,1 +1,266 @@
-//! Benchmark-only crate; see the benches/ directory.
+//! A minimal, dependency-free benchmark harness with a criterion-shaped
+//! API.
+//!
+//! The workspace builds in fully offline environments, so the benches
+//! cannot pull in the real `criterion` crate. This module provides the
+//! subset the bench files use — [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple warmup + timed-batch
+//! measurement loop. Reported numbers are mean wall time per iteration;
+//! good enough to track order-of-magnitude trajectories across PRs,
+//! not a statistics engine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function that prevents the optimizer from
+/// deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver: runs each registered benchmark and
+/// prints one line per measurement.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            measurement: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures a single benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, self.measurement, &mut f);
+        self
+    }
+
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of measurements sharing a prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of measured iterations for the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size(n);
+        self
+    }
+
+    /// Measures one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement,
+            &mut f,
+        );
+        self
+    }
+
+    /// Measures one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(
+            &label,
+            self.criterion.sample_size,
+            self.criterion.measurement,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (accepted for criterion API parity).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally carrying a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs and times
+/// the measured routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    measurement: Duration,
+    f: &mut F,
+) {
+    // Warmup + calibration: find an iteration count that fills the
+    // measurement window.
+    let mut calib = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut calib);
+    let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+    let target = measurement.as_nanos() / per_iter.as_nanos().max(1);
+    let iters = target.clamp(sample_size as u128, 1_000_000) as u64;
+
+    let mut bencher = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    println!(
+        "bench: {label:<44} {:>12}/iter  ({} iters)",
+        human(ns),
+        bencher.iters
+    );
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Registers benchmark functions under a group name (criterion parity).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($fun:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $fun(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running the registered groups (criterion parity).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_input_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| {
+                total += n;
+                black_box(total)
+            })
+        });
+        group.finish();
+        assert!(total >= 3);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 7).0, "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).contains("ns"));
+        assert!(human(12_000.0).contains("µs"));
+        assert!(human(12_000_000.0).contains("ms"));
+        assert!(human(2e9).contains('s'));
+    }
+}

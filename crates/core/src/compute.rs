@@ -17,7 +17,6 @@
 
 use fracdram_model::{Cycles, Geometry, RowAddr, SubarrayAddr};
 use fracdram_softmc::MemoryController;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{FracDramError, Result};
 use crate::fmaj::{self, FmajConfig};
@@ -27,7 +26,7 @@ use crate::rowcopy::copy_row;
 use crate::rowsets::{Quad, Triplet};
 
 /// Which in-memory majority implementation a module uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MajorityKind {
     /// Native three-row MAJ3 (ComputeDRAM; group B).
     Native3,
@@ -38,7 +37,7 @@ pub enum MajorityKind {
 
 /// One executed operation's outcome: the result location and the cycle
 /// bill.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpReceipt {
     /// Row the result was copied to.
     pub result: RowAddr,

@@ -12,7 +12,6 @@
 
 use fracdram_model::{Cycles, Geometry, GroupId};
 use fracdram_softmc::{MemoryController, Program};
-use serde::{Deserialize, Serialize};
 
 use crate::error::{FracDramError, Result};
 use crate::frac::{frac_program, FRAC_CYCLES};
@@ -26,7 +25,7 @@ use crate::rowsets::Quad;
 const SENSE_WAIT: u64 = 6;
 
 /// Placement and level of the fractional operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FmajConfig {
     /// Which activation role (0 = R1 … 3 = R4) holds the fractional
     /// value.
@@ -174,7 +173,7 @@ pub fn fmaj(
         mc.write_row(rows[slot], bits)?;
     }
     let outcome = mc.run(&fmaj_program(quad, &geometry))?;
-    Ok(outcome.reads.into_iter().next().unwrap_or_default())
+    Ok(outcome.single_read()?)
 }
 
 /// Per-column coverage of F-MAJ under `config`: the fraction of columns
@@ -188,7 +187,7 @@ pub fn fmaj_coverage(mc: &mut MemoryController, quad: &Quad, config: &FmajConfig
 }
 
 /// Per-input-combination correctness of F-MAJ (Fig. 10a).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComboBreakdown {
     /// Correct fraction for each of [`TEST_COMBINATIONS`], in order.
     pub per_combo: [f64; 6],

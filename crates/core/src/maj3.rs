@@ -91,7 +91,7 @@ pub fn maj3_in_place(mc: &mut MemoryController, triplet: &Triplet) -> Result<Vec
     }
     let geometry = *mc.module().geometry();
     let outcome = mc.run(&maj3_program(triplet, &geometry))?;
-    Ok(outcome.reads.into_iter().next().unwrap_or_default())
+    Ok(outcome.single_read()?)
 }
 
 /// Stores three operands and executes MAJ3 — the full ComputeDRAM flow.

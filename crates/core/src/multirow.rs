@@ -10,7 +10,6 @@
 
 use fracdram_model::{GroupId, RowAddr, SubarrayAddr};
 use fracdram_softmc::{MemoryController, Program};
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::frac::frac_program;
@@ -51,7 +50,7 @@ pub fn open_rows_after(mc: &mut MemoryController, r1: RowAddr, r2: RowAddr) -> R
 }
 
 /// One probed `(R1, R2)` pair and the number of rows it opened.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PairProbe {
     /// Local row driven by the first ACTIVATE.
     pub r1: usize,
@@ -91,7 +90,7 @@ pub fn explore_pairs(
 }
 
 /// Empirically measured capabilities of one module — the Table I row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capabilities {
     /// Group of the surveyed module.
     pub group: GroupId,

@@ -16,7 +16,6 @@ use fracdram_model::{Cycles, Geometry, RowAddr};
 use fracdram_softmc::MemoryController;
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::extractor::von_neumann;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::frac::{frac_program, require_frac_support, FRAC_CYCLES};
@@ -28,7 +27,7 @@ pub const PUF_FRAC_OPS: usize = 10;
 
 /// A PUF challenge: the address of the memory segment to fingerprint.
 /// The paper fixes the segment length to one 8 KB row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Challenge {
     /// Bank index.
     pub bank: usize,
@@ -152,7 +151,7 @@ pub fn authenticate(enrolled: &BitVec, fresh: &BitVec, threshold: f64) -> bool {
 }
 
 /// Cycle cost of one PUF evaluation (§VI-B2's accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EvalCost {
     /// Preparation: one in-DRAM row initialization plus the Frac
     /// operations. The paper's 88 cycles = 18-cycle row init + 10 × 7;

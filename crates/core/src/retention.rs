@@ -16,13 +16,12 @@
 
 use fracdram_model::{RowAddr, Seconds};
 use fracdram_softmc::MemoryController;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::frac::frac_program;
 
 /// The six retention-time ranges of Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RetentionBucket {
     /// The cell reads zero immediately after the last operation (its
     /// voltage is already below the sensing threshold).
@@ -157,7 +156,7 @@ pub fn measure_row_voted(
 }
 
 /// Bucket counts of one measured row — a column of the Fig. 6 heatmap.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BucketCounts {
     /// Number of cells per bucket, in [`RetentionBucket::ALL`] order.
     pub counts: [usize; 6],
@@ -198,7 +197,7 @@ impl BucketCounts {
 
 /// Change-pattern category of one cell across increasing Frac counts
 /// (the bracketed proportions of Fig. 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CellCategory {
     /// `> 12 h` at every Frac count — retention longer than the profile
     /// can resolve.
@@ -242,7 +241,7 @@ pub fn classify_cells(per_count: &[Vec<RetentionBucket>]) -> Vec<CellCategory> {
 
 /// Category proportions — the bracketed `[long, monotonic, other]`
 /// numbers printed on each Fig. 6 panel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CategoryShares {
     /// Fraction of cells with unresolvably long retention.
     pub long: f64,

@@ -17,7 +17,6 @@
 
 use fracdram_model::{RowAddr, Volts};
 use fracdram_softmc::MemoryController;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::frac::{frac_program, physical_pattern, require_frac_support};
@@ -34,7 +33,7 @@ pub fn ladder_level(vdd: f64, settle: f64, cap_ratio: f64, n: usize) -> f64 {
 }
 
 /// One column's reverse-engineered threshold bracket.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdEstimate {
     /// Lower bound of the effective threshold (volts).
     pub lo: Volts,

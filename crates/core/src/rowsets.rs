@@ -16,12 +16,11 @@
 //! weights of the device model (the "primary row" asymmetry of §VI-A2).
 
 use fracdram_model::{Geometry, GroupId, RowAddr, SubarrayAddr};
-use serde::{Deserialize, Serialize};
 
 use crate::error::{FracDramError, Result};
 
 /// A ComputeDRAM-style three-row activation set within one sub-array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Triplet {
     subarray: SubarrayAddr,
     /// `k` in `{4k, 4k+1, 4k+2}`.
@@ -78,7 +77,7 @@ impl Triplet {
 }
 
 /// A four-row activation set (span) within one sub-array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Quad {
     subarray: SubarrayAddr,
     /// Local rows in activation-role order `[R1, R2, R3, R4]`.

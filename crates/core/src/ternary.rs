@@ -32,7 +32,6 @@
 
 use fracdram_model::{Geometry, GroupId, RowAddr};
 use fracdram_softmc::MemoryController;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{FracDramError, Result};
 use crate::frac::physical_pattern;
@@ -41,7 +40,7 @@ use crate::maj3::maj3_in_place;
 use crate::rowsets::{Quad, Triplet};
 
 /// A ternary digit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Trit {
     /// Logical zero (weak zero after Half-m).
     Zero,
@@ -82,7 +81,7 @@ impl Trit {
 
 /// The two Half-m quads (primary + mirror copy) holding one trit row,
 /// plus the spare probe row used by the destructive readout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TernarySlot {
     /// Copy read for `X₁` (probe = ones).
     pub copy_a: Quad,

@@ -21,7 +21,6 @@
 use fracdram_model::{Cycles, Geometry, RowAddr, SubarrayAddr};
 use fracdram_softmc::{MemoryController, Program};
 use fracdram_stats::bits::BitVec;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{FracDramError, Result};
 use crate::frac::physical_pattern;
@@ -40,7 +39,7 @@ pub struct Trng {
 }
 
 /// Throughput report of a TRNG session.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrngReport {
     /// Extracted random bits produced.
     pub bits: usize,
@@ -135,9 +134,7 @@ impl Trng {
     pub fn raw_sample(&self, mc: &mut MemoryController) -> Result<BitVec> {
         let geometry = *mc.module().geometry();
         let outcome = mc.run(&self.sample_program(&geometry))?;
-        Ok(BitVec::from_bools(
-            &outcome.reads.into_iter().next().unwrap_or_default(),
-        ))
+        Ok(BitVec::from_bools(&outcome.single_read()?))
     }
 
     /// Produces at least `n` extracted random bits, returning the bits

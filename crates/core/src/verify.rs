@@ -11,7 +11,6 @@
 
 use fracdram_model::Geometry;
 use fracdram_softmc::MemoryController;
-use serde::{Deserialize, Serialize};
 
 use crate::error::Result;
 use crate::frac::store_fractional;
@@ -20,7 +19,7 @@ use crate::rowsets::Triplet;
 
 /// Which two triplet rows receive the fractional value (Fig. 7 runs
 /// both placements).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FracPlacement {
     /// Fractional values in `R1` and `R2`; the full value goes to `R3`
     /// (Fig. 7 a/b).
@@ -31,7 +30,7 @@ pub enum FracPlacement {
 }
 
 /// Configuration of one verification run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VerifySetup {
     /// Placement of the fractional rows.
     pub placement: FracPlacement,
@@ -91,7 +90,7 @@ pub fn verify_fractional(
 
 /// Proportions of the four `(X₁, X₂)` outcomes — one bar group of
 /// Fig. 7.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutcomeShares {
     /// `X₁ = 1, X₂ = 1` (rows behaved like full ones).
     pub one_one: f64,

@@ -10,20 +10,22 @@
 //!    §VI-B2 viability);
 //! 4. sense-offset group mean → PUF Hamming weight (Fig. 11).
 //!
+//! Every sweep point is an independent die, so each section runs as a
+//! small fleet with the sweep index in the task's `variant` slot.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin ablation
+//! cargo run --release -p fracdram-experiments --bin ablation [-- --jobs N]
 //! ```
 
-use fracdram::fmaj::{fmaj, fmaj_coverage, FmajConfig};
+use fracdram::fmaj::{fmaj_coverage, FmajConfig};
 use fracdram::maj3::maj3_coverage;
 use fracdram::puf::{evaluate, Challenge};
 use fracdram::rowsets::{Quad, Triplet};
-use fracdram_experiments::{render, Args};
+use fracdram_experiments::{fleet, render, tasks, Args, Json, TaskKey};
 use fracdram_model::{DeviceParams, Geometry, GroupId, Module, ModuleConfig, SubarrayAddr, Volts};
 use fracdram_softmc::MemoryController;
 use fracdram_stats::hamming::normalized_distance;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fracdram_stats::rng::Rng;
 
 fn geometry() -> Geometry {
     Geometry {
@@ -49,11 +51,16 @@ fn main() {
     if args.usage(
         "ablation",
         "turn each model knob and watch the corresponding paper result move",
-        &[("seed", "base die seed (default 15)")],
+        &[
+            ("seed", "base die seed (default 15)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured sweep results to PATH"),
+        ],
     ) {
         return;
     }
     let seed = args.u64("seed", 15);
+    let jobs = args.jobs();
 
     // ---- 1. static weight variation vs coverage ----------------------
     println!(
@@ -64,9 +71,13 @@ fn main() {
         "{:>8} {:>14} {:>14}",
         "sigma", "MAJ3 coverage", "F-MAJ coverage"
     );
-    for sigma in [0.0, 0.03, 0.06, 0.12, 0.24] {
+    let weight_sigmas = [0.0, 0.03, 0.06, 0.12, 0.24];
+    let plan: Vec<TaskKey> = (0..weight_sigmas.len())
+        .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
+        .collect();
+    let coverage = fleet::run(&plan, seed, jobs, |key, _seed| {
         let params = DeviceParams {
-            share_weight_sigma: sigma,
+            share_weight_sigma: weight_sigmas[key.variant],
             ..DeviceParams::default()
         };
         let mut mc = controller_with(GroupId::B, seed, params);
@@ -75,7 +86,14 @@ fn main() {
         let quad = Quad::canonical(&g, SubarrayAddr::new(0, 1), GroupId::B).unwrap();
         let maj3 = maj3_coverage(&mut mc, &triplet).unwrap();
         let fm = fmaj_coverage(&mut mc, &quad, &FmajConfig::best_for(GroupId::B)).unwrap();
-        println!("{sigma:>8.2} {maj3:>14.3} {fm:>14.3}");
+        ((maj3, fm), *mc.stats())
+    });
+    for report in &coverage.tasks {
+        let (maj3, fm) = report.value;
+        println!(
+            "{:>8.2} {maj3:>14.3} {fm:>14.3}",
+            weight_sigmas[report.key.variant]
+        );
     }
     println!("(coverage is limited by static variation; F-MAJ stays ahead of MAJ3)\n");
 
@@ -88,40 +106,33 @@ fn main() {
         "{:>8} {:>16} {:>16}",
         "sigma", "always-correct", "avg error"
     );
-    for sigma in [0.0, 0.03, 0.06, 0.15] {
+    let jitter_sigmas = [0.0, 0.03, 0.06, 0.15];
+    let plan: Vec<TaskKey> = (0..jitter_sigmas.len())
+        .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
+        .collect();
+    let trials = 60;
+    let stability = fleet::run(&plan, seed, jobs, |key, _seed| {
         let params = DeviceParams {
-            share_temporal_sigma: sigma,
+            share_temporal_sigma: jitter_sigmas[key.variant],
             ..DeviceParams::default()
         };
         let mut mc = controller_with(GroupId::B, seed, params);
         let g = *mc.module().geometry();
         let quad = Quad::canonical(&g, SubarrayAddr::new(0, 0), GroupId::B).unwrap();
         let config = FmajConfig::best_for(GroupId::B);
-        let width = mc.module().row_bits();
-        let trials = 60;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut correct = vec![0usize; width];
-        for _ in 0..trials {
-            let a: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-            let b: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-            let c: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-            let result = fmaj(&mut mc, &quad, &config, [&a, &b, &c]).unwrap();
-            for col in 0..width {
-                let expect = [a[col], b[col], c[col]].iter().filter(|&&x| x).count() >= 2;
-                if result[col] == expect {
-                    correct[col] += 1;
-                }
-            }
-        }
-        let always = correct.iter().filter(|&&c| c == trials).count() as f64 / width as f64;
-        let avg_err = 1.0
-            - correct
-                .iter()
-                .map(|&c| c as f64 / trials as f64)
-                .sum::<f64>()
-                / width as f64;
+        // Deliberately the same RNG seed at every sweep point: each
+        // sigma sees the same operand sequence (a paired comparison).
+        let mut rng = Rng::seed_from_u64(seed);
+        let rates = tasks::stability_fmaj(&mut mc, &quad, &config, trials, &mut rng);
+        let always = rates.iter().filter(|&&r| r >= 1.0).count() as f64 / rates.len() as f64;
+        let avg_err = 1.0 - rates.iter().sum::<f64>() / rates.len() as f64;
+        ((always, avg_err), *mc.stats())
+    });
+    for report in &stability.tasks {
+        let (always, avg_err) = report.value;
         println!(
-            "{sigma:>8.2} {:>16} {:>16}",
+            "{:>8.2} {:>16} {:>16}",
+            jitter_sigmas[report.key.variant],
             render::pct(always),
             render::pct(avg_err)
         );
@@ -134,15 +145,25 @@ fn main() {
         render::header("3. per-cell charge injection -> PUF challenge diversity (NIST driver)")
     );
     println!("{:>10} {:>22}", "sigma (V)", "same-subarray HD");
-    for sigma in [0.0, 0.02, 0.05, 0.10] {
+    let inject_sigmas = [0.0, 0.02, 0.05, 0.10];
+    let plan: Vec<TaskKey> = (0..inject_sigmas.len())
+        .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
+        .collect();
+    let diversity = fleet::run(&plan, seed, jobs, |key, _seed| {
         let params = DeviceParams {
-            cell_inject_sigma: Volts(sigma),
+            cell_inject_sigma: Volts(inject_sigmas[key.variant]),
             ..DeviceParams::default()
         };
         let mut mc = controller_with(GroupId::B, seed, params);
         let r1 = evaluate(&mut mc, Challenge::new(0, 3)).unwrap();
         let r2 = evaluate(&mut mc, Challenge::new(0, 4)).unwrap();
-        println!("{sigma:>10.2} {:>22.3}", normalized_distance(&r1, &r2));
+        (normalized_distance(&r1, &r2), *mc.stats())
+    });
+    for report in &diversity.tasks {
+        println!(
+            "{:>10.2} {:>22.3}",
+            inject_sigmas[report.key.variant], report.value
+        );
     }
     println!("(without injection, rows sharing sense amplifiers answer identically:");
     println!(" the challenge space collapses and the whitened stream turns periodic)\n");
@@ -153,14 +174,89 @@ fn main() {
         render::header("4. sense-offset group mean -> PUF Hamming weight (Fig. 11 driver)")
     );
     println!("{:>12} {:>16}", "mean (mV)", "Hamming weight");
-    for group in [GroupId::A, GroupId::B, GroupId::E, GroupId::G] {
-        let mut mc = controller_with(group, seed, DeviceParams::default());
+    let plan: Vec<TaskKey> = [GroupId::A, GroupId::B, GroupId::E, GroupId::G]
+        .into_iter()
+        .map(|group| TaskKey::new(group, 0, 0))
+        .collect();
+    let weights = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = controller_with(key.group, seed, DeviceParams::default());
         let r = evaluate(&mut mc, Challenge::new(1, 7)).unwrap();
+        (r.hamming_weight(), *mc.stats())
+    });
+    for report in &weights.tasks {
         println!(
             "{:>12.1} {:>16.3}",
-            group.profile().sense_offset_mean.value() * 1000.0,
-            r.hamming_weight()
+            report.key.group.profile().sense_offset_mean.value() * 1000.0,
+            report.value
         );
     }
     println!("(larger positive offsets push more columns below threshold: fewer ones)");
+
+    if let Some(path) = args.json_path() {
+        let section = |name: &str, rows: Vec<Json>| {
+            Json::obj()
+                .field("section", name)
+                .field("rows", Json::Arr(rows))
+        };
+        let doc = Json::obj()
+            .field("experiment", "ablation")
+            .field("base_seed", seed)
+            .field(
+                "sections",
+                Json::Arr(vec![
+                    section(
+                        "share_weight_sigma",
+                        coverage
+                            .tasks
+                            .iter()
+                            .map(|t| {
+                                Json::obj()
+                                    .field("sigma", weight_sigmas[t.key.variant])
+                                    .field("maj3_coverage", t.value.0)
+                                    .field("fmaj_coverage", t.value.1)
+                            })
+                            .collect(),
+                    ),
+                    section(
+                        "share_temporal_sigma",
+                        stability
+                            .tasks
+                            .iter()
+                            .map(|t| {
+                                Json::obj()
+                                    .field("sigma", jitter_sigmas[t.key.variant])
+                                    .field("always_correct", t.value.0)
+                                    .field("avg_error", t.value.1)
+                            })
+                            .collect(),
+                    ),
+                    section(
+                        "cell_inject_sigma",
+                        diversity
+                            .tasks
+                            .iter()
+                            .map(|t| {
+                                Json::obj()
+                                    .field("sigma", inject_sigmas[t.key.variant])
+                                    .field("hd", t.value)
+                            })
+                            .collect(),
+                    ),
+                    section(
+                        "sense_offset_mean",
+                        weights
+                            .tasks
+                            .iter()
+                            .map(|t| {
+                                Json::obj()
+                                    .field("group", t.key.group.to_string())
+                                    .field("hamming_weight", t.value)
+                            })
+                            .collect(),
+                    ),
+                ]),
+            );
+        std::fs::write(path, format!("{doc}\n"))
+            .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
 }

@@ -9,14 +9,17 @@
 //!
 //! Group B additionally opens *three* rows for ComputeDRAM pairs.
 //!
+//! The pair exploration fans out over the fleet with one task per
+//! group; histogram and findings analysis happen at the merge.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin decoder_survey [-- --rows N]
+//! cargo run --release -p fracdram-experiments --bin decoder_survey [-- --rows N --jobs N]
 //! ```
 
 use std::collections::BTreeMap;
 
 use fracdram::multirow::explore_pairs;
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{GroupId, SubarrayAddr};
 
 fn main() {
@@ -30,16 +33,30 @@ fn main() {
                 "rows scanned per sub-array (default 16 -> 240 pairs)",
             ),
             ("seed", "die seed (default 16)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
     }
     let rows = args.usize("rows", 16);
     let seed = args.u64("seed", 16);
+    let jobs = args.jobs();
 
-    for group in [GroupId::B, GroupId::C, GroupId::D, GroupId::F] {
-        let mut mc = setup::controller(group, setup::compute_geometry(), seed);
+    let plan: Vec<TaskKey> = [GroupId::B, GroupId::C, GroupId::D, GroupId::F]
+        .into_iter()
+        .map(|group| TaskKey::new(group, 0, 0))
+        .collect();
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
         let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), rows).expect("explore");
+        (probes, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
+    for report in &run.tasks {
+        let group = report.key.group;
+        let probes = &report.value;
 
         println!(
             "{}",
@@ -51,7 +68,7 @@ fn main() {
         );
         // Histogram of opened-row counts.
         let mut by_count: BTreeMap<usize, usize> = BTreeMap::new();
-        for p in &probes {
+        for p in probes {
             *by_count.entry(p.opened).or_default() += 1;
         }
         print!("  opened-rows histogram:");
@@ -77,7 +94,7 @@ fn main() {
 
         // Finding 2: multi-row pairs differ in exactly k bits.
         let mut mismatches = 0;
-        for p in &probes {
+        for p in probes {
             if p.opened > 1 && p.opened.is_power_of_two() {
                 let k = (p.r1 ^ p.r2).count_ones();
                 if 1usize << k != p.opened {
@@ -89,7 +106,7 @@ fn main() {
 
         // Finding 3: per k, how many k-bit-differing pairs actually glitch.
         let mut glitched: BTreeMap<u32, (usize, usize)> = BTreeMap::new();
-        for p in &probes {
+        for p in probes {
             let k = (p.r1 ^ p.r2).count_ones();
             if k == 0 || group == GroupId::B && p.opened == 3 {
                 continue;
@@ -106,6 +123,17 @@ fn main() {
         }
         println!("\n");
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("decoder_survey", path, |probes| {
+            let multi = probes.iter().filter(|p| p.opened > 1).count();
+            Json::obj()
+                .field("pairs", probes.len())
+                .field("multi_row_pairs", multi)
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("paper: \"only N rows can be opened where N is a power of two; all");
     println!("combinations that open 2^k rows have k bits in difference; however,");
     println!("not all combinations with k different bits can open 2^k rows.\"");

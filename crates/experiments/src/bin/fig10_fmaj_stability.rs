@@ -6,87 +6,39 @@
 //! The headline numbers this regenerates: the average error rate of
 //! in-memory majority drops from ~9 % (MAJ3) to ~2 % (F-MAJ) on group B.
 //!
+//! The (b)/(c) sweep fans out over the experiment fleet: one task per
+//! (group, module, sub-array), each with its own controller and
+//! task-derived RNG, so `--jobs N` changes wall time but never output.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig10_fmaj_stability [-- --trials N]
+//! cargo run --release -p fracdram-experiments --bin fig10_fmaj_stability [-- --trials N --jobs N]
 //! ```
 
-use fracdram::fmaj::{combo_breakdown, fmaj, FmajConfig};
-use fracdram::maj3::{maj3, TEST_COMBINATIONS};
+use fracdram::fmaj::{combo_breakdown, FmajConfig};
+use fracdram::maj3::TEST_COMBINATIONS;
 use fracdram::rowsets::{Quad, Triplet};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, tasks, Args, Json, TaskKey};
 use fracdram_model::{GroupId, SubarrayAddr};
-use fracdram_softmc::MemoryController;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fracdram_stats::rng::Rng;
+use fracdram_stats::summary::quantile;
 
-/// Per-column success counts over repeated random-input trials.
-fn stability_fmaj(
-    mc: &mut MemoryController,
-    quad: &Quad,
-    config: &FmajConfig,
-    trials: usize,
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    let width = mc.module().row_bits();
-    let mut correct = vec![0usize; width];
-    for _ in 0..trials {
-        let a: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let b: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let c: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let result = fmaj(mc, quad, config, [&a, &b, &c]).expect("fmaj");
-        for col in 0..width {
-            let expect = [a[col], b[col], c[col]].iter().filter(|&&x| x).count() >= 2;
-            if result[col] == expect {
-                correct[col] += 1;
-            }
-        }
-    }
-    correct
-        .into_iter()
-        .map(|c| c as f64 / trials as f64)
-        .collect()
-}
-
-/// Per-column success rates for the baseline MAJ3 under random inputs.
-fn stability_maj3(
-    mc: &mut MemoryController,
-    triplet: &Triplet,
-    trials: usize,
-    rng: &mut StdRng,
-) -> Vec<f64> {
-    let width = mc.module().row_bits();
-    let mut correct = vec![0usize; width];
-    for _ in 0..trials {
-        let a: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let b: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let c: Vec<bool> = (0..width).map(|_| rng.gen()).collect();
-        let result = maj3(mc, triplet, [&a, &b, &c]).expect("maj3");
-        for col in 0..width {
-            let expect = [a[col], b[col], c[col]].iter().filter(|&&x| x).count() >= 2;
-            if result[col] == expect {
-                correct[col] += 1;
-            }
-        }
-    }
-    correct
-        .into_iter()
-        .map(|c| c as f64 / trials as f64)
-        .collect()
+/// One (b)/(c) fleet task: F-MAJ stability plus, on group B, the MAJ3
+/// baseline measured on the same controller.
+struct Stability {
+    fmaj: Vec<f64>,
+    maj3: Option<Vec<f64>>,
 }
 
 fn print_cdf(label: &str, stability: &[f64]) {
-    let mut sorted = stability.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let always = sorted.iter().filter(|&&s| s >= 1.0).count() as f64 / sorted.len() as f64;
-    let avg_err = 1.0 - sorted.iter().sum::<f64>() / sorted.len() as f64;
-    let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p) as usize];
+    let always = stability.iter().filter(|&&s| s >= 1.0).count() as f64 / stability.len() as f64;
+    let avg_err = 1.0 - stability.iter().sum::<f64>() / stability.len() as f64;
     println!(
         "  {label:<24} always-correct {:>6}   avg error {:>6}   p1/p10/p50 stability {:.3}/{:.3}/{:.3}",
         render::pct(always),
         render::pct(avg_err),
-        q(0.01),
-        q(0.10),
-        q(0.50),
+        quantile(stability, 0.01),
+        quantile(stability, 0.10),
+        quantile(stability, 0.50),
     );
 }
 
@@ -106,6 +58,8 @@ fn main() {
             ),
             ("modules", "modules per group (default 2)"),
             ("seed", "base seed (default 10)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -114,6 +68,7 @@ fn main() {
     let subarrays = args.usize("subarrays", 4);
     let modules = args.usize("modules", 2);
     let seed = args.u64("seed", 10);
+    let jobs = args.jobs();
 
     // ---- (a) per-combination breakdown, group C, frac in R1, ones ----
     println!(
@@ -158,29 +113,50 @@ fn main() {
     println!("(combos with majority 1 start near 100% at 0 Frac; majority-0 combos start low");
     println!(" and rise as Frac drains the R1 charge — the Fig. 10a green/blue crossover)\n");
 
-    // ---- (b)/(c) stability CDFs --------------------------------------
+    // ---- (b)/(c) stability CDFs over the fleet ------------------------
     println!(
         "{}",
         render::header("Fig. 10b/c — stability over random-input trials")
     );
     println!("trials per sub-array: {trials}\n");
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+
+    let mut plan = Vec::new();
+    for group in [GroupId::B, GroupId::C] {
+        for m in 0..modules {
+            for s in 0..subarrays {
+                plan.push(TaskKey::new(group, m, s));
+            }
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, task_seed| {
+        let mut mc = setup::controller(
+            key.group,
+            setup::compute_geometry(),
+            seed + 100 + key.module as u64,
+        );
+        let geometry = *mc.module().geometry();
+        let sa = SubarrayAddr::new(key.subarray % geometry.banks, key.subarray / geometry.banks);
+        let quad = Quad::canonical(&geometry, sa, key.group).expect("quad");
+        let config = FmajConfig::best_for(key.group);
+        let mut rng = Rng::seed_from_u64(task_seed);
+        let fmaj = tasks::stability_fmaj(&mut mc, &quad, &config, trials, &mut rng);
+        let maj3 = (key.group == GroupId::B).then(|| {
+            let triplet = Triplet::first(&geometry, sa);
+            tasks::stability_maj3(&mut mc, &triplet, trials, &mut rng)
+        });
+        (Stability { fmaj, maj3 }, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
     for group in [GroupId::B, GroupId::C] {
         println!("group {group}:");
         let config = FmajConfig::best_for(group);
         let mut fmaj_stab = Vec::new();
         let mut maj3_stab = Vec::new();
-        for m in 0..modules {
-            let mut mc = setup::controller(group, setup::compute_geometry(), seed + 100 + m as u64);
-            let geometry = *mc.module().geometry();
-            for s in 0..subarrays {
-                let sa = SubarrayAddr::new(s % geometry.banks, s / geometry.banks);
-                let quad = Quad::canonical(&geometry, sa, group).expect("quad");
-                fmaj_stab.extend(stability_fmaj(&mut mc, &quad, &config, trials, &mut rng));
-                if group == GroupId::B {
-                    let triplet = Triplet::first(&geometry, sa);
-                    maj3_stab.extend(stability_maj3(&mut mc, &triplet, trials, &mut rng));
-                }
+        for report in run.tasks.iter().filter(|t| t.key.group == group) {
+            fmaj_stab.extend_from_slice(&report.value.fmaj);
+            if let Some(maj3) = &report.value.maj3 {
+                maj3_stab.extend_from_slice(maj3);
             }
         }
         if !maj3_stab.is_empty() {
@@ -189,6 +165,19 @@ fn main() {
         print_cdf(&format!("F-MAJ ({config:?})"), &fmaj_stab);
         println!();
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig10_fmaj_stability", path, |v| {
+            let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
+            let mut obj = Json::obj().field("fmaj_mean", mean(&v.fmaj));
+            if let Some(maj3) = &v.maj3 {
+                obj = obj.field("maj3_mean", mean(maj3));
+            }
+            obj
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("paper: group B F-MAJ has >= 95.4% always-correct columns and the");
     println!("average error rate improves from 9.1% (MAJ3) to 2.2% (F-MAJ);");
     println!("group C modules span ~33-85% always-correct columns.");

@@ -4,18 +4,26 @@
 //!
 //! Each module answers the same challenge set twice (intra-HD pairs its
 //! two responses per challenge); inter-HD pairs responses to the same
-//! challenge across modules.
+//! challenge across modules. Response collection fans out over the
+//! fleet with one task per (group, module); all HD analysis happens at
+//! the merge, in plan order.
 //!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig11_puf_hd [-- --challenges N --cols N]
+//! cargo run --release -p fracdram-experiments --bin fig11_puf_hd [-- --challenges N --jobs N]
 //! ```
 
 use fracdram::puf::{challenge_set, evaluate};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::GroupId;
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::hamming::normalized_distance;
 use fracdram_stats::Summary;
+
+/// One module's PUF session: two passes over the challenge set.
+struct Responses {
+    first: Vec<BitVec>,
+    second: Vec<BitVec>,
+}
 
 fn main() {
     let args = Args::parse();
@@ -33,6 +41,8 @@ fn main() {
                 "columns per chip row (default 1024; paper row: 8192x8)",
             ),
             ("seed", "base seed (default 11)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -41,6 +51,7 @@ fn main() {
     let modules = args.usize("modules", 2);
     let cols = args.usize("cols", 1024);
     let seed = args.u64("seed", 11);
+    let jobs = args.jobs();
 
     let geometry = setup::puf_geometry(cols);
     let challenges = challenge_set(&geometry, n_challenges, seed);
@@ -60,35 +71,47 @@ fn main() {
         "", "intra", "intra", "inter", "inter", "",
     );
 
-    // responses[group][module][challenge] -> (first, second) evaluation.
-    let mut first_by_group: Vec<Vec<Vec<BitVec>>> = Vec::new();
+    let mut plan = Vec::new();
+    for &group in &groups {
+        for m in 0..modules {
+            plan.push(TaskKey::new(group, m, 0));
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
+        let first: Vec<BitVec> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut mc, c).expect("puf"))
+            .collect();
+        let second: Vec<BitVec> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut mc, c).expect("puf"))
+            .collect();
+        (Responses { first, second }, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
+    // responses[group][module][challenge] -> first evaluation.
+    let mut first_by_group: Vec<Vec<&Vec<BitVec>>> = Vec::new();
     let mut global_max_intra: f64 = 0.0;
     let mut global_min_inter: f64 = 1.0;
-    for (gi, &group) in groups.iter().enumerate() {
-        let mut first = Vec::new();
+    for &group in &groups {
+        let reports: Vec<_> = run.tasks.iter().filter(|t| t.key.group == group).collect();
         let mut intra = Vec::new();
         let mut weights = Vec::new();
-        for m in 0..modules {
-            let mut mc = setup::controller(group, geometry, seed + m as u64);
-            let r1: Vec<BitVec> = challenges
-                .iter()
-                .map(|&c| evaluate(&mut mc, c).expect("puf"))
-                .collect();
-            let r2: Vec<BitVec> = challenges
-                .iter()
-                .map(|&c| evaluate(&mut mc, c).expect("puf"))
-                .collect();
-            for (a, b) in r1.iter().zip(&r2) {
+        let mut first = Vec::new();
+        for report in &reports {
+            for (a, b) in report.value.first.iter().zip(&report.value.second) {
                 intra.push(normalized_distance(a, b));
             }
-            weights.extend(r1.iter().map(|r| r.hamming_weight()));
-            first.push(r1);
+            weights.extend(report.value.first.iter().map(|r| r.hamming_weight()));
+            first.push(&report.value.first);
         }
         // Inter-HD within the group: same challenge, different modules.
         let mut inter = Vec::new();
         for a in 0..first.len() {
             for b in a + 1..first.len() {
-                for (ra, rb) in first[a].iter().zip(&first[b]) {
+                for (ra, rb) in first[a].iter().zip(first[b].iter()) {
                     inter.push(normalized_distance(ra, rb));
                 }
             }
@@ -109,7 +132,6 @@ fn main() {
             hw.mean,
         );
         first_by_group.push(first);
-        let _ = gi;
     }
 
     // Cross-group inter-HD: same challenge, modules from different groups.
@@ -118,7 +140,7 @@ fn main() {
         for b in a + 1..first_by_group.len() {
             for ma in &first_by_group[a] {
                 for mb in &first_by_group[b] {
-                    for (ra, rb) in ma.iter().zip(mb) {
+                    for (ra, rb) in ma.iter().zip(mb.iter()) {
                         cross.push(normalized_distance(ra, rb));
                     }
                 }
@@ -131,6 +153,17 @@ fn main() {
         "{:<6} {:>8} {:>9} {:>9.3} {:>9.3}",
         "cross", "", "", sc.min, sc.mean
     );
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig11_puf_hd", path, |v| {
+            let mean_hw = v.first.iter().map(|r| r.hamming_weight()).sum::<f64>()
+                / v.first.len().max(1) as f64;
+            Json::obj()
+                .field("responses", v.first.len())
+                .field("mean_hamming_weight", mean_hw)
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
 
     println!("\nmax intra-HD (all groups) = {global_max_intra:.3} (paper max: 0.051)");
     println!("min inter-HD (all pairs)  = {global_min_inter:.3} (paper min: 0.27)");

@@ -4,12 +4,16 @@
 //! temperatures (40/60/80 °C), compared against enrollment responses
 //! taken at nominal conditions (20 °C, 1.5 V).
 //!
+//! Enrollment and every condition's fresh responses are all independent
+//! PUF sessions, so the whole figure runs as one fleet: variant 0 is
+//! enrollment, variants 1..=4 are the environmental conditions.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig12_puf_env [-- --challenges N]
+//! cargo run --release -p fracdram-experiments --bin fig12_puf_env [-- --challenges N --jobs N]
 //! ```
 
 use fracdram::puf::{challenge_set, evaluate};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{Environment, GroupId, Volts};
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::hamming::normalized_distance;
@@ -25,6 +29,8 @@ fn main() {
             ("modules", "modules per group (default 2)"),
             ("cols", "columns per chip row (default 1024)"),
             ("seed", "base seed (default 12)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -33,26 +39,11 @@ fn main() {
     let modules = args.usize("modules", 2);
     let cols = args.usize("cols", 1024);
     let seed = args.u64("seed", 12);
+    let jobs = args.jobs();
 
     let geometry = setup::puf_geometry(cols);
     let challenges = challenge_set(&geometry, n_challenges, seed);
     let groups: Vec<GroupId> = GroupId::frac_capable_groups().collect();
-
-    // Enrollment at nominal conditions.
-    let mut enrolled: Vec<Vec<Vec<BitVec>>> = Vec::new(); // [group][module][challenge]
-    for &group in &groups {
-        let mut per_group = Vec::new();
-        for m in 0..modules {
-            let mut mc = setup::controller(group, geometry, seed + m as u64);
-            per_group.push(
-                challenges
-                    .iter()
-                    .map(|&c| evaluate(&mut mc, c).expect("puf"))
-                    .collect::<Vec<_>>(),
-            );
-        }
-        enrolled.push(per_group);
-    }
 
     let conditions = [
         (
@@ -67,6 +58,40 @@ fn main() {
         ),
     ];
 
+    // Variant 0 = enrollment at nominal conditions; variants 1..=4 =
+    // fresh responses under each environmental condition. Every session
+    // is an independent controller, so all of them fan out together.
+    let mut plan = Vec::new();
+    for variant in 0..=conditions.len() {
+        for &group in &groups {
+            for m in 0..modules {
+                plan.push(TaskKey::new(group, m, 0).with_variant(variant));
+            }
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
+        if key.variant > 0 {
+            mc.module_mut()
+                .set_environment(conditions[key.variant - 1].1);
+        }
+        let responses: Vec<BitVec> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut mc, c).expect("puf"))
+            .collect();
+        (responses, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
+    // Enrollment responses, flattened in plan order (group-major, then
+    // module) — the same device order every condition's tasks use.
+    let enrolled: Vec<&Vec<BitVec>> = run
+        .tasks
+        .iter()
+        .filter(|t| t.key.variant == 0)
+        .map(|t| &t.value)
+        .collect();
+
     println!(
         "{}",
         render::header("Fig. 12 — Frac-PUF under environmental changes")
@@ -76,29 +101,22 @@ fn main() {
         "{:<24} {:>10} {:>10} {:>10} {:>10}   verdict",
         "condition", "max intra", "mean intra", "min inter", "mean inter"
     );
-    for (label, env) in conditions {
+    for (ci, (label, _)) in conditions.iter().enumerate() {
+        let fresh_all: Vec<&Vec<BitVec>> = run
+            .tasks
+            .iter()
+            .filter(|t| t.key.variant == ci + 1)
+            .map(|t| &t.value)
+            .collect();
         let mut intra = Vec::new();
         let mut inter = Vec::new();
-        let mut fresh_all: Vec<Vec<BitVec>> = Vec::new();
-        for (gi, &group) in groups.iter().enumerate() {
-            for (m, enrolled_module) in enrolled[gi].iter().enumerate() {
-                let mut mc = setup::controller(group, geometry, seed + m as u64);
-                mc.module_mut().set_environment(env);
-                let fresh: Vec<BitVec> = challenges
-                    .iter()
-                    .map(|&c| evaluate(&mut mc, c).expect("puf"))
-                    .collect();
-                for (a, b) in enrolled_module.iter().zip(&fresh) {
-                    intra.push(normalized_distance(a, b));
-                }
-                fresh_all.push(fresh);
-            }
-        }
-        // Inter-HD: fresh vs *other* modules' enrollment (within and
-        // across groups), same challenge.
-        let flat_enrolled: Vec<&Vec<BitVec>> = enrolled.iter().flatten().collect();
         for (i, fresh) in fresh_all.iter().enumerate() {
-            for (j, enr) in flat_enrolled.iter().enumerate() {
+            for (a, b) in enrolled[i].iter().zip(fresh.iter()) {
+                intra.push(normalized_distance(a, b));
+            }
+            // Inter-HD: fresh vs *other* modules' enrollment (within
+            // and across groups), same challenge.
+            for (j, enr) in enrolled.iter().enumerate() {
                 if i == j {
                     continue;
                 }
@@ -123,6 +141,14 @@ fn main() {
             }
         );
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig12_puf_env", path, |responses| {
+            Json::obj().field("responses", responses.len())
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("\npaper: highest intra-HD 0.07 at 1.4 V, lowest inter-HD 0.30; intra-HD");
     println!("grows slightly with temperature but stays far below the minimum inter-HD.");
 }

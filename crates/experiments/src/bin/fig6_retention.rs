@@ -6,15 +6,20 @@
 //! each heatmap column is the retention-bucket PDF at one Frac count.
 //! Groups J/K/L are reported separately (Frac has no effect there).
 //!
+//! Profiling fans out over the fleet with one task per (group, sampled
+//! row); the heatmap merge concatenates per-row buckets in plan order.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig6_retention [-- --rows N]
+//! cargo run --release -p fracdram-experiments --bin fig6_retention [-- --rows N --jobs N]
 //! ```
 
 use fracdram::retention::{
     classify_cells, measure_row_voted, BucketCounts, CategoryShares, RetentionBucket,
 };
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{GroupId, RowAddr};
+
+const MAX_FRAC: usize = 5;
 
 fn main() {
     let args = Args::parse();
@@ -31,6 +36,8 @@ fn main() {
                 "profile repetitions per cell, median-voted (default 3)",
             ),
             ("seed", "base die seed (default 6)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -38,7 +45,7 @@ fn main() {
     let rows = args.usize("rows", 2);
     let votes = args.usize("votes", 3);
     let seed = args.u64("seed", 6);
-    const MAX_FRAC: usize = 5;
+    let jobs = args.jobs();
 
     println!(
         "{}",
@@ -46,18 +53,33 @@ fn main() {
     );
     println!("rows = buckets (top = longest); columns = 0..=5 Frac ops; darker = more cells\n");
 
+    // One task per (group, sampled row): profile that row at every Frac
+    // count on its own controller. The sub-array slot indexes the
+    // sampled row (row 5 of each bank, then 21).
+    let mut plan = Vec::new();
     for group in GroupId::ALL {
-        let mut mc = setup::controller(group, setup::compute_geometry(), seed);
-        // Sample rows spread across banks (row 5 of each bank, then 21).
-        let sample: Vec<RowAddr> = (0..rows)
-            .map(|i| RowAddr::new(i % 2, 5 + 16 * (i / 2)))
+        for i in 0..rows {
+            plan.push(TaskKey::new(group, 0, i));
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
+        let i = key.subarray;
+        let row = RowAddr::new(i % 2, 5 + 16 * (i / 2));
+        let per_count: Vec<Vec<RetentionBucket>> = (0..=MAX_FRAC)
+            .map(|n| measure_row_voted(&mut mc, row, n, votes).expect("measure"))
             .collect();
+        (per_count, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
 
-        // per_count[n] = concatenated buckets of all sampled rows at n ops.
+    for group in GroupId::ALL {
+        // per_count[n] = concatenated buckets of all sampled rows at n
+        // ops, merged in plan (row-sample) order.
         let mut per_count: Vec<Vec<RetentionBucket>> = vec![Vec::new(); MAX_FRAC + 1];
-        for &row in &sample {
+        for report in run.tasks.iter().filter(|t| t.key.group == group) {
             for (n, acc) in per_count.iter_mut().enumerate() {
-                acc.extend(measure_row_voted(&mut mc, row, n, votes).expect("measure"));
+                acc.extend_from_slice(&report.value[n]);
             }
         }
         let pdfs: Vec<[f64; 6]> = per_count
@@ -103,5 +125,15 @@ fn main() {
         let counts: String = (0..=MAX_FRAC).map(|n| format!(" {n} ")).collect();
         println!("  {:>9}  {counts}  (#Frac)\n", "");
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig6_retention", path, |per_count| {
+            Json::obj()
+                .field("frac_counts", per_count.len())
+                .field("cells_per_count", per_count.first().map_or(0, Vec::len))
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("paper: monotonic-decrease cells average ~55% across groups A-I, others < 1%.");
 }

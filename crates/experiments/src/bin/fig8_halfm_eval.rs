@@ -2,8 +2,12 @@
 //! the "weak one" and the Half value (against a 5×Frac reference), and
 //! the MAJ3 verification of the values left in rows 0 and 1.
 //!
+//! The retention profiles track one quad on one die and stay serial;
+//! the MAJ3 verification scan fans out over the fleet with one task per
+//! (initialization, sub-array) cell.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig8_halfm_eval [-- --subarrays N]
+//! cargo run --release -p fracdram-experiments --bin fig8_halfm_eval [-- --subarrays N --jobs N]
 //! ```
 
 use fracdram::frac::{frac_program, physical_pattern};
@@ -11,7 +15,7 @@ use fracdram::halfm::halfm_in_place;
 use fracdram::maj3::maj3_in_place;
 use fracdram::retention::{BucketCounts, RetentionBucket};
 use fracdram::rowsets::{Quad, Triplet};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{GroupId, RowAddr, Seconds, SubarrayAddr};
 use fracdram_softmc::MemoryController;
 
@@ -25,6 +29,13 @@ enum Init {
     /// Two ones, two zeros per column (Half value after Half-m).
     Balanced,
 }
+
+/// The three verification scans, in figure order.
+const SCANS: [(&str, Init, &str); 3] = [
+    ("weak ones", Init::AllOnes, "(1,1)"),
+    ("weak zeros", Init::AllZeros, "(0,0)"),
+    ("Half value", Init::Balanced, "(1,0) = distinguishable Half"),
+];
 
 fn write_quad(mc: &mut MemoryController, quad: &Quad, init: Init) {
     let geometry = *mc.module().geometry();
@@ -71,6 +82,38 @@ where
     buckets
 }
 
+/// One verification task: the (probe=1, probe=0) MAJ3 result pairs for
+/// one initialization on one sub-array.
+fn verify_pairs(
+    mc: &mut MemoryController,
+    subarray: SubarrayAddr,
+    init: Init,
+) -> Vec<(bool, bool)> {
+    let geometry = *mc.module().geometry();
+    let quad = Quad::canonical(&geometry, subarray, GroupId::B).expect("quad");
+    let triplet = Triplet::first(&geometry, subarray);
+    let probe_row = triplet.rows(&geometry)[1]; // local row 2 = role R2
+    let anti: Vec<bool> = physical_pattern(mc, probe_row, true)
+        .into_iter()
+        .map(|b| !b)
+        .collect();
+    let mut run = |probe: bool| -> Vec<bool> {
+        write_quad(mc, &quad, init);
+        halfm_in_place(mc, &quad).expect("halfm");
+        let bits = physical_pattern(mc, probe_row, probe);
+        mc.write_row(probe_row, &bits).expect("probe write");
+        maj3_in_place(mc, &triplet)
+            .expect("maj3")
+            .into_iter()
+            .zip(&anti)
+            .map(|(b, &a)| b ^ a)
+            .collect()
+    };
+    let x1 = run(true);
+    let x2 = run(false);
+    x1.into_iter().zip(x2).collect()
+}
+
 fn print_profile(label: &str, buckets: &[RetentionBucket]) {
     let pdf = BucketCounts::from_buckets(buckets).pdf();
     let cells: String = (0..6).map(|rank| render::shade(pdf[rank])).collect();
@@ -91,12 +134,15 @@ fn main() {
                 "sub-arrays scanned for the MAJ3 part (default 4)",
             ),
             ("seed", "die seed (default 8)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
     }
     let subarrays = args.usize("subarrays", 4);
     let seed = args.u64("seed", 8);
+    let jobs = args.jobs();
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let geometry = *mc.module().geometry();
@@ -138,39 +184,34 @@ fn main() {
     });
     print_profile("5x Frac reference", &frac5);
 
-    // ---- MAJ3 verification of the Half-m products -------------------
+    // ---- MAJ3 verification of the Half-m products over the fleet ----
     println!("\nMAJ3 results on rows {{0,1}} + probe row 2:");
-    for (label, init, expect) in [
-        ("weak ones", Init::AllOnes, "(1,1)"),
-        ("weak zeros", Init::AllZeros, "(0,0)"),
-        ("Half value", Init::Balanced, "(1,0) = distinguishable Half"),
-    ] {
-        let mut pairs: Vec<(bool, bool)> = Vec::new();
+    let mut plan = Vec::new();
+    for (variant, _) in SCANS.iter().enumerate() {
         for s in 0..subarrays {
-            let subarray = SubarrayAddr::new(s % geometry.banks, s / geometry.banks);
-            let quad = Quad::canonical(&geometry, subarray, GroupId::B).expect("quad");
-            let triplet = Triplet::first(&geometry, subarray);
-            let probe_row = triplet.rows(&geometry)[1]; // local row 2 = role R2
-            let anti: Vec<bool> = physical_pattern(&mut mc, probe_row, true)
-                .into_iter()
-                .map(|b| !b)
-                .collect();
-            let mut run = |probe: bool| -> Vec<bool> {
-                write_quad(&mut mc, &quad, init);
-                halfm_in_place(&mut mc, &quad).expect("halfm");
-                let bits = physical_pattern(&mut mc, probe_row, probe);
-                mc.write_row(probe_row, &bits).expect("probe write");
-                maj3_in_place(&mut mc, &triplet)
-                    .expect("maj3")
-                    .into_iter()
-                    .zip(&anti)
-                    .map(|(b, &a)| b ^ a)
-                    .collect()
-            };
-            let x1 = run(true);
-            let x2 = run(false);
-            pairs.extend(x1.into_iter().zip(x2));
+            plan.push(TaskKey::new(GroupId::B, 0, s).with_variant(variant));
         }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        // Same die seed as the retention part: every task probes the
+        // module under test on a fresh controller.
+        let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
+        let geometry = *mc.module().geometry();
+        let subarray =
+            SubarrayAddr::new(key.subarray % geometry.banks, key.subarray / geometry.banks);
+        let init = SCANS[key.variant].1;
+        let pairs = verify_pairs(&mut mc, subarray, init);
+        (pairs, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
+    for (variant, (label, _, expect)) in SCANS.iter().enumerate() {
+        let pairs: Vec<(bool, bool)> = run
+            .tasks
+            .iter()
+            .filter(|t| t.key.variant == variant)
+            .flat_map(|t| t.value.iter().copied())
+            .collect();
         let total = pairs.len() as f64;
         let share =
             |a: bool, b: bool| pairs.iter().filter(|&&p| p == (a, b)).count() as f64 / total;
@@ -182,6 +223,17 @@ fn main() {
             render::pct(share(false, true)),
         );
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig8_halfm_eval", path, |pairs| {
+            let half = pairs.iter().filter(|&&p| p == (true, false)).count();
+            Json::obj()
+                .field("pairs", pairs.len())
+                .field("half_signature", half)
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("\npaper: weak ones/zeros behave like normal values; ~16% of columns");
     println!("produce a distinguishable Half value ((1,0) signature).");
 }

@@ -2,16 +2,44 @@
 //! operations, for every fractional-row placement and initial value, on
 //! groups B, C, and D — with the baseline MAJ3 coverage for group B.
 //!
+//! The sweep fans out over the experiment fleet: one task per
+//! (group, module, sub-array), each measuring every configuration on
+//! its own controller, so `--jobs N` never changes the printed figure.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig9_fmaj_coverage [-- --modules N --subarrays N]
+//! cargo run --release -p fracdram-experiments --bin fig9_fmaj_coverage [-- --modules N --jobs N]
 //! ```
 
 use fracdram::fmaj::{fmaj_coverage, FmajConfig};
 use fracdram::maj3::maj3_coverage;
 use fracdram::rowsets::{Quad, Triplet};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{GroupId, SubarrayAddr};
 use fracdram_stats::Summary;
+
+/// One task's measurements: the full config sweep on one sub-array,
+/// plus the MAJ3 baseline where the group supports it.
+struct Coverage {
+    maj3: Option<f64>,
+    per_config: Vec<f64>,
+}
+
+/// The swept configurations, in a fixed printable order.
+fn configs(max_frac: usize) -> Vec<FmajConfig> {
+    let mut all = Vec::new();
+    for role in 0..4 {
+        for init_ones in [true, false] {
+            for frac_ops in 0..=max_frac {
+                all.push(FmajConfig {
+                    frac_role: role,
+                    init_ones,
+                    frac_ops,
+                });
+            }
+        }
+    }
+    all
+}
 
 fn main() {
     let args = Args::parse();
@@ -23,6 +51,8 @@ fn main() {
             ("subarrays", "sub-arrays per module (default 2; paper: all)"),
             ("maxfrac", "largest Frac count swept (default 5)"),
             ("seed", "base die seed (default 9)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -31,12 +61,43 @@ fn main() {
     let subarrays = args.usize("subarrays", 2);
     let max_frac = args.usize("maxfrac", 5);
     let seed = args.u64("seed", 9);
+    let jobs = args.jobs();
 
     println!(
         "{}",
         render::header("Fig. 9 — F-MAJ coverage vs number of Frac operations")
     );
     println!("each line: mean coverage over modules x sub-arrays (95% CI half-width in parens)\n");
+
+    let sweep = configs(max_frac);
+    let mut plan = Vec::new();
+    for group in [GroupId::B, GroupId::C, GroupId::D] {
+        for m in 0..modules {
+            for s in 0..subarrays {
+                plan.push(TaskKey::new(group, m, s));
+            }
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(
+            key.group,
+            setup::compute_geometry(),
+            seed + key.module as u64,
+        );
+        let geometry = *mc.module().geometry();
+        let sa = SubarrayAddr::new(key.subarray % geometry.banks, key.subarray / geometry.banks);
+        let quad = Quad::canonical(&geometry, sa, key.group).expect("quad");
+        let maj3 = (key.group == GroupId::B).then(|| {
+            let triplet = Triplet::first(&geometry, sa);
+            maj3_coverage(&mut mc, &triplet).expect("maj3")
+        });
+        let per_config = sweep
+            .iter()
+            .map(|config| fmaj_coverage(&mut mc, &quad, config).expect("fmaj"))
+            .collect();
+        (Coverage { maj3, per_config }, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
 
     for group in [GroupId::B, GroupId::C, GroupId::D] {
         println!(
@@ -46,18 +107,9 @@ fn main() {
                 .local_roles(),
             FmajConfig::best_for(group),
         );
-        // Baseline MAJ3 (only group B can run it).
+        let reports: Vec<_> = run.tasks.iter().filter(|t| t.key.group == group).collect();
         if group == GroupId::B {
-            let mut samples = Vec::new();
-            for m in 0..modules {
-                let mut mc = setup::controller(group, setup::compute_geometry(), seed + m as u64);
-                let geometry = *mc.module().geometry();
-                for s in 0..subarrays {
-                    let sa = SubarrayAddr::new(s % geometry.banks, s / geometry.banks);
-                    let triplet = Triplet::first(&geometry, sa);
-                    samples.push(maj3_coverage(&mut mc, &triplet).expect("maj3"));
-                }
-            }
+            let samples: Vec<f64> = reports.iter().filter_map(|t| t.value.maj3).collect();
             let sum = Summary::of(&samples);
             println!(
                 "  baseline MAJ3 (dashed line): {} (±{:.1}pp)",
@@ -76,24 +128,10 @@ fn main() {
             for init_ones in [true, false] {
                 let mut line = String::new();
                 for frac_ops in 0..=max_frac {
-                    let config = FmajConfig {
-                        frac_role: role,
-                        init_ones,
-                        frac_ops,
-                    };
-                    let mut samples = Vec::new();
-                    for m in 0..modules {
-                        let mut mc =
-                            setup::controller(group, setup::compute_geometry(), seed + m as u64);
-                        let geometry = *mc.module().geometry();
-                        for s in 0..subarrays {
-                            let sa = SubarrayAddr::new(s % geometry.banks, s / geometry.banks);
-                            let quad = Quad::canonical(&geometry, sa, group).expect("quad");
-                            samples.push(fmaj_coverage(&mut mc, &quad, &config).expect("fmaj"));
-                        }
-                    }
-                    let sum = Summary::of(&samples);
-                    line.push_str(&format!("{:>7.3}", sum.mean));
+                    let index = (role * 2 + usize::from(!init_ones)) * (max_frac + 1) + frac_ops;
+                    let samples: Vec<f64> =
+                        reports.iter().map(|t| t.value.per_config[index]).collect();
+                    line.push_str(&format!("{:>7.3}", Summary::of(&samples).mean));
                 }
                 println!(
                     "  frac in R{} init {:<5} {line}",
@@ -104,6 +142,18 @@ fn main() {
         }
         println!();
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("fig9_fmaj_coverage", path, |v| {
+            let mut obj = Json::obj().field("per_config", v.per_config.clone());
+            if let Some(maj3) = v.maj3 {
+                obj = obj.field("maj3", maj3);
+            }
+            obj
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!("expected shapes: B peaks with frac in R2 (primary row), init ones,");
     println!("beating the baseline MAJ3; C favors R1 with a level above Vdd/2;");
     println!("D favors R4; all four-row-capable groups reach non-zero coverage.");

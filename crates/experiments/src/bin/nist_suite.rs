@@ -3,15 +3,27 @@
 //! module — the paper feeds one million whitened bits per module and
 //! reports that all 15 tests pass.
 //!
+//! Each module's collection + suite run is one fleet task; reports
+//! print in module order regardless of `--jobs`.
+//!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin nist_suite [-- --bits 1000000]
+//! cargo run --release -p fracdram-experiments --bin nist_suite [-- --bits 1000000 --jobs N]
 //! ```
 
 use fracdram::puf::{challenge_set, evaluate, whitened_stream};
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::GroupId;
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::nist;
+
+/// One module's suite run, pre-rendered for plan-order printing.
+struct ModuleReport {
+    used_rows: usize,
+    bits: usize,
+    weight: f64,
+    report: String,
+    passed: bool,
+}
 
 fn main() {
     let args = Args::parse();
@@ -26,6 +38,8 @@ fn main() {
             ("modules", "modules tested (default 2)"),
             ("cols", "columns per chip row (default 4096)"),
             ("seed", "base seed (default 13)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
@@ -34,6 +48,7 @@ fn main() {
     let modules = args.usize("modules", 2);
     let cols = args.usize("cols", 4096);
     let seed = args.u64("seed", 13);
+    let jobs = args.jobs();
 
     // A roomy row space so every challenge addresses a distinct row —
     // re-evaluating a row reproduces (almost) the same response, and
@@ -51,10 +66,11 @@ fn main() {
     );
 
     let groups = [GroupId::B, GroupId::A];
-    let mut all_passed = true;
-    for m in 0..modules {
-        let group = groups[m % groups.len()];
-        let mut mc = setup::controller(group, geometry, seed + m as u64);
+    let plan: Vec<TaskKey> = (0..modules)
+        .map(|m| TaskKey::new(groups[m % groups.len()], m, 0))
+        .collect();
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
         // Draw the whole challenge budget up front, without replacement.
         let challenges = challenge_set(&geometry, capacity, seed);
         let mut whitened = BitVec::new();
@@ -73,15 +89,40 @@ fn main() {
             whitened.extend_from(&whitened_stream(&responses));
         }
         let stream = whitened.slice(0, target_bits.min(whitened.len()));
-        println!(
-            "\nmodule {m} (group {group}): {} whitened bits from {used} rows, weight {:.3}",
-            stream.len(),
-            stream.hamming_weight()
-        );
         let report = nist::run_all(&stream);
-        println!("{report}");
-        all_passed &= report.all_passed();
+        let value = ModuleReport {
+            used_rows: used,
+            bits: stream.len(),
+            weight: stream.hamming_weight(),
+            passed: report.all_passed(),
+            report: report.to_string(),
+        };
+        (value, *mc.stats())
+    });
+    eprintln!("{}", run.summary());
+
+    let mut all_passed = true;
+    for report in &run.tasks {
+        let v = &report.value;
+        println!(
+            "\nmodule {} (group {}): {} whitened bits from {} rows, weight {:.3}",
+            report.key.module, report.key.group, v.bits, v.used_rows, v.weight
+        );
+        println!("{}", v.report);
+        all_passed &= v.passed;
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("nist_suite", path, |v| {
+            Json::obj()
+                .field("bits", v.bits)
+                .field("used_rows", v.used_rows)
+                .field("weight", v.weight)
+                .field("passed", v.passed)
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     println!(
         "\n=> {}",
         if all_passed {

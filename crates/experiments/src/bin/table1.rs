@@ -3,14 +3,14 @@
 //!
 //! Each group's module is surveyed by *issuing the command sequences and
 //! observing behavior* — the capability columns are measured, not looked
-//! up.
+//! up. Surveys fan out over the fleet with one task per (group, module).
 //!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin table1 [-- --modules N --seed S]
+//! cargo run --release -p fracdram-experiments --bin table1 [-- --modules N --jobs N]
 //! ```
 
 use fracdram::multirow::survey;
-use fracdram_experiments::{render, setup, Args};
+use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::GroupId;
 
 fn main() {
@@ -21,12 +21,32 @@ fn main() {
         &[
             ("modules", "modules surveyed per group (default 1)"),
             ("seed", "base die seed (default 1)"),
+            ("jobs", "fleet worker threads (default: all cores)"),
+            ("json", "write structured fleet results to PATH"),
         ],
     ) {
         return;
     }
     let modules = args.usize("modules", 1);
     let seed = args.u64("seed", 1);
+    let jobs = args.jobs();
+
+    let mut plan = Vec::new();
+    for group in GroupId::ALL {
+        for m in 0..modules {
+            plan.push(TaskKey::new(group, m, 0));
+        }
+    }
+    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+        let mut mc = setup::controller(
+            key.group,
+            setup::compute_geometry(),
+            seed + key.module as u64,
+        );
+        let caps = survey(&mut mc).expect("survey failed");
+        ((caps.frac, caps.three_row, caps.four_row), *mc.stats())
+    });
+    eprintln!("{}", run.summary());
 
     println!(
         "{}",
@@ -39,18 +59,17 @@ fn main() {
     let mark = |b: bool| if b { "yes" } else { "-" };
     for group in GroupId::ALL {
         let profile = group.profile();
-        // Survey `modules` dies; a capability counts when every surveyed
-        // module of the group exhibits it (they are homogeneous by
-        // construction, so this also cross-checks determinism).
+        // A capability counts when every surveyed module of the group
+        // exhibits it (they are homogeneous by construction, so this
+        // also cross-checks determinism).
         let mut frac = true;
         let mut three = true;
         let mut four = true;
-        for m in 0..modules {
-            let mut mc = setup::controller(group, setup::compute_geometry(), seed + m as u64);
-            let caps = survey(&mut mc).expect("survey failed");
-            frac &= caps.frac;
-            three &= caps.three_row;
-            four &= caps.four_row;
+        for report in run.tasks.iter().filter(|t| t.key.group == group) {
+            let (f, t, q) = report.value;
+            frac &= f;
+            three &= t;
+            four &= q;
         }
         println!(
             "{:<6} {:<9} {:>9} {:>7}   {:>5} {:>10} {:>9}",
@@ -63,6 +82,17 @@ fn main() {
             mark(four),
         );
     }
+
+    if let Some(path) = args.json_path() {
+        run.write_json("table1", path, |&(frac, three, four)| {
+            Json::obj()
+                .field("frac", frac)
+                .field("three_row", three)
+                .field("four_row", four)
+        })
+        .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
     let total: u32 = GroupId::ALL
         .iter()
         .map(|g| g.profile().chips_evaluated)

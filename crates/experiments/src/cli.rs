@@ -84,6 +84,34 @@ impl Args {
         }
     }
 
+    /// String parameter, if present.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Worker thread count for the experiment fleet: `--jobs N`
+    /// (default: all available cores; `--jobs 1` reproduces serial
+    /// execution).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse or is zero.
+    pub fn jobs(&self) -> usize {
+        let jobs = self.usize(
+            "jobs",
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        );
+        assert!(jobs > 0, "--jobs must be at least 1");
+        jobs
+    }
+
+    /// Structured results dump path: `--json PATH`.
+    pub fn json_path(&self) -> Option<&str> {
+        self.str("json")
+    }
+
     /// Float parameter with a default.
     ///
     /// # Panics
@@ -111,6 +139,14 @@ impl Args {
         }
         true
     }
+}
+
+/// Reports a failed `--json PATH` dump on stderr and exits with status
+/// 1, so an unwritable path yields a named error instead of a panic
+/// backtrace.
+pub fn exit_json_write_error(path: &str, err: &std::io::Error) -> ! {
+    eprintln!("error: could not write --json dump to {path}: {err}");
+    std::process::exit(1)
 }
 
 #[cfg(test)]
@@ -141,6 +177,23 @@ mod tests {
         let a = args(&["--seed", "99", "--alpha", "0.5"]);
         assert_eq!(a.u64("seed", 1), 99);
         assert_eq!(a.f64("alpha", 0.0), 0.5);
+    }
+
+    #[test]
+    fn jobs_and_json() {
+        let a = args(&["--jobs", "4", "--json", "out.json"]);
+        assert_eq!(a.jobs(), 4);
+        assert_eq!(a.json_path(), Some("out.json"));
+        let d = args(&[]);
+        assert!(d.jobs() >= 1, "default jobs from core count");
+        assert_eq!(d.json_path(), None);
+        assert_eq!(d.str("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_jobs_panics() {
+        args(&["--jobs", "0"]).jobs();
     }
 
     #[test]

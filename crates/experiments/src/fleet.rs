@@ -1,0 +1,383 @@
+//! A deterministic parallel experiment fleet.
+//!
+//! Every paper-figure binary sweeps groups × modules × sub-arrays ×
+//! configurations; each cell of that sweep is self-contained (one
+//! [`fracdram_softmc::MemoryController`] owning one simulated
+//! [`fracdram_model::Module`], sharing nothing). The fleet fans those
+//! cells out over a worker thread pool and merges the results **in plan
+//! order**, so the rendered figure is byte-identical at any `--jobs`
+//! count:
+//!
+//! - the work plan is an explicit `Vec<TaskKey>` built up front;
+//! - each task derives its own seed from the base seed and its
+//!   coordinates ([`task_seed`]) instead of consuming a shared RNG;
+//! - workers claim tasks from an atomic cursor and write results into
+//!   the task's own plan slot — merge order never depends on thread
+//!   scheduling.
+//!
+//! Observability: per-task wall time, per-task and aggregated
+//! [`CycleStats`] from each task's controller, a progress line on
+//! stderr as tasks complete, and an optional structured JSON dump
+//! (`--json PATH`) for tracking benchmark trajectories across PRs.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fracdram_model::GroupId;
+use fracdram_softmc::CycleStats;
+use fracdram_stats::rng::mix;
+
+use crate::json::Json;
+
+/// Coordinates of one fleet task inside a sweep.
+///
+/// `variant` distinguishes configurations that share the same physical
+/// location (an F-MAJ config index, an environment condition, a sweep
+/// point); plain location sweeps leave it 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskKey {
+    /// DRAM group of the module under test.
+    pub group: GroupId,
+    /// Module index within the group.
+    pub module: usize,
+    /// Sub-array index within the module (0 when the task spans the
+    /// whole module).
+    pub subarray: usize,
+    /// Configuration index within (group, module, subarray).
+    pub variant: usize,
+}
+
+impl TaskKey {
+    /// A task covering one (group, module, sub-array) cell.
+    pub fn new(group: GroupId, module: usize, subarray: usize) -> Self {
+        TaskKey {
+            group,
+            module,
+            subarray,
+            variant: 0,
+        }
+    }
+
+    /// The same cell under a numbered configuration.
+    pub fn with_variant(mut self, variant: usize) -> Self {
+        self.variant = variant;
+        self
+    }
+}
+
+impl fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "group {} module {} sa {}",
+            self.group, self.module, self.subarray
+        )?;
+        if self.variant != 0 {
+            write!(f, " cfg {}", self.variant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Derives the task's private seed: `base_seed` mixed with the task
+/// coordinates. The same (base seed, key) pair always yields the same
+/// seed, and distinct keys yield independent streams — determinism at
+/// any thread count follows.
+pub fn task_seed(base_seed: u64, key: &TaskKey) -> u64 {
+    base_seed
+        ^ mix(
+            base_seed,
+            &[
+                key.group as u64,
+                key.module as u64,
+                key.subarray as u64,
+                key.variant as u64,
+            ],
+        )
+}
+
+/// One completed task: its key, payload, and observability data.
+#[derive(Debug, Clone)]
+pub struct TaskReport<T> {
+    /// The task's coordinates in the plan.
+    pub key: TaskKey,
+    /// Seed the task ran with.
+    pub seed: u64,
+    /// The task function's result.
+    pub value: T,
+    /// Command counters from the task's controller(s).
+    pub stats: CycleStats,
+    /// Wall time the task took.
+    pub wall: Duration,
+}
+
+/// A finished fleet run: every task's report, in plan order.
+#[derive(Debug)]
+pub struct FleetRun<T> {
+    /// Per-task reports, ordered exactly as the input plan.
+    pub tasks: Vec<TaskReport<T>>,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Base seed the per-task seeds derive from.
+    pub base_seed: u64,
+    /// Wall time of the whole fan-out.
+    pub wall: Duration,
+}
+
+impl<T> FleetRun<T> {
+    /// The task values in plan order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.tasks.iter().map(|t| &t.value)
+    }
+
+    /// Aggregated command counters across every task.
+    pub fn total_stats(&self) -> CycleStats {
+        let mut total = CycleStats::default();
+        for t in &self.tasks {
+            total.accumulate(&t.stats);
+        }
+        total
+    }
+
+    /// One-line run summary for stderr (not part of figure output).
+    pub fn summary(&self) -> String {
+        let stats = self.total_stats();
+        format!(
+            "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR)",
+            self.tasks.len(),
+            self.jobs,
+            self.wall.as_secs_f64(),
+            stats.commands,
+            stats.activates,
+            stats.reads,
+            stats.writes,
+        )
+    }
+
+    /// Serializes the run — per-task wall time, counters, and a
+    /// caller-provided projection of each value — and writes it to
+    /// `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_json(
+        &self,
+        experiment: &str,
+        path: &str,
+        value_json: impl Fn(&T) -> Json,
+    ) -> std::io::Result<()> {
+        let tasks: Vec<Json> = self
+            .tasks
+            .iter()
+            .map(|t| {
+                Json::obj()
+                    .field("group", t.key.group.to_string())
+                    .field("module", t.key.module)
+                    .field("subarray", t.key.subarray)
+                    .field("variant", t.key.variant)
+                    .field("seed", t.seed)
+                    .field("wall_ms", t.wall.as_secs_f64() * 1e3)
+                    .field("stats", stats_json(&t.stats))
+                    .field("result", value_json(&t.value))
+            })
+            .collect();
+        let doc = Json::obj()
+            .field("experiment", experiment)
+            .field("jobs", self.jobs)
+            .field("base_seed", self.base_seed)
+            .field("wall_ms", self.wall.as_secs_f64() * 1e3)
+            .field("stats", stats_json(&self.total_stats()))
+            .field("tasks", Json::Arr(tasks));
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "{doc}")
+    }
+}
+
+fn stats_json(s: &CycleStats) -> Json {
+    Json::obj()
+        .field("commands", s.commands)
+        .field("activates", s.activates)
+        .field("precharges", s.precharges)
+        .field("reads", s.reads)
+        .field("writes", s.writes)
+        .field("refreshes", s.refreshes)
+}
+
+/// Runs `task` over every key in `plan` on `jobs` worker threads and
+/// merges the reports in plan order.
+///
+/// The task function receives its key and derived seed and returns the
+/// payload plus the command counters of whatever controllers it drove
+/// (pass [`CycleStats::default()`] when none). `jobs == 1` reproduces
+/// serial execution exactly; any other count produces the same merged
+/// reports because tasks share nothing and every task's randomness
+/// derives from [`task_seed`].
+///
+/// Progress lines go to stderr; stdout stays reserved for figure
+/// output so rendered figures are byte-identical at any job count.
+///
+/// # Panics
+///
+/// Panics when `jobs == 0` or a worker thread panics.
+pub fn run<T, F>(plan: &[TaskKey], base_seed: u64, jobs: usize, task: F) -> FleetRun<T>
+where
+    T: Send,
+    F: Fn(&TaskKey, u64) -> (T, CycleStats) + Sync,
+{
+    assert!(jobs > 0, "fleet needs at least one worker");
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<TaskReport<T>>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    let workers = jobs.min(plan.len()).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(key) = plan.get(index) else {
+                    break;
+                };
+                let seed = task_seed(base_seed, key);
+                let task_started = Instant::now();
+                let (value, stats) = task(key, seed);
+                let wall = task_started.elapsed();
+                *slots[index].lock().unwrap() = Some(TaskReport {
+                    key: *key,
+                    seed,
+                    value,
+                    stats,
+                    wall,
+                });
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "fleet: [{finished}/{}] {key}  {:.1}ms",
+                    plan.len(),
+                    wall.as_secs_f64() * 1e3
+                );
+            });
+        }
+    });
+
+    let tasks = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every planned task completes")
+        })
+        .collect();
+    FleetRun {
+        tasks,
+        jobs: workers,
+        base_seed,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> Vec<TaskKey> {
+        let mut plan = Vec::new();
+        for group in [GroupId::B, GroupId::C] {
+            for module in 0..2 {
+                for subarray in 0..3 {
+                    plan.push(TaskKey::new(group, module, subarray));
+                }
+            }
+        }
+        plan
+    }
+
+    #[test]
+    fn merge_preserves_plan_order() {
+        let plan = plan();
+        let run = run(&plan, 7, 4, |key, seed| {
+            (
+                (key.module * 10 + key.subarray, seed),
+                CycleStats::default(),
+            )
+        });
+        assert_eq!(run.tasks.len(), plan.len());
+        for (report, key) in run.tasks.iter().zip(&plan) {
+            assert_eq!(report.key, *key);
+            assert_eq!(report.value.0, key.module * 10 + key.subarray);
+            assert_eq!(report.seed, task_seed(7, key));
+        }
+    }
+
+    #[test]
+    fn identical_results_at_any_job_count() {
+        let plan = plan();
+        let task = |key: &TaskKey, seed: u64| {
+            let mut rng = fracdram_stats::rng::Rng::seed_from_u64(seed);
+            let noise: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+            ((key.variant, noise), CycleStats::default())
+        };
+        let serial = run(&plan, 42, 1, task);
+        let parallel = run(&plan, 42, 8, task);
+        let a: Vec<_> = serial.values().collect();
+        let b: Vec<_> = parallel.values().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seeds_are_distinct_per_task() {
+        let plan = plan();
+        let mut seen = std::collections::HashSet::new();
+        for key in &plan {
+            assert!(seen.insert(task_seed(5, key)), "seed collision at {key}");
+        }
+        // Variant changes the seed too.
+        assert_ne!(
+            task_seed(5, &plan[0]),
+            task_seed(5, &plan[0].with_variant(1))
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_across_tasks() {
+        let plan = plan();
+        let run = run(&plan, 1, 2, |_, _| {
+            let stats = CycleStats {
+                commands: 3,
+                reads: 1,
+                ..CycleStats::default()
+            };
+            ((), stats)
+        });
+        let total = run.total_stats();
+        assert_eq!(total.commands, 3 * plan.len() as u64);
+        assert_eq!(total.reads, plan.len() as u64);
+        assert!(run.summary().contains("task(s)"));
+    }
+
+    #[test]
+    fn json_dump_is_valid_shape() {
+        let dir = std::env::temp_dir().join("fracdram_fleet_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.json");
+        let run = run(&plan()[..2], 1, 1, |key, _| {
+            (key.subarray as f64, CycleStats::default())
+        });
+        run.write_json("unit", path.to_str().unwrap(), |v| Json::from(*v))
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with('{') && text.trim_end().ends_with('}'));
+        assert!(text.contains("\"experiment\":\"unit\""));
+        assert!(text.contains("\"tasks\":["));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_jobs_panics() {
+        let _ = run(&plan(), 0, 0, |_, _| ((), CycleStats::default()));
+    }
+}

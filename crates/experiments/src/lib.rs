@@ -1,6 +1,8 @@
 //! Shared support for the experiment binaries: a tiny `--key value`
-//! command-line parser, standard module setups, and ASCII rendering
-//! helpers for tables, bars, and heatmaps.
+//! command-line parser, standard module setups, ASCII rendering
+//! helpers for tables, bars, and heatmaps, and the deterministic
+//! parallel [`fleet`] the heavy figure binaries fan their
+//! group × module × sub-array sweeps out on.
 //!
 //! Every binary regenerates one table or figure of the FracDRAM paper;
 //! see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
@@ -9,7 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod fleet;
+pub mod json;
 pub mod render;
 pub mod setup;
+pub mod tasks;
 
-pub use cli::Args;
+pub use cli::{exit_json_write_error, Args};
+pub use fleet::{task_seed, FleetRun, TaskKey, TaskReport};
+pub use json::Json;

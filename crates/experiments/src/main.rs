@@ -64,4 +64,6 @@ fn main() {
         println!("  {bin:<22} {what}");
     }
     println!("\nEvery binary accepts --help and scale overrides (--modules, --trials, ...).");
+    println!("Fleet binaries also take --jobs N (deterministic: output is byte-identical");
+    println!("at any job count) and --json PATH (structured per-task results).");
 }

@@ -8,8 +8,6 @@
 //! the inverted voltage, which is what makes their leakage direction and
 //! charge-sharing behavior differ (§II-C).
 
-use serde::{Deserialize, Serialize};
-
 use crate::env::Environment;
 use crate::error::{ModelError, Result};
 use crate::geometry::{Geometry, RowAddr};
@@ -35,7 +33,7 @@ struct Bank {
 }
 
 /// Full identity and configuration needed to (re)build a chip.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChipConfig {
     /// Vendor group the chip belongs to.
     pub group: GroupId,

@@ -17,12 +17,10 @@
 //! pattern `(4k+1, 4k+2)`, which is what makes the original MAJ3 possible
 //! there and nowhere else.
 
-use serde::{Deserialize, Serialize};
-
 use crate::variation::{ParamId, VariationSampler};
 
 /// How a chip's row decoder responds to the glitch sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DecoderBehavior {
     /// No multi-row activation: the second ACTIVATE simply wins and only
     /// `R2` ends up open (groups A, E–I; also J–L, whose timing guard

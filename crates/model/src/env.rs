@@ -5,12 +5,10 @@
 //! environment is a property of the *test bench*, not the chip, so it can
 //! be changed between operations on the same simulated module.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::Volts;
 
 /// Ambient conditions the DRAM module operates under.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Environment {
     /// Die temperature in degrees Celsius.
     pub temperature_c: f64,

@@ -10,10 +10,8 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Shape of a simulated chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     /// Number of banks per chip.
     pub banks: usize,
@@ -109,7 +107,7 @@ impl fmt::Display for Geometry {
 }
 
 /// Address of a row at bank granularity — what ACTIVATE takes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowAddr {
     /// Bank index within the chip/module.
     pub bank: usize,
@@ -131,7 +129,7 @@ impl fmt::Display for RowAddr {
 }
 
 /// Address of a sub-array within a chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubarrayAddr {
     /// Bank index.
     pub bank: usize,

@@ -6,8 +6,6 @@
 //! striped. A single-chip module is also supported (and is what most
 //! experiments use — per-chip behavior is what the paper characterizes).
 
-use serde::{Deserialize, Serialize};
-
 use crate::chip::{Chip, ChipConfig};
 use crate::env::Environment;
 use crate::error::Result;
@@ -21,7 +19,7 @@ use crate::vendor::{GroupId, VendorProfile};
 pub const LANE_BITS: usize = 8;
 
 /// Configuration of a module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModuleConfig {
     /// Vendor group of all chips on the module.
     pub group: GroupId,

@@ -6,8 +6,6 @@
 //! retention-bucket migration, the ~9% baseline MAJ3 error improving to
 //! ~2% under F-MAJ, and an intra-/inter-HD separation for the PUF.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Femtofarads, Seconds, Volts};
 
 /// Internal device latencies, in memory cycles (2.5 ns each).
@@ -15,7 +13,7 @@ use crate::units::{Femtofarads, Seconds, Volts};
 /// These model what the silicon does, not what JEDEC allows; the JEDEC
 /// constraint table lives in `fracdram-softmc` and is deliberately
 /// violable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InternalTiming {
     /// Cycles from ACTIVATE issue until the word-line is fully raised and
     /// charge sharing with the bit-line begins.
@@ -52,7 +50,7 @@ impl Default for InternalTiming {
 }
 
 /// Statistical and analog parameters of the device model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceParams {
     /// Nominal supply voltage. DDR3 uses 1.5 V.
     pub vdd_nominal: Volts,

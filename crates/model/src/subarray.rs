@@ -18,8 +18,6 @@
 //! command is processed — so the semantics depend only on command timing,
 //! exactly like real silicon.
 
-use serde::{Deserialize, Serialize};
-
 use crate::bitline::{self, SharingCell};
 use crate::cell;
 use crate::decoder::glitch_rows;
@@ -69,7 +67,7 @@ struct ColumnStatics {
 
 /// A voltage probe recording the analog trajectory of one cell and its
 /// bit-line — how Fig. 3 and Fig. 4 of the paper are regenerated.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbeSample {
     /// Cycle at which the sample was taken.
     pub cycle: u64,
@@ -82,7 +80,7 @@ pub struct ProbeSample {
 }
 
 /// Internal events visible to a voltage probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProbeEvent {
     /// Bit-lines equalized to `Vdd/2`.
     Precharged,

@@ -10,8 +10,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// Duration of one memory cycle on the (simulated) SoftMC platform, in
 /// nanoseconds. The paper fixes the controller frequency to 400 MHz, so a
 /// memory cycle is always 2.5 ns no matter what speed grade the DRAM has.
@@ -23,7 +21,7 @@ pub const CYCLE_SECONDS: f64 = CYCLE_NS * 1e-9;
 macro_rules! float_unit {
     ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
         $(#[$meta])*
-        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
         pub struct $name(pub f64);
 
         impl $name {
@@ -187,9 +185,7 @@ impl Seconds {
 ///
 /// `Cycles` is the unit in which all command timing is expressed, mirroring
 /// the way SoftMC programs encode inter-command idle cycles.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycles(pub u64);
 
 impl Cycles {

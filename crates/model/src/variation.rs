@@ -20,8 +20,6 @@
 //! noise) is drawn from a stateful [`NoiseRng`] instead, because it must
 //! differ between repeated evaluations of the same cell.
 
-use serde::{Deserialize, Serialize};
-
 /// SplitMix64 finalizer; a strong 64-bit mixing function.
 #[inline]
 pub fn splitmix64(mut z: u64) -> u64 {
@@ -52,7 +50,7 @@ fn to_unit_f64(bits: u64) -> f64 {
 /// Using an explicit id (rather than ad-hoc salt constants scattered around
 /// the codebase) guarantees two different parameters of the same cell never
 /// collide.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u64)]
 pub enum ParamId {
     /// Cell capacitance variation.
@@ -103,7 +101,7 @@ pub enum ParamId {
 ///     b.normal(ParamId::SenseOffset, &[0, 3, 17], 0.0, 1.0),
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VariationSampler {
     seed: u64,
 }
@@ -162,7 +160,7 @@ impl VariationSampler {
 ///
 /// Deterministic given its seed, but each draw advances the state so that
 /// repeated evaluations of the same physical event see fresh noise.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NoiseRng {
     state: u64,
 }

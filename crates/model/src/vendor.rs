@@ -10,13 +10,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::decoder::DecoderBehavior;
 use crate::units::Volts;
 
 /// The DRAM groups of Table I.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum GroupId {
     /// SK Hynix DDR3-1066.
     A,
@@ -75,7 +73,7 @@ impl fmt::Display for GroupId {
 
 /// Static description of how chips in one group respond to out-of-spec
 /// command sequences, plus the Table I census data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VendorProfile {
     /// Which group this profile describes.
     pub group: GroupId,

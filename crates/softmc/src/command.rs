@@ -8,10 +8,9 @@
 use std::fmt;
 
 use fracdram_model::RowAddr;
-use serde::{Deserialize, Serialize};
 
 /// One DRAM command.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DramCommand {
     /// Open a row: raise its word-line and (nominally) sense it.
     Activate(RowAddr),

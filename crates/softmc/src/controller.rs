@@ -36,6 +36,22 @@ impl RunOutcome {
     pub fn cycles(&self) -> Cycles {
         Cycles(self.end_cycle - self.start_cycle)
     }
+
+    /// Consumes the outcome and returns the data of its single READ.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControllerError::MissingReadData`] when the program
+    /// issued no READ — a structural bug that previously surfaced as a
+    /// silently empty row treated by per-column loops as width-0
+    /// success.
+    pub fn single_read(self) -> Result<Vec<bool>> {
+        let got = self.reads.len();
+        self.reads
+            .into_iter()
+            .next()
+            .ok_or(ControllerError::MissingReadData { expected: 1, got })
+    }
 }
 
 /// A cycle-accurate, violation-capable memory controller driving one
@@ -240,12 +256,13 @@ impl MemoryController {
     ///
     /// # Errors
     ///
-    /// Fails when the address is out of range.
+    /// Fails when the address is out of range, or with
+    /// [`ControllerError::MissingReadData`] if the read program produced
+    /// no data.
     pub fn read_row(&mut self, addr: RowAddr) -> Result<Vec<bool>> {
         let program = self.read_row_program(addr);
         debug_assert!(self.check(&program).is_empty());
-        let outcome = self.run(&program)?;
-        Ok(outcome.reads.into_iter().next().unwrap_or_default())
+        self.run(&program)?.single_read()
     }
 
     /// Refreshes every bank (destroying all fractional values).
@@ -412,6 +429,35 @@ mod tests {
             mc8.run(&p),
             Err(ControllerError::PartialWriteUnsupported { .. })
         ));
+    }
+
+    #[test]
+    fn single_read_errors_on_readless_program() {
+        let mut mc = controller(GroupId::B);
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .delay(20)
+            .pre(0)
+            .delay(6)
+            .build();
+        let err = mc.run(&p).unwrap().single_read().unwrap_err();
+        assert!(matches!(
+            err,
+            ControllerError::MissingReadData {
+                expected: 1,
+                got: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn single_read_returns_first_read() {
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 7);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        let p = mc.read_row_program(addr);
+        let outcome = mc.run(&p).unwrap();
+        assert_eq!(outcome.single_read().unwrap(), vec![true; 64]);
     }
 
     #[test]

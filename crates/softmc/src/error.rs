@@ -22,6 +22,15 @@ pub enum ControllerError {
         /// Number of chips on the module.
         chips: usize,
     },
+    /// A program finished without producing the READ data the caller
+    /// required. Previously this yielded a silently empty row that
+    /// downstream per-column loops treated as width-0 success.
+    MissingReadData {
+        /// READs the caller expected the program to issue.
+        expected: usize,
+        /// READs the program actually issued.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -34,6 +43,10 @@ impl fmt::Display for ControllerError {
             ControllerError::PartialWriteUnsupported { chips } => write!(
                 f,
                 "partial-row write is unsupported on a {chips}-chip module"
+            ),
+            ControllerError::MissingReadData { expected, got } => write!(
+                f,
+                "program produced {got} READ result(s), caller requires {expected}"
             ),
         }
     }
@@ -75,6 +88,13 @@ mod tests {
             actual: Cycles(1),
         }]);
         assert!(v.to_string().contains("1 JEDEC"));
+
+        let m = ControllerError::MissingReadData {
+            expected: 1,
+            got: 0,
+        };
+        assert!(m.to_string().contains("0 READ result(s)"));
+        assert!(m.source().is_none());
     }
 
     #[test]

@@ -10,12 +10,11 @@
 use std::fmt;
 
 use fracdram_model::{Cycles, RowAddr};
-use serde::{Deserialize, Serialize};
 
 use crate::command::DramCommand;
 
 /// One program slot: a command plus the idle gap after it.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Instruction {
     /// The command to issue.
     pub command: DramCommand,
@@ -24,7 +23,7 @@ pub struct Instruction {
 }
 
 /// An executable command sequence.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     instructions: Vec<Instruction>,
 }

@@ -11,7 +11,6 @@
 use std::fmt;
 
 use fracdram_model::Cycles;
-use serde::{Deserialize, Serialize};
 
 use crate::command::DramCommand;
 use crate::program::Program;
@@ -20,7 +19,7 @@ use crate::program::Program;
 ///
 /// Defaults correspond to DDR3-1333 (the speed grade of the paper's group
 /// B modules) expressed in 2.5 ns SoftMC cycles, rounded up.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingParams {
     /// ACTIVATE → READ/WRITE to the same bank (row to column delay).
     pub t_rcd: Cycles,
@@ -52,7 +51,7 @@ impl Default for TimingParams {
 }
 
 /// Which JEDEC rule a violation broke.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TimingRule {
     /// tRCD: column command too soon after ACTIVATE.
     Rcd,
@@ -83,7 +82,7 @@ impl fmt::Display for TimingRule {
 }
 
 /// One detected timing violation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TimingViolation {
     /// Index of the offending instruction within the program.
     pub instruction: usize,

@@ -9,12 +9,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::command::DramCommand;
 
 /// One trace entry: a command and the cycle it issued at.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// Absolute issue cycle.
     pub cycle: u64,
@@ -23,7 +21,7 @@ pub struct TraceEntry {
 }
 
 /// A recorded command trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommandTrace {
     entries: Vec<TraceEntry>,
 }
@@ -65,7 +63,7 @@ impl fmt::Display for CommandTrace {
 }
 
 /// Always-on cheap counters.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CycleStats {
     /// Total commands issued (including NOPs).
     pub commands: u64,
@@ -93,6 +91,18 @@ impl CycleStats {
             DramCommand::Refresh { .. } => self.refreshes += 1,
             DramCommand::Nop => {}
         }
+    }
+
+    /// Accumulates another counter set into this one — how a parallel
+    /// experiment fleet folds the per-controller counters of many
+    /// independent tasks into one run-wide total.
+    pub fn accumulate(&mut self, other: &CycleStats) {
+        self.commands += other.commands;
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
     }
 
     /// Difference between two snapshots (`later - self`).
@@ -134,6 +144,19 @@ mod tests {
         assert_eq!(s.activates, 2);
         assert_eq!(s.reads, 1);
         assert_eq!(s.precharges, 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = CycleStats::default();
+        a.record(&DramCommand::Read { bank: 0 });
+        let mut b = CycleStats::default();
+        b.record(&DramCommand::Activate(RowAddr::new(0, 0)));
+        b.record(&DramCommand::Read { bank: 1 });
+        a.accumulate(&b);
+        assert_eq!(a.commands, 3);
+        assert_eq!(a.reads, 2);
+        assert_eq!(a.activates, 1);
     }
 
     #[test]

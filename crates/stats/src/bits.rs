@@ -8,10 +8,8 @@
 use std::fmt;
 use std::ops::Index;
 
-use serde::{Deserialize, Serialize};
-
 /// A growable, packed vector of bits.
-#[derive(Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,

@@ -6,8 +6,6 @@
 //! the same challenge (ideal: 0); *Inter-HD* compares responses of
 //! different devices (ideal: 0.5).
 
-use serde::{Deserialize, Serialize};
-
 use crate::bits::BitVec;
 use crate::summary::Summary;
 
@@ -22,7 +20,7 @@ pub fn normalized_distance(a: &BitVec, b: &BitVec) -> f64 {
 }
 
 /// Intra-/Inter-HD statistics over a set of devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HdReport {
     /// All pairwise intra-device distances.
     pub intra: Vec<f64>,

@@ -6,13 +6,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A histogram over contiguous buckets defined by their upper edges.
 ///
 /// A sample `x` falls into the first bucket whose upper edge satisfies
 /// `x <= edge`; samples above the last edge land in the overflow bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     edges: Vec<f64>,
     counts: Vec<u64>,

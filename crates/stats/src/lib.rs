@@ -42,6 +42,7 @@ pub mod hamming;
 pub mod histogram;
 pub mod matrix_rank;
 pub mod nist;
+pub mod rng;
 pub mod special;
 pub mod summary;
 

@@ -31,8 +31,6 @@ mod universal;
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::bits::BitVec;
 
 pub use complexity::{berlekamp_massey, linear_complexity};
@@ -50,7 +48,7 @@ pub use universal::universal;
 pub const ALPHA: f64 = 0.01;
 
 /// Outcome of one statistical test.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TestResult {
     /// Test name as in SP 800-22.
     pub name: &'static str,
@@ -117,7 +115,7 @@ impl fmt::Display for TestResult {
 }
 
 /// Report of a full suite run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteReport {
     /// Individual test results, in SP 800-22 order.
     pub results: Vec<TestResult>,
@@ -158,7 +156,7 @@ impl fmt::Display for SuiteReport {
 }
 
 /// Options for a suite run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuiteConfig {
     /// How many (of the 148) aperiodic 9-bit templates the
     /// non-overlapping template test scans. The full STS uses all of

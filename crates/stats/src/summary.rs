@@ -1,10 +1,8 @@
 //! Summary statistics: mean, deviation, extrema, quantiles, confidence
 //! intervals — the numbers under the paper's figures.
 
-use serde::{Deserialize, Serialize};
-
 /// Basic descriptive statistics of a sample.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     /// Sample size.
     pub n: usize,

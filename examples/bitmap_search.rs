@@ -67,7 +67,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mc.write_row(tmp, &expected1)?; // error-free intermediate for the demo
     let receipt = engine.or(&mut mc, tmp, rows[2], scratch, dst)?;
     let q2 = mc.read_row(dst)?;
-    let expected2: Vec<bool> = (0..n).map(|i| (premium[i] && recent[i]) || eu_region[i]).collect();
+    let expected2: Vec<bool> = (0..n)
+        .map(|i| (premium[i] && recent[i]) || eu_region[i])
+        .collect();
     let acc2 = q2.iter().zip(&expected2).filter(|(a, b)| a == b).count();
     println!(
         "(...) OR eu_region:      {} hits ({} in-array, {}/{} columns exact)",
@@ -80,9 +82,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Data-movement accounting: the in-array op moves zero operand bits
     // over the bus; a CPU-side evaluation reads every operand row.
     let bus_reads_avoided = 2 * n; // two operand bitmaps per op
-    println!(
-        "\nper query: {bus_reads_avoided} operand bits never cross the memory bus;"
-    );
+    println!("\nper query: {bus_reads_avoided} operand bits never cross the memory bus;");
     println!("a few per-mille of columns err (Fig. 9 coverage) — production use masks");
     println!("the known-bad columns found by a one-time self-test, as the paper notes.");
     Ok(())

@@ -1,4 +1,8 @@
-//! Property-based tests (proptest) on the core invariants.
+//! Property-style tests on the core invariants.
+//!
+//! Formerly proptest-based; rewritten as deterministic sweeps driven by
+//! the in-repo [`fracdram_stats::rng::Rng`] so the workspace builds with
+//! no external dependencies and every run exercises the same cases.
 
 use fracdram::frac::{frac_program, FRAC_CYCLES};
 use fracdram::maj3::expected_majority;
@@ -7,7 +11,9 @@ use fracdram::retention::{classify_cells, BucketCounts, CellCategory, RetentionB
 use fracdram::rowsets::Quad;
 use fracdram_model::{Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
 use fracdram_softmc::MemoryController;
-use proptest::prelude::*;
+use fracdram_stats::rng::Rng;
+
+const CASES: usize = 48;
 
 fn controller(seed: u64) -> MemoryController {
     MemoryController::new(Module::new(ModuleConfig::single_chip(
@@ -17,92 +23,111 @@ fn controller(seed: u64) -> MemoryController {
     )))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// DRAM is memory: any pattern written with legal timing reads back
-    /// exactly, on any row, repeatedly.
-    #[test]
-    fn write_read_roundtrip(
-        pattern in prop::collection::vec(any::<bool>(), 64),
-        bank in 0usize..2,
-        row in 0usize..64,
-        seed in 0u64..1000,
-    ) {
+/// DRAM is memory: any pattern written with legal timing reads back
+/// exactly, on any row, repeatedly.
+#[test]
+fn write_read_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xA11CE);
+    for _ in 0..CASES {
+        let pattern = rng.gen_bools(64);
+        let bank = rng.gen_range(2);
+        let row = rng.gen_range(64);
+        let seed = rng.next_u64() % 1000;
         let mut mc = controller(seed);
         let addr = RowAddr::new(bank, row);
         mc.write_row(addr, &pattern).unwrap();
-        prop_assert_eq!(mc.read_row(addr).unwrap(), pattern.clone());
-        prop_assert_eq!(mc.read_row(addr).unwrap(), pattern);
+        assert_eq!(mc.read_row(addr).unwrap(), pattern);
+        assert_eq!(mc.read_row(addr).unwrap(), pattern);
     }
+}
 
-    /// The Frac program always costs exactly 7 cycles per operation and
-    /// never passes the JEDEC checker.
-    #[test]
-    fn frac_program_shape(count in 1usize..20, bank in 0usize..2, row in 0usize..64) {
+/// The Frac program always costs exactly 7 cycles per operation and
+/// never passes the JEDEC checker.
+#[test]
+fn frac_program_shape() {
+    let mut rng = Rng::seed_from_u64(0xF7AC);
+    for _ in 0..CASES {
+        let count = 1 + rng.gen_range(19);
+        let bank = rng.gen_range(2);
+        let row = rng.gen_range(64);
         let p = frac_program(RowAddr::new(bank, row), count);
-        prop_assert_eq!(p.total_cycles().value(), FRAC_CYCLES * count as u64);
+        assert_eq!(p.total_cycles().value(), FRAC_CYCLES * count as u64);
         let mc = controller(0);
-        prop_assert!(!mc.check(&p).is_empty());
+        assert!(!mc.check(&p).is_empty());
     }
+}
 
-    /// Quads built from any valid two-bit-differing pair contain exactly
-    /// the XOR-span of the pair, with R1/R2 first.
-    #[test]
-    fn quad_span_invariants(r1 in 0usize..32, bits in 0usize..10) {
-        let geometry = Geometry::tiny();
-        // Derive a two-bit difference from the `bits` seed.
-        let lo = bits % 5;
-        let hi = 1 + lo + bits / 5 % 4;
-        prop_assume!(hi <= 4);
-        let r2 = r1 ^ (1 << lo) ^ (1 << hi);
-        prop_assume!(r2 < 32);
-        let quad = Quad::from_pair(&geometry, SubarrayAddr::new(0, 0), r1, r2).unwrap();
-        let roles = quad.local_roles();
-        prop_assert_eq!(roles[0], r1);
-        prop_assert_eq!(roles[1], r2);
-        // All four rows agree outside the differing bits and are distinct.
-        let diff = r1 ^ r2;
-        for &r in &roles {
-            prop_assert_eq!(r & !diff, r1 & !diff);
+/// Quads built from any valid two-bit-differing pair contain exactly
+/// the XOR-span of the pair, with R1/R2 first.
+#[test]
+fn quad_span_invariants() {
+    let geometry = Geometry::tiny();
+    for r1 in 0..32usize {
+        for lo in 0..5usize {
+            for hi in (lo + 1)..5usize {
+                let r2 = r1 ^ (1 << lo) ^ (1 << hi);
+                if r2 >= 32 {
+                    continue;
+                }
+                let quad = Quad::from_pair(&geometry, SubarrayAddr::new(0, 0), r1, r2).unwrap();
+                let roles = quad.local_roles();
+                assert_eq!(roles[0], r1);
+                assert_eq!(roles[1], r2);
+                // All four rows agree outside the differing bits and are
+                // distinct.
+                let diff = r1 ^ r2;
+                for &r in &roles {
+                    assert_eq!(r & !diff, r1 & !diff);
+                }
+                let mut sorted = roles.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), 4);
+            }
         }
-        let mut sorted = roles.to_vec();
-        sorted.sort_unstable();
-        sorted.dedup();
-        prop_assert_eq!(sorted.len(), 4);
     }
+}
 
-    /// Majority is symmetric under operand permutation and monotone.
-    #[test]
-    fn majority_truth_table_properties(a in any::<bool>(), b in any::<bool>(), c in any::<bool>()) {
+/// Majority is symmetric under operand permutation and monotone.
+#[test]
+fn majority_truth_table_properties() {
+    for bits in 0..8u8 {
+        let (a, b, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
         let m = expected_majority([a, b, c]);
-        prop_assert_eq!(m, expected_majority([b, c, a]));
-        prop_assert_eq!(m, expected_majority([c, a, b]));
+        assert_eq!(m, expected_majority([b, c, a]));
+        assert_eq!(m, expected_majority([c, a, b]));
         // Flipping a single false->true can only keep or raise majority.
         if !a {
-            prop_assert!(expected_majority([true, b, c]) >= m);
+            assert!(expected_majority([true, b, c]) >= m);
         }
     }
+}
 
-    /// Bucket tallies are a partition: counts sum to the input size and
-    /// the PDF sums to one.
-    #[test]
-    fn bucket_counts_partition(ranks in prop::collection::vec(0usize..6, 1..200)) {
-        let buckets: Vec<RetentionBucket> =
-            ranks.iter().map(|&r| RetentionBucket::ALL[r]).collect();
+/// Bucket tallies are a partition: counts sum to the input size and
+/// the PDF sums to one.
+#[test]
+fn bucket_counts_partition() {
+    let mut rng = Rng::seed_from_u64(0xB0CE7);
+    for _ in 0..CASES {
+        let len = 1 + rng.gen_range(199);
+        let buckets: Vec<RetentionBucket> = (0..len)
+            .map(|_| RetentionBucket::ALL[rng.gen_range(6)])
+            .collect();
         let counts = BucketCounts::from_buckets(&buckets);
-        prop_assert_eq!(counts.total(), buckets.len());
+        assert_eq!(counts.total(), buckets.len());
         let pdf_sum: f64 = counts.pdf().iter().sum();
-        prop_assert!((pdf_sum - 1.0).abs() < 1e-9);
+        assert!((pdf_sum - 1.0).abs() < 1e-9);
     }
+}
 
-    /// Cell classification is exhaustive and consistent: every non-
-    /// increasing trajectory is monotonic-or-long, never Other.
-    #[test]
-    fn classification_consistency(
-        start in 0usize..6,
-        drops in prop::collection::vec(0usize..2, 5),
-    ) {
+/// Cell classification is exhaustive and consistent: every non-
+/// increasing trajectory is monotonic-or-long, never Other.
+#[test]
+fn classification_consistency() {
+    let mut rng = Rng::seed_from_u64(0xC1A55);
+    for _ in 0..CASES {
+        let start = rng.gen_range(6);
+        let drops: Vec<usize> = (0..5).map(|_| rng.gen_range(2)).collect();
         let mut rank = start;
         let trajectory: Vec<Vec<RetentionBucket>> = std::iter::once(rank)
             .chain(drops.iter().map(|&d| {
@@ -112,37 +137,48 @@ proptest! {
             .map(|r| vec![RetentionBucket::ALL[r]])
             .collect();
         let category = classify_cells(&trajectory)[0];
-        if start == 5 && trajectory.iter().all(|b| b[0] == RetentionBucket::Over12Hours) {
-            prop_assert_eq!(category, CellCategory::LongRetention);
+        if start == 5
+            && trajectory
+                .iter()
+                .all(|b| b[0] == RetentionBucket::Over12Hours)
+        {
+            assert_eq!(category, CellCategory::LongRetention);
         } else {
-            prop_assert_eq!(category, CellCategory::MonotonicDecrease);
+            assert_eq!(category, CellCategory::MonotonicDecrease);
         }
     }
+}
 
-    /// Challenge sets are always distinct, in range, and reproducible.
-    #[test]
-    fn challenge_set_properties(n in 1usize..64, seed in any::<u64>()) {
+/// Challenge sets are always distinct, in range, and reproducible.
+#[test]
+fn challenge_set_properties() {
+    let mut rng = Rng::seed_from_u64(0xCA11);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_range(63);
+        let seed = rng.next_u64();
         let geometry = Geometry::tiny();
         let set = challenge_set(&geometry, n, seed);
-        prop_assert_eq!(set.len(), n);
+        assert_eq!(set.len(), n);
         let mut unique = std::collections::HashSet::new();
         for c in &set {
-            prop_assert!(c.bank < geometry.banks);
-            prop_assert!(c.row < geometry.rows_per_bank());
-            prop_assert!(unique.insert((c.bank, c.row)));
+            assert!(c.bank < geometry.banks);
+            assert!(c.row < geometry.rows_per_bank());
+            assert!(unique.insert((c.bank, c.row)));
         }
-        prop_assert_eq!(challenge_set(&geometry, n, seed), set);
+        assert_eq!(challenge_set(&geometry, n, seed), set);
     }
+}
 
-    /// A fractional value never escapes the band between its initial
-    /// rail and Vdd/2 (clamped by physics, any op count, any init).
-    #[test]
-    fn fractional_band_invariant(
-        count in 1usize..12,
-        init in any::<bool>(),
-        row in 0usize..32,
-        seed in 0u64..100,
-    ) {
+/// A fractional value never escapes the band between its initial
+/// rail and Vdd/2 (clamped by physics, any op count, any init).
+#[test]
+fn fractional_band_invariant() {
+    let mut rng = Rng::seed_from_u64(0xF7AC7);
+    for _ in 0..CASES {
+        let count = 1 + rng.gen_range(11);
+        let init = rng.gen_bool();
+        let row = rng.gen_range(32);
+        let seed = rng.next_u64() % 100;
         let mut mc = controller(seed);
         let addr = RowAddr::new(0, row);
         fracdram::frac::store_fractional(&mut mc, addr, init, count).unwrap();
@@ -150,9 +186,9 @@ proptest! {
         for col in [0usize, 13, 40] {
             let v = mc.module_mut().probe_cell_voltage(addr, col, t).value();
             if init {
-                prop_assert!(v > 0.60 && v <= 1.5, "v = {v}");
+                assert!(v > 0.60 && v <= 1.5, "v = {v}");
             } else {
-                prop_assert!((0.0..0.90).contains(&v), "v = {v}");
+                assert!((0.0..0.90).contains(&v), "v = {v}");
             }
         }
     }
