@@ -7,13 +7,82 @@
 //! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
 //! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
 //! `criterion_main!` macros — backed by a simple warmup + timed-batch
-//! measurement loop. Reported numbers are mean wall time per iteration;
-//! good enough to track order-of-magnitude trajectories across PRs,
-//! not a statistics engine.
+//! measurement loop. Each measurement runs several timed batches and
+//! reports the **median** per-iteration wall time; good enough to track
+//! trajectories across PRs, not a statistics engine.
+//!
+//! Two bench-binary flags (passed after `cargo bench ... --`):
+//!
+//! - `--json PATH` writes every measurement as a
+//!   `{"bench", "median_ns", "iters"}` record (one JSON array per run),
+//!   so PRs can record `BENCH_*.json` baselines and compare trajectories;
+//! - `--measure-ms N` shrinks/grows the per-measurement window (default
+//!   300 ms) — CI smoke runs use a small window.
 
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished measurement, as written to the `--json` dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Full bench label (`group/function/param`).
+    pub bench: String,
+    /// Median wall time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Total measured iterations across all batches.
+    pub iters: u64,
+}
+
+/// Measurements collected by every `run_one` call in this process.
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Returns the value following `--flag` in the process arguments, if any.
+fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes all collected measurements to the path given via `--json PATH`
+/// (no-op when the flag is absent). Called by the `criterion_main!`
+/// generated `main` after every group has run.
+///
+/// # Panics
+///
+/// Panics when the dump file cannot be written — a bench run asked to
+/// record a baseline must not silently drop it.
+pub fn write_json_if_requested() {
+    let Some(path) = arg_value("--json") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap();
+    std::fs::write(&path, format_records(&records))
+        .unwrap_or_else(|e| panic!("cannot write --json {path}: {e}"));
+    eprintln!("bench: wrote {} record(s) to {path}", records.len());
+}
+
+/// Formats records as the `--json` dump: a JSON array with one
+/// `{"bench", "median_ns", "iters"}` object per line.
+pub fn format_records(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"bench\":\"{}\",\"median_ns\":{:.1},\"iters\":{}}}",
+            r.bench, r.median_ns, r.iters
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
 
 /// An opaque identity function that prevents the optimizer from
 /// deleting a benchmarked computation.
@@ -31,9 +100,12 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        let measure_ms = arg_value("--measure-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
         Criterion {
             sample_size: 50,
-            measurement: Duration::from_millis(300),
+            measurement: Duration::from_millis(measure_ms),
         }
     }
 }
@@ -153,6 +225,9 @@ impl Bencher {
     }
 }
 
+/// Timed batches per measurement; the reported number is their median.
+const BATCHES: usize = 5;
+
 fn run_one<F: FnMut(&mut Bencher)>(
     label: &str,
     sample_size: usize,
@@ -169,18 +244,30 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let per_iter = calib.elapsed.max(Duration::from_nanos(1));
     let target = measurement.as_nanos() / per_iter.as_nanos().max(1);
     let iters = target.clamp(sample_size as u128, 1_000_000) as u64;
+    let batch_iters = (iters / BATCHES as u64).max(1);
 
-    let mut bencher = Bencher {
-        iters,
-        elapsed: Duration::ZERO,
-    };
-    f(&mut bencher);
-    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+    let mut per_batch_ns = [0.0f64; BATCHES];
+    let mut total_iters = 0u64;
+    for slot in &mut per_batch_ns {
+        let mut bencher = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        *slot = bencher.elapsed.as_nanos() as f64 / bencher.iters.max(1) as f64;
+        total_iters += bencher.iters;
+    }
+    per_batch_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_batch_ns[BATCHES / 2];
     println!(
-        "bench: {label:<44} {:>12}/iter  ({} iters)",
-        human(ns),
-        bencher.iters
+        "bench: {label:<44} {:>12}/iter  ({total_iters} iters, median of {BATCHES})",
+        human(median),
     );
+    RECORDS.lock().unwrap().push(Record {
+        bench: label.to_string(),
+        median_ns: median,
+        iters: total_iters,
+    });
 }
 
 fn human(ns: f64) -> String {
@@ -206,12 +293,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the registered groups (criterion parity).
+/// Generates `main` running the registered groups (criterion parity),
+/// then writes the `--json` record dump when requested.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
@@ -254,6 +343,43 @@ mod tests {
     fn ids_format() {
         assert_eq!(BenchmarkId::new("f", 7).0, "f/7");
         assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn measurements_are_recorded() {
+        let mut c = Criterion::default();
+        c.sample_size(5);
+        c.bench_function("record/smoke", |b| b.iter(|| black_box(1u64 + 1)));
+        let records = RECORDS.lock().unwrap();
+        let rec = records
+            .iter()
+            .find(|r| r.bench == "record/smoke")
+            .expect("measurement not recorded");
+        assert!(rec.median_ns > 0.0);
+        assert!(rec.iters >= 5);
+    }
+
+    #[test]
+    fn json_records_format() {
+        let records = vec![
+            Record {
+                bench: "kernels/share_kernel".into(),
+                median_ns: 1234.56,
+                iters: 1000,
+            },
+            Record {
+                bench: "kernels/leak_kernel".into(),
+                median_ns: 7.0,
+                iters: 50,
+            },
+        ];
+        let text = format_records(&records);
+        assert!(text.starts_with("[\n"));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(
+            text.contains(r#"{"bench":"kernels/share_kernel","median_ns":1234.6,"iters":1000}"#)
+        );
+        assert!(text.contains(r#"{"bench":"kernels/leak_kernel","median_ns":7.0,"iters":50}"#));
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn main() {
         let quad = Quad::canonical(&g, SubarrayAddr::new(0, 1), GroupId::B).unwrap();
         let maj3 = maj3_coverage(&mut mc, &triplet).unwrap();
         let fm = fmaj_coverage(&mut mc, &quad, &FmajConfig::best_for(GroupId::B)).unwrap();
-        ((maj3, fm), *mc.stats())
+        ((maj3, fm), mc.metrics())
     });
     for report in &coverage.tasks {
         let (maj3, fm) = report.value;
@@ -126,7 +126,7 @@ fn main() {
         let rates = tasks::stability_fmaj(&mut mc, &quad, &config, trials, &mut rng);
         let always = rates.iter().filter(|&&r| r >= 1.0).count() as f64 / rates.len() as f64;
         let avg_err = 1.0 - rates.iter().sum::<f64>() / rates.len() as f64;
-        ((always, avg_err), *mc.stats())
+        ((always, avg_err), mc.metrics())
     });
     for report in &stability.tasks {
         let (always, avg_err) = report.value;
@@ -157,7 +157,7 @@ fn main() {
         let mut mc = controller_with(GroupId::B, seed, params);
         let r1 = evaluate(&mut mc, Challenge::new(0, 3)).unwrap();
         let r2 = evaluate(&mut mc, Challenge::new(0, 4)).unwrap();
-        (normalized_distance(&r1, &r2), *mc.stats())
+        (normalized_distance(&r1, &r2), mc.metrics())
     });
     for report in &diversity.tasks {
         println!(
@@ -181,7 +181,7 @@ fn main() {
     let weights = fleet::run(&plan, seed, jobs, |key, _seed| {
         let mut mc = controller_with(key.group, seed, DeviceParams::default());
         let r = evaluate(&mut mc, Challenge::new(1, 7)).unwrap();
-        (r.hamming_weight(), *mc.stats())
+        (r.hamming_weight(), mc.metrics())
     });
     for report in &weights.tasks {
         println!(

@@ -50,7 +50,7 @@ fn main() {
     let run = fleet::run(&plan, seed, jobs, |key, _seed| {
         let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
         let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), rows).expect("explore");
-        (probes, *mc.stats())
+        (probes, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

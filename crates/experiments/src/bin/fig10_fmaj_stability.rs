@@ -144,7 +144,7 @@ fn main() {
             let triplet = Triplet::first(&geometry, sa);
             tasks::stability_maj3(&mut mc, &triplet, trials, &mut rng)
         });
-        (Stability { fmaj, maj3 }, *mc.stats())
+        (Stability { fmaj, maj3 }, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

@@ -87,7 +87,7 @@ fn main() {
             .iter()
             .map(|&c| evaluate(&mut mc, c).expect("puf"))
             .collect();
-        (Responses { first, second }, *mc.stats())
+        (Responses { first, second }, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

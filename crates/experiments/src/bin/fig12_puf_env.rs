@@ -79,7 +79,7 @@ fn main() {
             .iter()
             .map(|&c| evaluate(&mut mc, c).expect("puf"))
             .collect();
-        (responses, *mc.stats())
+        (responses, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

@@ -69,7 +69,7 @@ fn main() {
         let per_count: Vec<Vec<RetentionBucket>> = (0..=MAX_FRAC)
             .map(|n| measure_row_voted(&mut mc, row, n, votes).expect("measure"))
             .collect();
-        (per_count, *mc.stats())
+        (per_count, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

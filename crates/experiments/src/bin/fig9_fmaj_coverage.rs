@@ -95,7 +95,7 @@ fn main() {
             .iter()
             .map(|config| fmaj_coverage(&mut mc, &quad, config).expect("fmaj"))
             .collect();
-        (Coverage { maj3, per_config }, *mc.stats())
+        (Coverage { maj3, per_config }, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

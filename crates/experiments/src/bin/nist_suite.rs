@@ -97,7 +97,7 @@ fn main() {
             passed: report.all_passed(),
             report: report.to_string(),
         };
-        (value, *mc.stats())
+        (value, mc.metrics())
     });
     eprintln!("{}", run.summary());
 

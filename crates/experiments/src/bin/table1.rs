@@ -44,7 +44,7 @@ fn main() {
             seed + key.module as u64,
         );
         let caps = survey(&mut mc).expect("survey failed");
-        ((caps.frac, caps.three_row, caps.four_row), *mc.stats())
+        ((caps.frac, caps.three_row, caps.four_row), mc.metrics())
     });
     eprintln!("{}", run.summary());
 

@@ -26,8 +26,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use fracdram_model::GroupId;
-use fracdram_softmc::CycleStats;
+use fracdram_model::{GroupId, ModelPerf};
+use fracdram_softmc::{CycleStats, RunMetrics};
 use fracdram_stats::rng::mix;
 
 use crate::json::Json;
@@ -110,6 +110,8 @@ pub struct TaskReport<T> {
     pub value: T,
     /// Command counters from the task's controller(s).
     pub stats: CycleStats,
+    /// Kernel performance counters from the task's simulated module(s).
+    pub perf: ModelPerf,
     /// Wall time the task took.
     pub wall: Duration,
 }
@@ -142,11 +144,22 @@ impl<T> FleetRun<T> {
         total
     }
 
+    /// Aggregated kernel performance counters across every task.
+    pub fn total_perf(&self) -> ModelPerf {
+        let mut total = ModelPerf::default();
+        for t in &self.tasks {
+            total.accumulate(&t.perf);
+        }
+        total
+    }
+
     /// One-line run summary for stderr (not part of figure output).
     pub fn summary(&self) -> String {
         let stats = self.total_stats();
+        let perf = self.total_perf();
         format!(
-            "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR)",
+            "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR); \
+             kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels",
             self.tasks.len(),
             self.jobs,
             self.wall.as_secs_f64(),
@@ -154,6 +167,12 @@ impl<T> FleetRun<T> {
             stats.activates,
             stats.reads,
             stats.writes,
+            perf.events(),
+            perf.columns,
+            perf.exp_calls,
+            perf.cache_hits,
+            perf.cache_misses,
+            perf.kernel_ns() as f64 / 1e6,
         )
     }
 
@@ -182,6 +201,7 @@ impl<T> FleetRun<T> {
                     .field("seed", t.seed)
                     .field("wall_ms", t.wall.as_secs_f64() * 1e3)
                     .field("stats", stats_json(&t.stats))
+                    .field("perf", perf_json(&t.perf))
                     .field("result", value_json(&t.value))
             })
             .collect();
@@ -191,6 +211,7 @@ impl<T> FleetRun<T> {
             .field("base_seed", self.base_seed)
             .field("wall_ms", self.wall.as_secs_f64() * 1e3)
             .field("stats", stats_json(&self.total_stats()))
+            .field("perf", perf_json(&self.total_perf()))
             .field("tasks", Json::Arr(tasks));
         let mut file = std::fs::File::create(path)?;
         writeln!(file, "{doc}")
@@ -207,12 +228,30 @@ fn stats_json(s: &CycleStats) -> Json {
         .field("refreshes", s.refreshes)
 }
 
+fn perf_json(p: &ModelPerf) -> Json {
+    Json::obj()
+        .field("share_events", p.share_events)
+        .field("sense_events", p.sense_events)
+        .field("close_events", p.close_events)
+        .field("leak_events", p.leak_events)
+        .field("columns", p.columns)
+        .field("exp_calls", p.exp_calls)
+        .field("cache_hits", p.cache_hits)
+        .field("cache_misses", p.cache_misses)
+        .field("share_ns", p.share_ns)
+        .field("sense_ns", p.sense_ns)
+        .field("close_ns", p.close_ns)
+        .field("leak_ns", p.leak_ns)
+}
+
 /// Runs `task` over every key in `plan` on `jobs` worker threads and
 /// merges the reports in plan order.
 ///
 /// The task function receives its key and derived seed and returns the
-/// payload plus the command counters of whatever controllers it drove
-/// (pass [`CycleStats::default()`] when none). `jobs == 1` reproduces
+/// payload plus the metrics of whatever controllers it drove — command
+/// counters and kernel counters together, normally
+/// [`fracdram_softmc::MemoryController::metrics`] (pass
+/// [`RunMetrics::default()`] when none). `jobs == 1` reproduces
 /// serial execution exactly; any other count produces the same merged
 /// reports because tasks share nothing and every task's randomness
 /// derives from [`task_seed`].
@@ -226,7 +265,7 @@ fn stats_json(s: &CycleStats) -> Json {
 pub fn run<T, F>(plan: &[TaskKey], base_seed: u64, jobs: usize, task: F) -> FleetRun<T>
 where
     T: Send,
-    F: Fn(&TaskKey, u64) -> (T, CycleStats) + Sync,
+    F: Fn(&TaskKey, u64) -> (T, RunMetrics) + Sync,
 {
     assert!(jobs > 0, "fleet needs at least one worker");
     let started = Instant::now();
@@ -244,13 +283,14 @@ where
                 };
                 let seed = task_seed(base_seed, key);
                 let task_started = Instant::now();
-                let (value, stats) = task(key, seed);
+                let (value, metrics) = task(key, seed);
                 let wall = task_started.elapsed();
                 *slots[index].lock().unwrap() = Some(TaskReport {
                     key: *key,
                     seed,
                     value,
-                    stats,
+                    stats: metrics.cycles,
+                    perf: metrics.model,
                     wall,
                 });
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
@@ -301,7 +341,7 @@ mod tests {
         let run = run(&plan, 7, 4, |key, seed| {
             (
                 (key.module * 10 + key.subarray, seed),
-                CycleStats::default(),
+                RunMetrics::default(),
             )
         });
         assert_eq!(run.tasks.len(), plan.len());
@@ -318,7 +358,7 @@ mod tests {
         let task = |key: &TaskKey, seed: u64| {
             let mut rng = fracdram_stats::rng::Rng::seed_from_u64(seed);
             let noise: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
-            ((key.variant, noise), CycleStats::default())
+            ((key.variant, noise), RunMetrics::default())
         };
         let serial = run(&plan, 42, 1, task);
         let parallel = run(&plan, 42, 8, task);
@@ -345,12 +385,15 @@ mod tests {
     fn stats_aggregate_across_tasks() {
         let plan = plan();
         let run = run(&plan, 1, 2, |_, _| {
-            let stats = CycleStats {
-                commands: 3,
-                reads: 1,
-                ..CycleStats::default()
+            let metrics = RunMetrics {
+                cycles: CycleStats {
+                    commands: 3,
+                    reads: 1,
+                    ..CycleStats::default()
+                },
+                ..RunMetrics::default()
             };
-            ((), stats)
+            ((), metrics)
         });
         let total = run.total_stats();
         assert_eq!(total.commands, 3 * plan.len() as u64);
@@ -359,12 +402,53 @@ mod tests {
     }
 
     #[test]
+    fn perf_counters_surface_in_summary_and_json() {
+        let plan = plan();
+        let run = run(&plan, 1, 2, |_, _| {
+            let metrics = RunMetrics {
+                model: ModelPerf {
+                    share_events: 2,
+                    columns: 64,
+                    exp_calls: 5,
+                    cache_hits: 1,
+                    cache_misses: 1,
+                    ..ModelPerf::default()
+                },
+                ..RunMetrics::default()
+            };
+            ((), metrics)
+        });
+        let total = run.total_perf();
+        assert_eq!(total.share_events, 2 * plan.len() as u64);
+        assert_eq!(total.columns, 64 * plan.len() as u64);
+        let summary = run.summary();
+        assert!(summary.contains("kernels:"), "{summary}");
+        assert!(
+            summary.contains(&format!("{} exp()", total.exp_calls)),
+            "{summary}"
+        );
+
+        let dir = std::env::temp_dir().join("fracdram_fleet_perf_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("perf.json");
+        run.write_json("unit", path.to_str().unwrap(), |()| Json::from(0.0))
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"perf\":{"), "{text}");
+        assert!(
+            text.contains(&format!("\"share_events\":{}", total.share_events)),
+            "{text}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn json_dump_is_valid_shape() {
         let dir = std::env::temp_dir().join("fracdram_fleet_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("dump.json");
         let run = run(&plan()[..2], 1, 1, |key, _| {
-            (key.subarray as f64, CycleStats::default())
+            (key.subarray as f64, RunMetrics::default())
         });
         run.write_json("unit", path.to_str().unwrap(), |v| Json::from(*v))
             .unwrap();
@@ -378,6 +462,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_jobs_panics() {
-        let _ = run(&plan(), 0, 0, |_, _| ((), CycleStats::default()));
+        let _ = run(&plan(), 0, 0, |_, _| ((), RunMetrics::default()));
     }
 }

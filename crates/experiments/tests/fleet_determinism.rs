@@ -12,7 +12,7 @@ fn stability_task(
     key: &TaskKey,
     seed: u64,
     trials: usize,
-) -> (Vec<f64>, fracdram_softmc::CycleStats) {
+) -> (Vec<f64>, fracdram_softmc::RunMetrics) {
     let mut mc = setup::controller(key.group, setup::compute_geometry(), 77 + key.module as u64);
     let geometry = *mc.module().geometry();
     let sa = SubarrayAddr::new(key.subarray % geometry.banks, key.subarray / geometry.banks);
@@ -20,7 +20,7 @@ fn stability_task(
     let config = FmajConfig::best_for(key.group);
     let mut rng = Rng::seed_from_u64(seed);
     let value = tasks::stability_fmaj(&mut mc, &quad, &config, trials, &mut rng);
-    (value, *mc.stats())
+    (value, mc.metrics())
 }
 
 fn plan() -> Vec<TaskKey> {
@@ -61,7 +61,7 @@ fn task_seeds_depend_only_on_base_seed_and_key() {
     let plan = plan();
     let run = fleet::run(&plan, 5, 4, |key, seed| {
         assert_eq!(seed, task_seed(5, key));
-        ((), fracdram_softmc::CycleStats::default())
+        ((), fracdram_softmc::RunMetrics::default())
     });
     assert_eq!(run.tasks.len(), plan.len());
     // Re-running with the same base seed reproduces every seed; a

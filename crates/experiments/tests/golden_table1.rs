@@ -1,0 +1,38 @@
+//! Golden-output regression test: the rendered stdout of a small
+//! experiment must match a checked-in snapshot captured **before** the
+//! column-kernel rewrite of the sub-array engine.
+//!
+//! The jobs-1-vs-8 determinism test proves the output is stable across
+//! thread counts; this test pins it across *code revisions*. The
+//! snapshot (`tests/golden/table1_small.txt`) was recorded from the
+//! pre-rewrite scalar kernels, so any drift in simulated values —
+//! an FP reassociation, a changed RNG draw order, a stale cache —
+//! shows up as a diff here.
+//!
+//! Regenerate (only for an intentional, understood behavior change):
+//!
+//! ```text
+//! cargo run --release -p fracdram-experiments --bin table1 -- \
+//!     --modules 2 --jobs 1 > crates/experiments/tests/golden/table1_small.txt
+//! ```
+
+use std::process::Command;
+
+#[test]
+fn table1_two_module_slice_matches_pre_rewrite_snapshot() {
+    let expected = include_str!("golden/table1_small.txt");
+    let output = Command::new(env!("CARGO_BIN_EXE_table1"))
+        .args(["--modules", "2", "--jobs", "1"])
+        .output()
+        .expect("table1 binary runs");
+    assert!(
+        output.status.success(),
+        "table1 failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8(output.stdout).expect("utf-8 stdout");
+    assert_eq!(
+        stdout, expected,
+        "table1 stdout drifted from the pre-rewrite golden snapshot"
+    );
+}

@@ -11,7 +11,9 @@
 use crate::env::Environment;
 use crate::error::{ModelError, Result};
 use crate::geometry::{Geometry, RowAddr};
+use crate::materialize::MaterializeCache;
 use crate::params::{DeviceParams, InternalTiming};
+use crate::perf::ModelPerf;
 use crate::silicon::Silicon;
 use crate::subarray::{Ctx, ProbeSample, Subarray};
 use crate::units::Volts;
@@ -66,6 +68,8 @@ pub struct Chip {
     timing: InternalTiming,
     env: Environment,
     noise: NoiseRng,
+    perf: ModelPerf,
+    cache: MaterializeCache,
     banks: Vec<Bank>,
 }
 
@@ -86,6 +90,7 @@ impl Chip {
                 earliest_pre: 0,
             })
             .collect();
+        let cache = MaterializeCache::new(config.seed);
         Chip {
             config,
             silicon,
@@ -93,8 +98,15 @@ impl Chip {
             timing: InternalTiming::default(),
             env: Environment::nominal(),
             noise,
+            perf: ModelPerf::default(),
+            cache,
             banks,
         }
+    }
+
+    /// Kernel performance counters accumulated since construction.
+    pub fn model_perf(&self) -> &ModelPerf {
+        &self.perf
     }
 
     /// The chip's configuration.
@@ -164,6 +176,8 @@ impl Chip {
             env: &self.env,
             timing: &self.timing,
             noise: &mut self.noise,
+            perf: &mut self.perf,
+            cache: &mut self.cache,
         };
         bank.subarrays[sub].activate(&mut ctx, local, t_eff)?;
         bank.active = Some(sub);
@@ -192,6 +206,8 @@ impl Chip {
                 env: &self.env,
                 timing: &self.timing,
                 noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
             };
             sub.precharge(&mut ctx, t_eff);
         }
@@ -217,10 +233,20 @@ impl Chip {
             env: &self.env,
             timing: &self.timing,
             noise: &mut self.noise,
+            perf: &mut self.perf,
+            cache: &mut self.cache,
         };
         let mut bits = sub.read(&mut ctx, t)?;
+        ctx.cache.ensure_cols(
+            ctx.silicon,
+            &mut *ctx.perf,
+            bank,
+            sub_idx,
+            self.config.geometry.columns,
+        );
+        let anti = &ctx.cache.cols(bank, sub_idx).anti;
         for (col, bit) in bits.iter_mut().enumerate() {
-            if sub.is_anti_column(&ctx, col) {
+            if anti[col] {
                 *bit = !*bit;
             }
         }
@@ -244,11 +270,21 @@ impl Chip {
             env: &self.env,
             timing: &self.timing,
             noise: &mut self.noise,
+            perf: &mut self.perf,
+            cache: &mut self.cache,
         };
+        ctx.cache.ensure_cols(
+            ctx.silicon,
+            &mut *ctx.perf,
+            bank,
+            sub_idx,
+            self.config.geometry.columns,
+        );
+        let anti = &ctx.cache.cols(bank, sub_idx).anti;
         let physical: Vec<bool> = bits
             .iter()
             .enumerate()
-            .map(|(i, &bit)| bit ^ sub.is_anti_column(&ctx, start_col + i))
+            .map(|(i, &bit)| bit ^ anti[start_col + i])
             .collect();
         sub.write(&mut ctx, t, start_col, &physical)
     }
@@ -270,6 +306,8 @@ impl Chip {
                     env: &self.env,
                     timing: &self.timing,
                     noise: &mut self.noise,
+                    perf: &mut self.perf,
+                    cache: &mut self.cache,
                 };
                 sub.refresh_row(&mut ctx, row, t);
             }
@@ -309,6 +347,8 @@ impl Chip {
             env: &self.env,
             timing: &self.timing,
             noise: &mut self.noise,
+            perf: &mut self.perf,
+            cache: &mut self.cache,
         };
         self.banks[addr.bank].subarrays[sub].cell_voltage(&mut ctx, local, col, t)
     }
@@ -330,13 +370,15 @@ impl Chip {
     /// reverse-engineers this with retention tests; the simulation exposes
     /// it for validation.
     pub fn is_anti_column(&mut self, bank: usize, subarray: usize, col: usize) -> bool {
-        let ctx = Ctx {
+        let mut ctx = Ctx {
             silicon: &self.silicon,
             env: &self.env,
             timing: &self.timing,
             noise: &mut self.noise,
+            perf: &mut self.perf,
+            cache: &mut self.cache,
         };
-        self.banks[bank].subarrays[subarray].is_anti_column(&ctx, col)
+        self.banks[bank].subarrays[subarray].is_anti_column(&mut ctx, col)
     }
 
     /// The silicon parameter oracle (for experiment analysis).

@@ -52,8 +52,10 @@ pub mod decoder;
 pub mod env;
 pub mod error;
 pub mod geometry;
+pub mod materialize;
 pub mod module;
 pub mod params;
+pub mod perf;
 pub mod sense_amp;
 pub mod silicon;
 pub mod subarray;
@@ -65,8 +67,10 @@ pub use chip::{Chip, ChipConfig};
 pub use env::Environment;
 pub use error::{ModelError, Result};
 pub use geometry::{Geometry, RowAddr, SubarrayAddr};
+pub use materialize::MaterializeCache;
 pub use module::{Module, ModuleConfig};
 pub use params::{DeviceParams, InternalTiming};
+pub use perf::ModelPerf;
 pub use subarray::{ProbeEvent, ProbeSample};
 pub use units::{Cycles, Femtofarads, Seconds, Volts};
 pub use vendor::{GroupId, VendorProfile};

@@ -1,0 +1,328 @@
+//! Materialized silicon statics: contiguous per-row / per-column buffers
+//! of the pure-hash parameters the event kernels consume.
+//!
+//! Every static parameter in [`Silicon`] is a pure function of
+//! `(chip seed, parameter id, coordinates)` — see
+//! [`crate::variation`]. The kernels used to re-derive some of them
+//! (notably the per-cell charge-injection offset, a full hash +
+//! Box–Muller per column) on **every** event. This cache builds each
+//! buffer exactly once per (chip, coordinate) and hands the kernels
+//! plain slices:
+//!
+//! - [`RowStatics`] per (bank, sub-array, row): cell capacitance,
+//!   leakage tau at 20 °C, charge-injection offset, VRT column list;
+//! - [`ColStatics`] per (bank, sub-array): sense-amplifier offset,
+//!   its temperature coefficient, anti-cell polarity, and the Half-m
+//!   closure asymmetry;
+//! - per-slot multi-row share weights.
+//!
+//! **Determinism argument.** Caching cannot change any simulated value:
+//! the buffers hold the same `f64`/`f32` bit patterns the direct
+//! [`Silicon`] calls return (the builders call those very functions),
+//! and the stateful temporal-noise RNG is never involved. The cache is
+//! keyed off the silicon seed — asking it about a chip with a different
+//! seed drops every buffer and rebuilds, so stale statics can never
+//! leak across chips. Experiment stdout is byte-identical with or
+//! without the cache; only wall time changes.
+
+use std::collections::HashMap;
+
+use crate::perf::ModelPerf;
+use crate::silicon::Silicon;
+
+/// Static per-cell parameters of one row, as contiguous buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStatics {
+    /// Cell capacitance (fF), one entry per column.
+    pub cap: Box<[f32]>,
+    /// Leakage time constant at 20 °C (seconds), one entry per column.
+    pub tau20: Box<[f32]>,
+    /// Charge-injection offset (volts), one entry per column.
+    pub inject: Box<[f64]>,
+    /// Columns whose cell is VRT (sparse, ascending).
+    pub vrt: Box<[u32]>,
+}
+
+/// Static per-column parameters of one sub-array, as contiguous buffers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColStatics {
+    /// Sense-amplifier input-referred offset (volts).
+    pub offset: Box<[f64]>,
+    /// Temperature coefficient of the sense offset (V per °C).
+    pub temp_coeff: Box<[f64]>,
+    /// Whether the column is wired as anti-cells.
+    pub anti: Box<[bool]>,
+    /// Raw Half-m closure asymmetry (volts), before the metastability
+    /// roll-off applied at close time.
+    pub halfm_asym: Box<[f64]>,
+}
+
+/// Lazy, seed-keyed cache of materialized silicon statics for one chip.
+#[derive(Debug, Clone, Default)]
+pub struct MaterializeCache {
+    seed: u64,
+    cols: HashMap<(usize, usize), Box<ColStatics>>,
+    weights: HashMap<(usize, usize, usize), Box<[f32]>>,
+    rows: HashMap<(usize, usize, usize), Box<RowStatics>>,
+}
+
+impl MaterializeCache {
+    /// An empty cache keyed to `seed` (normally the owning chip's die
+    /// seed).
+    pub fn new(seed: u64) -> Self {
+        MaterializeCache {
+            seed,
+            cols: HashMap::new(),
+            weights: HashMap::new(),
+            rows: HashMap::new(),
+        }
+    }
+
+    /// The seed the cached buffers were built from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drops every stale buffer if `silicon` belongs to a different die
+    /// than the cached one.
+    fn sync_seed(&mut self, silicon: &Silicon) {
+        let seed = silicon.sampler().seed();
+        if seed != self.seed {
+            self.seed = seed;
+            self.cols.clear();
+            self.weights.clear();
+            self.rows.clear();
+        }
+    }
+
+    /// Builds (on miss) the per-column statics of one sub-array.
+    pub fn ensure_cols(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        cols: usize,
+    ) {
+        self.sync_seed(silicon);
+        if self.cols.contains_key(&(bank, sub)) {
+            perf.cache_hits += 1;
+            return;
+        }
+        perf.cache_misses += 1;
+        let mut offset = Vec::with_capacity(cols);
+        let mut temp_coeff = Vec::with_capacity(cols);
+        let mut anti = Vec::with_capacity(cols);
+        let mut halfm_asym = Vec::with_capacity(cols);
+        for col in 0..cols {
+            offset.push(silicon.sense_offset(bank, sub, col).value());
+            temp_coeff.push(silicon.sense_temp_coeff(bank, sub, col));
+            anti.push(silicon.is_anti_column(bank, sub, col));
+            halfm_asym.push(silicon.halfm_asymmetry(bank, sub, col).value());
+        }
+        self.cols.insert(
+            (bank, sub),
+            Box::new(ColStatics {
+                offset: offset.into(),
+                temp_coeff: temp_coeff.into(),
+                anti: anti.into(),
+                halfm_asym: halfm_asym.into(),
+            }),
+        );
+    }
+
+    /// The per-column statics of a sub-array; call
+    /// [`MaterializeCache::ensure_cols`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn cols(&self, bank: usize, sub: usize) -> &ColStatics {
+        self.cols
+            .get(&(bank, sub))
+            .expect("ensure_cols before cols")
+    }
+
+    /// Builds (on miss) the share weights of one activation-role slot.
+    pub fn ensure_weights(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        slot: usize,
+        cols: usize,
+    ) {
+        self.sync_seed(silicon);
+        if self.weights.contains_key(&(bank, sub, slot)) {
+            perf.cache_hits += 1;
+            return;
+        }
+        perf.cache_misses += 1;
+        let w: Vec<f32> = (0..cols)
+            .map(|col| silicon.share_weight(bank, sub, slot, col) as f32)
+            .collect();
+        self.weights.insert((bank, sub, slot), w.into());
+    }
+
+    /// The share weights of one slot; call
+    /// [`MaterializeCache::ensure_weights`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn weights(&self, bank: usize, sub: usize, slot: usize) -> &[f32] {
+        self.weights
+            .get(&(bank, sub, slot))
+            .expect("ensure_weights before weights")
+    }
+
+    /// Builds (on miss) the per-cell statics of one row.
+    pub fn ensure_row(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        row: usize,
+        cols: usize,
+    ) {
+        self.sync_seed(silicon);
+        if self.rows.contains_key(&(bank, sub, row)) {
+            perf.cache_hits += 1;
+            return;
+        }
+        perf.cache_misses += 1;
+        let mut cap = Vec::with_capacity(cols);
+        let mut tau20 = Vec::with_capacity(cols);
+        let mut inject = Vec::with_capacity(cols);
+        let mut vrt = Vec::new();
+        for col in 0..cols {
+            cap.push(silicon.cell_capacitance(bank, sub, row, col).value() as f32);
+            tau20.push(silicon.leak_tau(bank, sub, row, col).value() as f32);
+            inject.push(silicon.cell_inject(bank, sub, row, col).value());
+            if silicon.is_vrt(bank, sub, row, col) {
+                vrt.push(col as u32);
+            }
+        }
+        self.rows.insert(
+            (bank, sub, row),
+            Box::new(RowStatics {
+                cap: cap.into(),
+                tau20: tau20.into(),
+                inject: inject.into(),
+                vrt: vrt.into(),
+            }),
+        );
+    }
+
+    /// The per-cell statics of a row; call
+    /// [`MaterializeCache::ensure_row`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn row(&self, bank: usize, sub: usize, row: usize) -> &RowStatics {
+        self.rows
+            .get(&(bank, sub, row))
+            .expect("ensure_row before row")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::DeviceParams;
+    use crate::vendor::GroupId;
+
+    fn silicon(seed: u64) -> Silicon {
+        Silicon::new(seed, DeviceParams::default(), GroupId::B.profile())
+    }
+
+    const COLS: usize = 128;
+
+    #[test]
+    fn same_seed_rebuilds_identical_buffers() {
+        let s = silicon(42);
+        let mut perf = ModelPerf::default();
+        let mut a = MaterializeCache::new(42);
+        let mut b = MaterializeCache::new(42);
+        a.ensure_row(&s, &mut perf, 0, 1, 7, COLS);
+        b.ensure_row(&s, &mut perf, 0, 1, 7, COLS);
+        assert_eq!(a.row(0, 1, 7), b.row(0, 1, 7));
+        a.ensure_cols(&s, &mut perf, 0, 1, COLS);
+        b.ensure_cols(&s, &mut perf, 0, 1, COLS);
+        assert_eq!(a.cols(0, 1), b.cols(0, 1));
+        a.ensure_weights(&s, &mut perf, 0, 1, 2, COLS);
+        b.ensure_weights(&s, &mut perf, 0, 1, 2, COLS);
+        assert_eq!(a.weights(0, 1, 2), b.weights(0, 1, 2));
+    }
+
+    #[test]
+    fn buffers_match_direct_silicon_calls() {
+        let s = silicon(9);
+        let mut perf = ModelPerf::default();
+        let mut cache = MaterializeCache::new(9);
+        cache.ensure_row(&s, &mut perf, 2, 0, 5, COLS);
+        cache.ensure_cols(&s, &mut perf, 2, 0, COLS);
+        let row = cache.row(2, 0, 5);
+        let cols = cache.cols(2, 0);
+        for col in 0..COLS {
+            assert_eq!(row.inject[col], s.cell_inject(2, 0, 5, col).value());
+            assert_eq!(
+                row.cap[col],
+                s.cell_capacitance(2, 0, 5, col).value() as f32
+            );
+            assert_eq!(row.tau20[col], s.leak_tau(2, 0, 5, col).value() as f32);
+            assert_eq!(cols.offset[col], s.sense_offset(2, 0, col).value());
+            assert_eq!(cols.anti[col], s.is_anti_column(2, 0, col));
+            assert_eq!(cols.halfm_asym[col], s.halfm_asymmetry(2, 0, col).value());
+        }
+        assert_eq!(
+            row.vrt.iter().map(|&c| c as usize).collect::<Vec<_>>(),
+            (0..COLS)
+                .filter(|&c| s.is_vrt(2, 0, 5, c))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_produce_different_buffers() {
+        let mut perf = ModelPerf::default();
+        let mut a = MaterializeCache::new(1);
+        let mut b = MaterializeCache::new(2);
+        a.ensure_row(&silicon(1), &mut perf, 0, 0, 0, COLS);
+        b.ensure_row(&silicon(2), &mut perf, 0, 0, 0, COLS);
+        assert_ne!(a.row(0, 0, 0).inject, b.row(0, 0, 0).inject);
+        assert_ne!(a.row(0, 0, 0).tau20, b.row(0, 0, 0).tau20);
+    }
+
+    #[test]
+    fn hit_and_miss_counters_increment() {
+        let s = silicon(7);
+        let mut perf = ModelPerf::default();
+        let mut cache = MaterializeCache::new(7);
+        cache.ensure_row(&s, &mut perf, 0, 0, 3, COLS);
+        assert_eq!((perf.cache_misses, perf.cache_hits), (1, 0));
+        cache.ensure_row(&s, &mut perf, 0, 0, 3, COLS);
+        assert_eq!((perf.cache_misses, perf.cache_hits), (1, 1));
+        cache.ensure_row(&s, &mut perf, 0, 0, 4, COLS);
+        assert_eq!((perf.cache_misses, perf.cache_hits), (2, 1));
+        cache.ensure_cols(&s, &mut perf, 0, 0, COLS);
+        cache.ensure_cols(&s, &mut perf, 0, 0, COLS);
+        assert_eq!((perf.cache_misses, perf.cache_hits), (3, 2));
+    }
+
+    #[test]
+    fn seed_mismatch_drops_stale_buffers() {
+        let mut perf = ModelPerf::default();
+        let mut cache = MaterializeCache::new(1);
+        cache.ensure_row(&silicon(1), &mut perf, 0, 0, 0, COLS);
+        let old = cache.row(0, 0, 0).clone();
+        // A different die asks the same cache: stale buffers must go.
+        cache.ensure_row(&silicon(2), &mut perf, 0, 0, 0, COLS);
+        assert_eq!(cache.seed(), 2);
+        assert_ne!(*cache.row(0, 0, 0), old);
+        assert_eq!(perf.cache_misses, 2);
+    }
+}

@@ -125,6 +125,15 @@ impl Module {
         self.chips[0].environment()
     }
 
+    /// Kernel performance counters summed across every chip.
+    pub fn model_perf(&self) -> crate::perf::ModelPerf {
+        let mut total = crate::perf::ModelPerf::default();
+        for chip in &self.chips {
+            total.accumulate(chip.model_perf());
+        }
+        total
+    }
+
     /// Maps a module-level column to `(chip index, chip column)` using
     /// byte-lane striping.
     pub fn map_column(&self, col: usize) -> (usize, usize) {

@@ -1,0 +1,104 @@
+//! Kernel-level performance counters.
+//!
+//! [`ModelPerf`] counts what the sub-array event kernels actually did —
+//! events fired, columns processed, exponentials evaluated, materialize-
+//! cache traffic, and wall time spent inside each kernel. The counters
+//! are pure observability: they are surfaced on experiment **stderr**
+//! summaries and in `--json` dumps, never on stdout, so figure output
+//! stays byte-identical while the kernels get faster underneath.
+
+/// Counters for the sub-array analog kernels of one chip (or, after
+/// [`ModelPerf::accumulate`], of a whole module / fleet run).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ModelPerf {
+    /// Charge-share events fired (`fire_share`).
+    pub share_events: u64,
+    /// Sense-amplifier events fired (`fire_sense`).
+    pub sense_events: u64,
+    /// Word-line-close events fired (`fire_close`).
+    pub close_events: u64,
+    /// Leakage passes that did real work (past the sub-µs and
+    /// zero-charge skips).
+    pub leak_events: u64,
+    /// Total columns processed across all kernel invocations.
+    pub columns: u64,
+    /// `exp()` evaluations in the leakage kernel.
+    pub exp_calls: u64,
+    /// Materialize-cache lookups that found a built buffer.
+    pub cache_hits: u64,
+    /// Materialize-cache lookups that had to build the buffer.
+    pub cache_misses: u64,
+    /// Wall nanoseconds spent in the share kernel.
+    pub share_ns: u64,
+    /// Wall nanoseconds spent in the sense kernel.
+    pub sense_ns: u64,
+    /// Wall nanoseconds spent in the close kernel.
+    pub close_ns: u64,
+    /// Wall nanoseconds spent in the leakage kernel.
+    pub leak_ns: u64,
+}
+
+impl ModelPerf {
+    /// Adds another counter set into this one (module/fleet roll-up).
+    pub fn accumulate(&mut self, other: &ModelPerf) {
+        self.share_events += other.share_events;
+        self.sense_events += other.sense_events;
+        self.close_events += other.close_events;
+        self.leak_events += other.leak_events;
+        self.columns += other.columns;
+        self.exp_calls += other.exp_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.share_ns += other.share_ns;
+        self.sense_ns += other.sense_ns;
+        self.close_ns += other.close_ns;
+        self.leak_ns += other.leak_ns;
+    }
+
+    /// Total kernel events fired.
+    pub fn events(&self) -> u64 {
+        self.share_events + self.sense_events + self.close_events + self.leak_events
+    }
+
+    /// Total wall nanoseconds spent inside the kernels.
+    pub fn kernel_ns(&self) -> u64 {
+        self.share_ns + self.sense_ns + self.close_ns + self.leak_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_every_field() {
+        let a = ModelPerf {
+            share_events: 1,
+            sense_events: 2,
+            close_events: 3,
+            leak_events: 4,
+            columns: 5,
+            exp_calls: 6,
+            cache_hits: 7,
+            cache_misses: 8,
+            share_ns: 9,
+            sense_ns: 10,
+            close_ns: 11,
+            leak_ns: 12,
+        };
+        let mut total = a;
+        total.accumulate(&a);
+        assert_eq!(total.share_events, 2);
+        assert_eq!(total.leak_ns, 24);
+        assert_eq!(total.events(), 2 * (1 + 2 + 3 + 4));
+        assert_eq!(total.kernel_ns(), 2 * (9 + 10 + 11 + 12));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let p = ModelPerf::default();
+        assert_eq!(p.events(), 0);
+        assert_eq!(p.kernel_ns(), 0);
+        assert_eq!(p, ModelPerf::default());
+    }
+}

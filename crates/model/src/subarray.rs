@@ -18,12 +18,16 @@
 //! command is processed — so the semantics depend only on command timing,
 //! exactly like real silicon.
 
+use std::time::Instant;
+
 use crate::bitline::{self, SharingCell};
 use crate::cell;
 use crate::decoder::glitch_rows;
 use crate::env::Environment;
 use crate::error::{ModelError, Result};
+use crate::materialize::{MaterializeCache, RowStatics};
 use crate::params::InternalTiming;
+use crate::perf::ModelPerf;
 use crate::sense_amp;
 use crate::silicon::Silicon;
 use crate::units::{Femtofarads, Seconds, Volts, CYCLE_SECONDS};
@@ -40,29 +44,24 @@ pub struct Ctx<'a> {
     pub timing: &'a InternalTiming,
     /// Temporal noise source of the owning chip.
     pub noise: &'a mut NoiseRng,
+    /// Kernel counters of the owning chip.
+    pub perf: &'a mut ModelPerf,
+    /// Materialized silicon statics of the owning chip.
+    pub cache: &'a mut MaterializeCache,
 }
 
-/// Materialized state of one row.
+/// Materialized *dynamic* state of one row; every static per-cell
+/// parameter lives in the [`MaterializeCache`] instead.
 #[derive(Debug, Clone)]
 struct RowState {
     /// Cell voltages in volts.
     v: Vec<f64>,
     /// Cycle at which leakage was last applied.
     last: u64,
-    /// Cached per-cell capacitance (fF).
-    cap: Vec<f32>,
-    /// Cached per-cell leakage tau at 20 °C (seconds).
-    tau20: Vec<f32>,
-    /// Columns whose cell is VRT (sparse).
-    vrt: Vec<u32>,
-}
-
-/// Cached per-column static parameters of the sub-array.
-#[derive(Debug, Clone)]
-struct ColumnStatics {
-    offset: Vec<f64>,
-    temp_coeff: Vec<f64>,
-    anti: Vec<bool>,
+    /// Whether any kernel ever drove charge into the row. A row that was
+    /// never driven holds exactly 0 V everywhere, and decay of zero is
+    /// zero — `leak_row` skips it wholesale.
+    charged: bool,
 }
 
 /// A voltage probe recording the analog trajectory of one cell and its
@@ -119,8 +118,9 @@ pub struct Subarray {
     pending_share: Option<u64>,
     pending_sense: Option<u64>,
     pending_close: Option<u64>,
-    statics: Option<Box<ColumnStatics>>,
-    weights: [Option<Vec<f32>>; 4],
+    /// Reusable per-column scratch buffer (Half-m closure asymmetry);
+    /// kept on the struct so `fire_close` allocates nothing per event.
+    scratch: Vec<f64>,
     probes: Vec<Probe>,
 }
 
@@ -150,8 +150,7 @@ impl Subarray {
             pending_share: None,
             pending_sense: None,
             pending_close: None,
-            statics: None,
-            weights: [None, None, None, None],
+            scratch: vec![0.0; cols],
             probes: Vec::new(),
         }
     }
@@ -185,9 +184,15 @@ impl Subarray {
     }
 
     /// Whether the column is wired as anti-cells.
-    pub fn is_anti_column(&mut self, ctx: &Ctx<'_>, col: usize) -> bool {
-        self.ensure_statics(ctx);
-        self.statics.as_ref().unwrap().anti[col]
+    pub fn is_anti_column(&mut self, ctx: &mut Ctx<'_>, col: usize) -> bool {
+        ctx.cache.ensure_cols(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            self.cols,
+        );
+        ctx.cache.cols(self.bank, self.index).anti[col]
     }
 
     /// Attaches a voltage probe to `(row, col)`; samples accumulate until
@@ -332,14 +337,15 @@ impl Subarray {
             let rail = if b { vdd } else { 0.0 };
             self.bl[col] = rail;
         }
-        let open = self.open.clone();
-        for row in open {
-            self.ensure_row(ctx, row);
+        for i in 0..self.open.len() {
+            let row = self.open[i];
+            self.ensure_row(row);
             let rs = self.data[row].as_mut().unwrap();
             for (i, &b) in bits.iter().enumerate() {
                 rs.v[start_col + i] = if b { vdd } else { 0.0 };
             }
             rs.last = t;
+            rs.charged = true;
         }
         Ok(())
     }
@@ -351,24 +357,36 @@ impl Subarray {
         if self.data[local_row].is_none() {
             return; // never-written rows hold no charge worth refreshing
         }
-        self.ensure_statics(ctx);
         self.leak_row(ctx, local_row, t);
+        ctx.cache.ensure_cols(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            self.cols,
+        );
+        ctx.cache.ensure_row(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            local_row,
+            self.cols,
+        );
         let params = ctx.silicon.params();
         let half = params.half_vdd(ctx.env.vdd).value();
         let bl_cap = params.bitline_cap;
-        let statics = self.statics.as_ref().unwrap();
+        let sigma = params.sense_noise_sigma.value();
+        let statics = ctx.cache.cols(self.bank, self.index);
+        let stat = ctx.cache.row(self.bank, self.index, local_row);
         let rs = self.data[local_row].as_mut().unwrap();
         for col in 0..self.cols {
-            let inject = ctx
-                .silicon
-                .cell_inject(self.bank, self.index, local_row, col)
-                .value();
             let shared = bitline::share(
                 Volts(half),
                 bl_cap,
                 &[SharingCell {
-                    v: Volts(rs.v[col] + inject),
-                    cap: Femtofarads(rs.cap[col] as f64),
+                    v: Volts(rs.v[col] + stat.inject[col]),
+                    cap: Femtofarads(stat.cap[col] as f64),
                     weight: 1.0,
                 }],
             );
@@ -381,11 +399,12 @@ impl Subarray {
             if statics.anti[col] {
                 th = sense_amp::mirror_for_anti(th, ctx.env);
             }
-            let noisy = shared + Volts(ctx.noise.normal(0.0, params.sense_noise_sigma.value()));
+            let noisy = shared + Volts(ctx.noise.normal(0.0, sigma));
             let one = sense_amp::senses_one(noisy, th);
             rs.v[col] = sense_amp::restore_level(one, ctx.env).value();
         }
         rs.last = t;
+        rs.charged = true;
     }
 
     /// Non-destructively inspects the current voltage of a cell at cycle
@@ -437,16 +456,21 @@ impl Subarray {
     }
 
     /// Charge sharing between the bit-lines and all open rows.
+    ///
+    /// Column-kernel form: per-cell statics come from the materialize
+    /// cache as contiguous slices, and the open rows' state is detached
+    /// into fixed slot arrays so the inner loop indexes plain buffers —
+    /// no per-event allocation, no hashing, no map lookups.
     fn fire_share(&mut self, ctx: &mut Ctx<'_>, t: u64) {
-        self.ensure_statics(ctx);
-        let open = self.open.clone();
-        for &row in &open {
-            self.ensure_row(ctx, row);
-            self.leak_row(ctx, row, t);
-        }
-        if open.is_empty() {
+        if self.open.is_empty() {
             return;
         }
+        for i in 0..self.open.len() {
+            let row = self.open[i];
+            self.ensure_row(row);
+            self.leak_row(ctx, row, t);
+        }
+        let started = Instant::now();
         let params = ctx.silicon.params();
         let profile = ctx.silicon.profile();
         let bl_cap = params.bitline_cap;
@@ -461,60 +485,115 @@ impl Subarray {
         } else {
             0.0
         };
-        if multi {
-            for slot in 0..open.len().min(4) {
-                self.ensure_weights(ctx, slot);
-            }
-        }
         let noise_sigma = params.bitline_noise_sigma.value();
         let temporal_sigma = params.share_temporal_sigma;
+        let v_max = ctx.env.vdd.value() * 1.05;
+        let n = self.open.len().min(16);
+        for slot in 0..n {
+            ctx.cache.ensure_row(
+                ctx.silicon,
+                &mut *ctx.perf,
+                self.bank,
+                self.index,
+                self.open[slot],
+                self.cols,
+            );
+        }
+        if multi {
+            for slot in 0..self.open.len().min(4) {
+                ctx.cache.ensure_weights(
+                    ctx.silicon,
+                    &mut *ctx.perf,
+                    self.bank,
+                    self.index,
+                    slot,
+                    self.cols,
+                );
+            }
+        }
+        let mut stat: [Option<&RowStatics>; 16] = [None; 16];
+        for (s, &row) in stat.iter_mut().zip(self.open.iter()) {
+            *s = Some(ctx.cache.row(self.bank, self.index, row));
+        }
+        let mut weights: [&[f32]; 4] = [&[]; 4];
+        if multi {
+            for (slot, w) in weights.iter_mut().enumerate().take(self.open.len()) {
+                *w = ctx.cache.weights(self.bank, self.index, slot);
+            }
+        }
+        // Detach the open rows' state so cells and bit-lines update
+        // together without aliasing `self.data`. Open rows are unique
+        // (the decoder glitch produces a set), so every take succeeds.
+        let mut state: [Option<Box<RowState>>; 16] = Default::default();
+        for (slot, st) in state.iter_mut().enumerate().take(n) {
+            debug_assert!(
+                self.data[self.open[slot]].is_some(),
+                "open row materialized above"
+            );
+            *st = self.data[self.open[slot]].take();
+        }
+        // Index loop on purpose: `col` strides five parallel buffers
+        // (`bl`, per-slot `state`, `stat`, `weights`); zipping them would
+        // obscure the column-kernel shape.
+        #[allow(clippy::needless_range_loop)]
         for col in 0..self.cols {
             let mut participants: [SharingCell; 16] = [SharingCell {
                 v: Volts(0.0),
                 cap: Femtofarads(0.0),
                 weight: 0.0,
             }; 16];
-            let n = open.len().min(16);
-            for (slot, &row) in open.iter().take(n).enumerate() {
-                let rs = self.data[row].as_ref().unwrap();
+            for (slot, st) in stat.iter().take(n).enumerate() {
+                let rs = state[slot].as_ref().unwrap();
+                let st = st.unwrap();
                 let weight = if multi && slot < 4 {
                     // Static per-(slot, column) weight plus the per-trial
                     // decoder-timing jitter (§VI-A2 instability source).
-                    let w = self.weights[slot].as_ref().unwrap()[col] as f64;
+                    let w = weights[slot][col] as f64;
                     (w * (1.0 + ctx.noise.normal(0.0, temporal_sigma))).max(0.01)
                 } else {
                     1.0
                 };
-                // Static per-cell charge-injection offset: the cell's
-                // access transistor delivers slightly more or less charge
-                // than its voltage alone implies.
-                let inject = ctx
-                    .silicon
-                    .cell_inject(self.bank, self.index, row, col)
-                    .value();
+                // The cell contributes its voltage plus the static
+                // charge-injection offset of its access transistor.
                 participants[slot] = SharingCell {
-                    v: Volts(rs.v[col] + inject),
-                    cap: Femtofarads(rs.cap[col] as f64),
+                    v: Volts(rs.v[col] + st.inject[col]),
+                    cap: Femtofarads(st.cap[col] as f64),
                     weight,
                 };
             }
             let mut v_eq = bitline::share(Volts(self.bl[col]), bl_cap, &participants[..n]).value();
             v_eq += bias + ctx.noise.normal(0.0, noise_sigma);
-            v_eq = v_eq.clamp(0.0, ctx.env.vdd.value() * 1.05);
+            v_eq = v_eq.clamp(0.0, v_max);
             self.bl[col] = v_eq;
-            for &row in open.iter().take(n) {
-                let rs = self.data[row].as_mut().unwrap();
+            for rs in state.iter_mut().take(n) {
+                let rs = rs.as_mut().unwrap();
                 rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
             }
         }
+        for (slot, st) in state.iter_mut().enumerate().take(n) {
+            let mut rs = st.take().unwrap();
+            rs.charged = true;
+            self.data[self.open[slot]] = Some(rs);
+        }
+        ctx.perf.share_events += 1;
+        ctx.perf.columns += self.cols as u64;
+        ctx.perf.share_ns += started.elapsed().as_nanos() as u64;
         self.record_probes(ctx, t, ProbeEvent::ChargeShared);
     }
 
     /// Sense-amplifier enable: latch, drive rails, restore all open rows.
     fn fire_sense(&mut self, ctx: &mut Ctx<'_>, t: u64) {
-        self.ensure_statics(ctx);
+        ctx.cache.ensure_cols(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            self.cols,
+        );
+        let started = Instant::now();
         let params = ctx.silicon.params();
-        let statics = self.statics.as_ref().unwrap();
+        let statics = ctx.cache.cols(self.bank, self.index);
+        let sigma = params.sense_noise_sigma.value();
         let vdd = ctx.env.vdd.value();
         for col in 0..self.cols {
             let mut th = sense_amp::threshold(
@@ -526,20 +605,23 @@ impl Subarray {
             if statics.anti[col] {
                 th = sense_amp::mirror_for_anti(th, ctx.env);
             }
-            let noisy = self.bl[col] + ctx.noise.normal(0.0, params.sense_noise_sigma.value());
+            let noisy = self.bl[col] + ctx.noise.normal(0.0, sigma);
             let one = sense_amp::senses_one(Volts(noisy), th);
             self.sensed_bits[col] = one;
             self.bl[col] = if one { vdd } else { 0.0 };
         }
-        let open = self.open.clone();
-        for row in open {
+        for i in 0..self.open.len() {
+            let row = self.open[i];
             // Leakage was applied at share time moments ago; just restore.
-            let bl = &self.bl;
             let rs = self.data[row].as_mut().unwrap();
-            rs.v.copy_from_slice(bl);
+            rs.v.copy_from_slice(&self.bl);
             rs.last = t;
+            rs.charged = true;
         }
         self.sensed = true;
+        ctx.perf.sense_events += 1;
+        ctx.perf.columns += self.cols as u64;
+        ctx.perf.sense_ns += started.elapsed().as_nanos() as u64;
         self.record_probes(ctx, t, ProbeEvent::Sensed);
     }
 
@@ -551,34 +633,42 @@ impl Subarray {
         // leaves a static residue on the cells. This is why only some
         // columns produce a clean, distinguishable Half value (Fig. 8),
         // while Frac (single-row interruption) stays uniform.
+        let started = Instant::now();
         if self.multi_row && !self.sensed && !self.open.is_empty() {
+            ctx.cache.ensure_cols(
+                ctx.silicon,
+                &mut *ctx.perf,
+                self.bank,
+                self.index,
+                self.cols,
+            );
+            let statics = ctx.cache.cols(self.bank, self.index);
             let vdd = ctx.env.vdd.value();
             let half = vdd / 2.0;
             // The raw per-column asymmetry is scaled by how metastable
             // the column's bit-line ended up: a column parked near Vdd/2
             // amplifies the word-line-drop disturbance, a strongly
             // driven column shrugs it off (seventh-power roll-off).
-            let asym: Vec<f64> = (0..self.cols)
-                .map(|col| {
-                    let metastable = (1.0 - (self.bl[col] - half).abs() / half).clamp(0.0, 1.0);
-                    ctx.silicon
-                        .halfm_asymmetry(self.bank, self.index, col)
-                        .value()
-                        * metastable.powi(7)
-                })
-                .collect();
-            let open = self.open.clone();
-            for &row in &open {
+            for col in 0..self.cols {
+                let metastable = (1.0 - (self.bl[col] - half).abs() / half).clamp(0.0, 1.0);
+                self.scratch[col] = statics.halfm_asym[col] * metastable.powi(7);
+            }
+            for i in 0..self.open.len() {
+                let row = self.open[i];
                 let Some(rs) = self.data[row].as_mut() else {
                     continue;
                 };
-                for (v, a) in rs.v.iter_mut().zip(&asym) {
+                for (v, &a) in rs.v.iter_mut().zip(&self.scratch) {
                     *v = (*v + a).clamp(0.0, vdd);
                 }
+                rs.charged = true;
             }
+            ctx.perf.columns += self.cols as u64;
         }
         self.pending_sense = None;
         self.pending_share = None;
+        ctx.perf.close_events += 1;
+        ctx.perf.close_ns += started.elapsed().as_nanos() as u64;
         self.record_probes(ctx, t, ProbeEvent::Closed);
         self.open.clear();
         self.multi_row = false;
@@ -591,77 +681,34 @@ impl Subarray {
     /// RowClone copy path: drive a freshly opened row directly from the
     /// latched sense amplifiers.
     fn drive_row_from_sense(&mut self, ctx: &mut Ctx<'_>, row: usize, t: u64) {
-        self.ensure_row(ctx, row);
+        self.ensure_row(row);
         let vdd = ctx.env.vdd.value();
-        let bits = self.sensed_bits.clone();
+        let bits = &self.sensed_bits;
         let rs = self.data[row].as_mut().unwrap();
-        for (v, &bit) in rs.v.iter_mut().zip(&bits) {
+        for (v, &bit) in rs.v.iter_mut().zip(bits) {
             *v = if bit { vdd } else { 0.0 };
         }
         rs.last = t;
+        rs.charged = true;
     }
 
     // ------------------------------------------------------------------
     // Lazy state
     // ------------------------------------------------------------------
 
-    fn ensure_statics(&mut self, ctx: &Ctx<'_>) {
-        if self.statics.is_some() {
-            return;
-        }
-        let s = ctx.silicon;
-        let mut offset = Vec::with_capacity(self.cols);
-        let mut temp_coeff = Vec::with_capacity(self.cols);
-        let mut anti = Vec::with_capacity(self.cols);
-        for col in 0..self.cols {
-            offset.push(s.sense_offset(self.bank, self.index, col).value());
-            temp_coeff.push(s.sense_temp_coeff(self.bank, self.index, col));
-            anti.push(s.is_anti_column(self.bank, self.index, col));
-        }
-        self.statics = Some(Box::new(ColumnStatics {
-            offset,
-            temp_coeff,
-            anti,
-        }));
-    }
-
-    fn ensure_weights(&mut self, ctx: &Ctx<'_>, slot: usize) {
-        if slot >= 4 || self.weights[slot].is_some() {
-            return;
-        }
-        let s = ctx.silicon;
-        let w: Vec<f32> = (0..self.cols)
-            .map(|col| s.share_weight(self.bank, self.index, slot, col) as f32)
-            .collect();
-        self.weights[slot] = Some(w);
-    }
-
-    fn ensure_row(&mut self, ctx: &Ctx<'_>, row: usize) {
+    fn ensure_row(&mut self, row: usize) {
         if self.data[row].is_some() {
             return;
-        }
-        let s = ctx.silicon;
-        let mut cap = Vec::with_capacity(self.cols);
-        let mut tau20 = Vec::with_capacity(self.cols);
-        let mut vrt = Vec::new();
-        for col in 0..self.cols {
-            cap.push(s.cell_capacitance(self.bank, self.index, row, col).value() as f32);
-            tau20.push(s.leak_tau(self.bank, self.index, row, col).value() as f32);
-            if s.is_vrt(self.bank, self.index, row, col) {
-                vrt.push(col as u32);
-            }
         }
         self.data[row] = Some(Box::new(RowState {
             v: vec![0.0; self.cols],
             last: 0,
-            cap,
-            tau20,
-            vrt,
+            charged: false,
         }));
     }
 
     /// Applies leakage to a row up to cycle `t`.
-    fn leak_row(&mut self, ctx: &Ctx<'_>, row: usize, t: u64) {
+    fn leak_row(&mut self, ctx: &mut Ctx<'_>, row: usize, t: u64) {
         let Some(rs) = self.data[row].as_mut() else {
             return;
         };
@@ -675,30 +722,58 @@ impl Subarray {
             rs.last = t;
             return;
         }
+        if !rs.charged {
+            // A never-driven row holds exactly 0 V everywhere; decay of
+            // zero is zero (including the VRT undo/redo pair), so the
+            // whole pass is a no-op beyond advancing the clock.
+            rs.last = t;
+            return;
+        }
+        let started = Instant::now();
+        ctx.cache.ensure_row(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            row,
+            self.cols,
+        );
+        let stat = ctx.cache.row(self.bank, self.index, row);
         let scale = ctx
             .env
             .leakage_tau_scale(ctx.silicon.params().leak_tau_halving_celsius);
+        let at = Seconds(rs.last as f64 * CYCLE_SECONDS);
+        let mut exp_calls = 0u64;
         for col in 0..self.cols {
-            let tau = Seconds(rs.tau20[col] as f64 * scale);
+            // The tau product must stay in exactly this form — hoisting a
+            // reciprocal out of the loop changes the rounding and breaks
+            // stdout byte-identity with the pre-rewrite kernel.
+            let tau = Seconds(stat.tau20[col] as f64 * scale);
+            if rs.v[col] != 0.0 {
+                exp_calls += 1;
+            }
             rs.v[col] = cell::decay(Volts(rs.v[col]), dt, tau).value();
         }
         // VRT cells override with their epoch-dependent tau.
-        let at = Seconds(rs.last as f64 * CYCLE_SECONDS);
-        for &col in &rs.vrt.clone() {
-            let nominal = Seconds(rs.tau20[col as usize] as f64 * scale);
-            let eff = ctx.silicon.vrt_effective_tau(
-                self.bank,
-                self.index,
-                row,
-                col as usize,
-                nominal,
-                at,
-            );
+        for &col in stat.vrt.iter() {
+            let col = col as usize;
+            let nominal = Seconds(stat.tau20[col] as f64 * scale);
+            let eff = ctx
+                .silicon
+                .vrt_effective_tau(self.bank, self.index, row, col, nominal, at);
             // Undo the nominal decay and re-apply with the effective tau.
-            let v = rs.v[col as usize] * (dt.value() / nominal.value()).exp();
-            rs.v[col as usize] = cell::decay(Volts(v), dt, eff).value();
+            let v = rs.v[col] * (dt.value() / nominal.value()).exp();
+            exp_calls += 1;
+            if v != 0.0 {
+                exp_calls += 1;
+            }
+            rs.v[col] = cell::decay(Volts(v), dt, eff).value();
         }
         rs.last = t;
+        ctx.perf.leak_events += 1;
+        ctx.perf.columns += self.cols as u64;
+        ctx.perf.exp_calls += exp_calls;
+        ctx.perf.leak_ns += started.elapsed().as_nanos() as u64;
     }
 
     fn record_probes(&mut self, ctx: &mut Ctx<'_>, t: u64, event: ProbeEvent) {
@@ -736,6 +811,8 @@ mod tests {
         env: Environment,
         timing: InternalTiming,
         noise: NoiseRng,
+        perf: ModelPerf,
+        cache: MaterializeCache,
         sub: Subarray,
         now: u64,
     }
@@ -751,6 +828,8 @@ mod tests {
                 env: Environment::nominal(),
                 timing: InternalTiming::default(),
                 noise: NoiseRng::new(42),
+                perf: ModelPerf::default(),
+                cache: MaterializeCache::new(0xBEEF),
                 sub: Subarray::new(0, 0, 32, 32),
                 now: 100,
             }
@@ -783,6 +862,8 @@ mod tests {
                 env: &self.env,
                 timing: &self.timing,
                 noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
             };
             self.sub.activate(&mut ctx, row, t).unwrap();
             self.sub.write(&mut ctx, t + 10, 0, bits).unwrap();
@@ -798,6 +879,8 @@ mod tests {
                 env: &self.env,
                 timing: &self.timing,
                 noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
             };
             self.sub.activate(&mut ctx, row, t).unwrap();
             let bits = self.sub.read(&mut ctx, t + 10).unwrap();
@@ -814,6 +897,8 @@ mod tests {
                 env: &self.env,
                 timing: &self.timing,
                 noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
             };
             self.sub.activate(&mut ctx, row, t).unwrap();
             self.sub.precharge(&mut ctx, t + 1);
@@ -828,6 +913,8 @@ mod tests {
                 env: &self.env,
                 timing: &self.timing,
                 noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
             };
             self.sub.cell_voltage(&mut ctx, row, col, t).value()
         }
@@ -860,6 +947,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         assert_eq!(
             sub.read(&mut ctx, 10).unwrap_err(),
@@ -876,6 +965,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         assert!(matches!(
             sub.activate(&mut ctx, 99, 5),
@@ -926,6 +1017,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 2, t).unwrap();
         b.sub.precharge(&mut ctx, t + 20);
@@ -946,6 +1039,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 1, t).unwrap();
         b.sub.precharge(&mut ctx, t + 1);
@@ -982,6 +1077,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 1, t).unwrap();
         b.sub.precharge(&mut ctx, t + 1);
@@ -1006,6 +1103,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 8, t).unwrap();
         b.sub.precharge(&mut ctx, t + 1);
@@ -1036,6 +1135,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 1, t).unwrap();
         b.sub.precharge(&mut ctx, t + 1);
@@ -1064,6 +1165,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 4, t).unwrap();
         // Wait for full restore, then PRE and immediately ACT(dst).
@@ -1133,6 +1236,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 9, t).unwrap();
         b.sub.write(&mut ctx, t + 10, 8, &zeros(8)).unwrap();
@@ -1160,6 +1265,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.refresh_row(&mut ctx, 3, t);
         b.now = t + 10;
@@ -1183,6 +1290,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.refresh_row(&mut ctx, 4, t);
         b.now = t + 10;
@@ -1198,6 +1307,8 @@ mod tests {
             env: &b.env,
             timing: &b.timing,
             noise: &mut b.noise,
+            perf: &mut b.perf,
+            cache: &mut b.cache,
         };
         b.sub.activate(&mut ctx, 0, t).unwrap();
         let err = b.sub.write(&mut ctx, t + 10, 30, &ones(8)).unwrap_err();

@@ -11,13 +11,23 @@
 //! ([`MemoryController::write_row`], [`MemoryController::read_row`]) so
 //! higher layers only hand-roll programs for the out-of-spec primitives.
 
-use fracdram_model::{Cycles, Module, RowAddr, Seconds};
+use fracdram_model::{Cycles, ModelPerf, Module, RowAddr, Seconds};
 
 use crate::command::DramCommand;
 use crate::error::{ControllerError, Result};
 use crate::program::Program;
 use crate::timing::{check_program, TimingParams, TimingViolation};
 use crate::trace::{CommandTrace, CycleStats};
+
+/// Combined observability snapshot of one controller: the command-bus
+/// cycle counters and the device-model kernel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Command counters (ACT/PRE/RD/WR/REF issued).
+    pub cycles: CycleStats,
+    /// Sub-array kernel counters summed over every chip of the module.
+    pub model: ModelPerf,
+}
 
 /// Result of executing one program.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -106,6 +116,19 @@ impl MemoryController {
     /// Always-on command counters.
     pub fn stats(&self) -> &CycleStats {
         &self.stats
+    }
+
+    /// Kernel performance counters of the controlled module.
+    pub fn model_perf(&self) -> ModelPerf {
+        self.module.model_perf()
+    }
+
+    /// Snapshot of both counter families for experiment reports.
+    pub fn metrics(&self) -> RunMetrics {
+        RunMetrics {
+            cycles: self.stats,
+            model: self.module.model_perf(),
+        }
     }
 
     /// Starts recording a full command trace.

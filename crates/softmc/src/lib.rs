@@ -39,7 +39,7 @@ pub mod timing;
 pub mod trace;
 
 pub use command::DramCommand;
-pub use controller::{MemoryController, RunOutcome};
+pub use controller::{MemoryController, RunMetrics, RunOutcome};
 pub use encoding::{decode, encode, DecodeError};
 pub use error::{ControllerError, Result};
 pub use program::{Instruction, Program, ProgramBuilder};
