@@ -152,6 +152,50 @@ fn bench_leak_kernel(c: &mut Criterion) {
     });
 }
 
+fn bench_controller_caches(c: &mut Criterion) {
+    use fracdram_model::{Geometry, Module, ModuleConfig, RowAddr};
+    use fracdram_softmc::MemoryController;
+
+    // Write-prefix snapshot restore: after the first (capturing) write,
+    // every repeated full-row write to the same row is a restore.
+    let mut mc = MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        0xBEEF,
+        Geometry {
+            banks: 2,
+            subarrays_per_bank: 4,
+            rows_per_subarray: 8,
+            columns: COLS,
+        },
+    )));
+    let addr = RowAddr::new(0, 3);
+    let bits = vec![true; mc.module().row_bits()];
+    mc.write_row(addr, &bits).unwrap();
+    c.bench_function("kernels/snapshot_restore", |b| {
+        b.iter(|| mc.write_row(addr, &bits).unwrap())
+    });
+
+    // Compiled-program cache: running an already-compiled data-free
+    // program measures hash + interpreter dispatch without model events
+    // (NOPs only touch the clock).
+    let mut mc = MemoryController::new(Module::new(ModuleConfig::single_chip(
+        GroupId::B,
+        0xBEEF,
+        Geometry::tiny(),
+    )));
+    let program = {
+        let mut b = fracdram_softmc::Program::builder();
+        for _ in 0..64 {
+            b = b.nop().delay(2);
+        }
+        b.build()
+    };
+    mc.run(&program).unwrap();
+    c.bench_function("kernels/compiled_program", |b| {
+        b.iter(|| mc.run(&program).unwrap())
+    });
+}
+
 fn bench_task_bodies(c: &mut Criterion) {
     // fig10: one F-MAJ stability trial (3 row writes + the F-MAJ program).
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), 7);
@@ -182,6 +226,7 @@ criterion_group!(
     bench_share_kernel,
     bench_sense_kernel,
     bench_leak_kernel,
+    bench_controller_caches,
     bench_task_bodies
 );
 criterion_main!(benches);

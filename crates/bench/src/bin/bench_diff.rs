@@ -1,0 +1,66 @@
+//! Compares a fresh bench `--json` dump against a committed baseline.
+//!
+//! ```text
+//! bench_diff BASELINE.json CURRENT.json [--tolerance 0.30] [--warn-only]
+//! ```
+//!
+//! Exits nonzero when any bench is slower than `baseline * (1 +
+//! tolerance)` or has disappeared, unless `--warn-only` is given (the CI
+//! smoke mode: 1-core runners are too noisy to gate on).
+
+use fracdram_bench::diff::{compare, parse_records};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff BASELINE.json CURRENT.json [--tolerance FRAC] [--warn-only]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut paths = Vec::new();
+    let mut tolerance = 0.30f64;
+    let mut warn_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--warn-only" => warn_only = true,
+            "--help" | "-h" => usage(),
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        usage();
+    };
+
+    let read = |path: &str| -> Vec<fracdram_bench::Record> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_records(&text).unwrap_or_else(|e| {
+            eprintln!("bench_diff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    let report = compare(&read(baseline_path), &read(current_path), tolerance);
+    print!("{}", report.render());
+    println!(
+        "bench_diff: {} bench(es), {} regression(s), tolerance ±{:.0}%{}",
+        report.lines.len(),
+        report.regressions().len() + report.missing.len(),
+        tolerance * 100.0,
+        if warn_only { " (warn-only)" } else { "" },
+    );
+    if report.is_regressed() && !warn_only {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,225 @@
+//! Bench-baseline comparison: parse `--json` dumps and diff them.
+//!
+//! `BENCH_*.json` files record the per-bench median of a full run (see
+//! the crate docs). This module reads two such dumps — a committed
+//! baseline and a fresh measurement — and flags regressions beyond a
+//! tolerance factor, so CI can catch a perf cliff without failing on
+//! ordinary scheduler noise.
+
+use crate::Record;
+
+/// Parses a `--json` dump produced by [`crate::format_records`].
+///
+/// The format is one `{"bench","median_ns","iters"}` object per line
+/// inside a JSON array; array brackets and blank lines are skipped.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_records(text: &str) -> Result<Vec<Record>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let body = line
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("line {}: not a JSON object: {raw}", lineno + 1))?;
+        let field = |key: &str| -> Result<&str, String> {
+            let tag = format!("\"{key}\":");
+            let start = body
+                .find(&tag)
+                .ok_or_else(|| format!("line {}: missing {key}", lineno + 1))?
+                + tag.len();
+            let rest = &body[start..];
+            Ok(rest.split(',').next().unwrap_or(rest))
+        };
+        let bench = field("bench")?.trim().trim_matches('"').to_string();
+        let median_ns: f64 = field("median_ns")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad median_ns: {e}", lineno + 1))?;
+        let iters: u64 = field("iters")?
+            .trim()
+            .parse()
+            .map_err(|e| format!("line {}: bad iters: {e}", lineno + 1))?;
+        out.push(Record {
+            bench,
+            median_ns,
+            iters,
+        });
+    }
+    Ok(out)
+}
+
+/// One bench present in both dumps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffLine {
+    /// Full bench label.
+    pub bench: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Fresh median, nanoseconds.
+    pub current_ns: f64,
+}
+
+impl DiffLine {
+    /// `current / baseline` — above 1.0 means slower than the baseline.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Result of comparing a fresh dump against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Benches present in both dumps, in baseline order.
+    pub lines: Vec<DiffLine>,
+    /// Baseline benches absent from the fresh dump (treated as
+    /// regressions: a deleted bench must be removed from the baseline).
+    pub missing: Vec<String>,
+    /// Fresh benches absent from the baseline (informational).
+    pub added: Vec<String>,
+    /// Allowed slowdown factor, e.g. `0.30` for ±30 %.
+    pub tolerance: f64,
+}
+
+impl DiffReport {
+    /// Benches slower than `baseline * (1 + tolerance)`.
+    pub fn regressions(&self) -> Vec<&DiffLine> {
+        self.lines
+            .iter()
+            .filter(|l| l.ratio() > 1.0 + self.tolerance)
+            .collect()
+    }
+
+    /// Whether the comparison should fail a gating run.
+    pub fn is_regressed(&self) -> bool {
+        !self.regressions().is_empty() || !self.missing.is_empty()
+    }
+
+    /// Human-readable table of the comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for l in &self.lines {
+            let ratio = l.ratio();
+            let verdict = if ratio > 1.0 + self.tolerance {
+                "REGRESSED"
+            } else if ratio < 1.0 - self.tolerance {
+                "faster"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<44} {:>12.1} ns -> {:>12.1} ns  ({:+6.1}%)  {verdict}\n",
+                l.bench,
+                l.baseline_ns,
+                l.current_ns,
+                (ratio - 1.0) * 100.0,
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("{m:<44} missing from current run  REGRESSED\n"));
+        }
+        for a in &self.added {
+            out.push_str(&format!("{a:<44} new (no baseline)\n"));
+        }
+        out
+    }
+}
+
+/// Compares `current` against `baseline` with the given slowdown
+/// tolerance (`0.30` = a bench may be up to 30 % slower before it
+/// counts as a regression).
+pub fn compare(baseline: &[Record], current: &[Record], tolerance: f64) -> DiffReport {
+    let lines = baseline
+        .iter()
+        .filter_map(|b| {
+            let c = current.iter().find(|c| c.bench == b.bench)?;
+            Some(DiffLine {
+                bench: b.bench.clone(),
+                baseline_ns: b.median_ns,
+                current_ns: c.median_ns,
+            })
+        })
+        .collect();
+    let missing = baseline
+        .iter()
+        .filter(|b| !current.iter().any(|c| c.bench == b.bench))
+        .map(|b| b.bench.clone())
+        .collect();
+    let added = current
+        .iter()
+        .filter(|c| !baseline.iter().any(|b| b.bench == c.bench))
+        .map(|c| c.bench.clone())
+        .collect();
+    DiffReport {
+        lines,
+        missing,
+        added,
+        tolerance,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format_records;
+
+    fn rec(bench: &str, ns: f64) -> Record {
+        Record {
+            bench: bench.into(),
+            median_ns: ns,
+            iters: 100,
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips_format() {
+        let records = vec![rec("kernels/share_kernel/frac", 57153.6), rec("a/b", 7.0)];
+        let parsed = parse_records(&format_records(&records)).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_records("not json").is_err());
+        assert!(parse_records("{\"bench\":\"x\"}").is_err());
+    }
+
+    #[test]
+    fn within_tolerance_is_ok() {
+        let report = compare(&[rec("k", 1000.0)], &[rec("k", 1250.0)], 0.30);
+        assert!(!report.is_regressed());
+        assert!(report.render().contains("ok"));
+    }
+
+    #[test]
+    fn beyond_tolerance_regresses() {
+        let report = compare(&[rec("k", 1000.0)], &[rec("k", 1400.0)], 0.30);
+        assert!(report.is_regressed());
+        assert_eq!(report.regressions().len(), 1);
+        assert!(report.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn faster_is_not_a_regression() {
+        let report = compare(&[rec("k", 1000.0)], &[rec("k", 500.0)], 0.30);
+        assert!(!report.is_regressed());
+        assert!(report.render().contains("faster"));
+    }
+
+    #[test]
+    fn missing_bench_regresses_and_new_bench_informs() {
+        let report = compare(
+            &[rec("gone", 10.0), rec("kept", 10.0)],
+            &[rec("kept", 10.0), rec("fresh", 10.0)],
+            0.30,
+        );
+        assert!(report.is_regressed());
+        assert_eq!(report.missing, vec!["gone".to_string()]);
+        assert_eq!(report.added, vec!["fresh".to_string()]);
+    }
+}

@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 

@@ -68,17 +68,8 @@ pub fn frac(mc: &mut MemoryController, row: RowAddr, count: usize) -> Result<()>
 pub fn physical_pattern(mc: &mut MemoryController, row: RowAddr, physical_ones: bool) -> Vec<bool> {
     let geometry = *mc.module().geometry();
     let (sub, _) = geometry.split_row(row.row);
-    let width = mc.module().row_bits();
-    let mut pattern = Vec::with_capacity(width);
-    for col in 0..width {
-        let (chip, chip_col) = mc.module().map_column(col);
-        let anti = mc
-            .module_mut()
-            .chip_mut(chip)
-            .is_anti_column(row.bank, sub, chip_col);
-        pattern.push(physical_ones ^ anti);
-    }
-    pattern
+    let mask = mc.anti_mask(row.bank, sub);
+    mask.iter().map(|&anti| physical_ones ^ anti).collect()
 }
 
 /// Initializes `row` to the same *physical* rail in every cell (legal

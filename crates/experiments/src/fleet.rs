@@ -159,7 +159,8 @@ impl<T> FleetRun<T> {
         let perf = self.total_perf();
         format!(
             "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR); \
-             kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels",
+             kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels; \
+             snapshots {}h/{}m ({} B), exp memo {}h/{}m",
             self.tasks.len(),
             self.jobs,
             self.wall.as_secs_f64(),
@@ -173,6 +174,11 @@ impl<T> FleetRun<T> {
             perf.cache_hits,
             perf.cache_misses,
             perf.kernel_ns() as f64 / 1e6,
+            perf.snapshot_hits,
+            perf.snapshot_misses,
+            perf.snapshot_bytes,
+            perf.exp_memo_hits,
+            perf.exp_memo_misses,
         )
     }
 
@@ -238,6 +244,11 @@ fn perf_json(p: &ModelPerf) -> Json {
         .field("exp_calls", p.exp_calls)
         .field("cache_hits", p.cache_hits)
         .field("cache_misses", p.cache_misses)
+        .field("snapshot_hits", p.snapshot_hits)
+        .field("snapshot_misses", p.snapshot_misses)
+        .field("snapshot_bytes", p.snapshot_bytes)
+        .field("exp_memo_hits", p.exp_memo_hits)
+        .field("exp_memo_misses", p.exp_memo_misses)
         .field("share_ns", p.share_ns)
         .field("sense_ns", p.sense_ns)
         .field("close_ns", p.close_ns)
@@ -412,6 +423,11 @@ mod tests {
                     exp_calls: 5,
                     cache_hits: 1,
                     cache_misses: 1,
+                    snapshot_hits: 4,
+                    snapshot_misses: 2,
+                    snapshot_bytes: 1024,
+                    exp_memo_hits: 7,
+                    exp_memo_misses: 3,
                     ..ModelPerf::default()
                 },
                 ..RunMetrics::default()
@@ -427,6 +443,20 @@ mod tests {
             summary.contains(&format!("{} exp()", total.exp_calls)),
             "{summary}"
         );
+        assert!(
+            summary.contains(&format!(
+                "snapshots {}h/{}m ({} B)",
+                total.snapshot_hits, total.snapshot_misses, total.snapshot_bytes
+            )),
+            "{summary}"
+        );
+        assert!(
+            summary.contains(&format!(
+                "exp memo {}h/{}m",
+                total.exp_memo_hits, total.exp_memo_misses
+            )),
+            "{summary}"
+        );
 
         let dir = std::env::temp_dir().join("fracdram_fleet_perf_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -439,6 +469,15 @@ mod tests {
             text.contains(&format!("\"share_events\":{}", total.share_events)),
             "{text}"
         );
+        for field in [
+            format!("\"snapshot_hits\":{}", total.snapshot_hits),
+            format!("\"snapshot_misses\":{}", total.snapshot_misses),
+            format!("\"snapshot_bytes\":{}", total.snapshot_bytes),
+            format!("\"exp_memo_hits\":{}", total.exp_memo_hits),
+            format!("\"exp_memo_misses\":{}", total.exp_memo_misses),
+        ] {
+            assert!(text.contains(&field), "{field} missing in {text}");
+        }
         std::fs::remove_file(&path).ok();
     }
 

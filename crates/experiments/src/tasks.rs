@@ -8,6 +8,7 @@
 use fracdram::fmaj::{fmaj, FmajConfig};
 use fracdram::maj3::maj3;
 use fracdram::rowsets::{Quad, Triplet};
+use fracdram::session::TrialRunner;
 use fracdram_softmc::MemoryController;
 use fracdram_stats::rng::Rng;
 
@@ -36,11 +37,12 @@ pub fn stability_fmaj(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
-    for _ in 0..trials {
+    let mut runner = TrialRunner::new(mc);
+    runner.run(trials, |mc, _| {
         let [a, b, c] = random_operands(rng, width);
         let result = fmaj(mc, quad, config, [&a, &b, &c]).expect("fmaj");
         tally_majority(&mut correct, &result, [&a, &b, &c]);
-    }
+    });
     rates(correct, trials)
 }
 
@@ -58,11 +60,12 @@ pub fn stability_maj3(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
-    for _ in 0..trials {
+    let mut runner = TrialRunner::new(mc);
+    runner.run(trials, |mc, _| {
         let [a, b, c] = random_operands(rng, width);
         let result = maj3(mc, triplet, [&a, &b, &c]).expect("maj3");
         tally_majority(&mut correct, &result, [&a, &b, &c]);
-    }
+    });
     rates(correct, trials)
 }
 
@@ -106,6 +109,34 @@ mod tests {
         let mut mc2 = setup::controller(GroupId::B, setup::compute_geometry(), seed);
         let stab2 = stability_fmaj(&mut mc2, &quad, &config, trials, &mut Rng::seed_from_u64(1));
         assert_eq!(stab, stab2);
+    }
+
+    #[test]
+    fn stability_trials_hit_the_prefix_cache() {
+        let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), 9);
+        let geometry = *mc.module().geometry();
+        let quad = Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::B).expect("quad");
+        let config = FmajConfig::best_for(GroupId::B);
+        stability_fmaj(&mut mc, &quad, &config, 4, &mut Rng::seed_from_u64(7));
+        let perf = mc.model_perf();
+        assert!(
+            perf.snapshot_hits > perf.snapshot_misses,
+            "trial prefix mostly restored: {perf:?}"
+        );
+    }
+
+    #[test]
+    fn stability_results_identical_with_prefix_cache_off() {
+        let run = |cache: bool| {
+            let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), 11);
+            mc.set_prefix_caching(cache);
+            let geometry = *mc.module().geometry();
+            let quad =
+                Quad::canonical(&geometry, SubarrayAddr::new(0, 0), GroupId::B).expect("quad");
+            let config = FmajConfig::best_for(GroupId::B);
+            stability_fmaj(&mut mc, &quad, &config, 4, &mut Rng::seed_from_u64(5))
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::materialize::MaterializeCache;
 use crate::params::{DeviceParams, InternalTiming};
 use crate::perf::ModelPerf;
 use crate::silicon::Silicon;
+use crate::snapshot::SubArrayState;
 use crate::subarray::{Ctx, ProbeSample, Subarray};
 use crate::units::Volts;
 use crate::variation::NoiseRng;
@@ -313,6 +314,104 @@ impl Chip {
             }
         }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write-prefix snapshot support
+    // ------------------------------------------------------------------
+
+    /// Raw temporal-noise draws consumed so far. Snapshot bookkeeping:
+    /// the delta across a captured program is how far a restore must
+    /// fast-forward the stream.
+    pub fn noise_draws(&self) -> u64 {
+        self.noise.draws()
+    }
+
+    /// Fast-forwards the temporal-noise stream by `n` raw draws.
+    pub fn skip_noise(&mut self, n: u64) {
+        self.noise.skip(n);
+    }
+
+    /// Whether a full-row write to sub-array `sub` of `bank` may use the
+    /// snapshot fast path: no probes anywhere in the bank, and every
+    /// *sibling* sub-array at most waiting on a word-line close.
+    ///
+    /// A live write program only ever advances the *target* sub-array
+    /// (its ACTIVATE fires that sub-array's pending events, in scheduled
+    /// order, before opening the row), so [`Chip::drain_bank`] replays
+    /// exactly those firings — with identical noise-draw order — as long
+    /// as the siblings it also advances have nothing pending that draws
+    /// (word-line closes consume no noise).
+    pub fn write_fastpath_ready(&self, bank: usize, sub: usize) -> bool {
+        self.banks[bank]
+            .subarrays
+            .iter()
+            .enumerate()
+            .all(|(i, s)| !s.has_probes() && (i == sub || s.close_only()))
+    }
+
+    /// Whether every sub-array of `bank` is fully idle.
+    pub fn bank_idle(&self, bank: usize) -> bool {
+        self.banks[bank].subarrays.iter().all(Subarray::is_idle)
+    }
+
+    /// Fires every pending event with fire time ≤ `t` in every sub-array
+    /// of `bank`.
+    pub fn drain_bank(&mut self, bank: usize, t: u64) {
+        for sub in &mut self.banks[bank].subarrays {
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
+            };
+            sub.advance(&mut ctx, t);
+        }
+    }
+
+    /// Captures the dynamic state of `(bank, sub)` for `rows`, relative
+    /// to `anchor`, counting it as a snapshot miss (the live program ran
+    /// and was captured for later restores).
+    pub fn capture_subarray(
+        &mut self,
+        bank: usize,
+        sub: usize,
+        rows: &[usize],
+        anchor: u64,
+    ) -> SubArrayState {
+        let state = self.banks[bank].subarrays[sub].snapshot(rows, anchor);
+        self.perf.snapshot_misses += 1;
+        self.perf.snapshot_bytes += state.bytes();
+        state
+    }
+
+    /// Reimposes a capture at `anchor` and re-marks its sub-array as the
+    /// bank's active one (what the captured program's ACTIVATE did).
+    pub fn restore_subarray(&mut self, state: &SubArrayState, anchor: u64) {
+        let bank = state.bank();
+        self.banks[bank].subarrays[state.index()].restore(state, anchor);
+        self.banks[bank].active = Some(state.index());
+        self.perf.snapshot_hits += 1;
+    }
+
+    /// Overwrites a restored write prefix with a (possibly different)
+    /// full-row *logical* pattern, exactly as [`Chip::write`] would have:
+    /// anti-cell columns inverted, rails driven into the row buffer,
+    /// bit-lines, and every open row at time `t_write`.
+    pub fn rewrite_row(&mut self, bank: usize, sub: usize, bits: &[bool], t_write: u64) {
+        let cols = self.config.geometry.columns;
+        self.cache
+            .ensure_cols(&self.silicon, &mut self.perf, bank, sub, cols);
+        let anti = &self.cache.cols(bank, sub).anti;
+        let physical: Vec<bool> = bits
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| bit ^ anti[i])
+            .collect();
+        let vdd = self.env.vdd.value();
+        self.banks[bank].subarrays[sub].rewrite_rails(&physical, vdd, t_write);
     }
 
     // ------------------------------------------------------------------

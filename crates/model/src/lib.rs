@@ -58,6 +58,7 @@ pub mod params;
 pub mod perf;
 pub mod sense_amp;
 pub mod silicon;
+pub mod snapshot;
 pub mod subarray;
 pub mod units;
 pub mod variation;

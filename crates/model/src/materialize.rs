@@ -25,10 +25,46 @@
 //! leak across chips. Experiment stdout is byte-identical with or
 //! without the cache; only wall time changes.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::perf::ModelPerf;
 use crate::silicon::Silicon;
+use crate::variation::splitmix64;
+
+/// Single-`u64` hasher for the `exp()` memo table.
+///
+/// The memo key is one already-well-mixed `f64` bit pattern; the default
+/// SipHash would cost more than the `exp()` it saves. A SplitMix finish
+/// is enough to spread mantissa-adjacent keys across buckets.
+#[derive(Debug, Default, Clone)]
+pub struct ExpKeyHasher {
+    hash: u64,
+}
+
+impl Hasher for ExpKeyHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached by non-u64 keys; fold bytes in 8 at a time.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.hash = splitmix64(self.hash ^ u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.hash = splitmix64(i);
+    }
+}
+
+/// Memoized `exp()` entries are evicted wholesale past this size; big
+/// retention sweeps generate unbounded distinct exponent arguments.
+const EXP_MEMO_CAP: usize = 1 << 20;
 
 /// Static per-cell parameters of one row, as contiguous buffers.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +100,10 @@ pub struct MaterializeCache {
     cols: HashMap<(usize, usize), Box<ColStatics>>,
     weights: HashMap<(usize, usize, usize), Box<[f32]>>,
     rows: HashMap<(usize, usize, usize), Box<RowStatics>>,
+    /// `exp(x)` keyed by `x.to_bits()`. Pure math — seed-independent, so
+    /// `sync_seed` leaves it alone. Interior mutability lets the leakage
+    /// kernel probe it while holding the row-statics borrow.
+    exp_memo: RefCell<HashMap<u64, f64, BuildHasherDefault<ExpKeyHasher>>>,
 }
 
 impl MaterializeCache {
@@ -75,7 +115,30 @@ impl MaterializeCache {
             cols: HashMap::new(),
             weights: HashMap::new(),
             rows: HashMap::new(),
+            exp_memo: RefCell::new(HashMap::default()),
         }
+    }
+
+    /// Memoized `x.exp()`, keyed by the exact bit pattern of `x` —
+    /// bit-identical to calling `exp` directly, with a counter-visible
+    /// hit rate. The leakage kernel's exponent arguments repeat exactly
+    /// across trials (same `dt`, same materialized `tau`), so the table
+    /// converts its dominant cost into a hash probe.
+    #[inline]
+    pub fn exp(&self, perf: &mut ModelPerf, x: f64) -> f64 {
+        let key = x.to_bits();
+        let mut memo = self.exp_memo.borrow_mut();
+        if let Some(&v) = memo.get(&key) {
+            perf.exp_memo_hits += 1;
+            return v;
+        }
+        perf.exp_memo_misses += 1;
+        if memo.len() >= EXP_MEMO_CAP {
+            memo.clear();
+        }
+        let v = x.exp();
+        memo.insert(key, v);
+        v
     }
 
     /// The seed the cached buffers were built from.
@@ -311,6 +374,21 @@ mod tests {
         cache.ensure_cols(&s, &mut perf, 0, 0, COLS);
         cache.ensure_cols(&s, &mut perf, 0, 0, COLS);
         assert_eq!((perf.cache_misses, perf.cache_hits), (3, 2));
+    }
+
+    #[test]
+    fn exp_memo_is_bit_identical_and_counted() {
+        let mut perf = ModelPerf::default();
+        let cache = MaterializeCache::new(1);
+        let xs = [-0.125, -3.5e-4, 0.75, -88.0, 1e-9];
+        for &x in &xs {
+            assert_eq!(cache.exp(&mut perf, x).to_bits(), x.exp().to_bits());
+        }
+        assert_eq!((perf.exp_memo_misses, perf.exp_memo_hits), (5, 0));
+        for &x in &xs {
+            assert_eq!(cache.exp(&mut perf, x).to_bits(), x.exp().to_bits());
+        }
+        assert_eq!((perf.exp_memo_misses, perf.exp_memo_hits), (5, 5));
     }
 
     #[test]

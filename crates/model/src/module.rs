@@ -11,6 +11,7 @@ use crate::env::Environment;
 use crate::error::Result;
 use crate::geometry::{Geometry, RowAddr};
 use crate::params::DeviceParams;
+use crate::snapshot::ModuleWriteSnapshot;
 use crate::units::Volts;
 use crate::variation::hash_coords;
 use crate::vendor::{GroupId, VendorProfile};
@@ -138,6 +139,11 @@ impl Module {
     /// byte-lane striping.
     pub fn map_column(&self, col: usize) -> (usize, usize) {
         let n = self.chips.len();
+        if n == 1 {
+            // Lane math degenerates to the identity for one chip:
+            // `(col / L) % 1 == 0` and `(col / L) * L + col % L == col`.
+            return (0, col);
+        }
         let lane = (col / LANE_BITS) % n;
         let chip_col = (col / (LANE_BITS * n)) * LANE_BITS + col % LANE_BITS;
         (lane, chip_col)
@@ -189,11 +195,16 @@ impl Module {
     ///
     /// Fails if any chip's bank has no sensed open row.
     pub fn read(&mut self, bank: usize, t: u64) -> Result<Vec<bool>> {
-        let per_chip: Vec<Vec<bool>> = self
+        let mut per_chip: Vec<Vec<bool>> = self
             .chips
             .iter_mut()
             .map(|c| c.read(bank, t))
             .collect::<Result<_>>()?;
+        if per_chip.len() == 1 {
+            // One chip: the lane interleave is the identity, so the
+            // chip's burst already is the module word.
+            return Ok(per_chip.pop().unwrap());
+        }
         let width = self.row_bits();
         let mut out = vec![false; width];
         for (col, bit) in out.iter_mut().enumerate() {
@@ -224,6 +235,99 @@ impl Module {
         }
         for (chip, data) in self.chips.iter_mut().zip(&per_chip) {
             chip.write(bank, 0, data, t)?;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Write-prefix snapshot support
+    // ------------------------------------------------------------------
+
+    /// Whether a full-row write to sub-array `sub` of `bank` may take
+    /// the snapshot fast path: no command-timing guard (guarded groups
+    /// resolve their own effective times, so their programs must run
+    /// live) and, on every chip, [`Chip::write_fastpath_ready`] — the
+    /// target sub-array free to drain anything pending (a live ACTIVATE
+    /// would fire the same events in the same order), siblings at most
+    /// waiting on draw-free word-line closes.
+    pub fn write_fastpath_eligible(&self, bank: usize, sub: usize) -> bool {
+        !self.profile().timing_guard && self.chips.iter().all(|c| c.write_fastpath_ready(bank, sub))
+    }
+
+    /// Fires pending events up to `t` in `bank` on every chip.
+    pub fn drain_bank(&mut self, bank: usize, t: u64) {
+        for chip in &mut self.chips {
+            chip.drain_bank(bank, t);
+        }
+    }
+
+    /// Whether `bank` is fully idle on every chip.
+    pub fn bank_idle(&self, bank: usize) -> bool {
+        self.chips.iter().all(|c| c.bank_idle(bank))
+    }
+
+    /// Captures the write-prefix state of `(bank, sub, local row)` on
+    /// every chip, relative to `anchor`. `draws_before` holds each
+    /// chip's [`Chip::noise_draws`] sampled just before the live program
+    /// ran; the recorded deltas are what a restore fast-forwards by.
+    pub fn capture_write_snapshot(
+        &mut self,
+        bank: usize,
+        sub: usize,
+        local_row: usize,
+        anchor: u64,
+        draws_before: &[u64],
+    ) -> ModuleWriteSnapshot {
+        let env = *self.environment();
+        let draws = self
+            .chips
+            .iter()
+            .zip(draws_before)
+            .map(|(c, &before)| c.noise_draws() - before)
+            .collect();
+        let states = self
+            .chips
+            .iter_mut()
+            .map(|c| c.capture_subarray(bank, sub, &[local_row], anchor))
+            .collect();
+        ModuleWriteSnapshot { states, draws, env }
+    }
+
+    /// Restores a captured write prefix at `anchor`: fast-forwards each
+    /// chip's noise stream by the recorded draw count, reimposes the
+    /// captured sub-array state, and overwrites the written row with the
+    /// (possibly different) logical pattern `bits` at time `t_write` —
+    /// byte-identical to replaying the captured write program with
+    /// `bits` as payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `bits` has the wrong width.
+    pub fn restore_write_snapshot(
+        &mut self,
+        snap: &ModuleWriteSnapshot,
+        anchor: u64,
+        bits: &[bool],
+        t_write: u64,
+    ) -> Result<()> {
+        let width = self.row_bits();
+        if bits.len() != width {
+            return Err(crate::error::ModelError::WidthMismatch {
+                got: bits.len(),
+                expected: width,
+            });
+        }
+        let chip_cols = self.config.geometry.columns;
+        let mut per_chip = vec![vec![false; chip_cols]; self.chips.len()];
+        for (col, &bit) in bits.iter().enumerate() {
+            let (chip, chip_col) = self.map_column(col);
+            per_chip[chip][chip_col] = bit;
+        }
+        for (i, chip) in self.chips.iter_mut().enumerate() {
+            chip.skip_noise(snap.draws(i));
+            let state = &snap.states[i];
+            chip.restore_subarray(state, anchor);
+            chip.rewrite_row(state.bank(), state.index(), &per_chip[i], t_write);
         }
         Ok(())
     }

@@ -36,6 +36,16 @@ pub struct ModelPerf {
     pub close_ns: u64,
     /// Wall nanoseconds spent in the leakage kernel.
     pub leak_ns: u64,
+    /// Write-prefix restores served from a captured snapshot.
+    pub snapshot_hits: u64,
+    /// Write prefixes executed live (and captured for later restores).
+    pub snapshot_misses: u64,
+    /// Bytes of sub-array state captured into snapshots.
+    pub snapshot_bytes: u64,
+    /// `exp()` evaluations served from the memo table.
+    pub exp_memo_hits: u64,
+    /// `exp()` evaluations computed and inserted into the memo table.
+    pub exp_memo_misses: u64,
 }
 
 impl ModelPerf {
@@ -53,6 +63,11 @@ impl ModelPerf {
         self.sense_ns += other.sense_ns;
         self.close_ns += other.close_ns;
         self.leak_ns += other.leak_ns;
+        self.snapshot_hits += other.snapshot_hits;
+        self.snapshot_misses += other.snapshot_misses;
+        self.snapshot_bytes += other.snapshot_bytes;
+        self.exp_memo_hits += other.exp_memo_hits;
+        self.exp_memo_misses += other.exp_memo_misses;
     }
 
     /// Total kernel events fired.
@@ -85,11 +100,21 @@ mod tests {
             sense_ns: 10,
             close_ns: 11,
             leak_ns: 12,
+            snapshot_hits: 13,
+            snapshot_misses: 14,
+            snapshot_bytes: 15,
+            exp_memo_hits: 16,
+            exp_memo_misses: 17,
         };
         let mut total = a;
         total.accumulate(&a);
         assert_eq!(total.share_events, 2);
         assert_eq!(total.leak_ns, 24);
+        assert_eq!(total.snapshot_hits, 26);
+        assert_eq!(total.snapshot_misses, 28);
+        assert_eq!(total.snapshot_bytes, 30);
+        assert_eq!(total.exp_memo_hits, 32);
+        assert_eq!(total.exp_memo_misses, 34);
         assert_eq!(total.events(), 2 * (1 + 2 + 3 + 4));
         assert_eq!(total.kernel_ns(), 2 * (9 + 10 + 11 + 12));
     }

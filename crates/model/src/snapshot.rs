@@ -1,0 +1,100 @@
+//! Snapshot/restore of sub-array dynamic state.
+//!
+//! The paper's experiments repeat the same init/write prefix thousands of
+//! times per (group, sub-array) cell before the one command sequence that
+//! actually varies (the Frac/Half-m/F-MAJ fire). A [`SubArrayState`] is a
+//! memcpy-style capture of everything a full-row write program leaves
+//! behind — charge vectors, bit-line levels, the open-row set, `charged`
+//! flags, and the not-yet-fired close event — stored with *relative* time
+//! offsets so the controller can replay the capture at any later clock.
+//!
+//! **Determinism argument.** A restore is byte-identical to re-executing
+//! the captured program because (a) after a full-row write the sub-array
+//! state is a pure function of the written pattern and the command
+//! offsets, (b) the number of temporal-noise draws the program consumes
+//! is value-independent (one share + one sense per column), so the
+//! stream is fast-forwarded by an exact recorded count, and (c) all
+//! absolute times are rebased onto the new anchor, which is exactly
+//! where the replayed program would have put them.
+
+use crate::env::Environment;
+
+/// Captured dynamic state of one row (voltages plus leak bookkeeping),
+/// with `last` stored relative to the snapshot anchor.
+#[derive(Debug, Clone)]
+pub struct RowCapture {
+    pub(crate) row: usize,
+    pub(crate) v: Box<[f64]>,
+    pub(crate) last_off: u64,
+    pub(crate) charged: bool,
+}
+
+/// Captured dynamic state of one sub-array, relative to an anchor cycle.
+///
+/// Produced by `Subarray::snapshot` and reimposed by `Subarray::restore`;
+/// the static silicon parameters are *not* captured — they are pure seed
+/// hashes served by the materialize cache.
+#[derive(Debug, Clone)]
+pub struct SubArrayState {
+    pub(crate) bank: usize,
+    pub(crate) index: usize,
+    pub(crate) bl: Box<[f64]>,
+    pub(crate) sensed_bits: Box<[bool]>,
+    pub(crate) open: Vec<usize>,
+    pub(crate) sensed: bool,
+    pub(crate) multi_row: bool,
+    pub(crate) pending_share_off: Option<u64>,
+    pub(crate) pending_sense_off: Option<u64>,
+    pub(crate) pending_close_off: Option<u64>,
+    pub(crate) rows: Vec<RowCapture>,
+}
+
+impl SubArrayState {
+    /// Bank the capture belongs to.
+    pub fn bank(&self) -> usize {
+        self.bank
+    }
+
+    /// Sub-array index within the bank.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Approximate size of the captured payload in bytes (the
+    /// `snapshot_bytes` perf counter).
+    pub fn bytes(&self) -> u64 {
+        let mut bytes = (self.bl.len() * 8 + self.sensed_bits.len() + self.open.len() * 8) as u64;
+        for rc in &self.rows {
+            bytes += (rc.v.len() * 8 + 16) as u64;
+        }
+        bytes
+    }
+}
+
+/// A module-wide write-prefix capture: one [`SubArrayState`] per chip for
+/// the written sub-array, the per-chip noise-draw counts the live program
+/// consumed, and the environment it ran under.
+#[derive(Debug, Clone)]
+pub struct ModuleWriteSnapshot {
+    pub(crate) states: Vec<SubArrayState>,
+    pub(crate) draws: Vec<u64>,
+    pub(crate) env: Environment,
+}
+
+impl ModuleWriteSnapshot {
+    /// The environment the captured program executed under; a restore is
+    /// only valid while the module environment is unchanged.
+    pub fn environment(&self) -> &Environment {
+        &self.env
+    }
+
+    /// Total captured bytes across all chips.
+    pub fn bytes(&self) -> u64 {
+        self.states.iter().map(SubArrayState::bytes).sum()
+    }
+
+    /// Noise draws the captured program consumed on chip `i`.
+    pub fn draws(&self, chip: usize) -> u64 {
+        self.draws[chip]
+    }
+}

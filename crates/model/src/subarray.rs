@@ -30,6 +30,7 @@ use crate::params::InternalTiming;
 use crate::perf::ModelPerf;
 use crate::sense_amp;
 use crate::silicon::Silicon;
+use crate::snapshot::{RowCapture, SubArrayState};
 use crate::units::{Femtofarads, Seconds, Volts, CYCLE_SECONDS};
 use crate::variation::NoiseRng;
 
@@ -532,43 +533,59 @@ impl Subarray {
             );
             *st = self.data[self.open[slot]].take();
         }
-        // Index loop on purpose: `col` strides five parallel buffers
-        // (`bl`, per-slot `state`, `stat`, `weights`); zipping them would
-        // obscure the column-kernel shape.
-        #[allow(clippy::needless_range_loop)]
-        for col in 0..self.cols {
-            let mut participants: [SharingCell; 16] = [SharingCell {
-                v: Volts(0.0),
-                cap: Femtofarads(0.0),
-                weight: 0.0,
-            }; 16];
-            for (slot, st) in stat.iter().take(n).enumerate() {
-                let rs = state[slot].as_ref().unwrap();
-                let st = st.unwrap();
-                let weight = if multi && slot < 4 {
-                    // Static per-(slot, column) weight plus the per-trial
-                    // decoder-timing jitter (§VI-A2 instability source).
-                    let w = weights[slot][col] as f64;
-                    (w * (1.0 + ctx.noise.normal(0.0, temporal_sigma))).max(0.01)
-                } else {
-                    1.0
-                };
-                // The cell contributes its voltage plus the static
-                // charge-injection offset of its access transistor.
-                participants[slot] = SharingCell {
-                    v: Volts(rs.v[col] + st.inject[col]),
-                    cap: Femtofarads(st.cap[col] as f64),
-                    weight,
-                };
-            }
-            let mut v_eq = bitline::share(Volts(self.bl[col]), bl_cap, &participants[..n]).value();
-            v_eq += bias + ctx.noise.normal(0.0, noise_sigma);
-            v_eq = v_eq.clamp(0.0, v_max);
-            self.bl[col] = v_eq;
-            for rs in state.iter_mut().take(n) {
-                let rs = rs.as_mut().unwrap();
-                rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
-            }
+        // Monomorphize the column loop on the participant-array capacity:
+        // the dominant shapes (one open row for Frac/plain activations,
+        // up to four for glitch/Half-m) get a right-sized scratch array
+        // instead of zero-initializing 16 slots per column. The loop body
+        // is shared, so every shape performs the same operations in the
+        // same order — results are bit-identical across capacities.
+        if n == 1 && !multi {
+            share_columns_single(
+                &mut self.bl,
+                state[0].as_mut().unwrap(),
+                stat[0].unwrap(),
+                bl_cap,
+                settle,
+                bias,
+                noise_sigma,
+                v_max,
+                self.cols,
+                ctx.noise,
+            );
+        } else if n <= 4 {
+            share_columns::<4>(
+                &mut self.bl,
+                &mut state,
+                &stat,
+                &weights,
+                n,
+                multi,
+                bl_cap,
+                settle,
+                bias,
+                noise_sigma,
+                temporal_sigma,
+                v_max,
+                self.cols,
+                ctx.noise,
+            );
+        } else {
+            share_columns::<16>(
+                &mut self.bl,
+                &mut state,
+                &stat,
+                &weights,
+                n,
+                multi,
+                bl_cap,
+                settle,
+                bias,
+                noise_sigma,
+                temporal_sigma,
+                v_max,
+                self.cols,
+                ctx.noise,
+            );
         }
         for (slot, st) in state.iter_mut().enumerate().take(n) {
             let mut rs = st.take().unwrap();
@@ -595,18 +612,27 @@ impl Subarray {
         let statics = ctx.cache.cols(self.bank, self.index);
         let sigma = params.sense_noise_sigma.value();
         let vdd = ctx.env.vdd.value();
+        // Loop-invariant pieces of `sense_amp::threshold` (and the anti
+        // mirror), hoisted as whole scalars: the per-column expression
+        // keeps the helper's exact shape and operation order, so the
+        // thresholds are bit-identical to calling it per column.
+        let half = params.half_vdd(ctx.env.vdd).value();
+        let temp_delta = ctx.env.temperature_c - 20.0;
+        let vdd_shift = params.sense_vdd_coupling * (vdd - params.vdd_nominal.value());
         for col in 0..self.cols {
-            let mut th = sense_amp::threshold(
-                params,
-                ctx.env,
-                Volts(statics.offset[col]),
-                statics.temp_coeff[col],
-            );
-            if statics.anti[col] {
-                th = sense_amp::mirror_for_anti(th, ctx.env);
-            }
+            let temp_shift = statics.temp_coeff[col] * temp_delta;
+            let true_th = half + statics.offset[col] + temp_shift + vdd_shift;
+            // Value-select instead of a branch: the anti flag is random
+            // per column, so a conditional block mispredicts half the
+            // time. Both candidates are exact, so picking one is
+            // bit-identical to the original `if anti { th = vdd - th }`.
+            let th = if statics.anti[col] {
+                vdd - true_th
+            } else {
+                true_th
+            };
             let noisy = self.bl[col] + ctx.noise.normal(0.0, sigma);
-            let one = sense_amp::senses_one(Volts(noisy), th);
+            let one = noisy > th;
             self.sensed_bits[col] = one;
             self.bl[col] = if one { vdd } else { 0.0 };
         }
@@ -747,12 +773,17 @@ impl Subarray {
         for col in 0..self.cols {
             // The tau product must stay in exactly this form — hoisting a
             // reciprocal out of the loop changes the rounding and breaks
-            // stdout byte-identity with the pre-rewrite kernel.
+            // stdout byte-identity with the pre-rewrite kernel. The
+            // `exp()` itself comes from the bit-exact memo table: across
+            // trials `dt` and the materialized `tau` repeat exactly, so
+            // the argument bits (the memo key) repeat too.
             let tau = Seconds(stat.tau20[col] as f64 * scale);
-            if rs.v[col] != 0.0 {
+            let v = rs.v[col];
+            if v != 0.0 {
                 exp_calls += 1;
+                // Same expression as `cell::decay` for dt > 0, v != 0.
+                rs.v[col] = v * ctx.cache.exp(&mut *ctx.perf, -dt.value() / tau.value());
             }
-            rs.v[col] = cell::decay(Volts(rs.v[col]), dt, tau).value();
         }
         // VRT cells override with their epoch-dependent tau.
         for &col in stat.vrt.iter() {
@@ -762,18 +793,115 @@ impl Subarray {
                 .silicon
                 .vrt_effective_tau(self.bank, self.index, row, col, nominal, at);
             // Undo the nominal decay and re-apply with the effective tau.
-            let v = rs.v[col] * (dt.value() / nominal.value()).exp();
+            let v = rs.v[col] * ctx.cache.exp(&mut *ctx.perf, dt.value() / nominal.value());
             exp_calls += 1;
             if v != 0.0 {
                 exp_calls += 1;
+                rs.v[col] = v * ctx.cache.exp(&mut *ctx.perf, -dt.value() / eff.value());
+            } else {
+                rs.v[col] = v;
             }
-            rs.v[col] = cell::decay(Volts(v), dt, eff).value();
         }
         rs.last = t;
         ctx.perf.leak_events += 1;
         ctx.perf.columns += self.cols as u64;
         ctx.perf.exp_calls += exp_calls;
         ctx.perf.leak_ns += started.elapsed().as_nanos() as u64;
+    }
+
+    /// Captures the dynamic state of this sub-array for the rows in
+    /// `rows`, with every internal timestamp stored relative to `anchor`
+    /// so a later [`Subarray::restore`] can rebase it onto a new clock.
+    pub fn snapshot(&self, rows: &[usize], anchor: u64) -> SubArrayState {
+        let captured = rows
+            .iter()
+            .filter_map(|&row| {
+                let rs = self.data[row].as_ref()?;
+                debug_assert!(rs.last >= anchor, "snapshot row older than anchor");
+                Some(RowCapture {
+                    row,
+                    v: rs.v.clone().into_boxed_slice(),
+                    last_off: rs.last.saturating_sub(anchor),
+                    charged: rs.charged,
+                })
+            })
+            .collect();
+        let off = |t: Option<u64>| {
+            t.map(|ft| {
+                debug_assert!(ft >= anchor, "pending event older than anchor");
+                ft.saturating_sub(anchor)
+            })
+        };
+        SubArrayState {
+            bank: self.bank,
+            index: self.index,
+            bl: self.bl.clone().into_boxed_slice(),
+            sensed_bits: self.sensed_bits.clone().into_boxed_slice(),
+            open: self.open.clone(),
+            sensed: self.sensed,
+            multi_row: self.multi_row,
+            pending_share_off: off(self.pending_share),
+            pending_sense_off: off(self.pending_sense),
+            pending_close_off: off(self.pending_close),
+            rows: captured,
+        }
+    }
+
+    /// Reimposes a snapshot taken with [`Subarray::snapshot`], rebasing
+    /// every stored time offset onto `anchor`. Rows not captured in the
+    /// snapshot keep their current state.
+    pub fn restore(&mut self, state: &SubArrayState, anchor: u64) {
+        debug_assert_eq!((state.bank, state.index), (self.bank, self.index));
+        self.bl.copy_from_slice(&state.bl);
+        self.sensed_bits.copy_from_slice(&state.sensed_bits);
+        self.open.clear();
+        self.open.extend_from_slice(&state.open);
+        self.sensed = state.sensed;
+        self.multi_row = state.multi_row;
+        self.pending_share = state.pending_share_off.map(|o| anchor + o);
+        self.pending_sense = state.pending_sense_off.map(|o| anchor + o);
+        self.pending_close = state.pending_close_off.map(|o| anchor + o);
+        for rc in &state.rows {
+            self.ensure_row(rc.row);
+            let rs = self.data[rc.row].as_mut().unwrap();
+            rs.v.copy_from_slice(&rc.v);
+            rs.last = anchor + rc.last_off;
+            rs.charged = rc.charged;
+        }
+    }
+
+    /// Reimposes a full-row write's effect on restored state: physical
+    /// bits into the row buffer, rails onto bit-lines and every open row
+    /// — operation-for-operation what [`Subarray::write`] does for a
+    /// sensed full-row write.
+    pub(crate) fn rewrite_rails(&mut self, physical: &[bool], vdd: f64, t_write: u64) {
+        debug_assert_eq!(physical.len(), self.cols);
+        for (col, &b) in physical.iter().enumerate() {
+            self.sensed_bits[col] = b;
+            self.bl[col] = if b { vdd } else { 0.0 };
+        }
+        for i in 0..self.open.len() {
+            let row = self.open[i];
+            self.ensure_row(row);
+            let rs = self.data[row].as_mut().unwrap();
+            for (v, &b) in rs.v.iter_mut().zip(physical) {
+                *v = if b { vdd } else { 0.0 };
+            }
+            rs.last = t_write;
+            rs.charged = true;
+        }
+    }
+
+    /// Whether the only scheduled work (if any) is a word-line close —
+    /// the one internal event that consumes no noise draws, so draining
+    /// it early cannot perturb the temporal-noise stream.
+    pub fn close_only(&self) -> bool {
+        self.pending_share.is_none() && self.pending_sense.is_none()
+    }
+
+    /// Whether any voltage probes are attached.
+    pub fn has_probes(&self) -> bool {
+        !self.probes.is_empty()
     }
 
     fn record_probes(&mut self, ctx: &mut Ctx<'_>, t: u64, event: ProbeEvent) {
@@ -797,6 +925,107 @@ impl Subarray {
             filled.push(p);
         }
         self.probes = filled;
+    }
+}
+
+/// The shared-charge column loop, monomorphized on the capacity of the
+/// per-column participants array. `CAP` only sizes the scratch array; the
+/// arithmetic (and its order) is identical for every instantiation, so a
+/// `CAP = 1` Frac share and a `CAP = 16` pathological share produce the
+/// same bits as the original fixed-16 loop.
+#[allow(clippy::too_many_arguments)]
+fn share_columns<const CAP: usize>(
+    bl: &mut [f64],
+    state: &mut [Option<Box<RowState>>; 16],
+    stat: &[Option<&RowStatics>; 16],
+    weights: &[&[f32]; 4],
+    n: usize,
+    multi: bool,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    noise_sigma: f64,
+    temporal_sigma: f64,
+    v_max: f64,
+    cols: usize,
+    noise: &mut NoiseRng,
+) {
+    debug_assert!(n <= CAP);
+    // Index loop on purpose: `col` strides five parallel buffers (`bl`,
+    // per-slot `state`, `stat`, `weights`); zipping them would obscure
+    // the column-kernel shape.
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..cols {
+        let mut participants: [SharingCell; CAP] = [SharingCell {
+            v: Volts(0.0),
+            cap: Femtofarads(0.0),
+            weight: 0.0,
+        }; CAP];
+        for (slot, st) in stat.iter().take(n).enumerate() {
+            let rs = state[slot].as_ref().unwrap();
+            let st = st.unwrap();
+            let weight = if multi && slot < 4 {
+                // Static per-(slot, column) weight plus the per-trial
+                // decoder-timing jitter (§VI-A2 instability source).
+                let w = weights[slot][col] as f64;
+                (w * (1.0 + noise.normal(0.0, temporal_sigma))).max(0.01)
+            } else {
+                1.0
+            };
+            // The cell contributes its voltage plus the static
+            // charge-injection offset of its access transistor.
+            participants[slot] = SharingCell {
+                v: Volts(rs.v[col] + st.inject[col]),
+                cap: Femtofarads(st.cap[col] as f64),
+                weight,
+            };
+        }
+        let mut v_eq = bitline::share(Volts(bl[col]), bl_cap, &participants[..n]).value();
+        v_eq += bias + noise.normal(0.0, noise_sigma);
+        v_eq = v_eq.clamp(0.0, v_max);
+        bl[col] = v_eq;
+        for rs in state.iter_mut().take(n) {
+            let rs = rs.as_mut().unwrap();
+            rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
+        }
+    }
+}
+
+/// The dominant share shape — one open row, no glitch weighting (every
+/// plain activation and Frac step) — with the row references hoisted out
+/// of the column loop. The body replays `bitline::share` with a single
+/// weight-1.0 participant operation for operation, so the produced bits
+/// (and the RNG draw sequence: exactly one `normal` per column) match
+/// `share_columns::<1>` exactly.
+#[allow(clippy::too_many_arguments)]
+fn share_columns_single(
+    bl: &mut [f64],
+    rs: &mut RowState,
+    st: &RowStatics,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    noise_sigma: f64,
+    v_max: f64,
+    cols: usize,
+    noise: &mut NoiseRng,
+) {
+    let blc = bl_cap.value();
+    #[allow(clippy::needless_range_loop)]
+    for col in 0..cols {
+        // Inlined `bitline::share` with one participant of weight 1.0:
+        // same operations in the same order as the generic loop.
+        let eff = st.cap[col] as f64 * 1.0;
+        let v = rs.v[col] + st.inject[col];
+        let mut num = blc * bl[col];
+        let mut den = blc;
+        num += eff * v;
+        den += eff;
+        let mut v_eq = num / den;
+        v_eq += bias + noise.normal(0.0, noise_sigma);
+        v_eq = v_eq.clamp(0.0, v_max);
+        bl[col] = v_eq;
+        rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
     }
 }
 

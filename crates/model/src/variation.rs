@@ -163,6 +163,7 @@ impl VariationSampler {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NoiseRng {
     state: u64,
+    draws: u64,
 }
 
 impl NoiseRng {
@@ -171,6 +172,7 @@ impl NoiseRng {
     pub fn new(seed: u64) -> Self {
         NoiseRng {
             state: splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
+            draws: 0,
         }
     }
 
@@ -182,7 +184,29 @@ impl NoiseRng {
         x ^= x << 25;
         x ^= x >> 27;
         self.state = x;
+        self.draws += 1;
         splitmix64(x)
+    }
+
+    /// Monotone count of raw draws since construction. Snapshot/restore
+    /// uses the delta between two counts to fast-forward a stream past a
+    /// skipped command sequence without replaying it.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Advances the stream by `n` raw draws, discarding the outputs.
+    /// After `skip(n)` the state (and draw count) is exactly what `n`
+    /// calls to [`NoiseRng::next_u64`] would have produced.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+        }
+        self.draws += n;
     }
 
     /// Uniform `f64` in `[0, 1)`.
@@ -321,6 +345,28 @@ mod tests {
     fn noise_normal_zero_sigma_is_exact() {
         let mut rng = NoiseRng::new(1);
         assert_eq!(rng.normal(0.75, 0.0), 0.75);
+    }
+
+    #[test]
+    fn noise_skip_matches_discarded_draws() {
+        let mut a = NoiseRng::new(77);
+        let mut b = NoiseRng::new(77);
+        for _ in 0..13 {
+            a.next_u64();
+        }
+        b.skip(13);
+        assert_eq!(a, b);
+        assert_eq!(b.draws(), 13);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn noise_normal_zero_sigma_does_not_draw() {
+        let mut rng = NoiseRng::new(5);
+        rng.normal(1.0, 0.0);
+        assert_eq!(rng.draws(), 0);
+        rng.normal(1.0, 0.5);
+        assert_eq!(rng.draws(), 2, "Box-Muller consumes two raw draws");
     }
 
     #[test]

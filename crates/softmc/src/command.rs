@@ -42,17 +42,55 @@ pub enum DramCommand {
     Nop,
 }
 
+/// The discriminant of a [`DramCommand`]: what kind of command it is,
+/// without the operands. `Copy`-cheap, used by the compiled instruction
+/// stream and the always-on cycle counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommandKind {
+    /// ACTIVATE.
+    Activate,
+    /// PRECHARGE.
+    Precharge,
+    /// READ.
+    Read,
+    /// WRITE.
+    Write,
+    /// REFRESH.
+    Refresh,
+    /// NOP.
+    Nop,
+}
+
+impl CommandKind {
+    /// Short mnemonic, as used in command traces.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CommandKind::Activate => "ACT",
+            CommandKind::Precharge => "PRE",
+            CommandKind::Read => "RD",
+            CommandKind::Write => "WR",
+            CommandKind::Refresh => "REF",
+            CommandKind::Nop => "NOP",
+        }
+    }
+}
+
 impl DramCommand {
+    /// The command's kind (discriminant without operands).
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            DramCommand::Activate(_) => CommandKind::Activate,
+            DramCommand::Precharge { .. } => CommandKind::Precharge,
+            DramCommand::Read { .. } => CommandKind::Read,
+            DramCommand::Write { .. } => CommandKind::Write,
+            DramCommand::Refresh { .. } => CommandKind::Refresh,
+            DramCommand::Nop => CommandKind::Nop,
+        }
+    }
+
     /// Short mnemonic, as used in command traces.
     pub fn mnemonic(&self) -> &'static str {
-        match self {
-            DramCommand::Activate(_) => "ACT",
-            DramCommand::Precharge { .. } => "PRE",
-            DramCommand::Read { .. } => "RD",
-            DramCommand::Write { .. } => "WR",
-            DramCommand::Refresh { .. } => "REF",
-            DramCommand::Nop => "NOP",
-        }
+        self.kind().mnemonic()
     }
 
     /// The bank the command addresses, if any.

@@ -1,0 +1,290 @@
+//! Compiled command programs.
+//!
+//! [`Program`] is the authoring representation: a `Vec` of owned
+//! [`DramCommand`]s, convenient to build but expensive to interpret —
+//! every run re-walks the enum, and recording a trace used to clone each
+//! command (including a WRITE's payload vector). A [`CompiledProgram`]
+//! is the execution representation: JEDEC validation happens once at
+//! compile time, every instruction is flattened into a `Copy` record
+//! with its operands pre-decoded, and write payloads live in one shared
+//! bit pool. The controller caches compiled programs keyed by
+//! [`program_hash`] (a hash of the wire encoding), so the experiment
+//! loops that rebuild the same Frac/Half-m program thousands of times
+//! validate and flatten it exactly once.
+
+use fracdram_model::variation::splitmix64;
+
+use crate::command::{CommandKind, DramCommand};
+use crate::program::Program;
+use crate::timing::{check_program, TimingParams, TimingViolation};
+use crate::trace::TraceOp;
+
+/// One flattened, pre-decoded instruction. Operand fields are only
+/// meaningful for the kinds that use them (`row` for ACT, `start_col`
+/// and the pool range for WR); the rest are zero.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledInst {
+    /// Command discriminant.
+    pub kind: CommandKind,
+    /// Target bank (0 for NOP).
+    pub bank: u32,
+    /// Target row (ACTIVATE only).
+    pub row: u32,
+    /// First written column (WRITE only).
+    pub start_col: u32,
+    /// Offset of this WRITE's payload in the program's bit pool.
+    pub data_offset: u32,
+    /// Payload length in bits (WRITE only).
+    pub data_len: u32,
+    /// Idle cycles after the command issues.
+    pub idle_after: u64,
+}
+
+impl CompiledInst {
+    /// The compact trace record for this instruction.
+    pub fn trace_op(&self) -> TraceOp {
+        TraceOp {
+            kind: self.kind,
+            bank: self.bank,
+            row: self.row,
+            start_col: self.start_col,
+            len: self.data_len,
+        }
+    }
+}
+
+/// A validated, flattened program ready for zero-allocation execution.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    insts: Vec<CompiledInst>,
+    pool: Vec<bool>,
+    total_cycles: u64,
+    violations: Vec<TimingViolation>,
+    reads: usize,
+    cacheable: bool,
+}
+
+impl CompiledProgram {
+    /// Validates `program` against `timing` and flattens it. The
+    /// violation report is retained so `run_checked` never re-validates
+    /// a cached program.
+    pub fn compile(timing: &TimingParams, program: &Program) -> Self {
+        let violations = check_program(timing, program);
+        let mut insts = Vec::with_capacity(program.len());
+        let mut pool = Vec::new();
+        let mut reads = 0usize;
+        for inst in program.instructions() {
+            let idle_after = inst.idle_after.value();
+            let mut c = CompiledInst {
+                kind: inst.command.kind(),
+                bank: inst.command.bank().unwrap_or(0) as u32,
+                row: 0,
+                start_col: 0,
+                data_offset: 0,
+                data_len: 0,
+                idle_after,
+            };
+            match &inst.command {
+                DramCommand::Activate(addr) => c.row = addr.row as u32,
+                DramCommand::Read { .. } => reads += 1,
+                DramCommand::Write {
+                    start_col, bits, ..
+                } => {
+                    c.start_col = *start_col as u32;
+                    c.data_offset = pool.len() as u32;
+                    c.data_len = bits.len() as u32;
+                    pool.extend_from_slice(bits);
+                }
+                _ => {}
+            }
+            insts.push(c);
+        }
+        CompiledProgram {
+            insts,
+            cacheable: pool.is_empty(),
+            pool,
+            total_cycles: program.total_cycles().value(),
+            violations,
+            reads,
+        }
+    }
+
+    /// The flattened instruction stream.
+    pub fn insts(&self) -> &[CompiledInst] {
+        &self.insts
+    }
+
+    /// The write payload of `inst` (empty for non-writes).
+    pub fn payload(&self, inst: &CompiledInst) -> &[bool] {
+        &self.pool[inst.data_offset as usize..(inst.data_offset + inst.data_len) as usize]
+    }
+
+    /// Total cycles the program occupies (matches
+    /// `Program::total_cycles`).
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// The JEDEC violations recorded at compile time.
+    pub fn violations(&self) -> &[TimingViolation] {
+        &self.violations
+    }
+
+    /// Number of READ instructions (sizes the read-back buffer).
+    pub fn reads(&self) -> usize {
+        self.reads
+    }
+
+    /// Whether the program is data-free and therefore worth caching:
+    /// WRITE payloads would pin arbitrary amounts of data in the cache
+    /// and rarely repeat byte-for-byte.
+    pub fn cacheable(&self) -> bool {
+        self.cacheable
+    }
+
+    /// Cheap collision sanity check: a cache hit must agree with the
+    /// probing program on shape.
+    pub fn matches(&self, program: &Program) -> bool {
+        self.insts.len() == program.len() && self.total_cycles == program.total_cycles().value()
+    }
+}
+
+/// Hash of a program's wire encoding, without materializing it: each
+/// word that [`crate::encoding::encode`] would emit is folded through
+/// splitmix64.
+pub fn program_hash(timing_free_program: &Program) -> u64 {
+    let mut h: u64 = 0xA076_1D64_78BD_642F;
+    let mix = |h: &mut u64, w: u64| *h = splitmix64(*h ^ w);
+    for inst in timing_free_program.instructions() {
+        let idle = inst.idle_after.value() & 0xFFFF;
+        let (op, row, bank, aux): (u64, u64, u64, u64) = match &inst.command {
+            DramCommand::Nop => (0, 0, 0, 0),
+            DramCommand::Activate(addr) => (1, addr.row as u64, addr.bank as u64, 0),
+            DramCommand::Precharge { bank } => (2, 0, *bank as u64, 0),
+            DramCommand::Read { bank } => (3, 0, *bank as u64, 0),
+            DramCommand::Write {
+                bank, start_col, ..
+            } => (4, 0, *bank as u64, *start_col as u64),
+            DramCommand::Refresh { bank } => (5, 0, *bank as u64, 0),
+        };
+        mix(
+            &mut h,
+            (op << 56)
+                | (idle << 40)
+                | ((row & 0xFFFF) << 24)
+                | ((bank & 0xFF) << 16)
+                | (aux & 0xFFFF),
+        );
+        if let DramCommand::Write { bits, .. } = &inst.command {
+            mix(&mut h, bits.len() as u64);
+            for chunk in bits.chunks(64) {
+                let mut word = 0u64;
+                for (i, &b) in chunk.iter().enumerate() {
+                    if b {
+                        word |= 1 << i;
+                    }
+                }
+                mix(&mut h, word);
+            }
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use fracdram_model::RowAddr;
+
+    fn timing() -> TimingParams {
+        TimingParams::default()
+    }
+
+    fn safe_read(row: usize) -> Program {
+        let t = timing();
+        Program::builder()
+            .act(RowAddr::new(0, row))
+            .delay(t.t_rcd.value())
+            .read(0)
+            .delay(t.t_ras.value())
+            .pre(0)
+            .delay(t.t_rp.value())
+            .build()
+    }
+
+    #[test]
+    fn compile_preserves_shape_and_validation() {
+        let t = timing();
+        let p = safe_read(3);
+        let c = CompiledProgram::compile(&t, &p);
+        assert_eq!(c.insts().len(), p.len());
+        assert_eq!(c.total_cycles(), p.total_cycles().value());
+        assert!(c.violations().is_empty());
+        assert_eq!(c.reads(), 1);
+        assert!(c.cacheable());
+        assert!(c.matches(&p));
+
+        let frac = Program::builder().act(RowAddr::new(0, 3)).pre(0).build();
+        let cf = CompiledProgram::compile(&t, &frac);
+        assert!(!cf.violations().is_empty(), "frac is out-of-spec");
+    }
+
+    #[test]
+    fn write_payloads_share_one_pool() {
+        let t = timing();
+        let bits = vec![true, false, true, true];
+        let p = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .delay(t.t_rcd.value())
+            .write(0, bits.clone())
+            .delay(t.t_ras.value())
+            .pre(0)
+            .build();
+        let c = CompiledProgram::compile(&t, &p);
+        assert!(!c.cacheable(), "write programs are not cached");
+        let wr = c
+            .insts()
+            .iter()
+            .find(|i| i.kind == CommandKind::Write)
+            .copied()
+            .unwrap();
+        assert_eq!(c.payload(&wr), &bits[..]);
+        assert_eq!(wr.start_col, 0);
+        assert_eq!(wr.trace_op().to_string(), "WR(0, 0+4)");
+    }
+
+    #[test]
+    fn program_hash_discriminates() {
+        let a = safe_read(3);
+        let b = safe_read(4);
+        assert_eq!(program_hash(&a), program_hash(&safe_read(3)));
+        assert_ne!(program_hash(&a), program_hash(&b));
+
+        // Same commands, different spacing → different hash.
+        let frac5 = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .delay(5)
+            .build();
+        let frac6 = Program::builder()
+            .act(RowAddr::new(0, 1))
+            .pre(0)
+            .delay(6)
+            .build();
+        assert_ne!(program_hash(&frac5), program_hash(&frac6));
+
+        // Different payload bits → different hash.
+        let w = |bits: Vec<bool>| {
+            Program::builder()
+                .act(RowAddr::new(0, 1))
+                .delay(6)
+                .write(0, bits)
+                .build()
+        };
+        assert_ne!(
+            program_hash(&w(vec![true, false])),
+            program_hash(&w(vec![false, true]))
+        );
+    }
+}

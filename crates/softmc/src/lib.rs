@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod command;
+pub mod compiled;
 pub mod controller;
 pub mod encoding;
 pub mod error;
@@ -38,10 +39,11 @@ pub mod program;
 pub mod timing;
 pub mod trace;
 
-pub use command::DramCommand;
+pub use command::{CommandKind, DramCommand};
+pub use compiled::{CompiledInst, CompiledProgram};
 pub use controller::{MemoryController, RunMetrics, RunOutcome};
 pub use encoding::{decode, encode, DecodeError};
 pub use error::{ControllerError, Result};
 pub use program::{Instruction, Program, ProgramBuilder};
 pub use timing::{TimingParams, TimingRule, TimingViolation};
-pub use trace::{CommandTrace, CycleStats, TraceEntry};
+pub use trace::{CommandTrace, CycleStats, TraceEntry, TraceOp};

@@ -6,22 +6,93 @@
 //! gives the always-on counters that reproduce those numbers; the full
 //! [`CommandTrace`] is opt-in because PUF-scale experiments issue millions
 //! of commands.
+//!
+//! Trace entries record a [`TraceOp`] — a `Copy` summary of the command
+//! (kind plus small scalar operands; a WRITE records its column range,
+//! not the payload) — so recording never clones a command or allocates.
 
 use std::fmt;
 
-use crate::command::DramCommand;
+use crate::command::{CommandKind, DramCommand};
 
-/// One trace entry: a command and the cycle it issued at.
-#[derive(Debug, Clone, PartialEq)]
+/// Compact, `Copy` record of one issued command. A WRITE keeps only its
+/// column range (`start_col`, `len`); the payload data is not traced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// Command discriminant.
+    pub kind: CommandKind,
+    /// Target bank (0 for NOP).
+    pub bank: u32,
+    /// Target row (ACTIVATE only).
+    pub row: u32,
+    /// First written column (WRITE only).
+    pub start_col: u32,
+    /// Written column count (WRITE only).
+    pub len: u32,
+}
+
+impl TraceOp {
+    /// Summarizes a full command into its trace record.
+    pub fn from_command(command: &DramCommand) -> Self {
+        let mut op = TraceOp {
+            kind: command.kind(),
+            bank: command.bank().unwrap_or(0) as u32,
+            row: 0,
+            start_col: 0,
+            len: 0,
+        };
+        match command {
+            DramCommand::Activate(addr) => op.row = addr.row as u32,
+            DramCommand::Write {
+                start_col, bits, ..
+            } => {
+                op.start_col = *start_col as u32;
+                op.len = bits.len() as u32;
+            }
+            _ => {}
+        }
+        op
+    }
+
+    /// Short mnemonic, as used in command traces.
+    pub fn mnemonic(&self) -> &'static str {
+        self.kind.mnemonic()
+    }
+
+    /// The bank the command addressed, if any.
+    pub fn bank(&self) -> Option<usize> {
+        match self.kind {
+            CommandKind::Nop => None,
+            _ => Some(self.bank as usize),
+        }
+    }
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Renders exactly like the `DramCommand` it summarizes.
+        match self.kind {
+            CommandKind::Activate => write!(f, "ACT({}, {})", self.bank, self.row),
+            CommandKind::Precharge => write!(f, "PRE({})", self.bank),
+            CommandKind::Read => write!(f, "RD({})", self.bank),
+            CommandKind::Write => write!(f, "WR({}, {}+{})", self.bank, self.start_col, self.len),
+            CommandKind::Refresh => write!(f, "REF({})", self.bank),
+            CommandKind::Nop => write!(f, "NOP"),
+        }
+    }
+}
+
+/// One trace entry: a command summary and the cycle it issued at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Absolute issue cycle.
     pub cycle: u64,
     /// The issued command.
-    pub command: DramCommand,
+    pub op: TraceOp,
 }
 
 /// A recorded command trace.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CommandTrace {
     entries: Vec<TraceEntry>,
 }
@@ -33,8 +104,8 @@ impl CommandTrace {
     }
 
     /// Records a command issue.
-    pub fn record(&mut self, cycle: u64, command: DramCommand) {
-        self.entries.push(TraceEntry { cycle, command });
+    pub fn record(&mut self, cycle: u64, op: TraceOp) {
+        self.entries.push(TraceEntry { cycle, op });
     }
 
     /// The recorded entries, in issue order.
@@ -56,7 +127,7 @@ impl CommandTrace {
 impl fmt::Display for CommandTrace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.entries {
-            writeln!(f, "{:>10}  {}", e.cycle, e.command)?;
+            writeln!(f, "{:>10}  {}", e.cycle, e.op)?;
         }
         Ok(())
     }
@@ -82,14 +153,19 @@ pub struct CycleStats {
 impl CycleStats {
     /// Records one command into the counters.
     pub fn record(&mut self, command: &DramCommand) {
+        self.record_kind(command.kind());
+    }
+
+    /// Records one command by kind (no operands needed).
+    pub fn record_kind(&mut self, kind: CommandKind) {
         self.commands += 1;
-        match command {
-            DramCommand::Activate(_) => self.activates += 1,
-            DramCommand::Precharge { .. } => self.precharges += 1,
-            DramCommand::Read { .. } => self.reads += 1,
-            DramCommand::Write { .. } => self.writes += 1,
-            DramCommand::Refresh { .. } => self.refreshes += 1,
-            DramCommand::Nop => {}
+        match kind {
+            CommandKind::Activate => self.activates += 1,
+            CommandKind::Precharge => self.precharges += 1,
+            CommandKind::Read => self.reads += 1,
+            CommandKind::Write => self.writes += 1,
+            CommandKind::Refresh => self.refreshes += 1,
+            CommandKind::Nop => {}
         }
     }
 
@@ -126,11 +202,39 @@ mod tests {
     #[test]
     fn trace_records_in_order() {
         let mut t = CommandTrace::new();
-        t.record(5, DramCommand::Activate(RowAddr::new(0, 1)));
-        t.record(6, DramCommand::Precharge { bank: 0 });
+        t.record(
+            5,
+            TraceOp::from_command(&DramCommand::Activate(RowAddr::new(0, 1))),
+        );
+        t.record(
+            6,
+            TraceOp::from_command(&DramCommand::Precharge { bank: 0 }),
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.entries()[0].cycle, 5);
-        assert_eq!(t.entries()[1].command.mnemonic(), "PRE");
+        assert_eq!(t.entries()[1].op.mnemonic(), "PRE");
+    }
+
+    #[test]
+    fn trace_op_renders_like_the_command() {
+        let cmds = [
+            DramCommand::Activate(RowAddr::new(1, 8)),
+            DramCommand::Precharge { bank: 2 },
+            DramCommand::Read { bank: 3 },
+            DramCommand::Write {
+                bank: 0,
+                start_col: 16,
+                bits: vec![true; 4],
+            },
+            DramCommand::Refresh { bank: 1 },
+            DramCommand::Nop,
+        ];
+        for cmd in &cmds {
+            let op = TraceOp::from_command(cmd);
+            assert_eq!(op.to_string(), cmd.to_string());
+            assert_eq!(op.mnemonic(), cmd.mnemonic());
+            assert_eq!(op.bank(), cmd.bank());
+        }
     }
 
     #[test]
@@ -144,6 +248,27 @@ mod tests {
         assert_eq!(s.activates, 2);
         assert_eq!(s.reads, 1);
         assert_eq!(s.precharges, 0);
+    }
+
+    #[test]
+    fn record_kind_matches_record() {
+        let mut by_cmd = CycleStats::default();
+        let mut by_kind = CycleStats::default();
+        let cmds = [
+            DramCommand::Activate(RowAddr::new(0, 0)),
+            DramCommand::Write {
+                bank: 0,
+                start_col: 0,
+                bits: vec![true],
+            },
+            DramCommand::Precharge { bank: 0 },
+            DramCommand::Nop,
+        ];
+        for cmd in &cmds {
+            by_cmd.record(cmd);
+            by_kind.record_kind(cmd.kind());
+        }
+        assert_eq!(by_cmd, by_kind);
     }
 
     #[test]
@@ -174,7 +299,7 @@ mod tests {
     #[test]
     fn trace_display_lists_lines() {
         let mut t = CommandTrace::new();
-        t.record(1, DramCommand::Nop);
+        t.record(1, TraceOp::from_command(&DramCommand::Nop));
         let s = t.to_string();
         assert!(s.contains("NOP"));
         assert!(s.trim_end().lines().count() == 1);

@@ -104,7 +104,7 @@ fn out_of_spec_programs_are_flagged_but_executable() {
 
     // A legal read-modify-write program passes the checker.
     let addr = RowAddr::new(0, 2);
-    let legal: Program = mc.write_row_program(addr, vec![true; 64]);
+    let legal: Program = mc.write_row_program(addr, &[true; 64]);
     assert!(mc.check(&legal).is_empty());
     mc.run_checked(&legal).unwrap();
 }
