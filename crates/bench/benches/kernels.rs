@@ -25,6 +25,7 @@ use fracdram::puf::{challenge_set, evaluate};
 use fracdram::rowsets::Quad;
 use fracdram_bench::{black_box, criterion_group, criterion_main, Criterion};
 use fracdram_experiments::{setup, tasks};
+use fracdram_model::faults::{FaultConfig, FaultPlan};
 use fracdram_model::subarray::{Ctx, Subarray};
 use fracdram_model::variation::NoiseRng;
 use fracdram_model::{DeviceParams, Environment, GroupId, InternalTiming, SubarrayAddr};
@@ -91,6 +92,25 @@ fn bench_share_kernel(c: &mut Criterion) {
     let mut fx = Fixture::new();
     fx.write_row(3, &vec![true; COLS]);
     c.bench_function("kernels/share_kernel/frac", |b| {
+        b.iter(|| {
+            let end = fx.with_ctx(|sub, ctx, t| {
+                sub.activate(ctx, 3, t).unwrap();
+                sub.precharge(ctx, t + 1);
+                sub.advance(ctx, t + 7);
+                t + 7
+            });
+            fx.now = end;
+        })
+    });
+
+    // Twin of share_kernel/frac with fault injection explicitly armed
+    // then disarmed: the kernels' fault hooks must be free when no plan
+    // is installed (guarded <5% vs the twin in BENCH_kernels.json).
+    let mut fx = Fixture::new();
+    fx.silicon
+        .set_faults(Some(FaultPlan::new(0xF00D, FaultConfig::none())));
+    fx.write_row(3, &vec![true; COLS]);
+    c.bench_function("kernels/share_kernel/frac_faults_off", |b| {
         b.iter(|| {
             let end = fx.with_ctx(|sub, ctx, t| {
                 sub.activate(ctx, 3, t).unwrap();
@@ -204,6 +224,16 @@ fn bench_task_bodies(c: &mut Criterion) {
     let config = FmajConfig::best_for(GroupId::B);
     let mut rng = Rng::seed_from_u64(1);
     c.bench_function("tasks/fig10_body", |b| {
+        b.iter(|| tasks::stability_fmaj(&mut mc, &quad, &config, 1, &mut rng))
+    });
+
+    // Twin with fault injection armed-then-disarmed through the module
+    // API (guarded <5% vs fig10_body in BENCH_kernels.json).
+    let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), 7);
+    mc.module_mut()
+        .set_fault_config(&fracdram_model::FaultConfig::none());
+    let mut rng = Rng::seed_from_u64(1);
+    c.bench_function("tasks/fig10_body_faults_off", |b| {
         b.iter(|| tasks::stability_fmaj(&mut mc, &quad, &config, 1, &mut rng))
     });
 

@@ -81,6 +81,20 @@ impl FracDram {
         self.mc.into_module()
     }
 
+    /// Arms deterministic fault injection on every chip in the module
+    /// ([`fracdram_model::FaultConfig`]). Pass
+    /// [`fracdram_model::FaultConfig::none`] to disarm.
+    pub fn inject_faults(&mut self, config: &fracdram_model::FaultConfig) {
+        self.mc.module_mut().set_fault_config(config);
+    }
+
+    /// Total injected-fault events observed so far (all classes:
+    /// sense flips, stuck-cell pins, decoder dropouts, excursion
+    /// commands). Zero while injection is disarmed.
+    pub fn fault_events(&self) -> u64 {
+        self.mc.model_perf().fault_events()
+    }
+
     /// Rows currently tracked as holding fractional values.
     pub fn fractional_rows(&self) -> Vec<RowAddr> {
         self.fractional
@@ -331,6 +345,13 @@ impl<'a> TrialRunner<'a> {
             bytes: now.snapshot_bytes - self.baseline.snapshot_bytes,
         }
     }
+
+    /// Injected-fault events observed since the scope opened — lets a
+    /// measurement attribute instability to the fault plan rather than
+    /// process variation.
+    pub fn fault_events(&self) -> u64 {
+        self.mc.model_perf().fault_events() - self.baseline.fault_events()
+    }
 }
 
 #[cfg(test)]
@@ -445,6 +466,30 @@ mod tests {
         assert_eq!(stats.misses, 1, "one live capture");
         assert_eq!(stats.hits, 4, "remaining trials restored");
         assert!(stats.bytes > 0);
+    }
+
+    #[test]
+    fn session_surfaces_fault_events() {
+        let mut s = session();
+        assert_eq!(s.fault_events(), 0, "injection disarmed by default");
+        s.inject_faults(&fracdram_model::FaultConfig {
+            stuck_density: 0.05,
+            ..fracdram_model::FaultConfig::none()
+        });
+        let row = RowAddr::new(0, 2);
+        s.write_row(row, &[true; 64]).unwrap();
+        s.read_row(row).unwrap();
+        assert!(s.fault_events() > 0, "stuck cells pin on every event");
+        // A trial scope deltas the counter from its own baseline.
+        let before = s.fault_events();
+        let mut runner = TrialRunner::new(s.controller_mut());
+        runner.run(2, |mc, _| {
+            mc.write_row(row, &[false; 64]).unwrap();
+            mc.read_row(row).unwrap()
+        });
+        let scoped = runner.fault_events();
+        assert!(scoped > 0);
+        assert_eq!(s.fault_events(), before + scoped);
     }
 
     #[test]

@@ -54,6 +54,9 @@ fn main() {
         &[
             ("seed", "base die seed (default 15)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured sweep results to PATH"),
         ],
     ) {
@@ -61,6 +64,7 @@ fn main() {
     }
     let seed = args.u64("seed", 15);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     // ---- 1. static weight variation vs coverage ----------------------
     println!(
@@ -75,7 +79,7 @@ fn main() {
     let plan: Vec<TaskKey> = (0..weight_sigmas.len())
         .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
         .collect();
-    let coverage = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let coverage = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let params = DeviceParams {
             share_weight_sigma: weight_sigmas[key.variant],
             ..DeviceParams::default()
@@ -89,7 +93,7 @@ fn main() {
         ((maj3, fm), mc.metrics())
     });
     for report in &coverage.tasks {
-        let (maj3, fm) = report.value;
+        let (maj3, fm) = *report.value();
         println!(
             "{:>8.2} {maj3:>14.3} {fm:>14.3}",
             weight_sigmas[report.key.variant]
@@ -111,7 +115,7 @@ fn main() {
         .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
         .collect();
     let trials = 60;
-    let stability = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let stability = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let params = DeviceParams {
             share_temporal_sigma: jitter_sigmas[key.variant],
             ..DeviceParams::default()
@@ -129,7 +133,7 @@ fn main() {
         ((always, avg_err), mc.metrics())
     });
     for report in &stability.tasks {
-        let (always, avg_err) = report.value;
+        let (always, avg_err) = *report.value();
         println!(
             "{:>8.2} {:>16} {:>16}",
             jitter_sigmas[report.key.variant],
@@ -149,7 +153,7 @@ fn main() {
     let plan: Vec<TaskKey> = (0..inject_sigmas.len())
         .map(|v| TaskKey::new(GroupId::B, 0, 0).with_variant(v))
         .collect();
-    let diversity = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let diversity = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let params = DeviceParams {
             cell_inject_sigma: Volts(inject_sigmas[key.variant]),
             ..DeviceParams::default()
@@ -162,7 +166,8 @@ fn main() {
     for report in &diversity.tasks {
         println!(
             "{:>10.2} {:>22.3}",
-            inject_sigmas[report.key.variant], report.value
+            inject_sigmas[report.key.variant],
+            report.value()
         );
     }
     println!("(without injection, rows sharing sense amplifiers answer identically:");
@@ -178,7 +183,7 @@ fn main() {
         .into_iter()
         .map(|group| TaskKey::new(group, 0, 0))
         .collect();
-    let weights = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let weights = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = controller_with(key.group, seed, DeviceParams::default());
         let r = evaluate(&mut mc, Challenge::new(1, 7)).unwrap();
         (r.hamming_weight(), mc.metrics())
@@ -187,7 +192,7 @@ fn main() {
         println!(
             "{:>12.1} {:>16.3}",
             report.key.group.profile().sense_offset_mean.value() * 1000.0,
-            report.value
+            report.value()
         );
     }
     println!("(larger positive offsets push more columns below threshold: fewer ones)");
@@ -212,8 +217,8 @@ fn main() {
                             .map(|t| {
                                 Json::obj()
                                     .field("sigma", weight_sigmas[t.key.variant])
-                                    .field("maj3_coverage", t.value.0)
-                                    .field("fmaj_coverage", t.value.1)
+                                    .field("maj3_coverage", t.value().0)
+                                    .field("fmaj_coverage", t.value().1)
                             })
                             .collect(),
                     ),
@@ -225,8 +230,8 @@ fn main() {
                             .map(|t| {
                                 Json::obj()
                                     .field("sigma", jitter_sigmas[t.key.variant])
-                                    .field("always_correct", t.value.0)
-                                    .field("avg_error", t.value.1)
+                                    .field("always_correct", t.value().0)
+                                    .field("avg_error", t.value().1)
                             })
                             .collect(),
                     ),
@@ -238,7 +243,7 @@ fn main() {
                             .map(|t| {
                                 Json::obj()
                                     .field("sigma", inject_sigmas[t.key.variant])
-                                    .field("hd", t.value)
+                                    .field("hd", *t.value())
                             })
                             .collect(),
                     ),
@@ -250,7 +255,7 @@ fn main() {
                             .map(|t| {
                                 Json::obj()
                                     .field("group", t.key.group.to_string())
-                                    .field("hamming_weight", t.value)
+                                    .field("hamming_weight", *t.value())
                             })
                             .collect(),
                     ),
@@ -258,5 +263,9 @@ fn main() {
             );
         std::fs::write(path, format!("{doc}\n"))
             .unwrap_or_else(|err| fracdram_experiments::exit_json_write_error(path, &err));
+    }
+
+    if coverage.failed() + stability.failed() + diversity.failed() + weights.failed() > 0 {
+        std::process::exit(1);
     }
 }

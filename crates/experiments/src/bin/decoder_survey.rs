@@ -34,6 +34,9 @@ fn main() {
             ),
             ("seed", "die seed (default 16)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -42,12 +45,13 @@ fn main() {
     let rows = args.usize("rows", 16);
     let seed = args.u64("seed", 16);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     let plan: Vec<TaskKey> = [GroupId::B, GroupId::C, GroupId::D, GroupId::F]
         .into_iter()
         .map(|group| TaskKey::new(group, 0, 0))
         .collect();
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
         let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), rows).expect("explore");
         (probes, mc.metrics())
@@ -56,7 +60,7 @@ fn main() {
 
     for report in &run.tasks {
         let group = report.key.group;
-        let probes = &report.value;
+        let probes = report.value();
 
         println!(
             "{}",
@@ -137,4 +141,8 @@ fn main() {
     println!("paper: \"only N rows can be opened where N is a power of two; all");
     println!("combinations that open 2^k rows have k bits in difference; however,");
     println!("not all combinations with k different bits can open 2^k rows.\"");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -59,6 +59,9 @@ fn main() {
             ("modules", "modules per group (default 2)"),
             ("seed", "base seed (default 10)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -69,6 +72,7 @@ fn main() {
     let modules = args.usize("modules", 2);
     let seed = args.u64("seed", 10);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     // ---- (a) per-combination breakdown, group C, frac in R1, ones ----
     println!(
@@ -128,7 +132,7 @@ fn main() {
             }
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, task_seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, task_seed| {
         let mut mc = setup::controller(
             key.group,
             setup::compute_geometry(),
@@ -154,8 +158,8 @@ fn main() {
         let mut fmaj_stab = Vec::new();
         let mut maj3_stab = Vec::new();
         for report in run.tasks.iter().filter(|t| t.key.group == group) {
-            fmaj_stab.extend_from_slice(&report.value.fmaj);
-            if let Some(maj3) = &report.value.maj3 {
+            fmaj_stab.extend_from_slice(&report.value().fmaj);
+            if let Some(maj3) = &report.value().maj3 {
                 maj3_stab.extend_from_slice(maj3);
             }
         }
@@ -181,4 +185,8 @@ fn main() {
     println!("paper: group B F-MAJ has >= 95.4% always-correct columns and the");
     println!("average error rate improves from 9.1% (MAJ3) to 2.2% (F-MAJ);");
     println!("group C modules span ~33-85% always-correct columns.");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

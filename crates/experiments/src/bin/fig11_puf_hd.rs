@@ -42,6 +42,9 @@ fn main() {
             ),
             ("seed", "base seed (default 11)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -52,6 +55,7 @@ fn main() {
     let cols = args.usize("cols", 1024);
     let seed = args.u64("seed", 11);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     let geometry = setup::puf_geometry(cols);
     let challenges = challenge_set(&geometry, n_challenges, seed);
@@ -77,7 +81,7 @@ fn main() {
             plan.push(TaskKey::new(group, m, 0));
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
         let first: Vec<BitVec> = challenges
             .iter()
@@ -101,11 +105,11 @@ fn main() {
         let mut weights = Vec::new();
         let mut first = Vec::new();
         for report in &reports {
-            for (a, b) in report.value.first.iter().zip(&report.value.second) {
+            for (a, b) in report.value().first.iter().zip(&report.value().second) {
                 intra.push(normalized_distance(a, b));
             }
-            weights.extend(report.value.first.iter().map(|r| r.hamming_weight()));
-            first.push(&report.value.first);
+            weights.extend(report.value().first.iter().map(|r| r.hamming_weight()));
+            first.push(&report.value().first);
         }
         // Inter-HD within the group: same challenge, different modules.
         let mut inter = Vec::new();
@@ -173,4 +177,8 @@ fn main() {
     );
     println!("paper Hamming weights vary by group (e.g. group A ~0.21) — the bias");
     println!("tracks each vendor's sense-amplifier offset distribution.");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -30,6 +30,9 @@ fn main() {
             ("cols", "columns per chip row (default 1024)"),
             ("seed", "base seed (default 12)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -40,6 +43,7 @@ fn main() {
     let cols = args.usize("cols", 1024);
     let seed = args.u64("seed", 12);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     let geometry = setup::puf_geometry(cols);
     let challenges = challenge_set(&geometry, n_challenges, seed);
@@ -69,7 +73,7 @@ fn main() {
             }
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
         if key.variant > 0 {
             mc.module_mut()
@@ -89,7 +93,7 @@ fn main() {
         .tasks
         .iter()
         .filter(|t| t.key.variant == 0)
-        .map(|t| &t.value)
+        .map(|t| t.value())
         .collect();
 
     println!(
@@ -106,7 +110,7 @@ fn main() {
             .tasks
             .iter()
             .filter(|t| t.key.variant == ci + 1)
-            .map(|t| &t.value)
+            .map(|t| t.value())
             .collect();
         let mut intra = Vec::new();
         let mut inter = Vec::new();
@@ -151,4 +155,8 @@ fn main() {
 
     println!("\npaper: highest intra-HD 0.07 at 1.4 V, lowest inter-HD 0.30; intra-HD");
     println!("grows slightly with temperature but stays far below the minimum inter-HD.");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -37,6 +37,9 @@ fn main() {
             ),
             ("seed", "base die seed (default 6)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -46,6 +49,7 @@ fn main() {
     let votes = args.usize("votes", 3);
     let seed = args.u64("seed", 6);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     println!(
         "{}",
@@ -62,7 +66,7 @@ fn main() {
             plan.push(TaskKey::new(group, 0, i));
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
         let i = key.subarray;
         let row = RowAddr::new(i % 2, 5 + 16 * (i / 2));
@@ -79,7 +83,7 @@ fn main() {
         let mut per_count: Vec<Vec<RetentionBucket>> = vec![Vec::new(); MAX_FRAC + 1];
         for report in run.tasks.iter().filter(|t| t.key.group == group) {
             for (n, acc) in per_count.iter_mut().enumerate() {
-                acc.extend_from_slice(&report.value[n]);
+                acc.extend_from_slice(&report.value()[n]);
             }
         }
         let pdfs: Vec<[f64; 6]> = per_count
@@ -136,4 +140,8 @@ fn main() {
     }
 
     println!("paper: monotonic-decrease cells average ~55% across groups A-I, others < 1%.");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

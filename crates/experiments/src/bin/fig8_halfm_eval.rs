@@ -135,6 +135,9 @@ fn main() {
             ),
             ("seed", "die seed (default 8)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -143,6 +146,7 @@ fn main() {
     let subarrays = args.usize("subarrays", 4);
     let seed = args.u64("seed", 8);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let geometry = *mc.module().geometry();
@@ -192,7 +196,7 @@ fn main() {
             plan.push(TaskKey::new(GroupId::B, 0, s).with_variant(variant));
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         // Same die seed as the retention part: every task probes the
         // module under test on a fresh controller.
         let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
@@ -210,7 +214,7 @@ fn main() {
             .tasks
             .iter()
             .filter(|t| t.key.variant == variant)
-            .flat_map(|t| t.value.iter().copied())
+            .flat_map(|t| t.value().iter().copied())
             .collect();
         let total = pairs.len() as f64;
         let share =
@@ -236,4 +240,8 @@ fn main() {
 
     println!("\npaper: weak ones/zeros behave like normal values; ~16% of columns");
     println!("produce a distinguishable Half value ((1,0) signature).");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

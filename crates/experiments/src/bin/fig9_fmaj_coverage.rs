@@ -52,6 +52,9 @@ fn main() {
             ("maxfrac", "largest Frac count swept (default 5)"),
             ("seed", "base die seed (default 9)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -62,6 +65,7 @@ fn main() {
     let max_frac = args.usize("maxfrac", 5);
     let seed = args.u64("seed", 9);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     println!(
         "{}",
@@ -78,7 +82,7 @@ fn main() {
             }
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(
             key.group,
             setup::compute_geometry(),
@@ -109,7 +113,7 @@ fn main() {
         );
         let reports: Vec<_> = run.tasks.iter().filter(|t| t.key.group == group).collect();
         if group == GroupId::B {
-            let samples: Vec<f64> = reports.iter().filter_map(|t| t.value.maj3).collect();
+            let samples: Vec<f64> = reports.iter().filter_map(|t| t.value().maj3).collect();
             let sum = Summary::of(&samples);
             println!(
                 "  baseline MAJ3 (dashed line): {} (±{:.1}pp)",
@@ -129,8 +133,10 @@ fn main() {
                 let mut line = String::new();
                 for frac_ops in 0..=max_frac {
                     let index = (role * 2 + usize::from(!init_ones)) * (max_frac + 1) + frac_ops;
-                    let samples: Vec<f64> =
-                        reports.iter().map(|t| t.value.per_config[index]).collect();
+                    let samples: Vec<f64> = reports
+                        .iter()
+                        .map(|t| t.value().per_config[index])
+                        .collect();
                     line.push_str(&format!("{:>7.3}", Summary::of(&samples).mean));
                 }
                 println!(
@@ -157,4 +163,8 @@ fn main() {
     println!("expected shapes: B peaks with frac in R2 (primary row), init ones,");
     println!("beating the baseline MAJ3; C favors R1 with a level above Vdd/2;");
     println!("D favors R4; all four-row-capable groups reach non-zero coverage.");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

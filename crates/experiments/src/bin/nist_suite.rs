@@ -39,6 +39,9 @@ fn main() {
             ("cols", "columns per chip row (default 4096)"),
             ("seed", "base seed (default 13)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -49,6 +52,7 @@ fn main() {
     let cols = args.usize("cols", 4096);
     let seed = args.u64("seed", 13);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     // A roomy row space so every challenge addresses a distinct row —
     // re-evaluating a row reproduces (almost) the same response, and
@@ -69,7 +73,7 @@ fn main() {
     let plan: Vec<TaskKey> = (0..modules)
         .map(|m| TaskKey::new(groups[m % groups.len()], m, 0))
         .collect();
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
         // Draw the whole challenge budget up front, without replacement.
         let challenges = challenge_set(&geometry, capacity, seed);
@@ -103,7 +107,7 @@ fn main() {
 
     let mut all_passed = true;
     for report in &run.tasks {
-        let v = &report.value;
+        let v = &report.value();
         println!(
             "\nmodule {} (group {}): {} whitened bits from {} rows, weight {:.3}",
             report.key.module, report.key.group, v.bits, v.used_rows, v.weight
@@ -131,4 +135,8 @@ fn main() {
             "FAILURES present — see individual p-values above"
         }
     );
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

@@ -22,6 +22,9 @@ fn main() {
             ("modules", "modules surveyed per group (default 1)"),
             ("seed", "base die seed (default 1)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("retries", "extra attempts for a failing task (default 0)"),
+            ("keep-going", "complete remaining tasks after a failure"),
+            ("fail-fast", "stop claiming tasks after a failure (default)"),
             ("json", "write structured fleet results to PATH"),
         ],
     ) {
@@ -30,6 +33,7 @@ fn main() {
     let modules = args.usize("modules", 1);
     let seed = args.u64("seed", 1);
     let jobs = args.jobs();
+    let policy = args.failure_policy();
 
     let mut plan = Vec::new();
     for group in GroupId::ALL {
@@ -37,7 +41,7 @@ fn main() {
             plan.push(TaskKey::new(group, m, 0));
         }
     }
-    let run = fleet::run(&plan, seed, jobs, |key, _seed| {
+    let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(
             key.group,
             setup::compute_geometry(),
@@ -66,7 +70,7 @@ fn main() {
         let mut three = true;
         let mut four = true;
         for report in run.tasks.iter().filter(|t| t.key.group == group) {
-            let (f, t, q) = report.value;
+            let (f, t, q) = report.value();
             frac &= f;
             three &= t;
             four &= q;
@@ -99,4 +103,8 @@ fn main() {
         .sum();
     println!("\ntotal chips represented: {total} (paper: 528 evaluated, 582 incl. §I count)");
     println!("expected: Frac on A-I; three-row only on B; four-row on B, C, D");
+
+    if run.failed() > 0 {
+        std::process::exit(1);
+    }
 }

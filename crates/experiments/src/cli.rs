@@ -4,13 +4,20 @@
 //! count, rows sampled, trial count, seed) so the paper-scale sweep can
 //! be requested explicitly while the default run finishes in seconds.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Parsed command-line arguments: `--key value` pairs plus a `--help`
-/// flag.
+use crate::fleet::{FailureMode, FleetPolicy};
+
+/// Keys that are value-less boolean flags rather than `--key value`
+/// pairs.
+const FLAG_KEYS: &[&str] = &["fail-fast", "keep-going"];
+
+/// Parsed command-line arguments: `--key value` pairs, boolean flags,
+/// plus a `--help` flag.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: BTreeMap<String, String>,
+    flags: BTreeSet<String>,
     help: bool,
 }
 
@@ -33,6 +40,7 @@ impl Args {
     #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut values = BTreeMap::new();
+        let mut flags = BTreeSet::new();
         let mut help = false;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -43,12 +51,20 @@ impl Args {
             let key = arg
                 .strip_prefix("--")
                 .unwrap_or_else(|| panic!("unexpected positional argument {arg:?}"));
+            if FLAG_KEYS.contains(&key) {
+                flags.insert(key.to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .unwrap_or_else(|| panic!("--{key} requires a value"));
             values.insert(key.to_string(), value);
         }
-        Args { values, help }
+        Args {
+            values,
+            flags,
+            help,
+        }
     }
 
     /// Whether `--help` was passed.
@@ -110,6 +126,34 @@ impl Args {
     /// Structured results dump path: `--json PATH`.
     pub fn json_path(&self) -> Option<&str> {
         self.str("json")
+    }
+
+    /// Whether a boolean flag (e.g. `--keep-going`) was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+
+    /// Fleet failure policy: `--fail-fast` (default) stops claiming new
+    /// tasks after the first failure; `--keep-going` completes the rest
+    /// of the plan and reports the failures. `--retries N` re-runs a
+    /// failing task up to `N` more times with a perturbed seed before
+    /// recording the failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both `--fail-fast` and `--keep-going` are passed.
+    pub fn failure_policy(&self) -> FleetPolicy {
+        assert!(
+            !(self.flag("fail-fast") && self.flag("keep-going")),
+            "--fail-fast and --keep-going are mutually exclusive"
+        );
+        let mode = if self.flag("keep-going") {
+            FailureMode::KeepGoing
+        } else {
+            FailureMode::FailFast
+        };
+        let retries = self.usize("retries", 0) as u32;
+        FleetPolicy { mode, retries }
     }
 
     /// Float parameter with a default.
@@ -194,6 +238,30 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_jobs_panics() {
         args(&["--jobs", "0"]).jobs();
+    }
+
+    #[test]
+    fn failure_policy_flags() {
+        let d = args(&[]);
+        assert_eq!(d.failure_policy(), FleetPolicy::fail_fast());
+        let k = args(&["--keep-going", "--retries", "2"]);
+        assert!(k.flag("keep-going"));
+        assert_eq!(
+            k.failure_policy(),
+            FleetPolicy::keep_going().with_retries(2)
+        );
+        let f = args(&["--fail-fast"]);
+        assert_eq!(f.failure_policy().mode, FailureMode::FailFast);
+        // Flags take no value: a following pair still parses.
+        let mixed = args(&["--keep-going", "--jobs", "3"]);
+        assert_eq!(mixed.jobs(), 3);
+        assert!(mixed.flag("keep-going"));
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn conflicting_policy_flags_panic() {
+        args(&["--fail-fast", "--keep-going"]).failure_policy();
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use std::fmt;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use fracdram_model::{GroupId, ModelPerf};
@@ -99,21 +100,128 @@ pub fn task_seed(base_seed: u64, key: &TaskKey) -> u64 {
         )
 }
 
-/// One completed task: its key, payload, and observability data.
+/// What to do when a task fails (panics or returns a typed error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Stop claiming new tasks after the first failure; unstarted tasks
+    /// are reported as skipped.
+    FailFast,
+    /// Complete every remaining task and report the failures at the
+    /// end — one poisoned cell must not sink the whole sweep.
+    KeepGoing,
+}
+
+/// The fleet's failure policy: mode plus a bounded, deterministic retry
+/// budget. A retry re-runs the task with seed
+/// `task_seed(base, key) ^ attempt`, so retry outcomes are reproducible
+/// at any job count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetPolicy {
+    /// Reaction to a task failure.
+    pub mode: FailureMode,
+    /// Extra attempts granted to a failing task before its failure is
+    /// recorded.
+    pub retries: u32,
+}
+
+impl FleetPolicy {
+    /// Stop-at-first-failure, no retries (the default).
+    pub fn fail_fast() -> Self {
+        FleetPolicy {
+            mode: FailureMode::FailFast,
+            retries: 0,
+        }
+    }
+
+    /// Complete-the-plan, no retries.
+    pub fn keep_going() -> Self {
+        FleetPolicy {
+            mode: FailureMode::KeepGoing,
+            retries: 0,
+        }
+    }
+
+    /// The same policy with a retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+}
+
+impl Default for FleetPolicy {
+    fn default() -> Self {
+        FleetPolicy::fail_fast()
+    }
+}
+
+/// One task that did not produce a value: where it ran, with what seed,
+/// on which attempt, and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The task's coordinates in the plan.
+    pub key: TaskKey,
+    /// Seed of the final (failing) attempt.
+    pub seed: u64,
+    /// Zero-based attempt index the failure was recorded on.
+    pub attempt: u32,
+    /// Panic payload or typed-error message.
+    pub message: String,
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} — seed {} attempt {}: {}",
+            self.key, self.seed, self.attempt, self.message
+        )
+    }
+}
+
+/// One completed task: its key, payload (or failure), and observability
+/// data.
 #[derive(Debug, Clone)]
 pub struct TaskReport<T> {
     /// The task's coordinates in the plan.
     pub key: TaskKey,
-    /// Seed the task ran with.
+    /// Seed the task's final attempt ran with.
     pub seed: u64,
-    /// The task function's result.
-    pub value: T,
+    /// Zero-based index of the final attempt (0 unless retries fired).
+    pub attempt: u32,
+    /// The task function's result, or the contained failure.
+    pub result: Result<T, TaskFailure>,
     /// Command counters from the task's controller(s).
     pub stats: CycleStats,
     /// Kernel performance counters from the task's simulated module(s).
     pub perf: ModelPerf,
     /// Wall time the task took.
     pub wall: Duration,
+}
+
+impl<T> TaskReport<T> {
+    /// The successful value.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the contained failure) when the task failed — the
+    /// right behavior for fail-fast experiments that treat any failure
+    /// as fatal.
+    pub fn value(&self) -> &T {
+        match &self.result {
+            Ok(v) => v,
+            Err(f) => panic!("fleet task failed: {f}"),
+        }
+    }
+
+    /// The successful value, or `None` when the task failed.
+    pub fn ok(&self) -> Option<&T> {
+        self.result.as_ref().ok()
+    }
+
+    /// The failure, or `None` when the task succeeded.
+    pub fn failure(&self) -> Option<&TaskFailure> {
+        self.result.as_ref().err()
+    }
 }
 
 /// A finished fleet run: every task's report, in plan order.
@@ -130,9 +238,21 @@ pub struct FleetRun<T> {
 }
 
 impl<T> FleetRun<T> {
-    /// The task values in plan order.
+    /// The successful task values in plan order (failed tasks are
+    /// skipped).
     pub fn values(&self) -> impl Iterator<Item = &T> {
-        self.tasks.iter().map(|t| &t.value)
+        self.tasks.iter().filter_map(|t| t.ok())
+    }
+
+    /// The failures in plan order.
+    pub fn failures(&self) -> impl Iterator<Item = &TaskFailure> {
+        self.tasks.iter().filter_map(|t| t.failure())
+    }
+
+    /// Number of tasks that failed (including skipped ones under
+    /// fail-fast).
+    pub fn failed(&self) -> usize {
+        self.failures().count()
     }
 
     /// Aggregated command counters across every task.
@@ -153,11 +273,15 @@ impl<T> FleetRun<T> {
         total
     }
 
-    /// One-line run summary for stderr (not part of figure output).
+    /// Run summary for stderr (not part of figure output): one line of
+    /// counters, plus — only when something went wrong or faults were
+    /// injected — a fault-counter line and a failure section. A
+    /// fault-free, failure-free run renders byte-identically to the
+    /// pre-fault-layer summary.
     pub fn summary(&self) -> String {
         let stats = self.total_stats();
         let perf = self.total_perf();
-        format!(
+        let mut s = format!(
             "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR); \
              kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels; \
              snapshots {}h/{}m ({} B), exp memo {}h/{}m",
@@ -179,7 +303,26 @@ impl<T> FleetRun<T> {
             perf.snapshot_bytes,
             perf.exp_memo_hits,
             perf.exp_memo_misses,
-        )
+        );
+        if perf.fault_events() > 0 {
+            s.push_str(&format!(
+                "\nfleet: faults: {} event(s) — {} sense flips, {} stuck pins, \
+                 {} decoder drops, {} excursion commands",
+                perf.fault_events(),
+                perf.fault_sense_flips,
+                perf.fault_stuck_pins,
+                perf.fault_decoder_drops,
+                perf.fault_env_commands,
+            ));
+        }
+        let failed = self.failed();
+        if failed > 0 {
+            s.push_str(&format!("\nfleet: {failed} task(s) FAILED:"));
+            for f in self.failures() {
+                s.push_str(&format!("\nfleet:   {f}"));
+            }
+        }
+        s
     }
 
     /// Serializes the run — per-task wall time, counters, and a
@@ -199,22 +342,29 @@ impl<T> FleetRun<T> {
             .tasks
             .iter()
             .map(|t| {
-                Json::obj()
+                let obj = Json::obj()
                     .field("group", t.key.group.to_string())
                     .field("module", t.key.module)
                     .field("subarray", t.key.subarray)
                     .field("variant", t.key.variant)
                     .field("seed", t.seed)
+                    .field("attempt", u64::from(t.attempt))
                     .field("wall_ms", t.wall.as_secs_f64() * 1e3)
                     .field("stats", stats_json(&t.stats))
-                    .field("perf", perf_json(&t.perf))
-                    .field("result", value_json(&t.value))
+                    .field("perf", perf_json(&t.perf));
+                match &t.result {
+                    Ok(v) => obj.field("result", value_json(v)),
+                    Err(f) => obj
+                        .field("result", Json::Null)
+                        .field("error", f.message.clone()),
+                }
             })
             .collect();
         let doc = Json::obj()
             .field("experiment", experiment)
             .field("jobs", self.jobs)
             .field("base_seed", self.base_seed)
+            .field("failed", self.failed())
             .field("wall_ms", self.wall.as_secs_f64() * 1e3)
             .field("stats", stats_json(&self.total_stats()))
             .field("perf", perf_json(&self.total_perf()))
@@ -253,10 +403,36 @@ fn perf_json(p: &ModelPerf) -> Json {
         .field("sense_ns", p.sense_ns)
         .field("close_ns", p.close_ns)
         .field("leak_ns", p.leak_ns)
+        .field("fault_sense_flips", p.fault_sense_flips)
+        .field("fault_stuck_pins", p.fault_stuck_pins)
+        .field("fault_decoder_drops", p.fault_decoder_drops)
+        .field("fault_env_commands", p.fault_env_commands)
+}
+
+/// Renders a panic payload as a message for [`TaskFailure`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panicked: {s}")
+    } else {
+        "panicked with a non-string payload".to_string()
+    }
 }
 
 /// Runs `task` over every key in `plan` on `jobs` worker threads and
-/// merges the reports in plan order.
+/// merges the reports in plan order, with the default fail-fast,
+/// no-retry policy. See [`run_with`].
+pub fn run<T, F>(plan: &[TaskKey], base_seed: u64, jobs: usize, task: F) -> FleetRun<T>
+where
+    T: Send,
+    F: Fn(&TaskKey, u64) -> (T, RunMetrics) + Sync,
+{
+    run_with(plan, base_seed, jobs, FleetPolicy::fail_fast(), task)
+}
+
+/// Runs `task` over every key in `plan` on `jobs` worker threads and
+/// merges the reports in plan order, containing failures per `policy`.
 ///
 /// The task function receives its key and derived seed and returns the
 /// payload plus the metrics of whatever controllers it drove — command
@@ -267,13 +443,29 @@ fn perf_json(p: &ModelPerf) -> Json {
 /// reports because tasks share nothing and every task's randomness
 /// derives from [`task_seed`].
 ///
+/// A panicking task is caught (`catch_unwind`), optionally retried with
+/// seed `task_seed ^ attempt` up to `policy.retries` extra times, and
+/// recorded as a [`TaskFailure`] carrying its key, final seed, attempt,
+/// and panic message. Under [`FailureMode::FailFast`] the fleet stops
+/// claiming new tasks after the first recorded failure and reports the
+/// unstarted tasks as skipped; under [`FailureMode::KeepGoing`] every
+/// planned task still runs. Either way the merge stays in plan order,
+/// so reports are identical at any job count (modulo which tasks a
+/// fail-fast stop happens to skip).
+///
 /// Progress lines go to stderr; stdout stays reserved for figure
 /// output so rendered figures are byte-identical at any job count.
 ///
 /// # Panics
 ///
-/// Panics when `jobs == 0` or a worker thread panics.
-pub fn run<T, F>(plan: &[TaskKey], base_seed: u64, jobs: usize, task: F) -> FleetRun<T>
+/// Panics when `jobs == 0`.
+pub fn run_with<T, F>(
+    plan: &[TaskKey],
+    base_seed: u64,
+    jobs: usize,
+    policy: FleetPolicy,
+    task: F,
+) -> FleetRun<T>
 where
     T: Send,
     F: Fn(&TaskKey, u64) -> (T, RunMetrics) + Sync,
@@ -282,28 +474,76 @@ where
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
     let slots: Vec<Mutex<Option<TaskReport<T>>>> = plan.iter().map(|_| Mutex::new(None)).collect();
     let workers = jobs.min(plan.len()).max(1);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
                 let index = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(key) = plan.get(index) else {
                     break;
                 };
-                let seed = task_seed(base_seed, key);
+                let base = task_seed(base_seed, key);
                 let task_started = Instant::now();
-                let (value, metrics) = task(key, seed);
+                let mut attempt: u32 = 0;
+                let outcome = loop {
+                    let seed = base ^ u64::from(attempt);
+                    match catch_unwind(AssertUnwindSafe(|| task(key, seed))) {
+                        Ok(ok) => break Ok((seed, ok)),
+                        Err(payload) => {
+                            let message = panic_message(payload);
+                            if attempt >= policy.retries {
+                                break Err(TaskFailure {
+                                    key: *key,
+                                    seed,
+                                    attempt,
+                                    message,
+                                });
+                            }
+                            eprintln!(
+                                "fleet: {key} attempt {attempt} failed ({message}); retrying"
+                            );
+                            attempt += 1;
+                        }
+                    }
+                };
                 let wall = task_started.elapsed();
-                *slots[index].lock().unwrap() = Some(TaskReport {
-                    key: *key,
-                    seed,
-                    value,
-                    stats: metrics.cycles,
-                    perf: metrics.model,
-                    wall,
-                });
+                let report = match outcome {
+                    Ok((seed, (value, metrics))) => TaskReport {
+                        key: *key,
+                        seed,
+                        attempt,
+                        result: Ok(value),
+                        stats: metrics.cycles,
+                        perf: metrics.model,
+                        wall,
+                    },
+                    Err(failure) => {
+                        eprintln!("fleet: {failure}");
+                        if policy.mode == FailureMode::FailFast {
+                            stop.store(true, Ordering::Relaxed);
+                        }
+                        TaskReport {
+                            key: *key,
+                            seed: failure.seed,
+                            attempt,
+                            result: Err(failure),
+                            stats: CycleStats::default(),
+                            perf: ModelPerf::default(),
+                            wall,
+                        }
+                    }
+                };
+                // A panic inside `task` cannot poison these mutexes (the
+                // lock is never held across the task), but a defensive
+                // recover keeps one broken slot from cascading into a
+                // fleet-wide abort.
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(
                     "fleet: [{finished}/{}] {key}  {:.1}ms",
@@ -316,10 +556,30 @@ where
 
     let tasks = slots
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(index, slot)| {
             slot.into_inner()
-                .unwrap()
-                .expect("every planned task completes")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    // Only reachable when a fail-fast stop kept the task
+                    // from being claimed.
+                    let key = plan[index];
+                    let seed = task_seed(base_seed, &key);
+                    TaskReport {
+                        key,
+                        seed,
+                        attempt: 0,
+                        result: Err(TaskFailure {
+                            key,
+                            seed,
+                            attempt: 0,
+                            message: "skipped: fleet stopped after an earlier failure".to_string(),
+                        }),
+                        stats: CycleStats::default(),
+                        perf: ModelPerf::default(),
+                        wall: Duration::ZERO,
+                    }
+                })
         })
         .collect();
     FleetRun {
@@ -358,9 +618,11 @@ mod tests {
         assert_eq!(run.tasks.len(), plan.len());
         for (report, key) in run.tasks.iter().zip(&plan) {
             assert_eq!(report.key, *key);
-            assert_eq!(report.value.0, key.module * 10 + key.subarray);
+            assert_eq!(report.value().0, key.module * 10 + key.subarray);
             assert_eq!(report.seed, task_seed(7, key));
+            assert_eq!(report.attempt, 0);
         }
+        assert_eq!(run.failed(), 0);
     }
 
     #[test]
@@ -502,5 +764,159 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_jobs_panics() {
         let _ = run(&plan(), 0, 0, |_, _| ((), RunMetrics::default()));
+    }
+
+    /// The key for the task that the poisoned-fleet tests blow up.
+    fn poison_key() -> TaskKey {
+        TaskKey::new(GroupId::C, 0, 1)
+    }
+
+    fn poisoned_task(key: &TaskKey, seed: u64) -> (u64, RunMetrics) {
+        assert!(
+            *key != poison_key(),
+            "injected poison at {key} (seed {seed})"
+        );
+        (seed.wrapping_mul(3), RunMetrics::default())
+    }
+
+    /// The headline robustness claim: a keep-going, 15-task fleet with
+    /// one poisoned task completes the other 14 and reports the failure
+    /// with its key, seed, and attempt — and the reports are identical
+    /// at any job count. This is also the regression test for the old
+    /// mutex-poisoning hazard: a worker panic must not take down the
+    /// surviving reports.
+    #[test]
+    fn keep_going_survives_a_poisoned_task() {
+        let mut plan = plan(); // 12 tasks
+        for variant in 1..4 {
+            plan.push(poison_key().with_variant(variant));
+        }
+        assert_eq!(plan.len(), 15);
+        assert!(plan.contains(&poison_key()));
+        let serial = run_with(&plan, 9, 1, FleetPolicy::keep_going(), poisoned_task);
+        let parallel = run_with(&plan, 9, 8, FleetPolicy::keep_going(), poisoned_task);
+        for fleet in [&serial, &parallel] {
+            assert_eq!(fleet.tasks.len(), plan.len());
+            assert_eq!(fleet.failed(), 1);
+            assert_eq!(fleet.values().count(), 14);
+            let failure = fleet.failures().next().unwrap();
+            assert_eq!(failure.key, poison_key());
+            assert_eq!(failure.seed, task_seed(9, &poison_key()));
+            assert_eq!(failure.attempt, 0);
+            assert!(failure.message.contains("injected poison"), "{failure}");
+            let summary = fleet.summary();
+            assert!(summary.contains("1 task(s) FAILED"), "{summary}");
+            assert!(summary.contains("injected poison"), "{summary}");
+            assert!(
+                summary.contains(&format!("seed {} attempt 0", failure.seed)),
+                "{summary}"
+            );
+        }
+        let a: Vec<_> = serial.values().collect();
+        let b: Vec<_> = parallel.values().collect();
+        assert_eq!(a, b, "keep-going values must not depend on job count");
+        let fa: Vec<_> = serial.failures().collect();
+        let fb: Vec<_> = parallel.failures().collect();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn fail_fast_stops_claiming_tasks() {
+        let plan = plan();
+        let poison_index = plan.iter().position(|k| *k == poison_key()).unwrap();
+        let fleet = run_with(&plan, 9, 1, FleetPolicy::fail_fast(), poisoned_task);
+        assert_eq!(fleet.tasks.len(), plan.len());
+        // Serial fail-fast: everything before the poison succeeds, the
+        // poison fails, everything after is skipped.
+        assert_eq!(fleet.values().count(), poison_index);
+        assert_eq!(fleet.failed(), plan.len() - poison_index);
+        let mut failures = fleet.failures();
+        assert!(failures.next().unwrap().message.contains("injected poison"));
+        for skipped in failures {
+            assert!(skipped.message.contains("skipped"), "{skipped}");
+        }
+        let summary = fleet.summary();
+        assert!(summary.contains("FAILED"), "{summary}");
+    }
+
+    #[test]
+    fn retries_perturb_the_seed_deterministically() {
+        let plan = plan();
+        let flaky = |key: &TaskKey, seed: u64| {
+            if *key == poison_key() {
+                // Fails on its base seed and on the first retry; the
+                // second retry (seed ^ 2) succeeds.
+                assert!(
+                    seed != task_seed(9, key) && seed != task_seed(9, key) ^ 1,
+                    "flaky failure at attempt seed {seed}"
+                );
+            }
+            (seed, RunMetrics::default())
+        };
+        let fleet = run_with(
+            &plan,
+            9,
+            4,
+            FleetPolicy::keep_going().with_retries(2),
+            flaky,
+        );
+        assert_eq!(fleet.failed(), 0);
+        let report = fleet.tasks.iter().find(|t| t.key == poison_key()).unwrap();
+        assert_eq!(report.attempt, 2);
+        assert_eq!(report.seed, task_seed(9, &poison_key()) ^ 2);
+        assert_eq!(*report.value(), report.seed);
+        // Every healthy task succeeded on its first attempt.
+        for t in &fleet.tasks {
+            if t.key != poison_key() {
+                assert_eq!(t.attempt, 0);
+                assert_eq!(t.seed, task_seed(9, &t.key));
+            }
+        }
+        // A retry budget below the flake threshold records the failure
+        // at the final attempted seed.
+        let fleet = run_with(
+            &plan,
+            9,
+            4,
+            FleetPolicy::keep_going().with_retries(1),
+            flaky,
+        );
+        assert_eq!(fleet.failed(), 1);
+        let failure = fleet.failures().next().unwrap();
+        assert_eq!(failure.attempt, 1);
+        assert_eq!(failure.seed, task_seed(9, &poison_key()) ^ 1);
+    }
+
+    #[test]
+    fn failures_surface_in_json_dump() {
+        let dir = std::env::temp_dir().join("fracdram_fleet_failure_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("failed.json");
+        let fleet = run_with(&plan(), 9, 2, FleetPolicy::keep_going(), poisoned_task);
+        fleet
+            .write_json("unit", path.to_str().unwrap(), |v| Json::from(*v as f64))
+            .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"failed\":1"), "{text}");
+        assert!(text.contains("\"result\":null"), "{text}");
+        assert!(text.contains("injected poison"), "{text}");
+        assert!(text.contains("\"attempt\":0"), "{text}");
+        for field in [
+            "\"fault_sense_flips\":0",
+            "\"fault_stuck_pins\":0",
+            "\"fault_decoder_drops\":0",
+            "\"fault_env_commands\":0",
+        ] {
+            assert!(text.contains(field), "{field} missing in {text}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet task failed")]
+    fn value_accessor_panics_on_failure() {
+        let fleet = run_with(&plan(), 9, 1, FleetPolicy::keep_going(), poisoned_task);
+        let report = fleet.tasks.iter().find(|t| t.failure().is_some()).unwrap();
+        let _ = report.value();
     }
 }

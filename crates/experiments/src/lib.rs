@@ -18,5 +18,5 @@ pub mod setup;
 pub mod tasks;
 
 pub use cli::{exit_json_write_error, Args};
-pub use fleet::{task_seed, FleetRun, TaskKey, TaskReport};
+pub use fleet::{task_seed, FailureMode, FleetPolicy, FleetRun, TaskFailure, TaskKey, TaskReport};
 pub use json::Json;

@@ -60,6 +60,10 @@ fn main() {
             "decoder_survey",
             "SVI-A1   — opened-row counts over all (R1,R2) pairs (2^k findings)",
         ),
+        (
+            "fault_sweep",
+            "extra    — Frac / F-MAJ / PUF success rate vs injected fault density",
+        ),
     ] {
         println!("  {bin:<22} {what}");
     }

@@ -47,7 +47,7 @@ fn real_measurement_identical_at_jobs_1_and_8() {
     for (a, b) in serial.tasks.iter().zip(&parallel.tasks) {
         assert_eq!(a.key, b.key, "merge order must match the plan");
         assert_eq!(a.seed, b.seed);
-        assert_eq!(a.value, b.value, "payload differs at {:?}", a.key);
+        assert_eq!(a.value(), b.value(), "payload differs at {:?}", a.key);
     }
     assert_eq!(
         serial.total_stats().commands,

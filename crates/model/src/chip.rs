@@ -10,6 +10,7 @@
 
 use crate::env::Environment;
 use crate::error::{ModelError, Result};
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::geometry::{Geometry, RowAddr};
 use crate::materialize::MaterializeCache;
 use crate::params::{DeviceParams, InternalTiming};
@@ -135,6 +136,51 @@ impl Chip {
         self.env = env;
     }
 
+    /// Installs a fault plan derived from this die's seed. A disabled
+    /// configuration removes any installed plan. Cell faults change the
+    /// materialized row statics (stuck lists, weak-cell capacitance and
+    /// leakage), so the cache is rebuilt from scratch.
+    pub fn set_fault_config(&mut self, config: &FaultConfig) {
+        self.silicon
+            .set_faults(Some(FaultPlan::new(self.config.seed, *config)));
+        self.cache = MaterializeCache::new(self.config.seed);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.silicon.faults()
+    }
+
+    /// The environment in effect at cycle `t`: the base environment,
+    /// shifted while an injected excursion window covers `t`. One
+    /// command's whole internal event cascade runs under the environment
+    /// at command-issue time.
+    fn env_at(&self, t: u64) -> Environment {
+        match self.silicon.faults() {
+            Some(p) => p.environment_at(self.env, t),
+            None => self.env,
+        }
+    }
+
+    /// [`Chip::env_at`] plus the observability counter for commands that
+    /// executed under an excursion.
+    fn command_env(&mut self, t: u64) -> Environment {
+        let env = self.env_at(t);
+        if env != self.env {
+            self.perf.fault_env_commands += 1;
+        }
+        env
+    }
+
+    /// Whether no injected excursion window overlaps the cycle range
+    /// `[a, b)` — the snapshot fast path's precondition for both capture
+    /// and restore.
+    pub fn fault_windows_clear(&self, a: u64, b: u64) -> bool {
+        self.silicon
+            .faults()
+            .is_none_or(|p| !p.excursion_overlaps(a, b))
+    }
+
     /// Internal device latencies.
     pub fn internal_timing(&self) -> &InternalTiming {
         &self.timing
@@ -169,12 +215,17 @@ impl Chip {
             });
         }
         let guarded = self.profile.timing_guard;
-        let bank = &mut self.banks[addr.bank];
-        let t_eff = if guarded { t.max(bank.earliest_act) } else { t };
+        let t_eff = if guarded {
+            t.max(self.banks[addr.bank].earliest_act)
+        } else {
+            t
+        };
         let (sub, local) = g.split_row(addr.row);
+        let env = self.command_env(t_eff);
+        let bank = &mut self.banks[addr.bank];
         let mut ctx = Ctx {
             silicon: &self.silicon,
-            env: &self.env,
+            env: &env,
             timing: &self.timing,
             noise: &mut self.noise,
             perf: &mut self.perf,
@@ -196,15 +247,20 @@ impl Chip {
     pub fn precharge(&mut self, bank: usize, t: u64) -> Result<()> {
         self.check_bank(bank)?;
         let guarded = self.profile.timing_guard;
+        let t_eff = if guarded {
+            t.max(self.banks[bank].earliest_pre)
+        } else {
+            t
+        };
+        let env = self.command_env(t_eff);
         let b = &mut self.banks[bank];
-        let t_eff = if guarded { t.max(b.earliest_pre) } else { t };
         for sub in &mut b.subarrays {
             if sub.is_idle() {
                 continue;
             }
             let mut ctx = Ctx {
                 silicon: &self.silicon,
-                env: &self.env,
+                env: &env,
                 timing: &self.timing,
                 noise: &mut self.noise,
                 perf: &mut self.perf,
@@ -226,12 +282,13 @@ impl Chip {
     /// Fails if the bank has no sensed open row.
     pub fn read(&mut self, bank: usize, t: u64) -> Result<Vec<bool>> {
         self.check_bank(bank)?;
+        let env = self.command_env(t);
         let b = &mut self.banks[bank];
         let sub_idx = b.active.ok_or(ModelError::BankClosed { bank })?;
         let sub = &mut b.subarrays[sub_idx];
         let mut ctx = Ctx {
             silicon: &self.silicon,
-            env: &self.env,
+            env: &env,
             timing: &self.timing,
             noise: &mut self.noise,
             perf: &mut self.perf,
@@ -263,12 +320,13 @@ impl Chip {
     /// Fails if the bank has no sensed open row or the range is invalid.
     pub fn write(&mut self, bank: usize, start_col: usize, bits: &[bool], t: u64) -> Result<()> {
         self.check_bank(bank)?;
+        let env = self.command_env(t);
         let b = &mut self.banks[bank];
         let sub_idx = b.active.ok_or(ModelError::BankClosed { bank })?;
         let sub = &mut b.subarrays[sub_idx];
         let mut ctx = Ctx {
             silicon: &self.silicon,
-            env: &self.env,
+            env: &env,
             timing: &self.timing,
             noise: &mut self.noise,
             perf: &mut self.perf,
@@ -299,12 +357,13 @@ impl Chip {
     pub fn refresh(&mut self, bank: usize, t: u64) -> Result<()> {
         self.check_bank(bank)?;
         let rows = self.config.geometry.rows_per_subarray;
+        let env = self.command_env(t);
         let b = &mut self.banks[bank];
         for sub in &mut b.subarrays {
             for row in 0..rows {
                 let mut ctx = Ctx {
                     silicon: &self.silicon,
-                    env: &self.env,
+                    env: &env,
                     timing: &self.timing,
                     noise: &mut self.noise,
                     perf: &mut self.perf,
@@ -358,10 +417,11 @@ impl Chip {
     /// Fires every pending event with fire time ≤ `t` in every sub-array
     /// of `bank`.
     pub fn drain_bank(&mut self, bank: usize, t: u64) {
+        let env = self.command_env(t);
         for sub in &mut self.banks[bank].subarrays {
             let mut ctx = Ctx {
                 silicon: &self.silicon,
-                env: &self.env,
+                env: &env,
                 timing: &self.timing,
                 noise: &mut self.noise,
                 perf: &mut self.perf,
@@ -412,6 +472,21 @@ impl Chip {
             .collect();
         let vdd = self.env.vdd.value();
         self.banks[bank].subarrays[sub].rewrite_rails(&physical, vdd, t_write);
+        // The live write path pins stuck cells after driving the rails;
+        // the restore path must do the same to stay bit-exact. (The fast
+        // path never engages inside an excursion window, so the base
+        // environment is the one in effect.)
+        if self.silicon.cell_faults_enabled() {
+            let mut ctx = Ctx {
+                silicon: &self.silicon,
+                env: &self.env,
+                timing: &self.timing,
+                noise: &mut self.noise,
+                perf: &mut self.perf,
+                cache: &mut self.cache,
+            };
+            self.banks[bank].subarrays[sub].pin_stuck_open(&mut ctx);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -441,9 +516,10 @@ impl Chip {
     pub fn probe_cell_voltage(&mut self, addr: RowAddr, col: usize, t: u64) -> Volts {
         let g = self.config.geometry;
         let (sub, local) = g.split_row(addr.row);
+        let env = self.env_at(t);
         let mut ctx = Ctx {
             silicon: &self.silicon,
-            env: &self.env,
+            env: &env,
             timing: &self.timing,
             noise: &mut self.noise,
             perf: &mut self.perf,

@@ -51,6 +51,7 @@ pub mod chip;
 pub mod decoder;
 pub mod env;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod materialize;
 pub mod module;
@@ -67,6 +68,7 @@ pub mod vendor;
 pub use chip::{Chip, ChipConfig};
 pub use env::Environment;
 pub use error::{ModelError, Result};
+pub use faults::{EnvWindow, FaultConfig, FaultPlan};
 pub use geometry::{Geometry, RowAddr, SubarrayAddr};
 pub use materialize::MaterializeCache;
 pub use module::{Module, ModuleConfig};

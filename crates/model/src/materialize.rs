@@ -77,6 +77,9 @@ pub struct RowStatics {
     pub inject: Box<[f64]>,
     /// Columns whose cell is VRT (sparse, ascending).
     pub vrt: Box<[u32]>,
+    /// Stuck-at cells (sparse, ascending), encoded `col << 1 | rail`.
+    /// Empty unless a fault plan with a stuck density is installed.
+    pub stuck: Box<[u32]>,
 }
 
 /// Static per-column parameters of one sub-array, as contiguous buffers.
@@ -260,12 +263,16 @@ impl MaterializeCache {
         let mut tau20 = Vec::with_capacity(cols);
         let mut inject = Vec::with_capacity(cols);
         let mut vrt = Vec::new();
+        let mut stuck = Vec::new();
         for col in 0..cols {
             cap.push(silicon.cell_capacitance(bank, sub, row, col).value() as f32);
             tau20.push(silicon.leak_tau(bank, sub, row, col).value() as f32);
             inject.push(silicon.cell_inject(bank, sub, row, col).value());
             if silicon.is_vrt(bank, sub, row, col) {
                 vrt.push(col as u32);
+            }
+            if let Some(rail) = silicon.stuck_at(bank, sub, row, col) {
+                stuck.push((col as u32) << 1 | rail as u32);
             }
         }
         self.rows.insert(
@@ -275,6 +282,7 @@ impl MaterializeCache {
                 tau20: tau20.into(),
                 inject: inject.into(),
                 vrt: vrt.into(),
+                stuck: stuck.into(),
             }),
         );
     }
@@ -389,6 +397,40 @@ mod tests {
             assert_eq!(cache.exp(&mut perf, x).to_bits(), x.exp().to_bits());
         }
         assert_eq!((perf.exp_memo_misses, perf.exp_memo_hits), (5, 5));
+    }
+
+    #[test]
+    fn stuck_list_matches_fault_plan() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let mut s = silicon(31);
+        let plan = FaultPlan::new(
+            31,
+            FaultConfig {
+                stuck_density: 0.1,
+                ..FaultConfig::none()
+            },
+        );
+        s.set_faults(Some(plan.clone()));
+        let mut perf = ModelPerf::default();
+        let mut cache = MaterializeCache::new(31);
+        cache.ensure_row(&s, &mut perf, 0, 0, 2, COLS);
+        let row = cache.row(0, 0, 2);
+        let expected: Vec<u32> = (0..COLS)
+            .filter_map(|c| {
+                plan.stuck_at(0, 0, 2, c)
+                    .map(|rail| (c as u32) << 1 | rail as u32)
+            })
+            .collect();
+        assert!(!expected.is_empty(), "no stuck cell at density 0.1");
+        assert_eq!(row.stuck.as_ref(), expected.as_slice());
+    }
+
+    #[test]
+    fn fault_free_rows_have_empty_stuck_list() {
+        let mut perf = ModelPerf::default();
+        let mut cache = MaterializeCache::new(7);
+        cache.ensure_row(&silicon(7), &mut perf, 0, 0, 3, COLS);
+        assert!(cache.row(0, 0, 3).stuck.is_empty());
     }
 
     #[test]

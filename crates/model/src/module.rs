@@ -126,6 +126,27 @@ impl Module {
         self.chips[0].environment()
     }
 
+    /// Installs a fault configuration on every chip; each die derives
+    /// its own deterministic [`crate::faults::FaultPlan`] from its own
+    /// seed. A disabled configuration removes any installed plans.
+    pub fn set_fault_config(&mut self, config: &crate::faults::FaultConfig) {
+        for chip in &mut self.chips {
+            chip.set_fault_config(config);
+        }
+    }
+
+    /// Whether no chip has an injected excursion window overlapping the
+    /// cycle range `[a, b)` — precondition for the write-prefix snapshot
+    /// fast path under fault injection.
+    pub fn fault_windows_clear(&self, a: u64, b: u64) -> bool {
+        self.chips.iter().all(|c| c.fault_windows_clear(a, b))
+    }
+
+    /// Whether any chip has an active fault plan installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.chips.iter().any(|c| c.fault_plan().is_some())
+    }
+
     /// Kernel performance counters summed across every chip.
     pub fn model_perf(&self) -> crate::perf::ModelPerf {
         let mut total = crate::perf::ModelPerf::default();

@@ -46,6 +46,14 @@ pub struct ModelPerf {
     pub exp_memo_hits: u64,
     /// `exp()` evaluations computed and inserted into the memo table.
     pub exp_memo_misses: u64,
+    /// Injected sense-amplifier comparison flips.
+    pub fault_sense_flips: u64,
+    /// Stuck-at cells re-pinned to their rail after a kernel event.
+    pub fault_stuck_pins: u64,
+    /// Implicit glitch rows dropped from a multi-row activation.
+    pub fault_decoder_drops: u64,
+    /// Commands executed under an environment-excursion window.
+    pub fault_env_commands: u64,
 }
 
 impl ModelPerf {
@@ -68,6 +76,18 @@ impl ModelPerf {
         self.snapshot_bytes += other.snapshot_bytes;
         self.exp_memo_hits += other.exp_memo_hits;
         self.exp_memo_misses += other.exp_memo_misses;
+        self.fault_sense_flips += other.fault_sense_flips;
+        self.fault_stuck_pins += other.fault_stuck_pins;
+        self.fault_decoder_drops += other.fault_decoder_drops;
+        self.fault_env_commands += other.fault_env_commands;
+    }
+
+    /// Total injected-fault events observed (all classes).
+    pub fn fault_events(&self) -> u64 {
+        self.fault_sense_flips
+            + self.fault_stuck_pins
+            + self.fault_decoder_drops
+            + self.fault_env_commands
     }
 
     /// Total kernel events fired.
@@ -105,6 +125,10 @@ mod tests {
             snapshot_bytes: 15,
             exp_memo_hits: 16,
             exp_memo_misses: 17,
+            fault_sense_flips: 18,
+            fault_stuck_pins: 19,
+            fault_decoder_drops: 20,
+            fault_env_commands: 21,
         };
         let mut total = a;
         total.accumulate(&a);
@@ -115,6 +139,11 @@ mod tests {
         assert_eq!(total.snapshot_bytes, 30);
         assert_eq!(total.exp_memo_hits, 32);
         assert_eq!(total.exp_memo_misses, 34);
+        assert_eq!(total.fault_sense_flips, 36);
+        assert_eq!(total.fault_stuck_pins, 38);
+        assert_eq!(total.fault_decoder_drops, 40);
+        assert_eq!(total.fault_env_commands, 42);
+        assert_eq!(total.fault_events(), 2 * (18 + 19 + 20 + 21));
         assert_eq!(total.events(), 2 * (1 + 2 + 3 + 4));
         assert_eq!(total.kernel_ns(), 2 * (9 + 10 + 11 + 12));
     }

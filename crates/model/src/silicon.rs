@@ -6,6 +6,7 @@
 //! column 17)?". Every answer is a pure function of the chip seed and the
 //! coordinates — identical across calls, distinct across chips.
 
+use crate::faults::FaultPlan;
 use crate::params::DeviceParams;
 use crate::units::{Femtofarads, Seconds, Volts};
 use crate::variation::{ParamId, VariationSampler};
@@ -17,6 +18,7 @@ pub struct Silicon {
     sampler: VariationSampler,
     params: DeviceParams,
     profile: VendorProfile,
+    faults: Option<FaultPlan>,
 }
 
 impl Silicon {
@@ -27,7 +29,33 @@ impl Silicon {
             sampler: VariationSampler::new(seed),
             params,
             profile,
+            faults: None,
         }
+    }
+
+    /// Installs (or removes) a fault plan. Weak-cell factors fold into
+    /// the capacitance/leakage oracles below; the kernels query the plan
+    /// directly for stuck cells, sense flips, and decoder dropouts.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan.filter(|p| p.enabled());
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Whether any *cell*-level fault class (stuck or weak) is active —
+    /// the hot-path gate for the kernels' pinning hooks.
+    pub fn cell_faults_enabled(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|p| p.config().cell_faults())
+    }
+
+    /// The rail a cell is pinned to by a stuck-at fault, or `None`.
+    pub fn stuck_at(&self, bank: usize, sub: usize, row: usize, col: usize) -> Option<bool> {
+        self.faults.as_ref()?.stuck_at(bank, sub, row, col)
     }
 
     /// The chip-level variation sampler (used by the decoder gate).
@@ -54,7 +82,11 @@ impl Silicon {
             self.params.cell_cap_rel_sigma,
         );
         // Clamp: capacitance cannot be negative or wildly off.
-        self.params.cell_cap * rel.clamp(0.5, 1.5)
+        let cap = self.params.cell_cap * rel.clamp(0.5, 1.5);
+        match &self.faults {
+            Some(p) if p.is_weak(bank, sub, row, col) => cap * p.config().weak_cap_factor,
+            _ => cap,
+        }
     }
 
     /// Leakage time constant of one cell at 20 °C (before environmental
@@ -66,7 +98,13 @@ impl Silicon {
             self.params.leak_tau_median.value(),
             self.params.leak_tau_sigma_ln,
         );
-        Seconds(tau * self.profile.leak_tau_scale)
+        let scaled = tau * self.profile.leak_tau_scale;
+        match &self.faults {
+            Some(p) if p.is_weak(bank, sub, row, col) => {
+                Seconds(scaled * p.config().weak_tau_factor)
+            }
+            _ => Seconds(scaled),
+        }
     }
 
     /// Whether the cell exhibits variable retention time.
@@ -277,6 +315,53 @@ mod tests {
         let anti = (0..n).filter(|&c| s.is_anti_column(0, 0, c)).count();
         let frac = anti as f64 / n as f64;
         assert!((frac - 0.5).abs() < 0.03, "anti fraction {frac}");
+    }
+
+    #[test]
+    fn weak_cells_shrink_cap_and_tau() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let healthy = silicon(21);
+        let mut faulty = silicon(21);
+        faulty.set_faults(Some(FaultPlan::new(
+            21,
+            FaultConfig {
+                weak_density: 0.2,
+                weak_cap_factor: 0.5,
+                weak_tau_factor: 0.1,
+                ..FaultConfig::none()
+            },
+        )));
+        let plan = faulty.faults().unwrap().clone();
+        let mut weak_seen = 0;
+        for col in 0..512 {
+            let (c0, c1) = (
+                healthy.cell_capacitance(0, 0, 3, col),
+                faulty.cell_capacitance(0, 0, 3, col),
+            );
+            let (t0, t1) = (
+                healthy.leak_tau(0, 0, 3, col),
+                faulty.leak_tau(0, 0, 3, col),
+            );
+            if plan.is_weak(0, 0, 3, col) {
+                weak_seen += 1;
+                assert!((c1.value() - c0.value() * 0.5).abs() < 1e-9);
+                assert!((t1.value() - t0.value() * 0.1).abs() < 1e-9);
+            } else {
+                assert_eq!(c0, c1);
+                assert_eq!(t0, t1);
+            }
+        }
+        assert!(weak_seen > 0, "no weak cell in 512 at density 0.2");
+    }
+
+    #[test]
+    fn disabled_plan_is_dropped() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let mut s = silicon(22);
+        s.set_faults(Some(FaultPlan::new(22, FaultConfig::none())));
+        assert!(s.faults().is_none());
+        assert!(!s.cell_faults_enabled());
+        assert_eq!(s.stuck_at(0, 0, 0, 0), None);
     }
 
     #[test]

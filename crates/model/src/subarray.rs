@@ -235,13 +235,29 @@ impl Subarray {
             // activation: the decoder glitch path (multi-row activation).
             self.pending_close = None;
             let r1 = self.open[0];
-            let new_set = glitch_rows(
+            let mut new_set = glitch_rows(
                 ctx.silicon.profile().decoder,
                 r1,
                 local_row,
                 self.rows,
                 ctx.silicon.sampler(),
             );
+            // Injected decoder dropouts: an *implicit* glitch row (role
+            // ≥ 2 — neither R1 nor R2) whose word-line driver misfires
+            // never joins the activation. Static per (pair, row), so the
+            // same glitch misbehaves identically every trial.
+            if let Some(plan) = ctx.silicon.faults() {
+                if plan.config().decoder_dropout > 0.0 && new_set.len() > 2 {
+                    let (bank, index) = (self.bank, self.index);
+                    let before = new_set.len();
+                    let mut role = 0;
+                    new_set.retain(|&row| {
+                        role += 1;
+                        role <= 2 || !plan.decoder_drop(bank, index, r1, local_row, row)
+                    });
+                    ctx.perf.fault_decoder_drops += (before - new_set.len()) as u64;
+                }
+            }
             // Rows that were open but did not survive the glitch are
             // disconnected right here, keeping whatever partial charge
             // they hold (their state needs no action: cells store their
@@ -348,6 +364,8 @@ impl Subarray {
             rs.last = t;
             rs.charged = true;
         }
+        // A write cannot heal a stuck cell.
+        self.pin_stuck_open(ctx);
         Ok(())
     }
 
@@ -380,6 +398,11 @@ impl Subarray {
         let sigma = params.sense_noise_sigma.value();
         let statics = ctx.cache.cols(self.bank, self.index);
         let stat = ctx.cache.row(self.bank, self.index, local_row);
+        let flip_plan = ctx
+            .silicon
+            .faults()
+            .filter(|p| p.config().sense_flip_rate > 0.0);
+        let mut flips = 0u64;
         let rs = self.data[local_row].as_mut().unwrap();
         for col in 0..self.cols {
             let shared = bitline::share(
@@ -401,11 +424,21 @@ impl Subarray {
                 th = sense_amp::mirror_for_anti(th, ctx.env);
             }
             let noisy = shared + Volts(ctx.noise.normal(0.0, sigma));
-            let one = sense_amp::senses_one(noisy, th);
+            let mut one = sense_amp::senses_one(noisy, th);
+            if let Some(plan) = flip_plan {
+                if ctx.noise.uniform() < plan.sense_flip_rate(self.bank, self.index, col) {
+                    one = !one;
+                    flips += 1;
+                }
+            }
             rs.v[col] = sense_amp::restore_level(one, ctx.env).value();
         }
         rs.last = t;
         rs.charged = true;
+        ctx.perf.fault_sense_flips += flips;
+        if ctx.silicon.cell_faults_enabled() {
+            self.pin_stuck_row(ctx, local_row);
+        }
     }
 
     /// Non-destructively inspects the current voltage of a cell at cycle
@@ -471,6 +504,9 @@ impl Subarray {
             self.ensure_row(row);
             self.leak_row(ctx, row, t);
         }
+        // Stuck cells enter the share at their rail (covers rows that
+        // were never written), so the defect perturbs the shared charge.
+        self.pin_stuck_open(ctx);
         let started = Instant::now();
         let params = ctx.silicon.params();
         let profile = ctx.silicon.profile();
@@ -595,6 +631,9 @@ impl Subarray {
         ctx.perf.share_events += 1;
         ctx.perf.columns += self.cols as u64;
         ctx.perf.share_ns += started.elapsed().as_nanos() as u64;
+        // The share settled the stuck cells toward the bit-line; the
+        // short immediately pulls them back.
+        self.pin_stuck_open(ctx);
         self.record_probes(ctx, t, ProbeEvent::ChargeShared);
     }
 
@@ -619,6 +658,15 @@ impl Subarray {
         let half = params.half_vdd(ctx.env.vdd).value();
         let temp_delta = ctx.env.temperature_c - 20.0;
         let vdd_shift = params.sense_vdd_coupling * (vdd - params.vdd_nominal.value());
+        // Transient sense-amp faults: when enabled, every column draws
+        // one uniform (value-independent draw count keeps the snapshot
+        // draw bookkeeping exact) and flips its comparison below its
+        // static per-column rate.
+        let flip_plan = ctx
+            .silicon
+            .faults()
+            .filter(|p| p.config().sense_flip_rate > 0.0);
+        let mut flips = 0u64;
         for col in 0..self.cols {
             let temp_shift = statics.temp_coeff[col] * temp_delta;
             let true_th = half + statics.offset[col] + temp_shift + vdd_shift;
@@ -632,10 +680,17 @@ impl Subarray {
                 true_th
             };
             let noisy = self.bl[col] + ctx.noise.normal(0.0, sigma);
-            let one = noisy > th;
+            let mut one = noisy > th;
+            if let Some(plan) = flip_plan {
+                if ctx.noise.uniform() < plan.sense_flip_rate(self.bank, self.index, col) {
+                    one = !one;
+                    flips += 1;
+                }
+            }
             self.sensed_bits[col] = one;
             self.bl[col] = if one { vdd } else { 0.0 };
         }
+        ctx.perf.fault_sense_flips += flips;
         for i in 0..self.open.len() {
             let row = self.open[i];
             // Leakage was applied at share time moments ago; just restore.
@@ -644,6 +699,9 @@ impl Subarray {
             rs.last = t;
             rs.charged = true;
         }
+        // Restore drove the stuck cells to the sensed rail; the short
+        // wins again.
+        self.pin_stuck_open(ctx);
         self.sensed = true;
         ctx.perf.sense_events += 1;
         ctx.perf.columns += self.cols as u64;
@@ -690,6 +748,7 @@ impl Subarray {
                 rs.charged = true;
             }
             ctx.perf.columns += self.cols as u64;
+            self.pin_stuck_open(ctx);
         }
         self.pending_sense = None;
         self.pending_share = None;
@@ -716,6 +775,62 @@ impl Subarray {
         }
         rs.last = t;
         rs.charged = true;
+        if ctx.silicon.cell_faults_enabled() {
+            self.pin_stuck_row(ctx, row);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault hooks
+    // ------------------------------------------------------------------
+
+    /// Re-pins every stuck-at cell of `row` to its rail. A stuck cell is
+    /// a hard short: whatever voltage the last kernel event left in it
+    /// snaps back to the rail, which is exactly how the defect perturbs
+    /// the *next* charge-sharing event instead of being a post-hoc bit
+    /// flip. Callers gate on [`Silicon::cell_faults_enabled`] so the
+    /// healthy path pays one branch.
+    fn pin_stuck_row(&mut self, ctx: &mut Ctx<'_>, row: usize) {
+        ctx.cache.ensure_row(
+            ctx.silicon,
+            &mut *ctx.perf,
+            self.bank,
+            self.index,
+            row,
+            self.cols,
+        );
+        let stat = ctx.cache.row(self.bank, self.index, row);
+        if stat.stuck.is_empty() {
+            return;
+        }
+        self.ensure_row(row);
+        let vdd = ctx.env.vdd.value();
+        let rs = self.data[row].as_mut().unwrap();
+        let mut pins = 0u64;
+        let mut charged = false;
+        for &enc in stat.stuck.iter() {
+            let rail = if enc & 1 == 1 { vdd } else { 0.0 };
+            rs.v[(enc >> 1) as usize] = rail;
+            charged |= rail != 0.0;
+            pins += 1;
+        }
+        if charged {
+            rs.charged = true;
+        }
+        ctx.perf.fault_stuck_pins += pins;
+    }
+
+    /// Pins the stuck cells of every open row (no-op without cell
+    /// faults) — called after each kernel event that rewrote open-row
+    /// voltages.
+    pub(crate) fn pin_stuck_open(&mut self, ctx: &mut Ctx<'_>) {
+        if !ctx.silicon.cell_faults_enabled() {
+            return;
+        }
+        for i in 0..self.open.len() {
+            let row = self.open[i];
+            self.pin_stuck_row(ctx, row);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -807,6 +922,10 @@ impl Subarray {
         ctx.perf.columns += self.cols as u64;
         ctx.perf.exp_calls += exp_calls;
         ctx.perf.leak_ns += started.elapsed().as_nanos() as u64;
+        // Stuck cells do not leak: the short holds them at the rail.
+        if ctx.silicon.cell_faults_enabled() {
+            self.pin_stuck_row(ctx, row);
+        }
     }
 
     /// Captures the dynamic state of this sub-array for the rows in

@@ -76,7 +76,19 @@ pub enum ParamId {
     /// Residual per-cell asymmetry of the Half-m fractional value.
     HalfmAsymmetry = 11,
     /// Per-cell charge-injection offset during sharing.
-    CellInject,
+    CellInject = 12,
+    /// Whether a cell is stuck-at (fault injection).
+    FaultStuckCell = 13,
+    /// The rail a stuck-at cell is pinned to.
+    FaultStuckValue = 14,
+    /// Whether a cell is weak (reduced capacitance, fast leakage).
+    FaultWeakCell = 15,
+    /// Per-column multiplier on the transient sense-amp flip rate.
+    FaultSenseFlip = 16,
+    /// Whether a decoder-glitch implicit row drops out of activation.
+    FaultDecoderDrop = 17,
+    /// Placement and polarity of mid-run environment excursions.
+    FaultExcursion = 18,
 }
 
 /// Deterministic sampler for static (manufacturing-time) parameters.

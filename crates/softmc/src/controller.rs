@@ -44,6 +44,10 @@ pub struct RunOutcome {
     /// Cycle after the program's last instruction (including its idle
     /// gap) completed.
     pub end_cycle: u64,
+    /// Injected-fault events (sense flips, stuck-cell re-pins, decoder
+    /// dropouts, excursion-shifted commands) observed during this run.
+    /// Zero whenever no fault plan is installed.
+    pub fault_events: u64,
 }
 
 impl RunOutcome {
@@ -96,6 +100,7 @@ pub struct MemoryController {
     write_cache: HashMap<(usize, usize), WriteCacheEntry>,
     anti_masks: HashMap<(usize, usize), Arc<[bool]>>,
     prefix_cache: bool,
+    cycle_budget: Option<u64>,
 }
 
 impl MemoryController {
@@ -112,6 +117,7 @@ impl MemoryController {
             write_cache: HashMap::new(),
             anti_masks: HashMap::new(),
             prefix_cache: true,
+            cycle_budget: None,
         }
     }
 
@@ -195,6 +201,20 @@ impl MemoryController {
         self.trace.take()
     }
 
+    /// Installs (or clears, with `None`) a per-run cycle budget. Any
+    /// subsequent [`MemoryController::run`] / `run_compiled` whose bus
+    /// occupancy exceeds the budget aborts mid-program with
+    /// [`ControllerError::BudgetExceeded`] — a guardrail against
+    /// runaway programs in fault-injection fleets.
+    pub fn set_cycle_budget(&mut self, budget: Option<u64>) {
+        self.cycle_budget = budget;
+    }
+
+    /// The per-run cycle budget, if one is installed.
+    pub fn cycle_budget(&self) -> Option<u64> {
+        self.cycle_budget
+    }
+
     /// Lets `cycles` pass with no commands on the bus.
     pub fn wait(&mut self, cycles: Cycles) {
         self.clock += cycles.value();
@@ -268,6 +288,12 @@ impl MemoryController {
     /// the command.
     fn run_compiled(&mut self, program: &CompiledProgram) -> Result<RunOutcome> {
         let start_cycle = self.clock;
+        let faults_on = self.module.faults_enabled();
+        let faults_before = if faults_on {
+            self.module.model_perf().fault_events()
+        } else {
+            0
+        };
         let mut reads = Vec::with_capacity(program.reads());
         for inst in program.insts() {
             let t = self.clock;
@@ -289,11 +315,22 @@ impl MemoryController {
                 CommandKind::Nop => {}
             }
             self.clock = t + 1 + inst.idle_after;
+            if let Some(budget) = self.cycle_budget {
+                let spent = self.clock - start_cycle;
+                if spent > budget {
+                    return Err(ControllerError::BudgetExceeded { budget, spent });
+                }
+            }
         }
         Ok(RunOutcome {
             reads,
             start_cycle,
             end_cycle: self.clock,
+            fault_events: if faults_on {
+                self.module.model_perf().fault_events() - faults_before
+            } else {
+                0
+            },
         })
     }
 
@@ -375,9 +412,24 @@ impl MemoryController {
     /// match the module row.
     pub fn write_row(&mut self, addr: RowAddr, bits: &[bool]) -> Result<()> {
         let (sub, local) = self.module.geometry().split_row(addr.row);
+        let write_off = 1 + self.timing.t_rcd.value();
+        let pre_off = write_off + 1 + self.timing.t_ras.value();
+        let total_cycles = pre_off + 1 + self.timing.t_rp.value();
         if self.prefix_cache
             && bits.len() == self.module.row_bits()
             && self.module.write_fastpath_eligible(addr.bank, sub)
+            // Snapshots assume a static analog environment across the
+            // whole program. An injected excursion window overlapping
+            // [t0, t0 + total) would shift what a live replay does (a
+            // capture would also bake excursion state under the base
+            // environment key), so both capture and restore are
+            // disabled inside one — fall through to a plain replay.
+            && self
+                .module
+                .fault_windows_clear(self.clock, self.clock + total_cycles)
+            // A budget the program cannot meet must surface as the same
+            // mid-program abort the live replay produces.
+            && self.cycle_budget.is_none_or(|b| total_cycles <= b)
         {
             let t0 = self.clock;
             // Fire the bank's pending events at t0 — exactly where the
@@ -432,10 +484,6 @@ impl MemoryController {
                 let snap =
                     self.module
                         .capture_write_snapshot(addr.bank, sub, local, t0, &draws_before);
-                let t = &self.timing;
-                let write_off = 1 + t.t_rcd.value();
-                let pre_off = write_off + 1 + t.t_ras.value();
-                let total_cycles = pre_off + 1 + t.t_rp.value();
                 debug_assert_eq!(self.clock, t0 + total_cycles);
                 self.write_cache.insert(
                     key,
@@ -796,5 +844,170 @@ mod tests {
         mc.write_row(RowAddr::new(1, 3), &[true; 64]).unwrap();
         mc.refresh_all().unwrap();
         assert_eq!(mc.read_row(RowAddr::new(1, 3)).unwrap(), vec![true; 64]);
+    }
+
+    #[test]
+    fn cycle_budget_aborts_overlong_runs() {
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 1);
+        // A short out-of-spec program fits in a small budget.
+        mc.set_cycle_budget(Some(100));
+        assert_eq!(mc.cycle_budget(), Some(100));
+        let frac = Program::builder().act(addr).pre(0).delay(5).build();
+        mc.run(&frac).unwrap();
+        // A full write program does not fit in 10 cycles; the run aborts
+        // mid-program with a typed error.
+        mc.set_cycle_budget(Some(10));
+        let err = mc.write_row(addr, &[true; 64]).unwrap_err();
+        match err {
+            ControllerError::BudgetExceeded { budget, spent } => {
+                assert_eq!(budget, 10);
+                assert!(spent > 10, "spent = {spent}");
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+        // Clearing the budget restores normal operation.
+        mc.set_cycle_budget(None);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        assert_eq!(mc.read_row(addr).unwrap(), vec![true; 64]);
+    }
+
+    #[test]
+    fn run_outcome_counts_fault_events() {
+        use fracdram_model::FaultConfig;
+        let mut mc = controller(GroupId::B);
+        let addr = RowAddr::new(0, 1);
+        mc.write_row(addr, &[true; 64]).unwrap();
+        let p = mc.read_row_program(addr);
+        // No plan installed: the counter stays zero.
+        assert_eq!(mc.run(&p).unwrap().fault_events, 0);
+        mc.module_mut().set_fault_config(&FaultConfig {
+            sense_flip_rate: 0.2,
+            ..FaultConfig::none()
+        });
+        // 64 columns at a ~0.2 mean flip rate: some flips are all but
+        // certain, and they land in this run's outcome.
+        let out = mc.run(&p).unwrap();
+        assert!(out.fault_events > 0, "no fault events recorded");
+        assert_eq!(mc.model_perf().fault_sense_flips, out.fault_events);
+        // Back to a disabled config: the plan is dropped, counters stop.
+        mc.module_mut().set_fault_config(&FaultConfig::none());
+        assert_eq!(mc.run(&p).unwrap().fault_events, 0);
+    }
+
+    /// A snapshot captured before an excursion window must not be
+    /// restored inside it: the fast path falls back to a live replay
+    /// whenever the write program overlaps a window.
+    #[test]
+    fn write_prefix_cache_refuses_fault_windows() {
+        use fracdram_model::FaultConfig;
+        let mut mc = controller(GroupId::B);
+        mc.module_mut().set_fault_config(&FaultConfig {
+            excursions: 1,
+            excursion_cycles: 5_000,
+            excursion_span: 500_000,
+            excursion_temp_delta: 25.0,
+            ..FaultConfig::none()
+        });
+        let w = mc.module().chips()[0].fault_plan().unwrap().windows()[0];
+        let addr = RowAddr::new(0, 1);
+        // Capture strictly before the window opens.
+        assert!(
+            w.start > mc.clock() + 100,
+            "seed placed the window too early for this test: {w:?}"
+        );
+        mc.write_row(addr, &[true; 64]).unwrap();
+        assert_eq!(mc.model_perf().snapshot_misses, 1);
+        // Inside the window the cached prefix must not be used (and no
+        // capture may happen either).
+        let now = mc.clock();
+        mc.wait(Cycles(w.start - now));
+        mc.write_row(addr, &[false; 64]).unwrap();
+        assert_eq!(mc.model_perf().snapshot_hits, 0);
+        assert_eq!(mc.model_perf().snapshot_misses, 1);
+        // Past the window, the pre-window capture is valid again.
+        let now = mc.clock();
+        mc.wait(Cycles(w.end.saturating_sub(now)));
+        mc.write_row(addr, &[true; 64]).unwrap();
+        assert_eq!(mc.model_perf().snapshot_hits, 1);
+    }
+
+    /// The PR-3 equivalence claim must survive fault injection: with an
+    /// identical fault plan installed, a snapshot-restoring controller
+    /// and a replay-everything controller stay byte-identical through
+    /// writes, Fracs, excursion windows, and reads.
+    #[test]
+    fn write_prefix_restore_matches_replay_under_faults() {
+        use fracdram_model::FaultConfig;
+        let cfg = FaultConfig {
+            stuck_density: 0.02,
+            weak_density: 0.05,
+            sense_flip_rate: 0.01,
+            excursions: 2,
+            excursion_cycles: 3_000,
+            excursion_span: 120_000,
+            excursion_temp_delta: 20.0,
+            excursion_vdd_delta: 0.05,
+            ..FaultConfig::none()
+        };
+        let mut cached = controller(GroupId::B);
+        let mut live = controller(GroupId::B);
+        cached.module_mut().set_fault_config(&cfg);
+        live.module_mut().set_fault_config(&cfg);
+        live.set_prefix_caching(false);
+
+        let addr = RowAddr::new(0, 3);
+        let width = cached.module().row_bits();
+        let pat_a: Vec<bool> = (0..width).map(|i| i % 3 != 0).collect();
+        let pat_b: Vec<bool> = (0..width).map(|i| i % 2 == 0).collect();
+        let frac = Program::builder().act(addr).pre(0).delay(5).build();
+        let windows: Vec<_> = cached.module().chips()[0]
+            .fault_plan()
+            .unwrap()
+            .windows()
+            .to_vec();
+
+        let mut reads = Vec::new();
+        for mc in [&mut cached, &mut live] {
+            mc.write_row(addr, &pat_a).unwrap();
+            mc.write_row(addr, &pat_b).unwrap();
+            mc.run(&frac).unwrap();
+            reads.push(mc.read_row(addr).unwrap());
+            // March the clock through every excursion window, exercising
+            // writes both inside (fast path refused) and after them.
+            for w in &windows {
+                let now = mc.clock();
+                if w.start > now {
+                    mc.wait(Cycles(w.start - now));
+                }
+                mc.write_row(addr, &pat_a).unwrap();
+                mc.run(&frac).unwrap();
+                reads.push(mc.read_row(addr).unwrap());
+                let now = mc.clock();
+                if w.end > now {
+                    mc.wait(Cycles(w.end - now));
+                }
+                mc.write_row(addr, &pat_b).unwrap();
+                reads.push(mc.read_row(addr).unwrap());
+            }
+        }
+        let half = reads.len() / 2;
+        for i in 0..half {
+            assert_eq!(reads[i], reads[half + i], "read {i} diverged");
+        }
+        assert_eq!(cached.clock(), live.clock());
+        assert_eq!(cached.stats(), live.stats());
+        assert_eq!(
+            cached.module().chips()[0].noise_draws(),
+            live.module().chips()[0].noise_draws(),
+            "restore must fast-forward the RNG by the exact draw count"
+        );
+        for col in [0, 7, 31, 63] {
+            let t = cached.clock() + 1_000;
+            let a = cached.module_mut().probe_cell_voltage(addr, col, t);
+            let b = live.module_mut().probe_cell_voltage(addr, col, t);
+            assert_eq!(a, b, "col {col}");
+        }
+        assert_eq!(live.model_perf().snapshot_hits, 0);
     }
 }

@@ -31,6 +31,15 @@ pub enum ControllerError {
         /// READs the program actually issued.
         got: usize,
     },
+    /// A run exceeded the controller's per-run cycle budget. The run is
+    /// aborted mid-program; device state reflects the instructions that
+    /// executed before the budget tripped.
+    BudgetExceeded {
+        /// Configured per-run cycle budget.
+        budget: u64,
+        /// Cycles consumed when the budget check fired.
+        spent: u64,
+    },
 }
 
 impl fmt::Display for ControllerError {
@@ -47,6 +56,10 @@ impl fmt::Display for ControllerError {
             ControllerError::MissingReadData { expected, got } => write!(
                 f,
                 "program produced {got} READ result(s), caller requires {expected}"
+            ),
+            ControllerError::BudgetExceeded { budget, spent } => write!(
+                f,
+                "run exceeded the {budget}-cycle budget ({spent} cycles spent)"
             ),
         }
     }
@@ -95,6 +108,14 @@ mod tests {
         };
         assert!(m.to_string().contains("0 READ result(s)"));
         assert!(m.source().is_none());
+
+        let b = ControllerError::BudgetExceeded {
+            budget: 100,
+            spent: 108,
+        };
+        assert!(b.to_string().contains("100-cycle budget"));
+        assert!(b.to_string().contains("108 cycles"));
+        assert!(b.source().is_none());
     }
 
     #[test]

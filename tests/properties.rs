@@ -169,6 +169,39 @@ fn challenge_set_properties() {
     }
 }
 
+/// Fault injection is a pure function of (die seed, `FaultConfig`):
+/// two controllers armed identically observe identical faulty reads
+/// and identical fault counters, while a disarmed controller reads
+/// back exactly what was written and counts zero events.
+#[test]
+fn fault_injection_determinism() {
+    use fracdram_model::FaultConfig;
+    let mut rng = Rng::seed_from_u64(0xFA17);
+    for _ in 0..CASES {
+        let seed = rng.next_u64() % 1000;
+        let config = FaultConfig {
+            stuck_density: rng.gen_range(5) as f64 * 0.02,
+            weak_density: rng.gen_range(5) as f64 * 0.04,
+            sense_flip_rate: rng.gen_range(4) as f64 * 0.01,
+            ..FaultConfig::none()
+        };
+        let pattern = rng.gen_bools(64);
+        let addr = RowAddr::new(rng.gen_range(2), rng.gen_range(32));
+        let run = |cfg: &FaultConfig| {
+            let mut mc = controller(seed);
+            mc.module_mut().set_fault_config(cfg);
+            mc.write_row(addr, &pattern).unwrap();
+            let first = mc.read_row(addr).unwrap();
+            let second = mc.read_row(addr).unwrap();
+            (first, second, mc.model_perf().fault_events())
+        };
+        assert_eq!(run(&config), run(&config), "same seed+config, same run");
+        let (healthy, _, events) = run(&FaultConfig::none());
+        assert_eq!(healthy, pattern, "disarmed injection is a no-op");
+        assert_eq!(events, 0);
+    }
+}
+
 /// A fractional value never escapes the band between its initial
 /// rail and Vdd/2 (clamped by physics, any op count, any init).
 #[test]
