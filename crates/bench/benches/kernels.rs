@@ -27,7 +27,7 @@ use fracdram_bench::{black_box, criterion_group, criterion_main, Criterion};
 use fracdram_experiments::{setup, tasks};
 use fracdram_model::faults::{FaultConfig, FaultPlan};
 use fracdram_model::subarray::{Ctx, Subarray};
-use fracdram_model::variation::NoiseRng;
+use fracdram_model::variation::NoiseEngine;
 use fracdram_model::{DeviceParams, Environment, GroupId, InternalTiming, SubarrayAddr};
 use fracdram_stats::rng::Rng;
 
@@ -38,7 +38,7 @@ struct Fixture {
     silicon: fracdram_model::silicon::Silicon,
     env: Environment,
     timing: InternalTiming,
-    noise: NoiseRng,
+    noise: NoiseEngine,
     perf: fracdram_model::ModelPerf,
     cache: fracdram_model::MaterializeCache,
     sub: Subarray,
@@ -55,7 +55,7 @@ impl Fixture {
             ),
             env: Environment::nominal(),
             timing: InternalTiming::default(),
-            noise: NoiseRng::new(7),
+            noise: NoiseEngine::new(7),
             perf: fracdram_model::ModelPerf::default(),
             cache: fracdram_model::MaterializeCache::new(0xF00D),
             sub: Subarray::new(0, 0, 32, COLS),
@@ -69,7 +69,7 @@ impl Fixture {
             silicon: &self.silicon,
             env: &self.env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };

@@ -2,17 +2,26 @@
 //!
 //! ```text
 //! bench_diff BASELINE.json CURRENT.json [--tolerance 0.30] [--warn-only]
+//!            [--history PATH --rev REV]
 //! ```
 //!
 //! Exits nonzero when any bench is slower than `baseline * (1 +
-//! tolerance)` or has disappeared, unless `--warn-only` is given (the CI
-//! smoke mode: 1-core runners are too noisy to gate on).
+//! tolerance)` or has disappeared, unless `--warn-only` is given.
+//!
+//! `--history PATH` appends the CURRENT records (one
+//! `{"bench","median_ns","rev"}` object per line) to an append-only
+//! measurement log; pass the measured revision with `--rev`. Use it
+//! whenever the committed baseline is refreshed, so `BENCH_history.jsonl`
+//! keeps one generation per baseline change.
 
-use fracdram_bench::diff::{compare, parse_records};
+use fracdram_bench::diff::{compare, history_lines, parse_records};
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: bench_diff BASELINE.json CURRENT.json [--tolerance FRAC] [--warn-only]");
+    eprintln!(
+        "usage: bench_diff BASELINE.json CURRENT.json [--tolerance FRAC] [--warn-only] \
+         [--history PATH --rev REV]"
+    );
     std::process::exit(2);
 }
 
@@ -20,6 +29,8 @@ fn main() -> ExitCode {
     let mut paths = Vec::new();
     let mut tolerance = 0.30f64;
     let mut warn_only = false;
+    let mut history: Option<String> = None;
+    let mut rev: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -30,6 +41,8 @@ fn main() -> ExitCode {
                     .unwrap_or_else(|| usage());
             }
             "--warn-only" => warn_only = true,
+            "--history" => history = Some(args.next().unwrap_or_else(|| usage())),
+            "--rev" => rev = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             _ => paths.push(a),
         }
@@ -49,8 +62,30 @@ fn main() -> ExitCode {
         })
     };
 
-    let report = compare(&read(baseline_path), &read(current_path), tolerance);
+    let current = read(current_path);
+    let report = compare(&read(baseline_path), &current, tolerance);
     print!("{}", report.render());
+    if let Some(history_path) = &history {
+        let rev = rev.unwrap_or_else(|| usage());
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(history_path)
+            .unwrap_or_else(|e| {
+                eprintln!("bench_diff: cannot open {history_path}: {e}");
+                std::process::exit(2);
+            });
+        use std::io::Write;
+        file.write_all(history_lines(&current, &rev).as_bytes())
+            .unwrap_or_else(|e| {
+                eprintln!("bench_diff: cannot append to {history_path}: {e}");
+                std::process::exit(2);
+            });
+        eprintln!(
+            "bench_diff: appended {} record(s) at rev {rev} to {history_path}",
+            current.len()
+        );
+    }
     println!(
         "bench_diff: {} bench(es), {} regression(s), tolerance ±{:.0}%{}",
         report.lines.len(),

@@ -130,6 +130,23 @@ impl DiffReport {
     }
 }
 
+/// Renders bench records as append-only history lines — one
+/// `{"bench","median_ns","rev"}` JSON object per line, suitable for
+/// `BENCH_history.jsonl`. The file is a measurement log: every baseline
+/// refresh appends one generation, so perf over revisions can be
+/// plotted without archaeology through git history.
+pub fn history_lines(records: &[Record], rev: &str) -> String {
+    records
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"bench\":\"{}\",\"median_ns\":{:.1},\"rev\":\"{}\"}}\n",
+                r.bench, r.median_ns, rev
+            )
+        })
+        .collect()
+}
+
 /// Compares `current` against `baseline` with the given slowdown
 /// tolerance (`0.30` = a bench may be up to 30 % slower before it
 /// counts as a regression).
@@ -209,6 +226,16 @@ mod tests {
         let report = compare(&[rec("k", 1000.0)], &[rec("k", 500.0)], 0.30);
         assert!(!report.is_regressed());
         assert!(report.render().contains("faster"));
+    }
+
+    #[test]
+    fn history_lines_are_one_object_per_record() {
+        let lines = history_lines(&[rec("k/a", 1234.56), rec("k/b", 7.0)], "abc1234");
+        assert_eq!(
+            lines,
+            "{\"bench\":\"k/a\",\"median_ns\":1234.6,\"rev\":\"abc1234\"}\n\
+             {\"bench\":\"k/b\",\"median_ns\":7.0,\"rev\":\"abc1234\"}\n"
+        );
     }
 
     #[test]

@@ -306,8 +306,10 @@ pub struct PrefixStats {
 /// snapshots the sub-array state it leaves, and restores per trial.
 /// The runner itself only sequences the trials and deltas the snapshot
 /// counters, so a body observes exactly the controller it would have
-/// been handed in a hand-written loop — stdout and RNG draw order are
-/// unchanged.
+/// been handed in a hand-written loop. Restores are exact by
+/// construction: temporal noise is keyed by each event's absolute fire
+/// time and coordinates, never by draw order, so a restored trial sees
+/// the same noise a live replay would.
 #[derive(Debug)]
 pub struct TrialRunner<'a> {
     mc: &'a mut MemoryController,

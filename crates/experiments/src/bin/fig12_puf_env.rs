@@ -28,8 +28,10 @@ fn main() {
             ("challenges", "challenges per module (default 16)"),
             ("modules", "modules per group (default 2)"),
             ("cols", "columns per chip row (default 1024)"),
+            ("chips", "chips per module (default 1; paper rank: 8)"),
             ("seed", "base seed (default 12)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("intra-jobs", "chip-parallel workers per module (default 1)"),
             ("retries", "extra attempts for a failing task (default 0)"),
             ("keep-going", "complete remaining tasks after a failure"),
             ("fail-fast", "stop claiming tasks after a failure (default)"),
@@ -41,7 +43,9 @@ fn main() {
     let n_challenges = args.usize("challenges", 16);
     let modules = args.usize("modules", 2);
     let cols = args.usize("cols", 1024);
+    let chips = args.usize("chips", 1);
     let seed = args.u64("seed", 12);
+    setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
 
@@ -74,7 +78,7 @@ fn main() {
         }
     }
     let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
-        let mut mc = setup::controller(key.group, geometry, seed + key.module as u64);
+        let mut mc = setup::chips_controller(key.group, geometry, seed + key.module as u64, chips);
         if key.variant > 0 {
             mc.module_mut()
                 .set_environment(conditions[key.variant - 1].1);

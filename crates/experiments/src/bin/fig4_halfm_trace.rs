@@ -19,11 +19,15 @@ fn main() {
     if args.usage(
         "fig4_halfm_trace",
         "reproduce Fig. 4: cell voltages during Half-m (weak 1 / weak 0 / Half)",
-        &[("seed", "die seed (default 4)")],
+        &[
+            ("seed", "die seed (default 4)"),
+            ("intra-jobs", "chip-parallel workers per module (default 1)"),
+        ],
     ) {
         return;
     }
     let seed = args.u64("seed", 4);
+    setup::set_intra_jobs(args.intra_jobs());
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let geometry = *mc.module().geometry();

@@ -39,6 +39,7 @@ fn main() {
             ("cols", "columns per chip row (default 4096)"),
             ("seed", "base seed (default 13)"),
             ("jobs", "fleet worker threads (default: all cores)"),
+            ("intra-jobs", "chip-parallel workers per module (default 1)"),
             ("retries", "extra attempts for a failing task (default 0)"),
             ("keep-going", "complete remaining tasks after a failure"),
             ("fail-fast", "stop claiming tasks after a failure (default)"),
@@ -51,6 +52,7 @@ fn main() {
     let modules = args.usize("modules", 2);
     let cols = args.usize("cols", 4096);
     let seed = args.u64("seed", 13);
+    setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
 

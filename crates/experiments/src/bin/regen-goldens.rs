@@ -1,0 +1,137 @@
+//! Re-captures every golden snapshot and `experiments_output.txt` in one
+//! command, so output-changing PRs stop hand-rolling captures.
+//!
+//! What it regenerates (paths relative to the repo root):
+//!
+//! * `crates/experiments/tests/golden/table1_small.txt` —
+//!   `table1 --modules 2 --jobs 1`
+//! * `crates/experiments/tests/golden/fig11_small.txt` —
+//!   `fig11_puf_hd --challenges 8 --jobs 1`
+//! * `experiments_output.txt` — all fifteen experiment binaries at
+//!   default arguments, concatenated under `== name` banners.
+//!
+//! Every fleet binary is executed twice, at `--jobs 1` and `--jobs 8`,
+//! and the two captures are compared byte-for-byte before anything is
+//! written — a capture that is not thread-count-invariant aborts the
+//! whole regeneration. Sibling binaries are resolved next to this
+//! executable, so build everything first:
+//!
+//! ```text
+//! cargo build --release -p fracdram-experiments
+//! cargo run --release -p fracdram-experiments --bin regen-goldens
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The fifteen experiment binaries in `experiments_output.txt` order,
+/// with a flag for the ones that fan out over the task fleet (and so
+/// accept `--jobs` and must be jobs-invariant).
+const BINARIES: &[(&str, bool)] = &[
+    ("table1", true),
+    ("fig3_frac_trace", false),
+    ("fig4_halfm_trace", false),
+    ("fig6_retention", true),
+    ("fig7_maj3_verify", false),
+    ("fig8_halfm_eval", true),
+    ("fig9_fmaj_coverage", true),
+    ("fig10_fmaj_stability", true),
+    ("fig11_puf_hd", true),
+    ("fig12_puf_env", true),
+    ("nist_suite", true),
+    ("overhead", false),
+    ("decoder_survey", true),
+    ("ablation", true),
+    ("fault_sweep", true),
+];
+
+fn main() {
+    let bin_dir = bin_dir();
+    let root = repo_root();
+    let golden_dir = root.join("crates/experiments/tests/golden");
+
+    // ---- golden snapshots (the slices the regression tests pin) ------
+    let table1 = capture(&bin_dir, "table1", &["--modules", "2", "--jobs", "1"]);
+    write_capture(&golden_dir.join("table1_small.txt"), &table1);
+
+    let fig11 = capture(
+        &bin_dir,
+        "fig11_puf_hd",
+        &["--challenges", "8", "--jobs", "1"],
+    );
+    write_capture(&golden_dir.join("fig11_small.txt"), &fig11);
+
+    // ---- full experiment capture, jobs-invariance checked ------------
+    let mut out = String::new();
+    for (i, &(name, fleet)) in BINARIES.iter().enumerate() {
+        let stdout = if fleet {
+            let j1 = capture(&bin_dir, name, &["--jobs", "1"]);
+            let j8 = capture(&bin_dir, name, &["--jobs", "8"]);
+            assert_eq!(
+                j1, j8,
+                "{name}: stdout differs between --jobs 1 and --jobs 8"
+            );
+            j1
+        } else {
+            capture(&bin_dir, name, &[])
+        };
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("{0}\n== {name}\n{0}\n", "=".repeat(64)));
+        out.push_str(&stdout);
+        if !stdout.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    write_capture(&root.join("experiments_output.txt"), &out);
+
+    eprintln!("regen-goldens: all captures regenerated");
+}
+
+/// The directory holding the sibling experiment binaries.
+fn bin_dir() -> PathBuf {
+    std::env::current_exe()
+        .expect("current_exe")
+        .parent()
+        .expect("exe has a parent dir")
+        .to_path_buf()
+}
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/experiments` → two levels up).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/experiments is two levels below the root")
+        .to_path_buf()
+}
+
+/// Runs one experiment binary and returns its stdout; stderr (fleet
+/// summaries, perf counters) passes through to the operator.
+fn capture(bin_dir: &Path, name: &str, args: &[&str]) -> String {
+    let exe = bin_dir.join(name);
+    let output = Command::new(&exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|err| panic!("spawn {}: {err}", exe.display()));
+    assert!(
+        output.status.success(),
+        "{name} {args:?} failed ({}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 stdout")
+}
+
+/// Writes a capture, reporting whether it changed.
+fn write_capture(path: &Path, contents: &str) {
+    let old = std::fs::read_to_string(path).ok();
+    if old.as_deref() == Some(contents) {
+        eprintln!("unchanged  {}", path.display());
+        return;
+    }
+    std::fs::write(path, contents).unwrap_or_else(|err| panic!("write {}: {err}", path.display()));
+    eprintln!("rewrote    {}", path.display());
+}

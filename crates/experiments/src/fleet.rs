@@ -284,7 +284,8 @@ impl<T> FleetRun<T> {
         let mut s = format!(
             "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR); \
              kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels; \
-             snapshots {}h/{}m ({} B), exp memo {}h/{}m",
+             snapshots {}h/{}m ({} B), exp memo {}h/{}m; \
+             noise: {} draws / {} fills, {:.1}ms",
             self.tasks.len(),
             self.jobs,
             self.wall.as_secs_f64(),
@@ -303,6 +304,9 @@ impl<T> FleetRun<T> {
             perf.snapshot_bytes,
             perf.exp_memo_hits,
             perf.exp_memo_misses,
+            perf.noise_draws,
+            perf.noise_fills,
+            perf.noise_ns as f64 / 1e6,
         );
         if perf.fault_events() > 0 {
             s.push_str(&format!(
@@ -399,10 +403,13 @@ fn perf_json(p: &ModelPerf) -> Json {
         .field("snapshot_bytes", p.snapshot_bytes)
         .field("exp_memo_hits", p.exp_memo_hits)
         .field("exp_memo_misses", p.exp_memo_misses)
+        .field("noise_draws", p.noise_draws)
+        .field("noise_fills", p.noise_fills)
         .field("share_ns", p.share_ns)
         .field("sense_ns", p.sense_ns)
         .field("close_ns", p.close_ns)
         .field("leak_ns", p.leak_ns)
+        .field("noise_ns", p.noise_ns)
         .field("fault_sense_flips", p.fault_sense_flips)
         .field("fault_stuck_pins", p.fault_stuck_pins)
         .field("fault_decoder_drops", p.fault_decoder_drops)
@@ -690,6 +697,9 @@ mod tests {
                     snapshot_bytes: 1024,
                     exp_memo_hits: 7,
                     exp_memo_misses: 3,
+                    noise_draws: 96,
+                    noise_fills: 6,
+                    noise_ns: 1_500_000,
                     ..ModelPerf::default()
                 },
                 ..RunMetrics::default()
@@ -719,6 +729,13 @@ mod tests {
             )),
             "{summary}"
         );
+        assert!(
+            summary.contains(&format!(
+                "noise: {} draws / {} fills",
+                total.noise_draws, total.noise_fills
+            )),
+            "{summary}"
+        );
 
         let dir = std::env::temp_dir().join("fracdram_fleet_perf_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -737,6 +754,8 @@ mod tests {
             format!("\"snapshot_bytes\":{}", total.snapshot_bytes),
             format!("\"exp_memo_hits\":{}", total.exp_memo_hits),
             format!("\"exp_memo_misses\":{}", total.exp_memo_misses),
+            format!("\"noise_draws\":{}", total.noise_draws),
+            format!("\"noise_fills\":{}", total.noise_fills),
         ] {
             assert!(text.contains(&field), "{field} missing in {text}");
         }

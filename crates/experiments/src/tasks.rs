@@ -12,13 +12,14 @@ use fracdram::session::TrialRunner;
 use fracdram_softmc::MemoryController;
 use fracdram_stats::rng::Rng;
 
-/// Three random full-width operand rows.
-pub fn random_operands(rng: &mut Rng, width: usize) -> [Vec<bool>; 3] {
-    [
-        rng.gen_bools(width),
-        rng.gen_bools(width),
-        rng.gen_bools(width),
-    ]
+/// Refills three full-width operand rows in place. The trial hot loops
+/// reuse one set of buffers across all trials instead of allocating
+/// three rows per trial; the draw order matches `gen_bools` exactly, so
+/// measurements are unchanged.
+pub fn fill_operands(rng: &mut Rng, operands: &mut [Vec<bool>; 3]) {
+    for op in operands {
+        rng.fill_bools(op);
+    }
 }
 
 /// Per-column success rate of F-MAJ over `trials` random-input trials —
@@ -37,11 +38,13 @@ pub fn stability_fmaj(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
+    let mut operands = std::array::from_fn(|_| vec![false; width]);
     let mut runner = TrialRunner::new(mc);
     runner.run(trials, |mc, _| {
-        let [a, b, c] = random_operands(rng, width);
-        let result = fmaj(mc, quad, config, [&a, &b, &c]).expect("fmaj");
-        tally_majority(&mut correct, &result, [&a, &b, &c]);
+        fill_operands(rng, &mut operands);
+        let [a, b, c] = &operands;
+        let result = fmaj(mc, quad, config, [a, b, c]).expect("fmaj");
+        tally_majority(&mut correct, &result, [a, b, c]);
     });
     rates(correct, trials)
 }
@@ -60,11 +63,13 @@ pub fn stability_maj3(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
+    let mut operands = std::array::from_fn(|_| vec![false; width]);
     let mut runner = TrialRunner::new(mc);
     runner.run(trials, |mc, _| {
-        let [a, b, c] = random_operands(rng, width);
-        let result = maj3(mc, triplet, [&a, &b, &c]).expect("maj3");
-        tally_majority(&mut correct, &result, [&a, &b, &c]);
+        fill_operands(rng, &mut operands);
+        let [a, b, c] = &operands;
+        let result = maj3(mc, triplet, [a, b, c]).expect("maj3");
+        tally_majority(&mut correct, &result, [a, b, c]);
     });
     rates(correct, trials)
 }

@@ -1,18 +1,18 @@
 //! Golden-output regression test for the PUF figure: fig11's stdout
-//! must match a snapshot captured **before** the compiled-program /
-//! prefix-cache layer landed.
+//! must match the checked-in snapshot.
 //!
-//! fig11 exercises every fast path this layer added — cached compiled
+//! fig11 exercises every controller fast path — cached compiled
 //! programs, the write-prefix snapshot restore (each challenge row is
-//! re-written per evaluation), and the RNG stream skip that keeps the
-//! temporal-noise draw order aligned — so any deviation from the
-//! replay-everything semantics shows up as a diff here.
+//! re-written per evaluation), and the counter-keyed noise engine whose
+//! draws must be identical whether a write is replayed or restored — so
+//! any deviation from the replay-everything semantics shows up as a
+//! diff here.
 //!
 //! Regenerate (only for an intentional, understood behavior change):
 //!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin fig11_puf_hd -- \
-//!     --challenges 8 --jobs 1 > crates/experiments/tests/golden/fig11_small.txt
+//! cargo build --release -p fracdram-experiments
+//! cargo run --release -p fracdram-experiments --bin regen-goldens
 //! ```
 
 use std::process::Command;

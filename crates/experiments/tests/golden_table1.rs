@@ -5,15 +5,16 @@
 //! The jobs-1-vs-8 determinism test proves the output is stable across
 //! thread counts; this test pins it across *code revisions*. The
 //! snapshot (`tests/golden/table1_small.txt`) was recorded from the
-//! pre-rewrite scalar kernels, so any drift in simulated values —
-//! an FP reassociation, a changed RNG draw order, a stale cache —
-//! shows up as a diff here.
+//! pre-rewrite scalar kernels — and survived the counter-keyed noise
+//! rewrite byte-for-byte, because table1 only probes digital capability
+//! outcomes — so any drift in simulated values (an FP reassociation, a
+//! changed noise keying, a stale cache) shows up as a diff here.
 //!
 //! Regenerate (only for an intentional, understood behavior change):
 //!
 //! ```text
-//! cargo run --release -p fracdram-experiments --bin table1 -- \
-//!     --modules 2 --jobs 1 > crates/experiments/tests/golden/table1_small.txt
+//! cargo build --release -p fracdram-experiments
+//! cargo run --release -p fracdram-experiments --bin regen-goldens
 //! ```
 
 use std::process::Command;

@@ -19,7 +19,7 @@ use crate::silicon::Silicon;
 use crate::snapshot::SubArrayState;
 use crate::subarray::{Ctx, ProbeSample, Subarray};
 use crate::units::Volts;
-use crate::variation::NoiseRng;
+use crate::variation::NoiseEngine;
 use crate::vendor::{GroupId, VendorProfile};
 
 /// Per-bank bookkeeping.
@@ -69,7 +69,7 @@ pub struct Chip {
     profile: VendorProfile,
     timing: InternalTiming,
     env: Environment,
-    noise: NoiseRng,
+    noise: NoiseEngine,
     perf: ModelPerf,
     cache: MaterializeCache,
     banks: Vec<Bank>,
@@ -80,7 +80,7 @@ impl Chip {
     pub fn new(config: ChipConfig) -> Self {
         let profile = config.group.profile();
         let silicon = Silicon::new(config.seed, config.params.clone(), profile.clone());
-        let noise = NoiseRng::new(splitseed(config.seed, 0x6E01));
+        let noise = NoiseEngine::new(splitseed(config.seed, 0x6E01));
         let g = config.geometry;
         let banks = (0..g.banks)
             .map(|b| Bank {
@@ -227,7 +227,7 @@ impl Chip {
             silicon: &self.silicon,
             env: &env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };
@@ -262,7 +262,7 @@ impl Chip {
                 silicon: &self.silicon,
                 env: &env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -290,7 +290,7 @@ impl Chip {
             silicon: &self.silicon,
             env: &env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };
@@ -328,7 +328,7 @@ impl Chip {
             silicon: &self.silicon,
             env: &env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };
@@ -365,7 +365,7 @@ impl Chip {
                     silicon: &self.silicon,
                     env: &env,
                     timing: &self.timing,
-                    noise: &mut self.noise,
+                    noise: &self.noise,
                     perf: &mut self.perf,
                     cache: &mut self.cache,
                 };
@@ -379,18 +379,6 @@ impl Chip {
     // Write-prefix snapshot support
     // ------------------------------------------------------------------
 
-    /// Raw temporal-noise draws consumed so far. Snapshot bookkeeping:
-    /// the delta across a captured program is how far a restore must
-    /// fast-forward the stream.
-    pub fn noise_draws(&self) -> u64 {
-        self.noise.draws()
-    }
-
-    /// Fast-forwards the temporal-noise stream by `n` raw draws.
-    pub fn skip_noise(&mut self, n: u64) {
-        self.noise.skip(n);
-    }
-
     /// Whether a full-row write to sub-array `sub` of `bank` may use the
     /// snapshot fast path: no probes anywhere in the bank, and every
     /// *sibling* sub-array at most waiting on a word-line close.
@@ -398,9 +386,11 @@ impl Chip {
     /// A live write program only ever advances the *target* sub-array
     /// (its ACTIVATE fires that sub-array's pending events, in scheduled
     /// order, before opening the row), so [`Chip::drain_bank`] replays
-    /// exactly those firings — with identical noise-draw order — as long
-    /// as the siblings it also advances have nothing pending that draws
-    /// (word-line closes consume no noise).
+    /// exactly those firings. Temporal noise is a pure function of each
+    /// event's fire time and coordinates, so replayed events see the
+    /// same noise no matter how many draws happened in between — the
+    /// only remaining precondition is that the siblings have nothing
+    /// pending with an analog outcome (word-line closes are digital).
     pub fn write_fastpath_ready(&self, bank: usize, sub: usize) -> bool {
         self.banks[bank]
             .subarrays
@@ -423,7 +413,7 @@ impl Chip {
                 silicon: &self.silicon,
                 env: &env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -481,7 +471,7 @@ impl Chip {
                 silicon: &self.silicon,
                 env: &self.env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -521,7 +511,7 @@ impl Chip {
             silicon: &self.silicon,
             env: &env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };
@@ -549,7 +539,7 @@ impl Chip {
             silicon: &self.silicon,
             env: &self.env,
             timing: &self.timing,
-            noise: &mut self.noise,
+            noise: &self.noise,
             perf: &mut self.perf,
             cache: &mut self.cache,
         };

@@ -36,6 +36,12 @@ pub struct ModelPerf {
     pub close_ns: u64,
     /// Wall nanoseconds spent in the leakage kernel.
     pub leak_ns: u64,
+    /// Counter-keyed temporal-noise draws (normals and uniforms).
+    pub noise_draws: u64,
+    /// Batch noise fills (one per noise-consuming kernel event).
+    pub noise_fills: u64,
+    /// Wall nanoseconds spent filling noise buffers.
+    pub noise_ns: u64,
     /// Write-prefix restores served from a captured snapshot.
     pub snapshot_hits: u64,
     /// Write prefixes executed live (and captured for later restores).
@@ -71,6 +77,9 @@ impl ModelPerf {
         self.sense_ns += other.sense_ns;
         self.close_ns += other.close_ns;
         self.leak_ns += other.leak_ns;
+        self.noise_draws += other.noise_draws;
+        self.noise_fills += other.noise_fills;
+        self.noise_ns += other.noise_ns;
         self.snapshot_hits += other.snapshot_hits;
         self.snapshot_misses += other.snapshot_misses;
         self.snapshot_bytes += other.snapshot_bytes;
@@ -120,30 +129,36 @@ mod tests {
             sense_ns: 10,
             close_ns: 11,
             leak_ns: 12,
-            snapshot_hits: 13,
-            snapshot_misses: 14,
-            snapshot_bytes: 15,
-            exp_memo_hits: 16,
-            exp_memo_misses: 17,
-            fault_sense_flips: 18,
-            fault_stuck_pins: 19,
-            fault_decoder_drops: 20,
-            fault_env_commands: 21,
+            noise_draws: 13,
+            noise_fills: 14,
+            noise_ns: 15,
+            snapshot_hits: 16,
+            snapshot_misses: 17,
+            snapshot_bytes: 18,
+            exp_memo_hits: 19,
+            exp_memo_misses: 20,
+            fault_sense_flips: 21,
+            fault_stuck_pins: 22,
+            fault_decoder_drops: 23,
+            fault_env_commands: 24,
         };
         let mut total = a;
         total.accumulate(&a);
         assert_eq!(total.share_events, 2);
         assert_eq!(total.leak_ns, 24);
-        assert_eq!(total.snapshot_hits, 26);
-        assert_eq!(total.snapshot_misses, 28);
-        assert_eq!(total.snapshot_bytes, 30);
-        assert_eq!(total.exp_memo_hits, 32);
-        assert_eq!(total.exp_memo_misses, 34);
-        assert_eq!(total.fault_sense_flips, 36);
-        assert_eq!(total.fault_stuck_pins, 38);
-        assert_eq!(total.fault_decoder_drops, 40);
-        assert_eq!(total.fault_env_commands, 42);
-        assert_eq!(total.fault_events(), 2 * (18 + 19 + 20 + 21));
+        assert_eq!(total.noise_draws, 26);
+        assert_eq!(total.noise_fills, 28);
+        assert_eq!(total.noise_ns, 30);
+        assert_eq!(total.snapshot_hits, 32);
+        assert_eq!(total.snapshot_misses, 34);
+        assert_eq!(total.snapshot_bytes, 36);
+        assert_eq!(total.exp_memo_hits, 38);
+        assert_eq!(total.exp_memo_misses, 40);
+        assert_eq!(total.fault_sense_flips, 42);
+        assert_eq!(total.fault_stuck_pins, 44);
+        assert_eq!(total.fault_decoder_drops, 46);
+        assert_eq!(total.fault_env_commands, 48);
+        assert_eq!(total.fault_events(), 2 * (21 + 22 + 23 + 24));
         assert_eq!(total.events(), 2 * (1 + 2 + 3 + 4));
         assert_eq!(total.kernel_ns(), 2 * (9 + 10 + 11 + 12));
     }

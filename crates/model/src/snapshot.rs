@@ -11,11 +11,11 @@
 //! **Determinism argument.** A restore is byte-identical to re-executing
 //! the captured program because (a) after a full-row write the sub-array
 //! state is a pure function of the written pattern and the command
-//! offsets, (b) the number of temporal-noise draws the program consumes
-//! is value-independent (one share + one sense per column), so the
-//! stream is fast-forwarded by an exact recorded count, and (c) all
-//! absolute times are rebased onto the new anchor, which is exactly
-//! where the replayed program would have put them.
+//! offsets, (b) temporal noise is a pure function of each event's fire
+//! time and coordinates — not of how many draws happened before it — so
+//! suffix events after a restore see exactly the noise a live replay
+//! would, and (c) all absolute times are rebased onto the new anchor,
+//! which is exactly where the replayed program would have put them.
 
 use crate::env::Environment;
 
@@ -72,12 +72,10 @@ impl SubArrayState {
 }
 
 /// A module-wide write-prefix capture: one [`SubArrayState`] per chip for
-/// the written sub-array, the per-chip noise-draw counts the live program
-/// consumed, and the environment it ran under.
+/// the written sub-array, and the environment the program ran under.
 #[derive(Debug, Clone)]
 pub struct ModuleWriteSnapshot {
     pub(crate) states: Vec<SubArrayState>,
-    pub(crate) draws: Vec<u64>,
     pub(crate) env: Environment,
 }
 
@@ -91,10 +89,5 @@ impl ModuleWriteSnapshot {
     /// Total captured bytes across all chips.
     pub fn bytes(&self) -> u64 {
         self.states.iter().map(SubArrayState::bytes).sum()
-    }
-
-    /// Noise draws the captured program consumed on chip `i`.
-    pub fn draws(&self, chip: usize) -> u64 {
-        self.draws[chip]
     }
 }

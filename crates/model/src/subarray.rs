@@ -32,7 +32,7 @@ use crate::sense_amp;
 use crate::silicon::Silicon;
 use crate::snapshot::{RowCapture, SubArrayState};
 use crate::units::{Femtofarads, Seconds, Volts, CYCLE_SECONDS};
-use crate::variation::NoiseRng;
+use crate::variation::{NoiseEngine, NoisePurpose};
 
 /// Mutable execution context threaded through command processing.
 #[derive(Debug)]
@@ -43,8 +43,9 @@ pub struct Ctx<'a> {
     pub env: &'a Environment,
     /// Internal device latencies.
     pub timing: &'a InternalTiming,
-    /// Temporal noise source of the owning chip.
-    pub noise: &'a mut NoiseRng,
+    /// Counter-keyed temporal noise source of the owning chip
+    /// (stateless: shared borrows suffice).
+    pub noise: &'a NoiseEngine,
     /// Kernel counters of the owning chip.
     pub perf: &'a mut ModelPerf,
     /// Materialized silicon statics of the owning chip.
@@ -122,6 +123,13 @@ pub struct Subarray {
     /// Reusable per-column scratch buffer (Half-m closure asymmetry);
     /// kept on the struct so `fire_close` allocates nothing per event.
     scratch: Vec<f64>,
+    /// Reusable per-column temporal-noise buffer: each kernel event
+    /// batch-fills it from the counter-keyed engine before its column
+    /// loop, so the hot loop reads contiguous precomputed noise.
+    noise_buf: Vec<f64>,
+    /// Reusable per-(slot, column) weight-jitter buffer for multi-row
+    /// shares (stride = `cols`, one stripe per glitch slot).
+    weight_noise: Vec<f64>,
     probes: Vec<Probe>,
 }
 
@@ -152,6 +160,8 @@ impl Subarray {
             pending_sense: None,
             pending_close: None,
             scratch: vec![0.0; cols],
+            noise_buf: vec![0.0; cols],
+            weight_noise: Vec::new(),
             probes: Vec::new(),
         }
     }
@@ -396,6 +406,17 @@ impl Subarray {
         let half = params.half_vdd(ctx.env.vdd).value();
         let bl_cap = params.bitline_cap;
         let sigma = params.sense_noise_sigma.value();
+        // Batch noise pass: one contiguous fill per event. Refresh is the
+        // one purpose where several events share a fire time (the chip
+        // refreshes every row of a sub-array at the same `t`), so the row
+        // is part of the key.
+        let coords = [self.bank as u64, self.index as u64, local_row as u64];
+        let noise_started = Instant::now();
+        let event = ctx.noise.event(NoisePurpose::Refresh, t, &coords);
+        ctx.perf.noise_draws += event.fill_normal(sigma, &mut self.noise_buf);
+        ctx.perf.noise_fills += 1;
+        ctx.perf.noise_ns += noise_started.elapsed().as_nanos() as u64;
+        let flip_event = ctx.noise.event(NoisePurpose::RefreshFlip, t, &coords);
         let statics = ctx.cache.cols(self.bank, self.index);
         let stat = ctx.cache.row(self.bank, self.index, local_row);
         let flip_plan = ctx
@@ -423,10 +444,11 @@ impl Subarray {
             if statics.anti[col] {
                 th = sense_amp::mirror_for_anti(th, ctx.env);
             }
-            let noisy = shared + Volts(ctx.noise.normal(0.0, sigma));
+            let noisy = shared + Volts(self.noise_buf[col]);
             let mut one = sense_amp::senses_one(noisy, th);
             if let Some(plan) = flip_plan {
-                if ctx.noise.uniform() < plan.sense_flip_rate(self.bank, self.index, col) {
+                if flip_event.uniform(col as u64) < plan.sense_flip_rate(self.bank, self.index, col)
+                {
                     one = !one;
                     flips += 1;
                 }
@@ -435,6 +457,9 @@ impl Subarray {
         }
         rs.last = t;
         rs.charged = true;
+        if flip_plan.is_some() {
+            ctx.perf.noise_draws += self.cols as u64;
+        }
         ctx.perf.fault_sense_flips += flips;
         if ctx.silicon.cell_faults_enabled() {
             self.pin_stuck_row(ctx, local_row);
@@ -507,6 +532,35 @@ impl Subarray {
         // Stuck cells enter the share at their rail (covers rows that
         // were never written), so the defect perturbs the shared charge.
         self.pin_stuck_open(ctx);
+        // Batch noise pass: one contiguous per-column fill (plus one per
+        // glitch slot for multi-row weight jitter), keyed by this event's
+        // fire time — done before the timed kernel body so `share_ns`
+        // stays a pure kernel measure.
+        {
+            let params = ctx.silicon.params();
+            let noise_sigma = params.bitline_noise_sigma.value();
+            let temporal_sigma = params.share_temporal_sigma;
+            let coords = [self.bank as u64, self.index as u64];
+            let noise_started = Instant::now();
+            let event = ctx.noise.event(NoisePurpose::ShareEq, t, &coords);
+            ctx.perf.noise_draws += event.fill_normal(noise_sigma, &mut self.noise_buf);
+            ctx.perf.noise_fills += 1;
+            if self.multi_row {
+                self.weight_noise.resize(4 * self.cols, 0.0);
+                for slot in 0..self.open.len().min(4) {
+                    let ev = ctx.noise.event(
+                        NoisePurpose::ShareWeight,
+                        t,
+                        &[self.bank as u64, self.index as u64, slot as u64],
+                    );
+                    ctx.perf.noise_draws += ev.fill_normal(
+                        temporal_sigma,
+                        &mut self.weight_noise[slot * self.cols..(slot + 1) * self.cols],
+                    );
+                }
+            }
+            ctx.perf.noise_ns += noise_started.elapsed().as_nanos() as u64;
+        }
         let started = Instant::now();
         let params = ctx.silicon.params();
         let profile = ctx.silicon.profile();
@@ -522,8 +576,6 @@ impl Subarray {
         } else {
             0.0
         };
-        let noise_sigma = params.bitline_noise_sigma.value();
-        let temporal_sigma = params.share_temporal_sigma;
         let v_max = ctx.env.vdd.value() * 1.05;
         let n = self.open.len().min(16);
         for slot in 0..n {
@@ -583,10 +635,9 @@ impl Subarray {
                 bl_cap,
                 settle,
                 bias,
-                noise_sigma,
+                &self.noise_buf,
                 v_max,
                 self.cols,
-                ctx.noise,
             );
         } else if n <= 4 {
             share_columns::<4>(
@@ -599,11 +650,10 @@ impl Subarray {
                 bl_cap,
                 settle,
                 bias,
-                noise_sigma,
-                temporal_sigma,
+                &self.noise_buf,
+                &self.weight_noise,
                 v_max,
                 self.cols,
-                ctx.noise,
             );
         } else {
             share_columns::<16>(
@@ -616,11 +666,10 @@ impl Subarray {
                 bl_cap,
                 settle,
                 bias,
-                noise_sigma,
-                temporal_sigma,
+                &self.noise_buf,
+                &self.weight_noise,
                 v_max,
                 self.cols,
-                ctx.noise,
             );
         }
         for (slot, st) in state.iter_mut().enumerate().take(n) {
@@ -646,10 +695,20 @@ impl Subarray {
             self.index,
             self.cols,
         );
-        let started = Instant::now();
         let params = ctx.silicon.params();
-        let statics = ctx.cache.cols(self.bank, self.index);
         let sigma = params.sense_noise_sigma.value();
+        // Batch noise pass, keyed by this sense event's fire time — done
+        // before the timed kernel body so `sense_ns` stays a pure kernel
+        // measure.
+        let coords = [self.bank as u64, self.index as u64];
+        let noise_started = Instant::now();
+        let event = ctx.noise.event(NoisePurpose::Sense, t, &coords);
+        ctx.perf.noise_draws += event.fill_normal(sigma, &mut self.noise_buf);
+        ctx.perf.noise_fills += 1;
+        ctx.perf.noise_ns += noise_started.elapsed().as_nanos() as u64;
+        let flip_event = ctx.noise.event(NoisePurpose::SenseFlip, t, &coords);
+        let started = Instant::now();
+        let statics = ctx.cache.cols(self.bank, self.index);
         let vdd = ctx.env.vdd.value();
         // Loop-invariant pieces of `sense_amp::threshold` (and the anti
         // mirror), hoisted as whole scalars: the per-column expression
@@ -658,10 +717,9 @@ impl Subarray {
         let half = params.half_vdd(ctx.env.vdd).value();
         let temp_delta = ctx.env.temperature_c - 20.0;
         let vdd_shift = params.sense_vdd_coupling * (vdd - params.vdd_nominal.value());
-        // Transient sense-amp faults: when enabled, every column draws
-        // one uniform (value-independent draw count keeps the snapshot
-        // draw bookkeeping exact) and flips its comparison below its
-        // static per-column rate.
+        // Transient sense-amp faults: when enabled, every column keys
+        // one uniform off the flip event and flips its comparison below
+        // its static per-column rate.
         let flip_plan = ctx
             .silicon
             .faults()
@@ -679,16 +737,20 @@ impl Subarray {
             } else {
                 true_th
             };
-            let noisy = self.bl[col] + ctx.noise.normal(0.0, sigma);
+            let noisy = self.bl[col] + self.noise_buf[col];
             let mut one = noisy > th;
             if let Some(plan) = flip_plan {
-                if ctx.noise.uniform() < plan.sense_flip_rate(self.bank, self.index, col) {
+                if flip_event.uniform(col as u64) < plan.sense_flip_rate(self.bank, self.index, col)
+                {
                     one = !one;
                     flips += 1;
                 }
             }
             self.sensed_bits[col] = one;
             self.bl[col] = if one { vdd } else { 0.0 };
+        }
+        if flip_plan.is_some() {
+            ctx.perf.noise_draws += self.cols as u64;
         }
         ctx.perf.fault_sense_flips += flips;
         for i in 0..self.open.len() {
@@ -1012,8 +1074,9 @@ impl Subarray {
     }
 
     /// Whether the only scheduled work (if any) is a word-line close —
-    /// the one internal event that consumes no noise draws, so draining
-    /// it early cannot perturb the temporal-noise stream.
+    /// i.e. no charge share or sense is still in flight, so the analog
+    /// outcome of the last activation is fully settled and a snapshot
+    /// fast path may safely drain and overwrite the sub-array.
     pub fn close_only(&self) -> bool {
         self.pending_share.is_none() && self.pending_sense.is_none()
     }
@@ -1051,7 +1114,9 @@ impl Subarray {
 /// per-column participants array. `CAP` only sizes the scratch array; the
 /// arithmetic (and its order) is identical for every instantiation, so a
 /// `CAP = 1` Frac share and a `CAP = 16` pathological share produce the
-/// same bits as the original fixed-16 loop.
+/// same bits as the original fixed-16 loop. Temporal noise arrives
+/// pre-filled: `eq_noise[col]` perturbs the equalized level and
+/// `weight_noise[slot * cols + col]` jitters the glitch-slot weights.
 #[allow(clippy::too_many_arguments)]
 fn share_columns<const CAP: usize>(
     bl: &mut [f64],
@@ -1063,11 +1128,10 @@ fn share_columns<const CAP: usize>(
     bl_cap: Femtofarads,
     settle: f64,
     bias: f64,
-    noise_sigma: f64,
-    temporal_sigma: f64,
+    eq_noise: &[f64],
+    weight_noise: &[f64],
     v_max: f64,
     cols: usize,
-    noise: &mut NoiseRng,
 ) {
     debug_assert!(n <= CAP);
     // Index loop on purpose: `col` strides five parallel buffers (`bl`,
@@ -1087,7 +1151,7 @@ fn share_columns<const CAP: usize>(
                 // Static per-(slot, column) weight plus the per-trial
                 // decoder-timing jitter (§VI-A2 instability source).
                 let w = weights[slot][col] as f64;
-                (w * (1.0 + noise.normal(0.0, temporal_sigma))).max(0.01)
+                (w * (1.0 + weight_noise[slot * cols + col])).max(0.01)
             } else {
                 1.0
             };
@@ -1100,7 +1164,7 @@ fn share_columns<const CAP: usize>(
             };
         }
         let mut v_eq = bitline::share(Volts(bl[col]), bl_cap, &participants[..n]).value();
-        v_eq += bias + noise.normal(0.0, noise_sigma);
+        v_eq += bias + eq_noise[col];
         v_eq = v_eq.clamp(0.0, v_max);
         bl[col] = v_eq;
         for rs in state.iter_mut().take(n) {
@@ -1113,8 +1177,8 @@ fn share_columns<const CAP: usize>(
 /// The dominant share shape — one open row, no glitch weighting (every
 /// plain activation and Frac step) — with the row references hoisted out
 /// of the column loop. The body replays `bitline::share` with a single
-/// weight-1.0 participant operation for operation, so the produced bits
-/// (and the RNG draw sequence: exactly one `normal` per column) match
+/// weight-1.0 participant operation for operation, and reads the same
+/// pre-filled `eq_noise` buffer, so the produced bits match
 /// `share_columns::<1>` exactly.
 #[allow(clippy::too_many_arguments)]
 fn share_columns_single(
@@ -1124,10 +1188,9 @@ fn share_columns_single(
     bl_cap: Femtofarads,
     settle: f64,
     bias: f64,
-    noise_sigma: f64,
+    eq_noise: &[f64],
     v_max: f64,
     cols: usize,
-    noise: &mut NoiseRng,
 ) {
     let blc = bl_cap.value();
     #[allow(clippy::needless_range_loop)]
@@ -1141,7 +1204,7 @@ fn share_columns_single(
         num += eff * v;
         den += eff;
         let mut v_eq = num / den;
-        v_eq += bias + noise.normal(0.0, noise_sigma);
+        v_eq += bias + eq_noise[col];
         v_eq = v_eq.clamp(0.0, v_max);
         bl[col] = v_eq;
         rs.v[col] = cell::settle_toward(Volts(rs.v[col]), Volts(v_eq), settle).value();
@@ -1158,7 +1221,7 @@ mod tests {
         silicon: Silicon,
         env: Environment,
         timing: InternalTiming,
-        noise: NoiseRng,
+        noise: NoiseEngine,
         perf: ModelPerf,
         cache: MaterializeCache,
         sub: Subarray,
@@ -1175,7 +1238,7 @@ mod tests {
                 silicon: Silicon::new(0xBEEF, params, group.profile()),
                 env: Environment::nominal(),
                 timing: InternalTiming::default(),
-                noise: NoiseRng::new(42),
+                noise: NoiseEngine::new(42),
                 perf: ModelPerf::default(),
                 cache: MaterializeCache::new(0xBEEF),
                 sub: Subarray::new(0, 0, 32, 32),
@@ -1209,7 +1272,7 @@ mod tests {
                 silicon: &self.silicon,
                 env: &self.env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -1226,7 +1289,7 @@ mod tests {
                 silicon: &self.silicon,
                 env: &self.env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -1244,7 +1307,7 @@ mod tests {
                 silicon: &self.silicon,
                 env: &self.env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -1260,7 +1323,7 @@ mod tests {
                 silicon: &self.silicon,
                 env: &self.env,
                 timing: &self.timing,
-                noise: &mut self.noise,
+                noise: &self.noise,
                 perf: &mut self.perf,
                 cache: &mut self.cache,
             };
@@ -1294,7 +1357,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1312,7 +1375,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1364,7 +1427,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1386,7 +1449,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1424,7 +1487,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1450,7 +1513,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1482,7 +1545,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1512,7 +1575,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1583,7 +1646,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1612,7 +1675,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1637,7 +1700,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };
@@ -1654,7 +1717,7 @@ mod tests {
             silicon: &b.silicon,
             env: &b.env,
             timing: &b.timing,
-            noise: &mut b.noise,
+            noise: &b.noise,
             perf: &mut b.perf,
             cache: &mut b.cache,
         };

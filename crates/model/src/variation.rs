@@ -17,8 +17,16 @@
 //!    costs nothing until touched.
 //!
 //! *Temporal* noise (thermal noise on a bit-line, sense-amp sampling
-//! noise) is drawn from a stateful [`NoiseRng`] instead, because it must
-//! differ between repeated evaluations of the same cell.
+//! noise) must differ between repeated evaluations of the same cell, but
+//! it is **not** drawn from a stateful stream: every draw of the
+//! [`NoiseEngine`] is a pure function of
+//! `(die seed, purpose, event fire time, coordinates, column)`. The
+//! absolute cycle timestamp of the internal event is the draw's
+//! "counter" — the clock only moves forward, so repeated evaluations of
+//! the same cell see fresh noise, while replaying the same command
+//! sequence from the same clock reproduces it bit-exactly. Because draw
+//! values never depend on draw *order*, snapshot restore is exact with
+//! zero stream bookkeeping and chips can be simulated in parallel.
 
 /// SplitMix64 finalizer; a strong 64-bit mixing function.
 #[inline]
@@ -168,80 +176,129 @@ impl VariationSampler {
     }
 }
 
-/// Stateful xorshift-based RNG for temporal noise.
+/// The distinct temporal-noise draw purposes.
 ///
-/// Deterministic given its seed, but each draw advances the state so that
-/// repeated evaluations of the same physical event see fresh noise.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct NoiseRng {
-    state: u64,
-    draws: u64,
+/// Part of every noise key, so two different draws made for the same
+/// event (say the sense normal and the fault-flip uniform of the same
+/// column) can never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum NoisePurpose {
+    /// Bit-line equalization noise during charge sharing.
+    ShareEq = 1,
+    /// Per-slot decoder-timing jitter on multi-row share weights.
+    ShareWeight = 2,
+    /// Sense-amplifier sampling noise at sense enable.
+    Sense = 3,
+    /// Transient sense-amp fault-flip uniform at sense enable.
+    SenseFlip = 4,
+    /// Sense-amplifier sampling noise during an internal refresh.
+    Refresh = 5,
+    /// Transient sense-amp fault-flip uniform during a refresh.
+    RefreshFlip = 6,
 }
 
-impl NoiseRng {
+/// Stateless counter-keyed temporal-noise source.
+///
+/// Each draw is a pure function of
+/// `(die seed, purpose, event fire time, coordinates, lane)` hashed
+/// through SplitMix64 and shaped by the ziggurat normal sampler — no
+/// sequential state, no draw-order dependence. The event's absolute
+/// cycle timestamp acts as the counter: the simulated clock is strictly
+/// monotone across commands, so re-evaluating the same cell later sees
+/// fresh noise, while replaying identical commands from an identical
+/// clock reproduces identical noise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseEngine {
+    seed: u64,
+}
+
+impl NoiseEngine {
     /// Creates a noise source; `seed` is mixed so that low-entropy seeds
     /// (0, 1, 2...) still produce well-distributed streams.
     pub fn new(seed: u64) -> Self {
-        NoiseRng {
-            state: splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
-            draws: 0,
+        NoiseEngine {
+            seed: splitmix64(seed ^ 0xDEAD_BEEF_CAFE_F00D),
         }
     }
 
-    /// Next raw 64 bits.
-    pub fn next_u64(&mut self) -> u64 {
-        // xorshift64* with a SplitMix finalize for good equidistribution.
-        let mut x = self.state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.state = x;
-        self.draws += 1;
-        splitmix64(x)
-    }
-
-    /// Monotone count of raw draws since construction. Snapshot/restore
-    /// uses the delta between two counts to fast-forward a stream past a
-    /// skipped command sequence without replaying it.
-    pub fn draws(&self) -> u64 {
-        self.draws
-    }
-
-    /// Advances the stream by `n` raw draws, discarding the outputs.
-    /// After `skip(n)` the state (and draw count) is exactly what `n`
-    /// calls to [`NoiseRng::next_u64`] would have produced.
-    pub fn skip(&mut self, n: u64) {
-        for _ in 0..n {
-            let mut x = self.state;
-            x ^= x >> 12;
-            x ^= x << 25;
-            x ^= x >> 27;
-            self.state = x;
-        }
-        self.draws += n;
-    }
-
-    /// Uniform `f64` in `[0, 1)`.
-    pub fn uniform(&mut self) -> f64 {
-        to_unit_f64(self.next_u64())
-    }
-
-    /// Standard normal draw (Box–Muller).
-    pub fn standard_normal(&mut self) -> f64 {
-        let u1 = self.uniform().max(1e-300);
-        let u2 = self.uniform();
-        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-    }
-
-    /// Normal draw with mean `mu` and standard deviation `sigma`.
+    /// Anchors a per-event noise stream. `coords` identify the physical
+    /// location (bank, sub-array, and row where several same-purpose
+    /// events can share a fire time, as refresh does).
     ///
-    /// A `sigma` of zero short-circuits to `mu` without advancing the state
-    /// differently; noise-free configurations remain fully deterministic.
-    pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
+    /// The key folding replicates [`hash_coords`] over
+    /// `[seed, purpose, t, coords...]` without building a slice.
+    #[inline]
+    pub fn event(&self, purpose: NoisePurpose, t: u64, coords: &[u64]) -> NoiseEvent {
+        let mut acc: u64 = 0x51C6_4372_11E5_BEEF;
+        for &w in [self.seed, purpose as u64, t].iter().chain(coords) {
+            acc = splitmix64(acc ^ w.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        NoiseEvent {
+            base: splitmix64(acc),
+        }
+    }
+}
+
+/// One internal event's anchored noise stream: a cheap `Copy` key from
+/// which any lane (usually a column) derives its draw independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseEvent {
+    base: u64,
+}
+
+impl NoiseEvent {
+    /// First keyed word of `lane`'s stream.
+    #[inline]
+    fn word0(&self, lane: u64) -> u64 {
+        splitmix64(self.base ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Standard normal draw for `lane` (ziggurat; extra words for the
+    /// rare wedge/tail path are derived from the first, counter-style).
+    #[inline]
+    pub fn standard_normal(&self, lane: u64) -> f64 {
+        let w0 = self.word0(lane);
+        let mut k = 0u64;
+        fracdram_stats::ziggurat::ziggurat_normal(|| {
+            k += 1;
+            if k == 1 {
+                w0
+            } else {
+                splitmix64(w0 ^ (k - 1).wrapping_mul(0xD134_2543_DE82_EF95))
+            }
+        })
+    }
+
+    /// Normal draw for `lane` with mean `mu` and standard deviation
+    /// `sigma`. A `sigma` of zero short-circuits to `mu`; noise-free
+    /// configurations remain fully deterministic.
+    #[inline]
+    pub fn normal(&self, lane: u64, mu: f64, sigma: f64) -> f64 {
         if sigma == 0.0 {
             return mu;
         }
-        mu + sigma * self.standard_normal()
+        mu + sigma * self.standard_normal(lane)
+    }
+
+    /// Uniform draw in `[0, 1)` for `lane`.
+    #[inline]
+    pub fn uniform(&self, lane: u64) -> f64 {
+        to_unit_f64(self.word0(lane))
+    }
+
+    /// Batch pass: fills `out[lane]` with `sigma`-scaled zero-mean
+    /// normals for every lane, returning the number of draws made (zero
+    /// when `sigma == 0`, which fills zeros).
+    pub fn fill_normal(&self, sigma: f64, out: &mut [f64]) -> u64 {
+        if sigma == 0.0 {
+            out.fill(0.0);
+            return 0;
+        }
+        for (lane, v) in out.iter_mut().enumerate() {
+            *v = sigma * self.standard_normal(lane as u64);
+        }
+        out.len() as u64
     }
 }
 
@@ -337,55 +394,74 @@ mod tests {
     }
 
     #[test]
-    fn noise_rng_advances() {
-        let mut rng = NoiseRng::new(3);
-        let a = rng.uniform();
-        let b = rng.uniform();
-        assert_ne!(a, b);
+    fn noise_fresh_across_event_times() {
+        let engine = NoiseEngine::new(3);
+        let a = engine.event(NoisePurpose::Sense, 100, &[0, 0]).uniform(0);
+        let b = engine.event(NoisePurpose::Sense, 101, &[0, 0]).uniform(0);
+        assert_ne!(a, b, "the event clock is the freshness counter");
     }
 
     #[test]
-    fn noise_rng_is_reproducible() {
-        let mut a = NoiseRng::new(11);
-        let mut b = NoiseRng::new(11);
-        for _ in 0..100 {
-            assert_eq!(a.next_u64(), b.next_u64());
+    fn noise_is_a_pure_function_of_its_key() {
+        let a = NoiseEngine::new(11);
+        let b = NoiseEngine::new(11);
+        for t in 0..100 {
+            let ea = a.event(NoisePurpose::ShareEq, t, &[1, 2]);
+            let eb = b.event(NoisePurpose::ShareEq, t, &[1, 2]);
+            for lane in 0..4 {
+                assert_eq!(
+                    ea.standard_normal(lane).to_bits(),
+                    eb.standard_normal(lane).to_bits()
+                );
+            }
         }
+        // Every key component matters.
+        let base = a.event(NoisePurpose::Sense, 5, &[1, 2]).uniform(0);
+        assert_ne!(
+            base,
+            a.event(NoisePurpose::SenseFlip, 5, &[1, 2]).uniform(0)
+        );
+        assert_ne!(base, a.event(NoisePurpose::Sense, 6, &[1, 2]).uniform(0));
+        assert_ne!(base, a.event(NoisePurpose::Sense, 5, &[1, 3]).uniform(0));
+        assert_ne!(base, a.event(NoisePurpose::Sense, 5, &[1, 2]).uniform(1));
+        assert_ne!(
+            base,
+            NoiseEngine::new(12)
+                .event(NoisePurpose::Sense, 5, &[1, 2])
+                .uniform(0)
+        );
     }
 
     #[test]
     fn noise_normal_zero_sigma_is_exact() {
-        let mut rng = NoiseRng::new(1);
-        assert_eq!(rng.normal(0.75, 0.0), 0.75);
+        let event = NoiseEngine::new(1).event(NoisePurpose::Sense, 7, &[0]);
+        assert_eq!(event.normal(0, 0.75, 0.0), 0.75);
     }
 
     #[test]
-    fn noise_skip_matches_discarded_draws() {
-        let mut a = NoiseRng::new(77);
-        let mut b = NoiseRng::new(77);
-        for _ in 0..13 {
-            a.next_u64();
+    fn noise_fill_matches_lane_draws_and_counts() {
+        let event = NoiseEngine::new(9).event(NoisePurpose::ShareEq, 42, &[0, 1]);
+        let mut buf = vec![0.0; 33];
+        assert_eq!(event.fill_normal(0.5, &mut buf), 33);
+        for (lane, &v) in buf.iter().enumerate() {
+            assert_eq!(v.to_bits(), event.normal(lane as u64, 0.0, 0.5).to_bits());
         }
-        b.skip(13);
-        assert_eq!(a, b);
-        assert_eq!(b.draws(), 13);
-        assert_eq!(a.next_u64(), b.next_u64());
-    }
-
-    #[test]
-    fn noise_normal_zero_sigma_does_not_draw() {
-        let mut rng = NoiseRng::new(5);
-        rng.normal(1.0, 0.0);
-        assert_eq!(rng.draws(), 0);
-        rng.normal(1.0, 0.5);
-        assert_eq!(rng.draws(), 2, "Box-Muller consumes two raw draws");
+        // Zero sigma fills zeros and draws nothing.
+        assert_eq!(event.fill_normal(0.0, &mut buf), 0);
+        assert!(buf.iter().all(|&v| v == 0.0));
     }
 
     #[test]
     fn noise_normal_moments() {
-        let mut rng = NoiseRng::new(2024);
-        let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| rng.normal(1.0, 0.5)).collect();
+        let engine = NoiseEngine::new(2024);
+        let n = 20_000u64;
+        let samples: Vec<f64> = (0..n)
+            .map(|t| {
+                engine
+                    .event(NoisePurpose::Sense, t, &[0])
+                    .normal(0, 1.0, 0.5)
+            })
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean = {mean}");

@@ -13,6 +13,8 @@
 //!   applies before feeding PUF responses to the NIST suite;
 //! - [`special`], [`fft`], [`matrix_rank`] — the numerical kernels
 //!   (erfc, incomplete gamma, DFT, GF(2) rank) the NIST tests need;
+//! - [`ziggurat`] — the table-driven exact standard-normal sampler the
+//!   model's counter-keyed noise engine draws through;
 //! - [`nist`] — the full NIST SP 800-22 suite (all 15 tests, §VI-B2).
 //!
 //! ## Example
@@ -45,6 +47,7 @@ pub mod nist;
 pub mod rng;
 pub mod special;
 pub mod summary;
+pub mod ziggurat;
 
 pub use bits::BitVec;
 pub use hamming::HdReport;

@@ -98,10 +98,21 @@ impl Rng {
         }
     }
 
-    /// A vector of `n` fair random bools — the shape every stability
-    /// trial uses for operand rows.
+    /// Fills `out` with fair random bools — the allocation-free shape
+    /// the trial hot loop uses for operand rows. Draw-compatible with
+    /// [`Rng::gen_bools`]: one `next_u64` per bool, in order.
+    pub fn fill_bools(&mut self, out: &mut [bool]) {
+        for b in out.iter_mut() {
+            *b = self.gen_bool();
+        }
+    }
+
+    /// A vector of `n` fair random bools (see [`Rng::fill_bools`] for
+    /// the allocation-free form).
     pub fn gen_bools(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|_| self.gen_bool()).collect()
+        let mut out = vec![false; n];
+        self.fill_bools(&mut out);
+        out
     }
 }
 
@@ -155,6 +166,17 @@ mod tests {
         for c in counts {
             assert!((2_700..3_300).contains(&c), "counts = {counts:?}");
         }
+    }
+
+    #[test]
+    fn fill_bools_matches_gen_bools() {
+        let mut a = Rng::seed_from_u64(3);
+        let mut b = Rng::seed_from_u64(3);
+        let v = a.gen_bools(257);
+        let mut buf = vec![false; 257];
+        b.fill_bools(&mut buf);
+        assert_eq!(v, buf);
+        assert_eq!(a, b, "draw counts diverged");
     }
 
     #[test]
