@@ -69,6 +69,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     // ---- 1. static weight variation vs coverage ----------------------
     println!(

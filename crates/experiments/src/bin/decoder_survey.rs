@@ -48,6 +48,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     let plan: Vec<TaskKey> = [GroupId::B, GroupId::C, GroupId::D, GroupId::F]
         .into_iter()

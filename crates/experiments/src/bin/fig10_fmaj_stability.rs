@@ -75,6 +75,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     // ---- (a) per-combination breakdown, group C, frac in R1, ones ----
     println!(

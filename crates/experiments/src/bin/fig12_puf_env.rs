@@ -48,6 +48,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     let geometry = setup::puf_geometry(cols);
     let challenges = challenge_set(&geometry, n_challenges, seed);

@@ -31,6 +31,7 @@ fn main() {
     let ops = args.usize("ops", 2);
     let seed = args.u64("seed", 3);
     setup::set_intra_jobs(args.intra_jobs());
+    args.reject_unknown();
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let row = RowAddr::new(0, 4);

@@ -149,6 +149,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let geometry = *mc.module().geometry();

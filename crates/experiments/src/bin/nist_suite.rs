@@ -55,6 +55,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     // A roomy row space so every challenge addresses a distinct row —
     // re-evaluating a row reproduces (almost) the same response, and

@@ -35,6 +35,7 @@ fn main() {
     }
     let seed = args.u64("seed", 14);
     setup::set_intra_jobs(args.intra_jobs());
+    args.reject_unknown();
 
     let mut mc = setup::controller(GroupId::B, setup::compute_geometry(), seed);
     let geometry = *mc.module().geometry();

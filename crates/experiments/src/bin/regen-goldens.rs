@@ -9,6 +9,9 @@
 //!   `fig11_puf_hd --challenges 8 --jobs 1`
 //! * `experiments_output.txt` — all fifteen experiment binaries at
 //!   default arguments, concatenated under `== name` banners.
+//! * `crates/serve/tests/golden/replay_responses.log` —
+//!   `fracdram-serve --replay crates/serve/tests/golden/replay_requests.log`
+//!   (the daemon's replay golden).
 //!
 //! Every fleet binary is executed twice, at `--jobs 1` and `--jobs 8`,
 //! and the two captures are compared byte-for-byte before anything is
@@ -17,7 +20,7 @@
 //! executable, so build everything first:
 //!
 //! ```text
-//! cargo build --release -p fracdram-experiments
+//! cargo build --release
 //! cargo run --release -p fracdram-experiments --bin regen-goldens
 //! ```
 
@@ -85,6 +88,16 @@ fn main() {
         }
     }
     write_capture(&root.join("experiments_output.txt"), &out);
+
+    // ---- server replay golden ----------------------------------------
+    let serve_golden = root.join("crates/serve/tests/golden");
+    let requests = serve_golden.join("replay_requests.log");
+    let replay = capture(
+        &bin_dir,
+        "fracdram-serve",
+        &["--replay", requests.to_str().expect("utf-8 path")],
+    );
+    write_capture(&serve_golden.join("replay_responses.log"), &replay);
 
     eprintln!("regen-goldens: all captures regenerated");
 }

@@ -36,6 +36,7 @@ fn main() {
     setup::set_intra_jobs(args.intra_jobs());
     let jobs = args.jobs();
     let policy = args.failure_policy();
+    args.reject_unknown();
 
     let mut plan = Vec::new();
     for group in GroupId::ALL {

@@ -4,21 +4,38 @@
 //! count, rows sampled, trial count, seed) so the paper-scale sweep can
 //! be requested explicitly while the default run finishes in seconds.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use crate::fleet::{FailureMode, FleetPolicy};
 
 /// Keys that are value-less boolean flags rather than `--key value`
 /// pairs.
-const FLAG_KEYS: &[&str] = &["fail-fast", "keep-going"];
+const FLAG_KEYS: &[&str] = &["fail-fast", "keep-going", "shutdown", "no-fault"];
+
+/// The usage banner a binary registered via [`Args::usage`], kept so
+/// [`Args::reject_unknown`] can reprint it when a typo is detected.
+#[derive(Debug, Clone, Default)]
+struct UsageBanner {
+    name: String,
+    description: String,
+    params: Vec<(String, String)>,
+}
 
 /// Parsed command-line arguments: `--key value` pairs, boolean flags,
 /// plus a `--help` flag.
+///
+/// Every accessor records the key it consumed; [`Args::reject_unknown`]
+/// then fails the process on any argument that was neither consumed nor
+/// declared in the usage table — a typo like `--job 8` must not
+/// silently run the default configuration.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: BTreeMap<String, String>,
     flags: BTreeSet<String>,
     help: bool,
+    consumed: RefCell<BTreeSet<String>>,
+    banner: RefCell<UsageBanner>,
 }
 
 impl Args {
@@ -64,6 +81,8 @@ impl Args {
             values,
             flags,
             help,
+            consumed: RefCell::new(BTreeSet::new()),
+            banner: RefCell::new(UsageBanner::default()),
         }
     }
 
@@ -72,12 +91,56 @@ impl Args {
         self.help
     }
 
+    fn consume(&self, key: &str) {
+        self.consumed.borrow_mut().insert(key.to_string());
+    }
+
+    /// Keys that were passed on the command line but never consumed by
+    /// an accessor nor declared in the usage table — typos, or flags
+    /// meant for a different binary.
+    pub fn unknown_keys(&self) -> Vec<String> {
+        let consumed = self.consumed.borrow();
+        let banner = self.banner.borrow();
+        self.values
+            .keys()
+            .chain(self.flags.iter())
+            .filter(|key| !consumed.contains(*key) && !banner.params.iter().any(|(k, _)| k == *key))
+            .cloned()
+            .collect()
+    }
+
+    /// Fails the process (exit status 2, help text on stderr) when any
+    /// argument was never read — call this after the binary has pulled
+    /// all its parameters. Without it, `--intrajobs 4` would silently
+    /// run the default config.
+    pub fn reject_unknown(&self) {
+        let unknown = self.unknown_keys();
+        if unknown.is_empty() {
+            return;
+        }
+        let banner = self.banner.borrow();
+        for key in &unknown {
+            eprintln!("error: unknown argument --{key}");
+        }
+        if banner.name.is_empty() {
+            eprintln!("(run with --help for usage)");
+        } else {
+            eprintln!("\n{} — {}\n", banner.name, banner.description);
+            eprintln!("options:");
+            for (key, what) in &banner.params {
+                eprintln!("  --{key:<14} {what}");
+            }
+        }
+        std::process::exit(2);
+    }
+
     /// Integer parameter with a default.
     ///
     /// # Panics
     ///
     /// Panics when the value does not parse as an integer.
     pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.consume(key);
         match self.values.get(key) {
             Some(v) => v
                 .parse()
@@ -92,6 +155,7 @@ impl Args {
     ///
     /// Panics when the value does not parse.
     pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.consume(key);
         match self.values.get(key) {
             Some(v) => v
                 .parse()
@@ -102,6 +166,7 @@ impl Args {
 
     /// String parameter, if present.
     pub fn str(&self, key: &str) -> Option<&str> {
+        self.consume(key);
         self.values.get(key).map(String::as_str)
     }
 
@@ -144,6 +209,7 @@ impl Args {
 
     /// Whether a boolean flag (e.g. `--keep-going`) was passed.
     pub fn flag(&self, key: &str) -> bool {
+        self.consume(key);
         self.flags.contains(key)
     }
 
@@ -176,6 +242,7 @@ impl Args {
     ///
     /// Panics when the value does not parse.
     pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.consume(key);
         match self.values.get(key) {
             Some(v) => v
                 .parse()
@@ -187,6 +254,14 @@ impl Args {
     /// Prints a standard usage banner and returns `true` when the caller
     /// should exit (i.e. `--help` was requested).
     pub fn usage(&self, name: &str, description: &str, params: &[(&str, &str)]) -> bool {
+        *self.banner.borrow_mut() = UsageBanner {
+            name: name.to_string(),
+            description: description.to_string(),
+            params: params
+                .iter()
+                .map(|(k, w)| (k.to_string(), w.to_string()))
+                .collect(),
+        };
         if !self.help {
             return false;
         }
@@ -294,5 +369,37 @@ mod tests {
     #[should_panic(expected = "expects an integer")]
     fn bad_integer_panics() {
         args(&["--chips", "four"]).usize("chips", 1);
+    }
+
+    /// The typo regression: a `--key value` pair nobody reads must be
+    /// reported, not silently ignored.
+    #[test]
+    fn unread_keys_are_unknown() {
+        let a = args(&["--job", "8", "--trials", "5", "--intrajobs", "4"]);
+        let _ = a.usize("trials", 1);
+        assert_eq!(a.unknown_keys(), vec!["intrajobs", "job"]);
+        // Reading the rest clears them.
+        let _ = a.usize("job", 1);
+        let _ = a.usize("intrajobs", 1);
+        assert!(a.unknown_keys().is_empty());
+    }
+
+    #[test]
+    fn declared_usage_params_count_as_known() {
+        let a = args(&["--json", "out.json", "--chips", "2"]);
+        let _ = a.usize("chips", 1);
+        // `--json` is read late by the binaries; declaring it in the
+        // usage table keeps it accepted before that read happens.
+        assert_eq!(a.unknown_keys(), vec!["json"]);
+        a.usage("unit", "test binary", &[("json", "dump path")]);
+        assert!(a.unknown_keys().is_empty());
+    }
+
+    #[test]
+    fn unconsumed_flags_are_unknown() {
+        let a = args(&["--keep-going"]);
+        assert_eq!(a.unknown_keys(), vec!["keep-going"]);
+        a.failure_policy();
+        assert!(a.unknown_keys().is_empty());
     }
 }

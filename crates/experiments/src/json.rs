@@ -1,10 +1,14 @@
-//! A tiny JSON value builder and serializer.
+//! A tiny JSON value builder, serializer, and parser.
 //!
 //! The experiment fleet dumps structured results (`--json PATH`) so
-//! benchmark trajectories can be tracked across PRs. The workspace
-//! builds fully offline, so instead of `serde_json` this module
-//! provides the minimal value tree the dumps need, with correct string
-//! escaping and float formatting.
+//! benchmark trajectories can be tracked across PRs, and the
+//! `fracdram-serve` daemon speaks line-delimited JSON on its socket.
+//! The workspace builds fully offline, so instead of `serde_json` this
+//! module provides the minimal value tree those uses need, with correct
+//! string escaping, float formatting, and **exact integers**: die seeds
+//! and FNV program hashes are full-range `u64` values, so integers get
+//! their own [`Json::Int`] variant instead of being routed through
+//! `f64` (which silently corrupts anything at or above 2⁵³).
 
 use std::fmt;
 
@@ -15,7 +19,10 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A finite number (non-finite values serialize as `null`).
+    /// An exact integer. Wide enough for the full `u64` and `i64`
+    /// ranges, so seeds, hashes, and counters round-trip bit-exactly.
+    Int(i128),
+    /// A finite float (non-finite values serialize as `null`).
     Num(f64),
     /// A string.
     Str(String),
@@ -43,6 +50,79 @@ impl Json {
         }
         self
     }
+
+    /// Looks a field up in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact integer ([`Json::Int`], or a [`Json::Num`]
+    /// that happens to be integral — clients are allowed to send `3.0`).
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(x) if x.fract() == 0.0 && x.abs() < 9e15 => Some(*x as i128),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i128().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as a `usize`, when exactly representable.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i128().and_then(|i| usize::try_from(i).ok())
+    }
+
+    /// The value as a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax error, with its byte
+    /// offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
 }
 
 impl From<bool> for Json {
@@ -59,13 +139,25 @@ impl From<f64> for Json {
 
 impl From<usize> for Json {
     fn from(x: usize) -> Json {
-        Json::Num(x as f64)
+        Json::Int(x as i128)
     }
 }
 
 impl From<u64> for Json {
     fn from(x: u64) -> Json {
-        Json::Num(x as f64)
+        Json::Int(i128::from(x))
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::Int(i128::from(x))
+    }
+}
+
+impl From<i64> for Json {
+    fn from(x: i64) -> Json {
+        Json::Int(i128::from(x))
     }
 }
 
@@ -108,6 +200,7 @@ impl fmt::Display for Json {
         match self {
             Json::Null => f.write_str("null"),
             Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
             Json::Num(x) if x.is_finite() => {
                 if x.fract() == 0.0 && x.abs() < 9e15 {
                     write!(f, "{}", *x as i64)
@@ -140,6 +233,204 @@ impl fmt::Display for Json {
                 f.write_str("}")
             }
         }
+    }
+}
+
+/// Nesting depth beyond which [`Json::parse`] refuses (stack safety on
+/// hostile socket input).
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err("nesting too deep".to_string());
+        }
+        match self.peek() {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| "unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| format!("bad \\u at byte {}", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // protocol; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or_else(|| format!("bad UTF-8 at byte {start}"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number at byte {start}"))
     }
 }
 
@@ -178,5 +469,83 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn field_on_scalar_panics() {
         let _ = Json::Null.field("x", 1.0);
+    }
+
+    /// The regression this module exists for: `u64` seeds and hashes at
+    /// or above 2⁵³ used to be routed through `f64` and silently
+    /// rounded. They must round-trip exactly now.
+    #[test]
+    fn u64_round_trips_exactly() {
+        for value in [
+            u64::MAX,
+            u64::MAX - 1,
+            (1u64 << 53) + 1,
+            0x9E37_79B9_7F4A_7C15,
+            0,
+        ] {
+            let doc = Json::obj().field("seed", value).to_string();
+            let parsed = Json::parse(&doc).unwrap();
+            assert_eq!(
+                parsed.get("seed").unwrap().as_u64(),
+                Some(value),
+                "{value} corrupted through {doc}"
+            );
+        }
+        // The old behavior really was lossy.
+        assert_ne!((u64::MAX as f64) as u128, u64::MAX as u128);
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let j = Json::obj()
+            .field("op", "trng")
+            .field("die", 3usize)
+            .field("hash", u64::MAX)
+            .field("alpha", 0.25)
+            .field("flags", vec![true, false])
+            .field("nested", Json::obj().field("x", Json::Null));
+        let text = j.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), j);
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_escapes() {
+        let j = Json::parse(" { \"a\" : [ 1 , -2.5e2 , \"x\\ny\" ] } ").unwrap();
+        let arr = match j.get("a").unwrap() {
+            Json::Arr(v) => v,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(arr[0], Json::Int(1));
+        assert_eq!(arr[1], Json::Num(-250.0));
+        assert_eq!(arr[2].as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err(), "depth limit");
+    }
+
+    #[test]
+    fn accessors_convert() {
+        let j = Json::obj()
+            .field("i", 7u64)
+            .field("f", 2.0)
+            .field("s", "hi")
+            .field("b", true);
+        assert_eq!(j.get("i").unwrap().as_usize(), Some(7));
+        assert_eq!(j.get("i").unwrap().as_f64(), Some(7.0));
+        assert_eq!(j.get("f").unwrap().as_u64(), Some(2), "integral float");
+        assert_eq!(j.get("s").unwrap().as_str(), Some("hi"));
+        assert_eq!(j.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(Json::Num(0.5).as_i128(), None);
+        assert_eq!(Json::Int(-1).as_u64(), None);
     }
 }

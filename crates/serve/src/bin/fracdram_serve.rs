@@ -1,0 +1,167 @@
+//! The FracDRAM service daemon.
+//!
+//! Serves TRNG / PUF / Frac-storage endpoints over line-delimited JSON
+//! on a TCP socket (see `fracdram_serve::protocol`), or — with
+//! `--replay` — re-executes a recorded canonical request log offline
+//! and prints the byte-reproducible response log.
+//!
+//! ```text
+//! cargo run --release -p fracdram-serve --bin fracdram-serve -- --port 4717
+//! cargo run --release -p fracdram-serve --bin fracdram-serve -- \
+//!     --replay requests.log --out replay.log
+//! ```
+
+use std::time::Duration;
+
+use fracdram_experiments::Args;
+use fracdram_model::GroupId;
+use fracdram_serve::{run_replay, start_on, ServeConfig};
+
+fn parse_group(name: &str) -> Option<GroupId> {
+    Some(match name {
+        "A" => GroupId::A,
+        "B" => GroupId::B,
+        "C" => GroupId::C,
+        "D" => GroupId::D,
+        "E" => GroupId::E,
+        "F" => GroupId::F,
+        "G" => GroupId::G,
+        "H" => GroupId::H,
+        "I" => GroupId::I,
+        "J" => GroupId::J,
+        "K" => GroupId::K,
+        "L" => GroupId::L,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.usage(
+        "fracdram-serve",
+        "persistent daemon serving TRNG / PUF / Frac-storage endpoints over line-delimited JSON",
+        &[
+            (
+                "port",
+                "TCP port to listen on; 0 picks a free one (default 4717)",
+            ),
+            ("dies", "number of addressable dies (default 16)"),
+            ("shards", "shard worker threads (default 4)"),
+            (
+                "queue-depth",
+                "bounded per-shard queue; full sheds 503 (default 64)",
+            ),
+            (
+                "batch",
+                "max requests coalesced per shard drain (default 8)",
+            ),
+            (
+                "cols",
+                "columns per sub-array / row width in bits (default 128)",
+            ),
+            (
+                "seed",
+                "pool seed; die d gen g is mix(seed, [d, g]) (default 4070704035)",
+            ),
+            ("group", "DRAM group letter A..L (default B)"),
+            (
+                "fault-limit",
+                "fault events before a die is auto-remapped (default 2048)",
+            ),
+            (
+                "record-requests",
+                "write the canonical request log here on shutdown",
+            ),
+            (
+                "record-responses",
+                "write the matching response log here on shutdown",
+            ),
+            (
+                "replay",
+                "offline mode: re-execute this request log and exit",
+            ),
+            ("out", "replay output path, or - for stdout (default -)"),
+        ],
+    ) {
+        return;
+    }
+
+    let defaults = ServeConfig::default();
+    let group_name = args.str("group").unwrap_or("B").to_string();
+    let Some(group) = parse_group(&group_name) else {
+        eprintln!("error: unknown DRAM group {group_name:?} (expected a letter A..L)");
+        std::process::exit(2);
+    };
+    let cfg = ServeConfig {
+        group,
+        dies: args.usize("dies", defaults.dies),
+        shards: args.usize("shards", defaults.shards),
+        queue_depth: args.usize("queue-depth", defaults.queue_depth),
+        batch: args.usize("batch", defaults.batch),
+        columns: args.usize("cols", defaults.columns),
+        seed: args.u64("seed", defaults.seed),
+        fault_limit: args.u64("fault-limit", defaults.fault_limit),
+    };
+    if cfg.columns == 0 || !cfg.columns.is_multiple_of(4) {
+        eprintln!("error: --cols must be a positive multiple of 4");
+        std::process::exit(2);
+    }
+
+    let port = args.usize("port", 4717) as u16;
+    let replay = args.str("replay").map(str::to_string);
+    let out = args.str("out").unwrap_or("-").to_string();
+    let record_requests = args.str("record-requests").map(str::to_string);
+    let record_responses = args.str("record-responses").map(str::to_string);
+    args.reject_unknown();
+
+    if let Some(path) = replay {
+        let requests = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read --replay {path}: {e}");
+            std::process::exit(1);
+        });
+        let responses = run_replay(&cfg, &requests).unwrap_or_else(|e| {
+            eprintln!("error: replay failed: {e}");
+            std::process::exit(1);
+        });
+        if out == "-" {
+            print!("{responses}");
+        } else if let Err(e) = std::fs::write(&out, &responses) {
+            eprintln!("error: cannot write --out {out}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let handle = start_on(cfg.clone(), port).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind 127.0.0.1:{port}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "fracdram-serve: listening on {} ({} die(s), {} shard(s), group {}); \
+         send {{\"op\":\"shutdown\"}} to stop",
+        handle.addr(),
+        cfg.dies,
+        cfg.shards,
+        cfg.group,
+    );
+    while !handle.is_stopped() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let report = handle.join();
+    eprintln!(
+        "fracdram-serve: drained — {} request(s) served, {} shed",
+        report.processed, report.shed
+    );
+    if let Some(path) = record_requests {
+        if let Err(e) = std::fs::write(&path, &report.request_log) {
+            eprintln!("error: cannot write --record-requests {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = record_responses {
+        if let Err(e) = std::fs::write(&path, &report.response_log) {
+            eprintln!("error: cannot write --record-responses {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # fracdram-serve — FracDRAM as a service
+//!
+//! The experiment fleet proves the paper's primitives work; this crate
+//! serves them. A persistent daemon owns a sharded pool of simulated
+//! modules and exposes the useful primitives to concurrent clients
+//! over a line-delimited JSON protocol on TCP:
+//!
+//! * `trng` — whitened random bit streams (QUAC-style four-row TRNG);
+//! * `puf` / `enroll` / `verify` — Frac-PUF challenge→response
+//!   evaluation, enrollment with a per-die signature cache, and
+//!   threshold authentication;
+//! * `write` / `copy` / `read` — Frac write and in-array row copy as a
+//!   storage primitive;
+//! * `fault` / `mark-bad` / `status` — fault-injection control,
+//!   administrative die retirement, and the health/remap report.
+//!
+//! Production concerns are the point of the crate: storage requests
+//! coalesce into combined `softmc` programs per die, bounded per-shard
+//! queues shed overload with `503` responses, a die that fails (or
+//! trips its fault-event limit) is remapped to fresh silicon without
+//! dropping requests, and the recorded request log replays to a
+//! byte-identical response log ([`server::run_replay`]). See DESIGN.md
+//! §"FracDRAM as a service" for why the determinism holds and
+//! EXPERIMENTS.md for the measured serving latencies.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use pool::{RemapEvent, Reply, ServeConfig, ShardState, StatusBoard};
+pub use protocol::{bits_to_hex, hex_to_bits, Request, WritePayload};
+pub use server::{run_replay, start, start_on, ServerHandle, ServerReport};

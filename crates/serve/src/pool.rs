@@ -1,0 +1,769 @@
+//! The die pool: per-shard execution state for the daemon.
+//!
+//! Each [`ShardState`] owns the simulated dies whose ids hash to its
+//! shard (`die % shards`) and executes requests against them strictly
+//! in arrival order. Because every die is a deterministic simulation
+//! seeded from `(pool seed, die id, generation)` and the counter-keyed
+//! noise engine makes all device randomness a function of simulated
+//! time rather than host scheduling, the response to a request depends
+//! only on the *per-die sequence of requests* — never on wall-clock
+//! timing, thread interleaving across dies, or batching. That is the
+//! invariant the replay golden test pins down.
+//!
+//! Degradation: when an operation fails at the device level, or a die's
+//! accumulated fault events cross [`ServeConfig::fault_limit`], the die
+//! is *remapped* — its generation bumps and a fresh die (new seed, no
+//! fault config, empty enrollment cache) takes over the id. The failed
+//! operation is retried once on the fresh die; clients observe the bump
+//! through the `"gen"` response field, and the `"status"` endpoint
+//! lists every remap.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use fracdram::frac::{frac_program, require_frac_support};
+use fracdram::puf::{self, Challenge};
+use fracdram::rowcopy::copy_program;
+use fracdram::trng::Trng;
+use fracdram::FracDramError;
+use fracdram_experiments::Json;
+use fracdram_model::{FaultConfig, Geometry, GroupId, Module, ModuleConfig, RowAddr, SubarrayAddr};
+use fracdram_softmc::program::Program;
+use fracdram_softmc::MemoryController;
+use fracdram_stats::bits::BitVec;
+use fracdram_stats::rng::mix;
+
+use crate::protocol::{bits_to_hex, hex_to_bits, Request, WritePayload};
+
+/// Upper bound on `"bits"` for one TRNG request.
+pub const MAX_TRNG_BITS: usize = 4096;
+/// Upper bound on enrollment repetitions.
+pub const MAX_ENROLL_REPS: usize = 15;
+
+/// Static configuration of the served pool.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// DRAM group every die belongs to (must support Frac and four-row
+    /// activation for the full endpoint set; group B does).
+    pub group: GroupId,
+    /// Number of die ids clients can address.
+    pub dies: usize,
+    /// Number of shard worker threads; die `d` belongs to shard
+    /// `d % shards`.
+    pub shards: usize,
+    /// Bound of each shard's work queue; a full queue sheds with `503`.
+    pub queue_depth: usize,
+    /// Maximum requests a shard drains into one batch, coalescing
+    /// consecutive same-die writes/copies into a single compiled
+    /// program.
+    pub batch: usize,
+    /// Columns per sub-array (row width in bits for these single-chip
+    /// dies). Must be a multiple of 4 so hex payloads are exact.
+    pub columns: usize,
+    /// Pool seed; die `d` at generation `g` simulates silicon seeded
+    /// `mix(seed, [d, g])`.
+    pub seed: u64,
+    /// Fault events a die may accumulate before it is auto-remapped.
+    pub fault_limit: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            group: GroupId::B,
+            dies: 16,
+            shards: 4,
+            queue_depth: 64,
+            batch: 8,
+            columns: 128,
+            seed: 0xF2AC_D7A3,
+            fault_limit: 2048,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Geometry of every die: 2 banks × 2 sub-arrays × 32 rows. Bank 0
+    /// sub-array 0 hosts the TRNG (seed rows + activation quad); the
+    /// rest is plain storage.
+    pub fn geometry(&self) -> Geometry {
+        Geometry {
+            banks: 2,
+            subarrays_per_bank: 2,
+            rows_per_subarray: 32,
+            columns: self.columns,
+        }
+    }
+
+    /// The shard that owns `die`.
+    pub fn shard_of(&self, die: usize) -> usize {
+        die % self.shards.max(1)
+    }
+}
+
+/// One die remap, as reported by the `"status"` endpoint.
+#[derive(Debug, Clone)]
+pub struct RemapEvent {
+    /// The die id that was remapped.
+    pub die: usize,
+    /// The generation now serving that id.
+    pub generation: u32,
+    /// Why the previous generation was retired.
+    pub reason: String,
+}
+
+/// Counters shared between shards and the status endpoint.
+#[derive(Debug, Default)]
+pub struct StatusBoard {
+    /// Requests executed (excludes shed and malformed ones).
+    pub processed: AtomicU64,
+    /// Requests shed with `503` because a shard queue was full.
+    pub shed: AtomicU64,
+    /// Combined programs run on behalf of ≥ 2 coalesced requests.
+    pub batched: AtomicU64,
+    /// Every remap since startup, oldest first.
+    remaps: Mutex<Vec<RemapEvent>>,
+}
+
+impl StatusBoard {
+    fn record_remap(&self, event: RemapEvent) {
+        self.remaps.lock().unwrap().push(event);
+    }
+
+    /// All remaps so far, oldest first.
+    pub fn remaps(&self) -> Vec<RemapEvent> {
+        self.remaps.lock().unwrap().clone()
+    }
+}
+
+/// One executed request's response, tagged with its replay ordering key.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Die that served the request.
+    pub die: usize,
+    /// Per-die sequence number (assigned in processing order).
+    pub seq: u64,
+    /// The response line (no trailing newline).
+    pub line: String,
+}
+
+#[derive(Debug)]
+enum OpError {
+    /// The request itself is invalid; respond 400, keep the die.
+    Bad(String),
+    /// The die failed; remap it and retry once.
+    Die(String),
+}
+
+struct Die {
+    mc: MemoryController,
+    trng: Option<Trng>,
+    enrolled: BTreeMap<(usize, usize), BitVec>,
+    seq: u64,
+    generation: u32,
+    fault_baseline: u64,
+}
+
+impl Die {
+    fn new(cfg: &ServeConfig, id: usize, generation: u32) -> Die {
+        let seed = mix(cfg.seed, &[id as u64, generation as u64]);
+        let module = Module::new(ModuleConfig::single_chip(cfg.group, seed, cfg.geometry()));
+        Die {
+            mc: MemoryController::new(module),
+            trng: None,
+            enrolled: BTreeMap::new(),
+            seq: 0,
+            generation,
+            fault_baseline: 0,
+        }
+    }
+}
+
+/// Execution state for one shard (or, in replay mode, for the whole
+/// pool). Dies materialize lazily on first touch.
+pub struct ShardState {
+    cfg: ServeConfig,
+    board: Arc<StatusBoard>,
+    dies: BTreeMap<usize, Die>,
+    /// Whether `"stall"` actually sleeps. Live shards sleep (the op
+    /// exists to force backpressure in tests); replay never does.
+    stall_enabled: bool,
+}
+
+impl ShardState {
+    /// A fresh shard over `cfg`, publishing counters to `board`.
+    pub fn new(cfg: ServeConfig, board: Arc<StatusBoard>, stall_enabled: bool) -> ShardState {
+        ShardState {
+            cfg,
+            board,
+            dies: BTreeMap::new(),
+            stall_enabled,
+        }
+    }
+
+    fn ensure_die(&mut self, id: usize) {
+        self.dies
+            .entry(id)
+            .or_insert_with(|| Die::new(&self.cfg, id, 0));
+    }
+
+    fn remap(&mut self, id: usize, reason: &str) -> u32 {
+        let (next_gen, seq) = match self.dies.get(&id) {
+            Some(die) => (die.generation + 1, die.seq),
+            None => (1, 0),
+        };
+        let mut fresh = Die::new(&self.cfg, id, next_gen);
+        fresh.seq = seq;
+        self.dies.insert(id, fresh);
+        self.board.record_remap(RemapEvent {
+            die: id,
+            generation: next_gen,
+            reason: reason.to_string(),
+        });
+        next_gen
+    }
+
+    /// Executes one die-routed request, returning its response. Part of
+    /// the replay contract: calling this for each request of a per-die
+    /// ordered log yields exactly the responses the live (batching,
+    /// multi-shard) server produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `req` has no target die (`status` / `shutdown` are
+    /// answered by the server front-end, never routed here).
+    pub fn execute(&mut self, req: &Request) -> Reply {
+        let id = req.die().expect("only die-routed requests reach a shard");
+        self.ensure_die(id);
+        let seq = {
+            let die = self.dies.get_mut(&id).unwrap();
+            let seq = die.seq;
+            die.seq += 1;
+            seq
+        };
+        self.board.processed.fetch_add(1, Ordering::Relaxed);
+
+        if let Request::MarkBad { .. } = req {
+            let generation = self.remap(id, "marked bad");
+            let line = ok_response(req, id, seq, generation)
+                .field("remapped", true)
+                .to_string();
+            return Reply { die: id, seq, line };
+        }
+
+        let line = match self.apply(id, req) {
+            Ok(extra) => {
+                let generation = self.dies[&id].generation;
+                splice(ok_response(req, id, seq, generation), extra).to_string()
+            }
+            Err(OpError::Bad(msg)) => {
+                let generation = self.dies[&id].generation;
+                error_response(req, id, seq, generation, 400, &msg).to_string()
+            }
+            Err(OpError::Die(msg)) => {
+                // The die failed underneath a valid request: retire it,
+                // retry once on the replacement.
+                let generation = self.remap(id, &msg);
+                match self.apply(id, req) {
+                    Ok(extra) => splice(ok_response(req, id, seq, generation), extra).to_string(),
+                    Err(OpError::Bad(msg)) | Err(OpError::Die(msg)) => {
+                        error_response(req, id, seq, generation, 500, &msg).to_string()
+                    }
+                }
+            }
+        };
+        self.check_health(id);
+        Reply { die: id, seq, line }
+    }
+
+    /// Executes a drained batch, coalescing consecutive same-die
+    /// `write`/`copy` requests into one combined program (bit-identical
+    /// to per-request execution because the controller clock advances
+    /// purely per-instruction — see DESIGN.md).
+    pub fn execute_batch(&mut self, reqs: &[Request]) -> Vec<Reply> {
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut i = 0;
+        while i < reqs.len() {
+            let mut j = i;
+            while j < reqs.len() && reqs[j].die() == reqs[i].die() && self.combinable(&reqs[j]) {
+                j += 1;
+            }
+            if j - i >= 2 {
+                out.extend(self.execute_run(&reqs[i..j]));
+                i = j;
+            } else {
+                out.push(self.execute(&reqs[i]));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Whether `req` may join a coalesced run: a storage op whose
+    /// program we can pre-validate, on a die without fault injection
+    /// (an armed die may glitch mid-program, and a half-executed
+    /// combined program could not be untangled per-request).
+    fn combinable(&mut self, req: &Request) -> bool {
+        if !matches!(req, Request::Write { .. } | Request::Copy { .. }) {
+            return false;
+        }
+        let id = req.die().expect("write/copy always carry a die");
+        self.ensure_die(id);
+        let die = self.dies.get_mut(&id).unwrap();
+        !die.mc.module().faults_enabled() && prepare_program(&die.mc, &self.cfg, req).is_ok()
+    }
+
+    fn execute_run(&mut self, reqs: &[Request]) -> Vec<Reply> {
+        let id = reqs[0].die().expect("runs are die-routed");
+        self.ensure_die(id);
+        let die = self.dies.get_mut(&id).unwrap();
+        let mut combined = Program::builder().build();
+        let mut metas = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let (program, extra) =
+                prepare_program(&die.mc, &self.cfg, req).expect("run members pre-validated");
+            combined.extend_from(&program);
+            let seq = die.seq;
+            die.seq += 1;
+            metas.push((req, seq, extra));
+        }
+        let run = die.mc.run(&combined);
+        let generation = die.generation;
+        self.board
+            .processed
+            .fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        self.board.batched.fetch_add(1, Ordering::Relaxed);
+        let replies = match run {
+            Ok(_) => metas
+                .into_iter()
+                .map(|(req, seq, extra)| Reply {
+                    die: id,
+                    seq,
+                    line: splice(ok_response(req, id, seq, generation), extra).to_string(),
+                })
+                .collect(),
+            Err(e) => {
+                // Unreachable for validated storage programs on a
+                // fault-free die; handled anyway so a model regression
+                // degrades the die instead of wedging the shard.
+                let msg = e.to_string();
+                let generation = self.remap(id, &msg);
+                metas
+                    .into_iter()
+                    .map(|(req, seq, _)| Reply {
+                        die: id,
+                        seq,
+                        line: error_response(req, id, seq, generation, 500, &msg).to_string(),
+                    })
+                    .collect()
+            }
+        };
+        self.check_health(id);
+        replies
+    }
+
+    /// Auto-remap a die whose accumulated fault events crossed the
+    /// configured limit.
+    fn check_health(&mut self, id: usize) {
+        let over = {
+            let die = &self.dies[&id];
+            die.mc.module().faults_enabled()
+                && die.mc.model_perf().fault_events() - die.fault_baseline > self.cfg.fault_limit
+        };
+        if over {
+            self.remap(id, "fault limit exceeded");
+        }
+    }
+
+    fn apply(&mut self, id: usize, req: &Request) -> Result<Json, OpError> {
+        let geometry = self.cfg.geometry();
+        let die = self.dies.get_mut(&id).unwrap();
+        match req {
+            Request::Trng { bits, .. } => {
+                if *bits == 0 || *bits > MAX_TRNG_BITS {
+                    return Err(OpError::Bad(format!(
+                        "\"bits\" must be 1..={MAX_TRNG_BITS}"
+                    )));
+                }
+                if die.trng.is_none() {
+                    // Any bind failure (including "no entropy columns"
+                    // on pathological silicon) is a die problem: a
+                    // remapped die rebinds from scratch.
+                    let trng = Trng::bind(&mut die.mc, SubarrayAddr::new(0, 0))
+                        .map_err(|e| OpError::Die(e.to_string()))?;
+                    die.trng = Some(trng);
+                }
+                let (out, report) = die
+                    .trng
+                    .as_ref()
+                    .unwrap()
+                    .random_bits(&mut die.mc, *bits)
+                    .map_err(|e| OpError::Die(e.to_string()))?;
+                Ok(Json::obj()
+                    .field("bits", bits_to_hex(&out))
+                    .field("len", out.len())
+                    .field("samples", report.samples))
+            }
+            Request::Puf { bank, row, .. } => {
+                let challenge = checked_challenge(&geometry, *bank, *row)?;
+                let response = puf::evaluate(&mut die.mc, challenge).map_err(map_op_err)?;
+                Ok(Json::obj()
+                    .field("bits", bits_to_hex(&response))
+                    .field("len", response.len()))
+            }
+            Request::Enroll {
+                bank, row, reps, ..
+            } => {
+                if *reps == 0 || *reps > MAX_ENROLL_REPS {
+                    return Err(OpError::Bad(format!(
+                        "\"reps\" must be 1..={MAX_ENROLL_REPS}"
+                    )));
+                }
+                let challenge = checked_challenge(&geometry, *bank, *row)?;
+                if let Some(signature) = die.enrolled.get(&(*bank, *row)) {
+                    return Ok(Json::obj()
+                        .field("signature", bits_to_hex(signature))
+                        .field("len", signature.len())
+                        .field("cached", true));
+                }
+                let mut ones = vec![0usize; geometry.columns];
+                for _ in 0..*reps {
+                    let response = puf::evaluate(&mut die.mc, challenge).map_err(map_op_err)?;
+                    for (count, bit) in ones.iter_mut().zip(response.iter()) {
+                        *count += bit as usize;
+                    }
+                }
+                let signature =
+                    BitVec::from_bools(&ones.iter().map(|&n| 2 * n > *reps).collect::<Vec<_>>());
+                let line = Json::obj()
+                    .field("signature", bits_to_hex(&signature))
+                    .field("len", signature.len())
+                    .field("cached", false);
+                die.enrolled.insert((*bank, *row), signature);
+                Ok(line)
+            }
+            Request::Verify {
+                bank,
+                row,
+                threshold,
+                ..
+            } => {
+                if !(0.0..=1.0).contains(threshold) {
+                    return Err(OpError::Bad("\"threshold\" must be in [0, 1]".to_string()));
+                }
+                let challenge = checked_challenge(&geometry, *bank, *row)?;
+                let Some(signature) = die.enrolled.get(&(*bank, *row)).cloned() else {
+                    // Not an error: the die was never enrolled for this
+                    // challenge (possibly because a remap cleared the
+                    // cache) — report so the client can re-enroll.
+                    return Ok(Json::obj().field("enrolled", false));
+                };
+                let fresh = puf::evaluate(&mut die.mc, challenge).map_err(map_op_err)?;
+                let distance = signature.hamming_distance(&fresh) as f64 / fresh.len() as f64;
+                Ok(Json::obj()
+                    .field("enrolled", true)
+                    .field("match", puf::authenticate(&signature, &fresh, *threshold))
+                    .field("distance", distance))
+            }
+            Request::Write { .. } | Request::Copy { .. } => {
+                let (program, extra) = prepare_program(&die.mc, &self.cfg, req)?;
+                die.mc
+                    .run(&program)
+                    .map_err(|e| OpError::Die(e.to_string()))?;
+                Ok(extra)
+            }
+            Request::Read { bank, row, .. } => {
+                let addr = checked_row(&geometry, *bank, *row)?;
+                let bits = die
+                    .mc
+                    .read_row(addr)
+                    .map_err(|e| OpError::Die(e.to_string()))?;
+                let bits = BitVec::from_bools(&bits);
+                Ok(Json::obj()
+                    .field("data", bits_to_hex(&bits))
+                    .field("len", bits.len()))
+            }
+            Request::Fault { density, .. } => {
+                if !(0.0..=0.2).contains(density) {
+                    return Err(OpError::Bad("\"density\" must be in [0, 0.2]".to_string()));
+                }
+                let config = if *density > 0.0 {
+                    FaultConfig {
+                        stuck_density: *density,
+                        weak_density: 2.0 * density,
+                        sense_flip_rate: density / 2.0,
+                        ..FaultConfig::none()
+                    }
+                } else {
+                    FaultConfig::none()
+                };
+                die.fault_baseline = die.mc.model_perf().fault_events();
+                die.mc.module_mut().set_fault_config(&config);
+                Ok(Json::obj().field("armed", *density > 0.0))
+            }
+            Request::Stall { millis, .. } => {
+                if self.stall_enabled {
+                    std::thread::sleep(std::time::Duration::from_millis(*millis));
+                }
+                Ok(Json::obj().field("millis", *millis as usize))
+            }
+            Request::MarkBad { .. } | Request::Status | Request::Shutdown => {
+                unreachable!("handled before apply")
+            }
+        }
+    }
+}
+
+/// Builds the (pre-validated) program for a storage request, plus the
+/// extra response fields it earns. Pure in the request and die
+/// geometry/timing, so the batcher and the per-request path produce the
+/// same program.
+fn prepare_program(
+    mc: &MemoryController,
+    cfg: &ServeConfig,
+    req: &Request,
+) -> Result<(Program, Json), OpError> {
+    let geometry = cfg.geometry();
+    match req {
+        Request::Write {
+            bank,
+            row,
+            payload,
+            frac,
+            ..
+        } => {
+            let addr = checked_row(&geometry, *bank, *row)?;
+            let row_bits = geometry.columns;
+            let bits = match payload {
+                WritePayload::Fill(bit) => vec![*bit; row_bits],
+                WritePayload::Hex(hex) => {
+                    let bits = hex_to_bits(hex).map_err(OpError::Bad)?;
+                    if bits.len() != row_bits {
+                        return Err(OpError::Bad(format!(
+                            "\"data\" is {} bits, row is {row_bits}",
+                            bits.len()
+                        )));
+                    }
+                    bits
+                }
+            };
+            let mut program = mc.write_row_program(addr, &bits);
+            if *frac > 0 {
+                require_frac_support(mc).map_err(map_op_err)?;
+                program.extend_from(&frac_program(addr, *frac));
+            }
+            Ok((program, Json::obj().field("frac", *frac)))
+        }
+        Request::Copy { bank, src, dst, .. } => {
+            let src = checked_row(&geometry, *bank, *src)?;
+            let dst = checked_row(&geometry, *bank, *dst)?;
+            let (ssub, _) = geometry.split_row(src.row);
+            let (dsub, _) = geometry.split_row(dst.row);
+            if ssub != dsub {
+                return Err(OpError::Bad(format!(
+                    "copy crosses sub-arrays ({ssub} -> {dsub})"
+                )));
+            }
+            if src.row == dst.row {
+                return Err(OpError::Bad("copy onto itself".to_string()));
+            }
+            Ok((copy_program(src, dst), Json::obj()))
+        }
+        _ => unreachable!("prepare_program is only called for write/copy"),
+    }
+}
+
+fn checked_row(geometry: &Geometry, bank: usize, row: usize) -> Result<RowAddr, OpError> {
+    if bank >= geometry.banks {
+        return Err(OpError::Bad(format!(
+            "bank {bank} out of range (dies have {} banks)",
+            geometry.banks
+        )));
+    }
+    if row >= geometry.rows_per_bank() {
+        return Err(OpError::Bad(format!(
+            "row {row} out of range (banks have {} rows)",
+            geometry.rows_per_bank()
+        )));
+    }
+    Ok(RowAddr::new(bank, row))
+}
+
+fn checked_challenge(geometry: &Geometry, bank: usize, row: usize) -> Result<Challenge, OpError> {
+    checked_row(geometry, bank, row)?;
+    Ok(Challenge::new(bank, row))
+}
+
+fn map_op_err(e: FracDramError) -> OpError {
+    match e {
+        FracDramError::Controller(_) => OpError::Die(e.to_string()),
+        _ => OpError::Bad(e.to_string()),
+    }
+}
+
+fn ok_response(req: &Request, die: usize, seq: u64, generation: u32) -> Json {
+    Json::obj()
+        .field("ok", true)
+        .field("op", req.op())
+        .field("die", die)
+        .field("seq", seq)
+        .field("gen", generation as usize)
+}
+
+fn error_response(
+    req: &Request,
+    die: usize,
+    seq: u64,
+    generation: u32,
+    code: usize,
+    message: &str,
+) -> Json {
+    Json::obj()
+        .field("ok", false)
+        .field("op", req.op())
+        .field("die", die)
+        .field("seq", seq)
+        .field("gen", generation as usize)
+        .field("code", code)
+        .field("error", message)
+}
+
+fn splice(base: Json, extra: Json) -> Json {
+    match (base, extra) {
+        (Json::Obj(mut fields), Json::Obj(more)) => {
+            fields.extend(more);
+            Json::Obj(fields)
+        }
+        (base, _) => base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ServeConfig {
+        ServeConfig {
+            dies: 4,
+            shards: 1,
+            ..ServeConfig::default()
+        }
+    }
+
+    fn shard(cfg: &ServeConfig) -> ShardState {
+        ShardState::new(cfg.clone(), Arc::new(StatusBoard::default()), false)
+    }
+
+    fn parse(reply: &Reply) -> Json {
+        Json::parse(&reply.line).unwrap()
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let cfg = tiny_cfg();
+        let mut state = shard(&cfg);
+        let hex = "a5".repeat(cfg.columns / 8);
+        let write = Request::parse(&format!(
+            r#"{{"op":"write","die":0,"bank":1,"row":3,"data":"{hex}"}}"#
+        ))
+        .unwrap();
+        let read = Request::parse(r#"{"op":"read","die":0,"bank":1,"row":3}"#).unwrap();
+        assert_eq!(
+            parse(&state.execute(&write)).get("ok").unwrap().as_bool(),
+            Some(true)
+        );
+        let doc = parse(&state.execute(&read));
+        assert_eq!(doc.get("data").unwrap().as_str(), Some(hex.as_str()));
+    }
+
+    #[test]
+    fn batched_run_matches_per_request_execution() {
+        let cfg = tiny_cfg();
+        let lines = [
+            r#"{"op":"write","die":1,"bank":1,"row":4,"fill":true}"#,
+            r#"{"op":"copy","die":1,"bank":1,"src":4,"dst":9}"#,
+            r#"{"op":"write","die":1,"bank":1,"row":5,"fill":false,"frac":2}"#,
+            r#"{"op":"read","die":1,"bank":1,"row":9}"#,
+        ];
+        let reqs: Vec<Request> = lines.iter().map(|l| Request::parse(l).unwrap()).collect();
+
+        let mut batched = shard(&cfg);
+        let batch_replies = batched.execute_batch(&reqs);
+        let mut serial = shard(&cfg);
+        let serial_replies: Vec<Reply> = reqs.iter().map(|r| serial.execute(r)).collect();
+
+        let render = |rs: &[Reply]| {
+            rs.iter()
+                .map(|r| r.line.clone())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(render(&batch_replies), render(&serial_replies));
+        assert!(
+            batched.board.batched.load(Ordering::Relaxed) >= 1,
+            "first three requests should coalesce"
+        );
+    }
+
+    #[test]
+    fn mark_bad_remaps_and_changes_silicon() {
+        let cfg = tiny_cfg();
+        let mut state = shard(&cfg);
+        let puf = Request::parse(r#"{"op":"puf","die":2,"bank":1,"row":40}"#).unwrap();
+        let before = parse(&state.execute(&puf));
+        let mark = Request::parse(r#"{"op":"mark-bad","die":2}"#).unwrap();
+        let marked = parse(&state.execute(&mark));
+        assert_eq!(
+            marked.get("gen").unwrap().as_usize(),
+            Some(1),
+            "mark-bad reports the replacement generation"
+        );
+        assert_eq!(marked.get("remapped").unwrap().as_bool(), Some(true));
+        let after = parse(&state.execute(&puf));
+        assert_eq!(after.get("gen").unwrap().as_usize(), Some(1));
+        assert_ne!(
+            before.get("bits").unwrap().as_str(),
+            after.get("bits").unwrap().as_str(),
+            "a remapped die is fresh silicon; its PUF response must differ"
+        );
+        assert_eq!(state.board.remaps().len(), 1);
+    }
+
+    #[test]
+    fn validation_failures_are_400_and_consume_a_seq() {
+        let cfg = tiny_cfg();
+        let mut state = shard(&cfg);
+        let bad = Request::parse(r#"{"op":"read","die":0,"bank":7,"row":0}"#).unwrap();
+        let doc = parse(&state.execute(&bad));
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("code").unwrap().as_usize(), Some(400));
+        let good = Request::parse(r#"{"op":"read","die":0,"bank":0,"row":0}"#).unwrap();
+        let doc = parse(&state.execute(&good));
+        assert_eq!(doc.get("seq").unwrap().as_usize(), Some(1));
+    }
+
+    #[test]
+    fn enroll_caches_and_verify_matches() {
+        let cfg = tiny_cfg();
+        let mut state = shard(&cfg);
+        let enroll =
+            Request::parse(r#"{"op":"enroll","die":0,"bank":1,"row":44,"reps":3}"#).unwrap();
+        let first = parse(&state.execute(&enroll));
+        assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+        let second = parse(&state.execute(&enroll));
+        assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            first.get("signature").unwrap().as_str(),
+            second.get("signature").unwrap().as_str()
+        );
+        let verify = Request::parse(r#"{"op":"verify","die":0,"bank":1,"row":44}"#).unwrap();
+        let doc = parse(&state.execute(&verify));
+        assert_eq!(doc.get("enrolled").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("match").unwrap().as_bool(), Some(true));
+        // A different die was never enrolled.
+        let other = Request::parse(r#"{"op":"verify","die":1,"bank":1,"row":44}"#).unwrap();
+        let doc = parse(&state.execute(&other));
+        assert_eq!(doc.get("enrolled").unwrap().as_bool(), Some(false));
+    }
+}

@@ -1,0 +1,449 @@
+//! The wire protocol of `fracdram-serve`.
+//!
+//! One request per line, one response per line, both JSON objects. A
+//! request names its operation with an `"op"` field and addresses a die
+//! with `"die"`; everything else is per-operation. Responses always
+//! carry `"ok"`, the echoed `"op"`, and — for die-routed operations —
+//! `"die"`, `"seq"` (the per-die sequence number the server assigned)
+//! and `"gen"` (the generation of the die that served it, which bumps
+//! on every remap). Failures carry `"code"` (HTTP-flavored: `400`
+//! malformed, `500` execution failure, `503` shed) and `"error"`.
+//!
+//! Canonicalization: [`Request::canonical`] re-serializes a parsed
+//! request from its typed form, so the recorded request log is
+//! independent of client-side key order and whitespace. Replaying a
+//! canonical log therefore reproduces the response log byte for byte
+//! (see DESIGN.md §"FracDRAM as a service").
+
+use fracdram_experiments::Json;
+use fracdram_stats::bits::BitVec;
+
+/// Default PUF enrollment repetitions when the request omits `"reps"`.
+pub const DEFAULT_ENROLL_REPS: usize = 3;
+/// Default authentication threshold when `"verify"` omits it.
+pub const DEFAULT_VERIFY_THRESHOLD: f64 = 0.15;
+/// Default Frac operation count for `"write"` requests with `"frac": true`.
+pub const DEFAULT_FRAC_OPS: usize = 2;
+
+/// Payload of a `"write"` request: either a fill bit replicated across
+/// the row, or explicit row data as hex nibbles (MSB-first within each
+/// nibble, nibble 0 covering columns 0–3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WritePayload {
+    /// Every column gets this bit.
+    Fill(bool),
+    /// Explicit bits, 4 per hex character.
+    Hex(String),
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Draw `bits` whitened TRNG bits from `die`.
+    Trng {
+        /// Target die.
+        die: usize,
+        /// Number of extracted bits requested.
+        bits: usize,
+    },
+    /// Evaluate the Frac-PUF challenge `(bank, row)` on `die`.
+    Puf {
+        /// Target die.
+        die: usize,
+        /// Challenge bank.
+        bank: usize,
+        /// Challenge row.
+        row: usize,
+    },
+    /// Enroll the challenge `(bank, row)`: capture a majority-of-`reps`
+    /// signature into the die's seed-keyed enrollment cache.
+    Enroll {
+        /// Target die.
+        die: usize,
+        /// Challenge bank.
+        bank: usize,
+        /// Challenge row.
+        row: usize,
+        /// Majority repetitions for the captured signature.
+        reps: usize,
+    },
+    /// Re-evaluate the challenge and authenticate against the enrolled
+    /// signature.
+    Verify {
+        /// Target die.
+        die: usize,
+        /// Challenge bank.
+        bank: usize,
+        /// Challenge row.
+        row: usize,
+        /// Maximum fractional Hamming distance accepted as a match.
+        threshold: f64,
+    },
+    /// Store a row, optionally driving it fractional afterwards.
+    Write {
+        /// Target die.
+        die: usize,
+        /// Target bank.
+        bank: usize,
+        /// Target row.
+        row: usize,
+        /// Row contents.
+        payload: WritePayload,
+        /// Number of Frac operations to apply after the write (0 = a
+        /// plain rail-value store).
+        frac: usize,
+    },
+    /// In-array row copy (same bank and sub-array).
+    Copy {
+        /// Target die.
+        die: usize,
+        /// Bank holding both rows.
+        bank: usize,
+        /// Source row.
+        src: usize,
+        /// Destination row.
+        dst: usize,
+    },
+    /// Read a row back.
+    Read {
+        /// Target die.
+        die: usize,
+        /// Target bank.
+        bank: usize,
+        /// Target row.
+        row: usize,
+    },
+    /// Arm fault injection on `die` at the given stuck-cell density
+    /// (weak cells at twice, sense flips at half the density).
+    Fault {
+        /// Target die.
+        die: usize,
+        /// Stuck-cell density; 0 disarms.
+        density: f64,
+    },
+    /// Administratively mark `die` bad: drain, remap to a fresh healthy
+    /// die (generation bump), report via `"status"`.
+    MarkBad {
+        /// Target die.
+        die: usize,
+    },
+    /// Hold the die's shard for `millis` (live servers only; replay
+    /// skips the sleep). Exists so tests can force queue backpressure.
+    Stall {
+        /// Target die.
+        die: usize,
+        /// Milliseconds to hold the shard thread.
+        millis: u64,
+    },
+    /// Server status snapshot (answered out-of-band, never queued).
+    Status,
+    /// Ask the server to stop accepting connections and drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the line is not a JSON
+    /// object, names no/an unknown `"op"`, or is missing a field.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = Json::parse(line)?;
+        if !matches!(doc, Json::Obj(_)) {
+            return Err("request must be a JSON object".to_string());
+        }
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing string field \"op\"".to_string())?;
+        let req = match op {
+            "trng" => Request::Trng {
+                die: need_usize(&doc, "die")?,
+                bits: opt_usize(&doc, "bits", 64)?,
+            },
+            "puf" => Request::Puf {
+                die: need_usize(&doc, "die")?,
+                bank: need_usize(&doc, "bank")?,
+                row: need_usize(&doc, "row")?,
+            },
+            "enroll" => Request::Enroll {
+                die: need_usize(&doc, "die")?,
+                bank: need_usize(&doc, "bank")?,
+                row: need_usize(&doc, "row")?,
+                reps: opt_usize(&doc, "reps", DEFAULT_ENROLL_REPS)?,
+            },
+            "verify" => Request::Verify {
+                die: need_usize(&doc, "die")?,
+                bank: need_usize(&doc, "bank")?,
+                row: need_usize(&doc, "row")?,
+                threshold: opt_f64(&doc, "threshold", DEFAULT_VERIFY_THRESHOLD)?,
+            },
+            "write" => {
+                let payload = match (doc.get("data"), doc.get("fill")) {
+                    (Some(data), _) => {
+                        let hex = data
+                            .as_str()
+                            .ok_or_else(|| "\"data\" must be a hex string".to_string())?;
+                        if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                            return Err("\"data\" must be non-empty hex".to_string());
+                        }
+                        WritePayload::Hex(hex.to_ascii_lowercase())
+                    }
+                    (None, Some(fill)) => WritePayload::Fill(
+                        fill.as_bool()
+                            .ok_or_else(|| "\"fill\" must be a bool".to_string())?,
+                    ),
+                    (None, None) => {
+                        return Err("\"write\" needs \"data\" (hex) or \"fill\" (bool)".to_string())
+                    }
+                };
+                Request::Write {
+                    die: need_usize(&doc, "die")?,
+                    bank: need_usize(&doc, "bank")?,
+                    row: need_usize(&doc, "row")?,
+                    payload,
+                    frac: opt_usize(&doc, "frac", 0)?,
+                }
+            }
+            "copy" => Request::Copy {
+                die: need_usize(&doc, "die")?,
+                bank: need_usize(&doc, "bank")?,
+                src: need_usize(&doc, "src")?,
+                dst: need_usize(&doc, "dst")?,
+            },
+            "read" => Request::Read {
+                die: need_usize(&doc, "die")?,
+                bank: need_usize(&doc, "bank")?,
+                row: need_usize(&doc, "row")?,
+            },
+            "fault" => Request::Fault {
+                die: need_usize(&doc, "die")?,
+                density: opt_f64(&doc, "density", 0.02)?,
+            },
+            "mark-bad" => Request::MarkBad {
+                die: need_usize(&doc, "die")?,
+            },
+            "stall" => Request::Stall {
+                die: need_usize(&doc, "die")?,
+                millis: opt_usize(&doc, "millis", 50)? as u64,
+            },
+            "status" => Request::Status,
+            "shutdown" => Request::Shutdown,
+            other => return Err(format!("unknown op {other:?}")),
+        };
+        Ok(req)
+    }
+
+    /// The die this request is routed to, or `None` for the
+    /// out-of-band operations (`status`, `shutdown`).
+    pub fn die(&self) -> Option<usize> {
+        match *self {
+            Request::Trng { die, .. }
+            | Request::Puf { die, .. }
+            | Request::Enroll { die, .. }
+            | Request::Verify { die, .. }
+            | Request::Write { die, .. }
+            | Request::Copy { die, .. }
+            | Request::Read { die, .. }
+            | Request::Fault { die, .. }
+            | Request::MarkBad { die }
+            | Request::Stall { die, .. } => Some(die),
+            Request::Status | Request::Shutdown => None,
+        }
+    }
+
+    /// The operation name, as it appears on the wire.
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Trng { .. } => "trng",
+            Request::Puf { .. } => "puf",
+            Request::Enroll { .. } => "enroll",
+            Request::Verify { .. } => "verify",
+            Request::Write { .. } => "write",
+            Request::Copy { .. } => "copy",
+            Request::Read { .. } => "read",
+            Request::Fault { .. } => "fault",
+            Request::MarkBad { .. } => "mark-bad",
+            Request::Stall { .. } => "stall",
+            Request::Status => "status",
+            Request::Shutdown => "shutdown",
+        }
+    }
+
+    /// Canonical single-line serialization: fixed key order, every
+    /// default made explicit. Two requests that parse equal
+    /// canonicalize identically, regardless of how the client spelled
+    /// them.
+    pub fn canonical(&self) -> String {
+        let doc = Json::obj().field("op", self.op());
+        let doc = match self {
+            Request::Trng { die, bits } => doc.field("die", *die).field("bits", *bits),
+            Request::Puf { die, bank, row } => doc
+                .field("die", *die)
+                .field("bank", *bank)
+                .field("row", *row),
+            Request::Enroll {
+                die,
+                bank,
+                row,
+                reps,
+            } => doc
+                .field("die", *die)
+                .field("bank", *bank)
+                .field("row", *row)
+                .field("reps", *reps),
+            Request::Verify {
+                die,
+                bank,
+                row,
+                threshold,
+            } => doc
+                .field("die", *die)
+                .field("bank", *bank)
+                .field("row", *row)
+                .field("threshold", *threshold),
+            Request::Write {
+                die,
+                bank,
+                row,
+                payload,
+                frac,
+            } => {
+                let doc = doc
+                    .field("die", *die)
+                    .field("bank", *bank)
+                    .field("row", *row);
+                let doc = match payload {
+                    WritePayload::Fill(bit) => doc.field("fill", *bit),
+                    WritePayload::Hex(hex) => doc.field("data", hex.as_str()),
+                };
+                doc.field("frac", *frac)
+            }
+            Request::Copy {
+                die,
+                bank,
+                src,
+                dst,
+            } => doc
+                .field("die", *die)
+                .field("bank", *bank)
+                .field("src", *src)
+                .field("dst", *dst),
+            Request::Read { die, bank, row } => doc
+                .field("die", *die)
+                .field("bank", *bank)
+                .field("row", *row),
+            Request::Fault { die, density } => doc.field("die", *die).field("density", *density),
+            Request::MarkBad { die } => doc.field("die", *die),
+            Request::Stall { die, millis } => {
+                doc.field("die", *die).field("millis", *millis as usize)
+            }
+            Request::Status | Request::Shutdown => doc,
+        };
+        doc.to_string()
+    }
+}
+
+fn need_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    doc.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("missing integer field {key:?}"))
+}
+
+fn opt_usize(doc: &Json, key: &str, default: usize) -> Result<usize, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn opt_f64(doc: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match doc.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("field {key:?} must be a number")),
+    }
+}
+
+/// Packs bits into lowercase hex, 4 bits per character, bit 0 as the
+/// most significant bit of nibble 0. A trailing partial nibble is
+/// zero-padded.
+pub fn bits_to_hex(bits: &BitVec) -> String {
+    let mut out = String::with_capacity(bits.len().div_ceil(4));
+    for chunk_start in (0..bits.len()).step_by(4) {
+        let mut nibble = 0u8;
+        for offset in 0..4 {
+            nibble <<= 1;
+            if bits.get(chunk_start + offset) == Some(true) {
+                nibble |= 1;
+            }
+        }
+        out.push(char::from_digit(nibble as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Inverse of [`bits_to_hex`]: expands each hex character into 4 bits.
+///
+/// # Errors
+///
+/// Returns a message naming the first non-hex character.
+pub fn hex_to_bits(hex: &str) -> Result<Vec<bool>, String> {
+    let mut out = Vec::with_capacity(hex.len() * 4);
+    for ch in hex.chars() {
+        let nibble = ch
+            .to_digit(16)
+            .ok_or_else(|| format!("invalid hex character {ch:?}"))?;
+        for shift in (0..4).rev() {
+            out.push(nibble >> shift & 1 == 1);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_canonicalize_is_key_order_independent() {
+        let a = Request::parse(r#"{"op":"puf","die":3,"bank":1,"row":40}"#).unwrap();
+        let b = Request::parse(r#"{ "row": 40, "die": 3, "op": "puf", "bank": 1 }"#).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.canonical(), r#"{"op":"puf","die":3,"bank":1,"row":40}"#);
+    }
+
+    #[test]
+    fn canonical_makes_defaults_explicit() {
+        let req = Request::parse(r#"{"op":"trng","die":0}"#).unwrap();
+        assert_eq!(req.canonical(), r#"{"op":"trng","die":0,"bits":64}"#);
+        // A canonical line re-parses to the same request (idempotent).
+        let again = Request::parse(&req.canonical()).unwrap();
+        assert_eq!(req, again);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_requests() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"die":0}"#).is_err());
+        assert!(Request::parse(r#"{"op":"warp","die":0}"#).is_err());
+        assert!(Request::parse(r#"{"op":"puf","die":0}"#).is_err());
+        assert!(Request::parse(r#"{"op":"write","die":0,"bank":0,"row":1}"#).is_err());
+        assert!(Request::parse(r#"{"op":"write","die":0,"bank":0,"row":1,"data":"zz"}"#).is_err());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let bits = BitVec::from_bools(&[
+            true, false, true, true, false, false, false, true, true, true, true, true,
+        ]);
+        let hex = bits_to_hex(&bits);
+        assert_eq!(hex, "b1f");
+        assert_eq!(hex_to_bits(&hex).unwrap(), bits.to_bools());
+    }
+}

@@ -1,0 +1,419 @@
+//! The TCP front-end: accept loop, connection threads, shard workers,
+//! request/response recording, and the offline replay path.
+//!
+//! Threading model:
+//!
+//! * one **accept thread** polls a non-blocking listener and spawns a
+//!   thread per connection;
+//! * each **connection thread** reads line-delimited requests, answers
+//!   `status`/`shutdown`/malformed lines immediately, and forwards
+//!   die-routed work to the owning shard through a *bounded*
+//!   `sync_channel` — a full queue is answered with a `503` shed
+//!   response instead of blocking the client;
+//! * each **shard thread** drains its queue in arrival order (up to
+//!   [`ServeConfig::batch`](crate::ServeConfig::batch) requests at a
+//!   time, coalescing storage runs), executes against its
+//!   [`ShardState`], replies through the per-request back-channel, and
+//!   appends `(die, seq, request, response)` to the shared record.
+//!
+//! Shutdown: the `shutdown` op (or [`ServerHandle::stop`]) flips a
+//! flag; the accept thread exits and drops the shard senders, each
+//! shard drains what is already queued and exits, and
+//! [`ServerHandle::join`] collects the canonical logs — both sorted by
+//! `(die, seq)` so they are byte-comparable with a replay.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fracdram_experiments::Json;
+
+use crate::pool::{Reply, ServeConfig, ShardState, StatusBoard};
+use crate::protocol::Request;
+
+/// One recorded exchange, in replay-canonical form.
+#[derive(Debug, Clone)]
+struct RecordEntry {
+    die: usize,
+    seq: u64,
+    request: String,
+    response: String,
+}
+
+struct Envelope {
+    request: Request,
+    canonical: String,
+    reply_to: mpsc::Sender<String>,
+}
+
+/// Everything [`ServerHandle::join`] returns after the daemon drains.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// Canonical request log, one line per executed request, sorted by
+    /// `(die, seq)`. Feeding this to [`run_replay`] reproduces
+    /// `response_log` byte for byte.
+    pub request_log: String,
+    /// Response log matching `request_log` line for line.
+    pub response_log: String,
+    /// Requests executed.
+    pub processed: u64,
+    /// Requests shed with `503`.
+    pub shed: u64,
+}
+
+/// A running server. Dropping the handle does **not** stop the daemon;
+/// call [`ServerHandle::stop`] (or send a `shutdown` request) and then
+/// [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    board: Arc<StatusBoard>,
+    records: Arc<Mutex<Vec<RecordEntry>>>,
+    accept_thread: JoinHandle<()>,
+    shard_threads: Vec<JoinHandle<()>>,
+    connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live counters this server publishes.
+    pub fn board(&self) -> &StatusBoard {
+        &self.board
+    }
+
+    /// Asks the server to stop accepting and drain, without waiting.
+    pub fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown has been requested (by [`ServerHandle::stop`]
+    /// or a client's `shutdown` op).
+    pub fn is_stopped(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stops the server (if still running) and waits for every thread
+    /// to drain, then returns the canonical logs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a server thread panicked.
+    pub fn join(self) -> ServerReport {
+        self.stop();
+        self.accept_thread.join().expect("accept thread panicked");
+        let connections = std::mem::take(&mut *self.connection_threads.lock().unwrap());
+        for handle in connections {
+            handle.join().expect("connection thread panicked");
+        }
+        for handle in self.shard_threads {
+            handle.join().expect("shard thread panicked");
+        }
+        let mut records = std::mem::take(&mut *self.records.lock().unwrap());
+        records.sort_by_key(|r| (r.die, r.seq));
+        let mut request_log = String::new();
+        let mut response_log = String::new();
+        for record in &records {
+            request_log.push_str(&record.request);
+            request_log.push('\n');
+            response_log.push_str(&record.response);
+            response_log.push('\n');
+        }
+        ServerReport {
+            request_log,
+            response_log,
+            processed: self.board.processed.load(Ordering::Relaxed),
+            shed: self.board.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Starts the daemon on `127.0.0.1:port` (0 picks a free port).
+///
+/// # Errors
+///
+/// Propagates listener binding failures.
+pub fn start(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    start_on(cfg, 0)
+}
+
+/// [`start`] with an explicit port.
+///
+/// # Errors
+///
+/// Propagates listener binding failures.
+pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", port))?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let board = Arc::new(StatusBoard::default());
+    let records: Arc<Mutex<Vec<RecordEntry>>> = Arc::new(Mutex::new(Vec::new()));
+    let shards = cfg.shards.max(1);
+
+    let mut senders: Vec<SyncSender<Envelope>> = Vec::with_capacity(shards);
+    let mut shard_threads = Vec::with_capacity(shards);
+    for shard in 0..shards {
+        let (tx, rx) = mpsc::sync_channel::<Envelope>(cfg.queue_depth.max(1));
+        senders.push(tx);
+        let state = ShardState::new(cfg.clone(), Arc::clone(&board), true);
+        let records = Arc::clone(&records);
+        let batch = cfg.batch.max(1);
+        shard_threads.push(
+            std::thread::Builder::new()
+                .name(format!("fracdram-shard-{shard}"))
+                .spawn(move || shard_loop(state, rx, records, batch))
+                .expect("spawn shard thread"),
+        );
+    }
+
+    let connection_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let accept_thread = {
+        let shutdown = Arc::clone(&shutdown);
+        let board = Arc::clone(&board);
+        let cfg = cfg.clone();
+        let connection_threads = Arc::clone(&connection_threads);
+        std::thread::Builder::new()
+            .name("fracdram-accept".to_string())
+            .spawn(move || {
+                while !shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let cfg = cfg.clone();
+                            let senders = senders.clone();
+                            let shutdown = Arc::clone(&shutdown);
+                            let board = Arc::clone(&board);
+                            let handle = std::thread::Builder::new()
+                                .name("fracdram-conn".to_string())
+                                .spawn(move || {
+                                    connection_loop(stream, cfg, senders, shutdown, board)
+                                })
+                                .expect("spawn connection thread");
+                            connection_threads.lock().unwrap().push(handle);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Dropping `senders` here lets the shard threads drain
+                // and exit once every connection thread is done too.
+            })
+            .expect("spawn accept thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        board,
+        records,
+        accept_thread,
+        shard_threads,
+        connection_threads,
+    })
+}
+
+fn shard_loop(
+    mut state: ShardState,
+    rx: Receiver<Envelope>,
+    records: Arc<Mutex<Vec<RecordEntry>>>,
+    batch: usize,
+) {
+    loop {
+        let first = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(envelope) => envelope,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut envelopes = vec![first];
+        while envelopes.len() < batch {
+            match rx.try_recv() {
+                Ok(envelope) => envelopes.push(envelope),
+                Err(_) => break,
+            }
+        }
+        let requests: Vec<Request> = envelopes.iter().map(|e| e.request.clone()).collect();
+        let replies: Vec<Reply> = state.execute_batch(&requests);
+        debug_assert_eq!(replies.len(), envelopes.len());
+        {
+            let mut records = records.lock().unwrap();
+            for (envelope, reply) in envelopes.iter().zip(&replies) {
+                records.push(RecordEntry {
+                    die: reply.die,
+                    seq: reply.seq,
+                    request: envelope.canonical.clone(),
+                    response: reply.line.clone(),
+                });
+            }
+        }
+        for (envelope, reply) in envelopes.iter().zip(&replies) {
+            // A client that hung up simply misses its response.
+            let _ = envelope.reply_to.send(reply.line.clone());
+        }
+    }
+}
+
+fn connection_loop(
+    stream: TcpStream,
+    cfg: ServeConfig,
+    senders: Vec<SyncSender<Envelope>>,
+    shutdown: Arc<AtomicBool>,
+    board: Arc<StatusBoard>,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let response = handle_line(line, &cfg, &senders, &shutdown, &board);
+        if writer
+            .write_all(format!("{response}\n").as_bytes())
+            .is_err()
+        {
+            break;
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+}
+
+fn handle_line(
+    line: &str,
+    cfg: &ServeConfig,
+    senders: &[SyncSender<Envelope>],
+    shutdown: &AtomicBool,
+    board: &StatusBoard,
+) -> String {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(message) => return top_level_error(400, &message),
+    };
+    match request.die() {
+        None => match request {
+            Request::Status => status_response(cfg, board),
+            _ => {
+                shutdown.store(true, Ordering::SeqCst);
+                Json::obj()
+                    .field("ok", true)
+                    .field("op", "shutdown")
+                    .to_string()
+            }
+        },
+        Some(die) => {
+            if die >= cfg.dies {
+                return top_level_error(
+                    400,
+                    &format!("die {die} out of range (pool has {})", cfg.dies),
+                );
+            }
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let envelope = Envelope {
+                canonical: request.canonical(),
+                request,
+                reply_to: reply_tx,
+            };
+            match senders[cfg.shard_of(die)].try_send(envelope) {
+                Ok(()) => match reply_rx.recv() {
+                    Ok(response) => response,
+                    Err(_) => top_level_error(500, "shard exited before replying"),
+                },
+                Err(TrySendError::Full(_)) => {
+                    board.shed.fetch_add(1, Ordering::Relaxed);
+                    top_level_error(503, "shard queue full, request shed")
+                }
+                Err(TrySendError::Disconnected(_)) => top_level_error(503, "server shutting down"),
+            }
+        }
+    }
+}
+
+fn top_level_error(code: usize, message: &str) -> String {
+    Json::obj()
+        .field("ok", false)
+        .field("code", code)
+        .field("error", message)
+        .to_string()
+}
+
+fn status_response(cfg: &ServeConfig, board: &StatusBoard) -> String {
+    let remaps: Vec<Json> = board
+        .remaps()
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("die", r.die)
+                .field("gen", r.generation as usize)
+                .field("reason", r.reason.as_str())
+        })
+        .collect();
+    Json::obj()
+        .field("ok", true)
+        .field("op", "status")
+        .field("group", cfg.group.to_string().as_str())
+        .field("dies", cfg.dies)
+        .field("shards", cfg.shards)
+        .field("queue_depth", cfg.queue_depth)
+        .field("columns", cfg.columns)
+        .field("processed", board.processed.load(Ordering::Relaxed))
+        .field("shed", board.shed.load(Ordering::Relaxed))
+        .field("batched", board.batched.load(Ordering::Relaxed))
+        .field("remaps", remaps)
+        .to_string()
+}
+
+/// Replays a canonical request log against a fresh pool and returns the
+/// response log, sorted by `(die, seq)` — byte-identical to the
+/// [`ServerReport::response_log`] the live server recorded for that
+/// log. Runs single-threaded with batching and stalls disabled; this
+/// *is* the determinism claim, see DESIGN.md.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed or out-of-range line.
+pub fn run_replay(cfg: &ServeConfig, requests: &str) -> Result<String, String> {
+    let board = Arc::new(StatusBoard::default());
+    let mut state = ShardState::new(cfg.clone(), board, false);
+    let mut replies: Vec<Reply> = Vec::new();
+    for (index, line) in requests.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request =
+            Request::parse(line).map_err(|e| format!("request line {}: {e}", index + 1))?;
+        let Some(die) = request.die() else {
+            continue; // status/shutdown are front-end ops; nothing to replay
+        };
+        if die >= cfg.dies {
+            return Err(format!(
+                "request line {}: die {die} out of range (pool has {})",
+                index + 1,
+                cfg.dies
+            ));
+        }
+        replies.push(state.execute(&request));
+    }
+    replies.sort_by_key(|r| (r.die, r.seq));
+    let mut out = String::new();
+    for reply in &replies {
+        out.push_str(&reply.line);
+        out.push('\n');
+    }
+    Ok(out)
+}

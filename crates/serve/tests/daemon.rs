@@ -1,0 +1,270 @@
+//! End-to-end tests of the daemon over real loopback TCP: replay
+//! determinism, concurrent-vs-serial equivalence, fault degradation,
+//! and queue backpressure.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use fracdram_experiments::Json;
+use fracdram_serve::{run_replay, start, ServeConfig, ServerHandle};
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(handle: &ServerHandle) -> Client {
+        let stream = TcpStream::connect(handle.addr()).expect("connect");
+        Client {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        assert!(!response.is_empty(), "server closed mid-request");
+        response.trim_end().to_string()
+    }
+}
+
+fn small_cfg() -> ServeConfig {
+    ServeConfig {
+        dies: 4,
+        shards: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// The mixed per-client workload both halves of the equivalence tests
+/// drive: TRNG, Frac writes, copies, reads, PUF evaluation, enrollment
+/// and verification, all on the client's own die.
+fn workload(die: usize, requests: usize) -> Vec<String> {
+    (0..requests)
+        .map(|i| match i % 7 {
+            0 => format!(r#"{{"op":"trng","die":{die},"bits":32}}"#),
+            1 => format!(
+                r#"{{"op":"write","die":{die},"bank":1,"row":{},"fill":{},"frac":{}}}"#,
+                3 + i % 16,
+                i % 2 == 0,
+                i % 3
+            ),
+            2 => format!(
+                r#"{{"op":"read","die":{die},"bank":1,"row":{}}}"#,
+                3 + i % 16
+            ),
+            3 => format!(
+                r#"{{"op":"puf","die":{die},"bank":1,"row":{}}}"#,
+                40 + i % 20
+            ),
+            4 => format!(
+                r#"{{"op":"copy","die":{die},"bank":1,"src":{},"dst":{}}}"#,
+                3 + i % 16,
+                20 + i % 4
+            ),
+            5 => format!(r#"{{"op":"enroll","die":{die},"bank":1,"row":44,"reps":3}}"#),
+            _ => format!(r#"{{"op":"verify","die":{die},"bank":1,"row":44}}"#),
+        })
+        .collect()
+}
+
+#[test]
+fn replayed_request_log_reproduces_responses_byte_for_byte() {
+    let cfg = small_cfg();
+    let handle = start(cfg.clone()).expect("start server");
+    // Three clients race on two dies, so live arrival order on each die
+    // is genuinely nondeterministic; the canonical log pins it down.
+    let workers: Vec<_> = (0..3)
+        .map(|c| {
+            let mut client = Client::connect(&handle);
+            let lines = workload(c % 2, 21);
+            std::thread::spawn(move || {
+                for line in &lines {
+                    let response = client.send(line);
+                    assert!(response.contains("\"ok\":true"), "failed: {response}");
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client panicked");
+    }
+    handle.stop();
+    let report = handle.join();
+    assert_eq!(report.processed, 63);
+    assert_eq!(report.shed, 0);
+    assert_eq!(
+        report.request_log.lines().count(),
+        report.response_log.lines().count()
+    );
+
+    let replayed = run_replay(&cfg, &report.request_log).expect("replay");
+    assert_eq!(
+        replayed, report.response_log,
+        "replayed response log must be byte-identical"
+    );
+}
+
+#[test]
+fn concurrent_clients_match_single_client_ground_truth() {
+    let cfg = small_cfg();
+    let per_client = 14;
+
+    // Ground truth: one client drains each die's workload serially.
+    let serial = start(cfg.clone()).expect("start serial server");
+    {
+        let mut client = Client::connect(&serial);
+        for die in 0..cfg.dies {
+            for line in workload(die, per_client) {
+                client.send(&line);
+            }
+        }
+    }
+    serial.stop();
+    let serial_report = serial.join();
+
+    // Same per-die request streams, now from racing client threads.
+    let concurrent = start(cfg.clone()).expect("start concurrent server");
+    let workers: Vec<_> = (0..cfg.dies)
+        .map(|die| {
+            let mut client = Client::connect(&concurrent);
+            let lines = workload(die, per_client);
+            std::thread::spawn(move || {
+                for line in &lines {
+                    client.send(line);
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().expect("client panicked");
+    }
+    concurrent.stop();
+    let concurrent_report = concurrent.join();
+
+    assert_eq!(concurrent_report.response_log, serial_report.response_log);
+    assert_eq!(concurrent_report.request_log, serial_report.request_log);
+}
+
+#[test]
+fn die_marked_bad_mid_stream_remaps_without_losing_requests() {
+    let cfg = ServeConfig {
+        dies: 2,
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg.clone()).expect("start server");
+    let mut client = Client::connect(&handle);
+
+    let enroll = r#"{"op":"enroll","die":0,"bank":1,"row":44,"reps":3}"#;
+    let verify = r#"{"op":"verify","die":0,"bank":1,"row":44}"#;
+    let doc = Json::parse(&client.send(enroll)).unwrap();
+    assert_eq!(doc.get("cached").unwrap().as_bool(), Some(false));
+    let doc = Json::parse(&client.send(verify)).unwrap();
+    assert_eq!(doc.get("match").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("gen").unwrap().as_usize(), Some(0));
+
+    // Degrade the die mid-stream while traffic continues.
+    let mut responses = Vec::new();
+    for i in 0..12 {
+        if i == 4 {
+            let doc = Json::parse(&client.send(r#"{"op":"mark-bad","die":0}"#)).unwrap();
+            assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+            responses.push(doc);
+        }
+        let line = format!(
+            r#"{{"op":"write","die":0,"bank":1,"row":{},"fill":true,"frac":1}}"#,
+            3 + i
+        );
+        responses.push(Json::parse(&client.send(&line)).unwrap());
+    }
+    for doc in &responses {
+        assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true), "lost: {doc}");
+    }
+    let last_gen = responses.last().unwrap().get("gen").unwrap().as_usize();
+    assert_eq!(
+        last_gen,
+        Some(1),
+        "traffic after mark-bad runs on fresh silicon"
+    );
+
+    // The remap cleared the enrollment cache: verify reports
+    // un-enrolled (not an error), and re-enrolling works.
+    let doc = Json::parse(&client.send(verify)).unwrap();
+    assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(doc.get("enrolled").unwrap().as_bool(), Some(false));
+    let doc = Json::parse(&client.send(enroll)).unwrap();
+    assert_eq!(doc.get("cached").unwrap().as_bool(), Some(false));
+    let doc = Json::parse(&client.send(verify)).unwrap();
+    assert_eq!(doc.get("match").unwrap().as_bool(), Some(true));
+
+    // Status reports the remap.
+    let status = Json::parse(&client.send(r#"{"op":"status"}"#)).unwrap();
+    let Some(Json::Arr(remaps)) = status.get("remaps") else {
+        panic!("status has no remaps array: {status}");
+    };
+    assert_eq!(remaps.len(), 1);
+    assert_eq!(remaps[0].get("die").unwrap().as_usize(), Some(0));
+    assert_eq!(remaps[0].get("gen").unwrap().as_usize(), Some(1));
+
+    drop(client);
+    handle.stop();
+    let report = handle.join();
+    assert_eq!(report.shed, 0);
+    // And the whole degraded run replays byte-for-byte.
+    let replayed = run_replay(&cfg, &report.request_log).expect("replay");
+    assert_eq!(replayed, report.response_log);
+}
+
+#[test]
+fn full_queue_sheds_with_503_instead_of_blocking() {
+    let cfg = ServeConfig {
+        dies: 1,
+        shards: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start server");
+
+    // Occupy the only shard for a while...
+    let stall_handleref = Client::connect(&handle);
+    let staller = std::thread::spawn(move || {
+        let mut client = stall_handleref;
+        client.send(r#"{"op":"stall","die":0,"millis":400}"#)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // ...then flood it from ten connections at once. With a queue bound
+    // of 1, most of them must be shed immediately with a 503.
+    let floods: Vec<_> = (0..10)
+        .map(|_| {
+            let mut client = Client::connect(&handle);
+            std::thread::spawn(move || client.send(r#"{"op":"read","die":0,"bank":0,"row":0}"#))
+        })
+        .collect();
+    let mut shed = 0;
+    let mut served = 0;
+    for flood in floods {
+        let response = flood.join().expect("flood client panicked");
+        let doc = Json::parse(&response).unwrap();
+        if doc.get("code").and_then(Json::as_usize) == Some(503) {
+            shed += 1;
+        } else {
+            assert_eq!(doc.get("ok").unwrap().as_bool(), Some(true));
+            served += 1;
+        }
+    }
+    assert!(shed >= 1, "queue bound 1 must shed under a 10-deep flood");
+    assert!(served >= 1, "queued requests still drain");
+    let stalled = staller.join().expect("staller panicked");
+    assert!(stalled.contains("\"ok\":true"));
+
+    handle.stop();
+    let report = handle.join();
+    assert_eq!(report.shed, shed);
+}

@@ -1,0 +1,21 @@
+//! Pins the daemon's replay output to a committed golden: the default
+//! pool config must answer the recorded mixed request log (TRNG, PUF
+//! enroll/verify across a remap, fault injection, Frac storage, and
+//! validation errors) byte-for-byte the same on every host and at any
+//! thread count. Regenerate with
+//! `cargo run --release -p fracdram-experiments --bin regen-goldens`.
+
+use fracdram_serve::{run_replay, ServeConfig};
+
+const REQUESTS: &str = include_str!("golden/replay_requests.log");
+const RESPONSES: &str = include_str!("golden/replay_responses.log");
+
+#[test]
+fn replay_matches_committed_golden() {
+    let replayed = run_replay(&ServeConfig::default(), REQUESTS).expect("replay");
+    assert_eq!(
+        replayed, RESPONSES,
+        "server replay diverged from the committed golden \
+         (crates/serve/tests/golden/replay_responses.log)"
+    );
+}
