@@ -10,9 +10,13 @@
 //!
 //! `--history PATH` appends the CURRENT records (one
 //! `{"bench","median_ns","rev"}` object per line) to an append-only
-//! measurement log; pass the measured revision with `--rev`. Use it
-//! whenever the committed baseline is refreshed, so `BENCH_history.jsonl`
-//! keeps one generation per baseline change.
+//! measurement log. Every record of one invocation is stamped with the
+//! same revision: `--rev REV` when given, otherwise `git rev-parse
+//! --short HEAD` (with a `-dirty` suffix and a warning when the tree
+//! has uncommitted changes — dirty measurements don't reproduce from
+//! the stamped commit). Use it whenever the committed baseline is
+//! refreshed, so `BENCH_history.jsonl` keeps one generation per
+//! baseline change.
 
 use fracdram_bench::diff::{compare, history_lines, parse_records};
 use std::process::ExitCode;
@@ -20,9 +24,33 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: bench_diff BASELINE.json CURRENT.json [--tolerance FRAC] [--warn-only] \
-         [--history PATH --rev REV]"
+         [--history PATH [--rev REV]]"
     );
     std::process::exit(2);
+}
+
+/// Output of `git` in the working directory, trimmed; `None` when git is
+/// unavailable or exits nonzero.
+fn git(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+/// The revision to stamp history records with: the current short HEAD,
+/// suffixed `-dirty` (with a warning) when the tree has uncommitted
+/// changes. One invocation stamps all its records with this one value.
+fn head_rev() -> String {
+    let Some(head) = git(&["rev-parse", "--short", "HEAD"]) else {
+        eprintln!("bench_diff: cannot resolve HEAD; pass --rev explicitly");
+        std::process::exit(2);
+    };
+    match git(&["status", "--porcelain"]) {
+        Some(status) if status.is_empty() => head,
+        _ => format!("{head}-dirty"),
+    }
 }
 
 fn main() -> ExitCode {
@@ -66,7 +94,13 @@ fn main() -> ExitCode {
     let report = compare(&read(baseline_path), &current, tolerance);
     print!("{}", report.render());
     if let Some(history_path) = &history {
-        let rev = rev.unwrap_or_else(|| usage());
+        let rev = rev.unwrap_or_else(head_rev);
+        if rev.ends_with("-dirty") {
+            eprintln!(
+                "bench_diff: warning: working tree is dirty; stamping history \
+                 records as {rev} (they will not reproduce from that commit)"
+            );
+        }
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)

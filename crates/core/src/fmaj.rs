@@ -10,7 +10,7 @@
 //! which is how the paper cuts the in-memory majority error rate from
 //! 9.1 % to 2.2 %.
 
-use fracdram_model::{Cycles, Geometry, GroupId};
+use fracdram_model::{Cycles, Geometry, GroupId, RowAddr};
 use fracdram_softmc::{MemoryController, Program};
 
 use crate::error::{FracDramError, Result};
@@ -139,11 +139,79 @@ pub fn prepare_fractional_row(
     Ok(())
 }
 
+/// A prebuilt F-MAJ execution plan for repeated-trial hot loops.
+///
+/// [`fmaj`] rebuilds the fractional-row pattern, the Frac program, and
+/// the trigger program on every call; a plan builds each of them once
+/// for a fixed `(quad, config)` and replays them per trial, so the only
+/// per-trial work is the operand writes and the program runs. Results
+/// are bit-identical to [`fmaj`] by construction — the plan stores the
+/// very values the per-call path recomputes.
+#[derive(Debug, Clone)]
+pub struct FmajPlan {
+    frac_row: RowAddr,
+    operand_rows: [RowAddr; 3],
+    init_bits: Vec<bool>,
+    frac: Program,
+    trigger: Program,
+}
+
+impl FmajPlan {
+    /// Prebuilds the plan for `(quad, config)` on `mc`'s module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::Unsupported`] when the module cannot
+    /// open four rows.
+    pub fn new(mc: &MemoryController, quad: &Quad, config: &FmajConfig) -> Result<FmajPlan> {
+        require_four_row(mc)?;
+        let geometry = *mc.module().geometry();
+        let rows = quad.rows(&geometry);
+        let frac_row = rows[config.frac_role.min(3)];
+        let roles = config.operand_roles();
+        Ok(FmajPlan {
+            frac_row,
+            operand_rows: [rows[roles[0]], rows[roles[1]], rows[roles[2]]],
+            init_bits: vec![config.init_ones; mc.module().row_bits()],
+            frac: frac_program(frac_row, config.frac_ops),
+            trigger: fmaj_program(quad, &geometry),
+        })
+    }
+
+    /// Executes one complete F-MAJ: fractional-row preparation, operand
+    /// stores (in role order), trigger, and read-back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::OperandWidth`] on width mismatches and
+    /// propagates controller errors.
+    pub fn run(&self, mc: &mut MemoryController, operands: [&[bool]; 3]) -> Result<Vec<bool>> {
+        let width = self.init_bits.len();
+        for bits in operands {
+            if bits.len() != width {
+                return Err(FracDramError::OperandWidth {
+                    got: bits.len(),
+                    expected: width,
+                });
+            }
+        }
+        mc.write_row(self.frac_row, &self.init_bits)?;
+        mc.run(&self.frac)?;
+        for (row, bits) in self.operand_rows.iter().zip(operands) {
+            mc.write_row(*row, bits)?;
+        }
+        let outcome = mc.run(&self.trigger)?;
+        Ok(outcome.single_read()?)
+    }
+}
+
 /// Executes a complete F-MAJ: fractional-row preparation, operand
 /// stores (into the non-fractional roles, in role order), trigger, and
 /// read-back of the majority result.
 ///
 /// The result is restored into all four rows, exactly as on hardware.
+/// Repeated-trial loops should prebuild an [`FmajPlan`] instead — this
+/// convenience wrapper rebuilds the plan on every call.
 ///
 /// # Errors
 ///
@@ -156,24 +224,7 @@ pub fn fmaj(
     config: &FmajConfig,
     operands: [&[bool]; 3],
 ) -> Result<Vec<bool>> {
-    require_four_row(mc)?;
-    let width = mc.module().row_bits();
-    for bits in operands {
-        if bits.len() != width {
-            return Err(FracDramError::OperandWidth {
-                got: bits.len(),
-                expected: width,
-            });
-        }
-    }
-    prepare_fractional_row(mc, quad, config)?;
-    let geometry = *mc.module().geometry();
-    let rows = quad.rows(&geometry);
-    for (slot, bits) in config.operand_roles().into_iter().zip(operands) {
-        mc.write_row(rows[slot], bits)?;
-    }
-    let outcome = mc.run(&fmaj_program(quad, &geometry))?;
-    Ok(outcome.single_read()?)
+    FmajPlan::new(mc, quad, config)?.run(mc, operands)
 }
 
 /// Per-column coverage of F-MAJ under `config`: the fraction of columns

@@ -27,16 +27,14 @@ pub const FRAC_CYCLES: u64 = 7;
 /// `PRECHARGE`, then five idle cycles so the precharge completes before
 /// the next activation — the 7-cycle schedule of Fig. 3.
 pub fn frac_program(row: RowAddr, count: usize) -> Program {
-    let mut program = Program::new();
+    // One builder for the whole sequence: appending `count` repetitions
+    // directly produces the same instruction list as concatenating
+    // `count` single-op programs, without the per-op allocations.
+    let mut b = Program::builder();
     for _ in 0..count {
-        let one = Program::builder()
-            .act(row)
-            .pre(row.bank)
-            .delay(FRAC_CYCLES - 2)
-            .build();
-        program.extend_from(&one);
+        b = b.act(row).pre(row.bank).delay(FRAC_CYCLES - 2);
     }
-    program
+    b.build()
 }
 
 /// Executes `count` Frac operations on `row`.

@@ -71,6 +71,74 @@ pub fn write_operands(
     Ok(())
 }
 
+/// A prebuilt MAJ3 execution plan for repeated-trial hot loops.
+///
+/// [`maj3`] rebuilds the glitch program on every call; a plan builds it
+/// once for a fixed triplet and replays it per trial, so the only
+/// per-trial work is the operand writes and the program run. Results
+/// are bit-identical to [`maj3`] by construction.
+#[derive(Debug, Clone)]
+pub struct Maj3Plan {
+    rows: [fracdram_model::RowAddr; 3],
+    program: Program,
+}
+
+impl Maj3Plan {
+    /// Prebuilds the plan for `triplet` on `mc`'s module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::Unsupported`] on modules that cannot
+    /// open three rows.
+    pub fn new(mc: &MemoryController, triplet: &Triplet) -> Result<Maj3Plan> {
+        let profile = mc.module().profile();
+        if !profile.supports_three_row() {
+            return Err(FracDramError::Unsupported {
+                group: profile.group,
+                operation: "three-row activation (MAJ3)",
+            });
+        }
+        let geometry = *mc.module().geometry();
+        Ok(Maj3Plan {
+            rows: triplet.rows(&geometry),
+            program: maj3_program(triplet, &geometry),
+        })
+    }
+
+    /// Stores three operands (role order `[R1, R2, R3]`) and executes
+    /// the majority — the full ComputeDRAM flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FracDramError::OperandWidth`] on width mismatches and
+    /// propagates controller errors.
+    pub fn run(&self, mc: &mut MemoryController, operands: [&[bool]; 3]) -> Result<Vec<bool>> {
+        let width = mc.module().row_bits();
+        for bits in operands {
+            if bits.len() != width {
+                return Err(FracDramError::OperandWidth {
+                    got: bits.len(),
+                    expected: width,
+                });
+            }
+        }
+        for (row, bits) in self.rows.iter().zip(operands) {
+            mc.write_row(*row, bits)?;
+        }
+        self.run_in_place(mc)
+    }
+
+    /// Executes the majority on operands already stored in the rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn run_in_place(&self, mc: &mut MemoryController) -> Result<Vec<bool>> {
+        let outcome = mc.run(&self.program)?;
+        Ok(outcome.single_read()?)
+    }
+}
+
 /// Executes the in-memory MAJ3 on operands already stored in the triplet
 /// rows, returning the per-column majority result.
 ///
@@ -82,19 +150,12 @@ pub fn write_operands(
 /// Returns [`FracDramError::Unsupported`] on modules that cannot open
 /// three rows, and propagates controller errors.
 pub fn maj3_in_place(mc: &mut MemoryController, triplet: &Triplet) -> Result<Vec<bool>> {
-    let profile = mc.module().profile();
-    if !profile.supports_three_row() {
-        return Err(FracDramError::Unsupported {
-            group: profile.group,
-            operation: "three-row activation (MAJ3)",
-        });
-    }
-    let geometry = *mc.module().geometry();
-    let outcome = mc.run(&maj3_program(triplet, &geometry))?;
-    Ok(outcome.single_read()?)
+    Maj3Plan::new(mc, triplet)?.run_in_place(mc)
 }
 
 /// Stores three operands and executes MAJ3 — the full ComputeDRAM flow.
+/// Repeated-trial loops should prebuild a [`Maj3Plan`] instead — this
+/// convenience wrapper rebuilds the plan on every call.
 ///
 /// # Errors
 ///

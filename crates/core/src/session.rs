@@ -298,6 +298,56 @@ pub struct PrefixStats {
     pub bytes: u64,
 }
 
+/// A pool of reusable full-width row buffers for trial hot loops.
+///
+/// Measurement bodies take buffers at the top of a trial and give them
+/// (or buffers produced by the trial, like a consumed read-back row)
+/// back at the bottom; after the first trial warms the pool, takes stop
+/// allocating. Purely an allocation amortizer — buffer contents carry
+/// nothing between trials (every take returns a zeroed row).
+#[derive(Debug)]
+pub struct RowArena {
+    width: usize,
+    free: Vec<Vec<bool>>,
+}
+
+/// Upper bound on pooled buffers; `give` beyond this drops the buffer
+/// so a body returning more rows than it takes cannot grow the pool
+/// unboundedly.
+const ARENA_CAP: usize = 8;
+
+impl RowArena {
+    /// An empty pool of `width`-column row buffers.
+    pub fn new(width: usize) -> RowArena {
+        RowArena {
+            width,
+            free: Vec::new(),
+        }
+    }
+
+    /// A zeroed row buffer — pooled when available, freshly allocated
+    /// otherwise.
+    pub fn take(&mut self) -> Vec<bool> {
+        match self.free.pop() {
+            Some(mut row) => {
+                row.clear();
+                row.resize(self.width, false);
+                row
+            }
+            None => vec![false; self.width],
+        }
+    }
+
+    /// Returns a buffer to the pool for a later [`RowArena::take`].
+    /// Accepts rows of any length (they are re-sized on take) and drops
+    /// the buffer once the pool holds [`ARENA_CAP`] rows.
+    pub fn give(&mut self, row: Vec<bool>) {
+        if self.free.len() < ARENA_CAP {
+            self.free.push(row);
+        }
+    }
+}
+
 /// Scopes a repeated-trial measurement over one controller.
 ///
 /// Each trial re-runs a shared init/write prefix (operand rows,
@@ -331,6 +381,19 @@ impl<'a> TrialRunner<'a> {
         mut body: impl FnMut(&mut MemoryController, usize) -> T,
     ) -> Vec<T> {
         (0..trials).map(|i| body(self.mc, i)).collect()
+    }
+
+    /// Like [`TrialRunner::run`], but leases a [`RowArena`] sized to the
+    /// module row to the body so trial hot loops recycle their row
+    /// buffers instead of allocating per trial. The arena persists
+    /// across all trials of the scope.
+    pub fn run_arena<T>(
+        &mut self,
+        trials: usize,
+        mut body: impl FnMut(&mut MemoryController, &mut RowArena, usize) -> T,
+    ) -> Vec<T> {
+        let mut arena = RowArena::new(self.mc.module().row_bits());
+        (0..trials).map(|i| body(self.mc, &mut arena, i)).collect()
     }
 
     /// The controller under measurement.

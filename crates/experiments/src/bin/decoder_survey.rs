@@ -57,6 +57,7 @@ fn main() {
     let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::controller(key.group, setup::compute_geometry(), seed);
         let probes = explore_pairs(&mut mc, SubarrayAddr::new(0, 0), rows).expect("explore");
+        setup::reclaim_caches(&mut mc);
         (probes, mc.metrics())
     });
     eprintln!("{}", run.summary());

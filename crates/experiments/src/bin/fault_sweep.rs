@@ -113,6 +113,7 @@ fn sweep_point(
     }
     let puf_rate = 1.0 - distance / (challenges.len() * puf_repeats) as f64;
 
+    setup::reclaim_caches(&mut mc);
     (
         SweepPoint {
             frac: frac_rate,

@@ -151,6 +151,7 @@ fn main() {
             let triplet = Triplet::first(&geometry, sa);
             tasks::stability_maj3(&mut mc, &triplet, trials, &mut rng)
         });
+        setup::reclaim_caches(&mut mc);
         (Stability { fmaj, maj3 }, mc.metrics())
     });
     eprintln!("{}", run.summary());

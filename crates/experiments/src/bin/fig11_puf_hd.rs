@@ -96,6 +96,7 @@ fn main() {
             .iter()
             .map(|&c| evaluate(&mut mc, c).expect("puf"))
             .collect();
+        setup::reclaim_caches(&mut mc);
         (Responses { first, second }, mc.metrics())
     });
     eprintln!("{}", run.summary());

@@ -88,6 +88,7 @@ fn main() {
             .iter()
             .map(|&c| evaluate(&mut mc, c).expect("puf"))
             .collect();
+        setup::reclaim_caches(&mut mc);
         (responses, mc.metrics())
     });
     eprintln!("{}", run.summary());

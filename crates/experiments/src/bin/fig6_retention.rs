@@ -76,6 +76,7 @@ fn main() {
         let per_count: Vec<Vec<RetentionBucket>> = (0..=MAX_FRAC)
             .map(|n| measure_row_voted(&mut mc, row, n, votes).expect("measure"))
             .collect();
+        setup::reclaim_caches(&mut mc);
         (per_count, mc.metrics())
     });
     eprintln!("{}", run.summary());

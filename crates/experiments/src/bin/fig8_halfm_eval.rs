@@ -208,6 +208,7 @@ fn main() {
             SubarrayAddr::new(key.subarray % geometry.banks, key.subarray / geometry.banks);
         let init = SCANS[key.variant].1;
         let pairs = verify_pairs(&mut mc, subarray, init);
+        setup::reclaim_caches(&mut mc);
         (pairs, mc.metrics())
     });
     eprintln!("{}", run.summary());

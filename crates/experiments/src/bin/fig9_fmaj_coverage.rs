@@ -102,6 +102,7 @@ fn main() {
             .iter()
             .map(|config| fmaj_coverage(&mut mc, &quad, config).expect("fmaj"))
             .collect();
+        setup::reclaim_caches(&mut mc);
         (Coverage { maj3, per_config }, mc.metrics())
     });
     eprintln!("{}", run.summary());

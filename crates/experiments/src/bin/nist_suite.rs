@@ -104,6 +104,7 @@ fn main() {
             passed: report.all_passed(),
             report: report.to_string(),
         };
+        setup::reclaim_caches(&mut mc);
         (value, mc.metrics())
     });
     eprintln!("{}", run.summary());

@@ -51,6 +51,7 @@ fn main() {
             seed + key.module as u64,
         );
         let caps = survey(&mut mc).expect("survey failed");
+        setup::reclaim_caches(&mut mc);
         ((caps.frac, caps.three_row, caps.four_row), mc.metrics())
     });
     eprintln!("{}", run.summary());

@@ -283,7 +283,8 @@ impl<T> FleetRun<T> {
         let perf = self.total_perf();
         let mut s = format!(
             "fleet: {} task(s) on {} thread(s) in {:.3}s — {} DRAM commands ({} ACT, {} RD, {} WR); \
-             kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {:.1}ms in kernels; \
+             kernels: {} events / {} columns, {} exp(), cache {}h/{}m, {} shared, {:.1}ms in kernels; \
+             leak: {} skips, {} decay-vec hits, exp batch {} call(s) / {} lanes; \
              snapshots {}h/{}m ({} B), exp memo {}h/{}m; \
              noise: {} draws / {} fills, {:.1}ms",
             self.tasks.len(),
@@ -298,7 +299,12 @@ impl<T> FleetRun<T> {
             perf.exp_calls,
             perf.cache_hits,
             perf.cache_misses,
+            perf.cache_share_hits,
             perf.kernel_ns() as f64 / 1e6,
+            perf.leak_row_skips,
+            perf.decay_vec_hits,
+            perf.exp_batch_calls,
+            perf.exp_batch_lanes,
             perf.snapshot_hits,
             perf.snapshot_misses,
             perf.snapshot_bytes,
@@ -398,6 +404,11 @@ fn perf_json(p: &ModelPerf) -> Json {
         .field("exp_calls", p.exp_calls)
         .field("cache_hits", p.cache_hits)
         .field("cache_misses", p.cache_misses)
+        .field("cache_share_hits", p.cache_share_hits)
+        .field("leak_row_skips", p.leak_row_skips)
+        .field("decay_vec_hits", p.decay_vec_hits)
+        .field("exp_batch_calls", p.exp_batch_calls)
+        .field("exp_batch_lanes", p.exp_batch_lanes)
         .field("snapshot_hits", p.snapshot_hits)
         .field("snapshot_misses", p.snapshot_misses)
         .field("snapshot_bytes", p.snapshot_bytes)
@@ -487,76 +498,86 @@ where
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(key) = plan.get(index) else {
-                    break;
-                };
-                let base = task_seed(base_seed, key);
-                let task_started = Instant::now();
-                let mut attempt: u32 = 0;
-                let outcome = loop {
-                    let seed = base ^ u64::from(attempt);
-                    match catch_unwind(AssertUnwindSafe(|| task(key, seed))) {
-                        Ok(ok) => break Ok((seed, ok)),
-                        Err(payload) => {
-                            let message = panic_message(payload);
-                            if attempt >= policy.retries {
-                                break Err(TaskFailure {
-                                    key: *key,
-                                    seed,
-                                    attempt,
-                                    message,
-                                });
+            scope.spawn(|| {
+                // Per-worker materialize cache: consecutive tasks on this
+                // worker donate their per-chip caches forward (same-die
+                // tasks then skip the rebuild entirely). Values cannot
+                // change — buffers survive adoption only for the same die
+                // seed and are pure in it — so any job count merges the
+                // same bytes; only wall time and `cache_share_hits` move.
+                crate::setup::arm_cache_pool();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(key) = plan.get(index) else {
+                        break;
+                    };
+                    let base = task_seed(base_seed, key);
+                    let task_started = Instant::now();
+                    let mut attempt: u32 = 0;
+                    let outcome = loop {
+                        let seed = base ^ u64::from(attempt);
+                        match catch_unwind(AssertUnwindSafe(|| task(key, seed))) {
+                            Ok(ok) => break Ok((seed, ok)),
+                            Err(payload) => {
+                                let message = panic_message(payload);
+                                if attempt >= policy.retries {
+                                    break Err(TaskFailure {
+                                        key: *key,
+                                        seed,
+                                        attempt,
+                                        message,
+                                    });
+                                }
+                                eprintln!(
+                                    "fleet: {key} attempt {attempt} failed ({message}); retrying"
+                                );
+                                attempt += 1;
                             }
-                            eprintln!(
-                                "fleet: {key} attempt {attempt} failed ({message}); retrying"
-                            );
-                            attempt += 1;
                         }
-                    }
-                };
-                let wall = task_started.elapsed();
-                let report = match outcome {
-                    Ok((seed, (value, metrics))) => TaskReport {
-                        key: *key,
-                        seed,
-                        attempt,
-                        result: Ok(value),
-                        stats: metrics.cycles,
-                        perf: metrics.model,
-                        wall,
-                    },
-                    Err(failure) => {
-                        eprintln!("fleet: {failure}");
-                        if policy.mode == FailureMode::FailFast {
-                            stop.store(true, Ordering::Relaxed);
-                        }
-                        TaskReport {
+                    };
+                    let wall = task_started.elapsed();
+                    let report = match outcome {
+                        Ok((seed, (value, metrics))) => TaskReport {
                             key: *key,
-                            seed: failure.seed,
+                            seed,
                             attempt,
-                            result: Err(failure),
-                            stats: CycleStats::default(),
-                            perf: ModelPerf::default(),
+                            result: Ok(value),
+                            stats: metrics.cycles,
+                            perf: metrics.model,
                             wall,
+                        },
+                        Err(failure) => {
+                            eprintln!("fleet: {failure}");
+                            if policy.mode == FailureMode::FailFast {
+                                stop.store(true, Ordering::Relaxed);
+                            }
+                            TaskReport {
+                                key: *key,
+                                seed: failure.seed,
+                                attempt,
+                                result: Err(failure),
+                                stats: CycleStats::default(),
+                                perf: ModelPerf::default(),
+                                wall,
+                            }
                         }
-                    }
-                };
-                // A panic inside `task` cannot poison these mutexes (the
-                // lock is never held across the task), but a defensive
-                // recover keeps one broken slot from cascading into a
-                // fleet-wide abort.
-                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
-                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "fleet: [{finished}/{}] {key}  {:.1}ms",
-                    plan.len(),
-                    wall.as_secs_f64() * 1e3
-                );
+                    };
+                    // A panic inside `task` cannot poison these mutexes (the
+                    // lock is never held across the task), but a defensive
+                    // recover keeps one broken slot from cascading into a
+                    // fleet-wide abort.
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+                    let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                    eprintln!(
+                        "fleet: [{finished}/{}] {key}  {:.1}ms",
+                        plan.len(),
+                        wall.as_secs_f64() * 1e3
+                    );
+                }
+                crate::setup::disarm_cache_pool();
             });
         }
     });
@@ -700,6 +721,11 @@ mod tests {
                     noise_draws: 96,
                     noise_fills: 6,
                     noise_ns: 1_500_000,
+                    cache_share_hits: 9,
+                    leak_row_skips: 11,
+                    decay_vec_hits: 4,
+                    exp_batch_calls: 2,
+                    exp_batch_lanes: 128,
                     ..ModelPerf::default()
                 },
                 ..RunMetrics::default()
@@ -736,6 +762,20 @@ mod tests {
             )),
             "{summary}"
         );
+        assert!(
+            summary.contains(&format!("{} shared", total.cache_share_hits)),
+            "{summary}"
+        );
+        assert!(
+            summary.contains(&format!(
+                "leak: {} skips, {} decay-vec hits, exp batch {} call(s) / {} lanes",
+                total.leak_row_skips,
+                total.decay_vec_hits,
+                total.exp_batch_calls,
+                total.exp_batch_lanes
+            )),
+            "{summary}"
+        );
 
         let dir = std::env::temp_dir().join("fracdram_fleet_perf_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -756,6 +796,11 @@ mod tests {
             format!("\"exp_memo_misses\":{}", total.exp_memo_misses),
             format!("\"noise_draws\":{}", total.noise_draws),
             format!("\"noise_fills\":{}", total.noise_fills),
+            format!("\"cache_share_hits\":{}", total.cache_share_hits),
+            format!("\"leak_row_skips\":{}", total.leak_row_skips),
+            format!("\"decay_vec_hits\":{}", total.decay_vec_hits),
+            format!("\"exp_batch_calls\":{}", total.exp_batch_calls),
+            format!("\"exp_batch_lanes\":{}", total.exp_batch_lanes),
         ] {
             assert!(text.contains(&field), "{field} missing in {text}");
         }

@@ -1,8 +1,9 @@
 //! Standard module setups for the experiments.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use fracdram_model::{DeviceParams, Geometry, GroupId, Module, ModuleConfig};
+use fracdram_model::{DeviceParams, Geometry, GroupId, MaterializeCache, Module, ModuleConfig};
 use fracdram_softmc::MemoryController;
 
 /// Process-wide intra-module worker count (the `--intra-jobs` flag),
@@ -20,6 +21,53 @@ pub fn set_intra_jobs(jobs: usize) {
 /// The current process-wide intra-module worker count.
 pub fn intra_jobs() -> usize {
     INTRA_JOBS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Per-worker materialize-cache pool. `None` (the default) disables
+    /// pooling entirely; fleet workers arm it for the span of their task
+    /// loop. Holds the caches the last reclaimed controller donated, one
+    /// per chip.
+    static WORKER_CACHES: RefCell<Option<Vec<MaterializeCache>>> = const { RefCell::new(None) };
+}
+
+/// Arms this thread's materialize-cache pool: every controller built on
+/// this thread adopts the caches of the previously [`reclaim_caches`]'d
+/// one. Fleet workers call this at the top of their task loop. Sharing
+/// cannot change simulated values — buffers survive adoption only for
+/// the same die seed, and they are pure functions of that seed — so any
+/// mix of armed and unarmed threads stays byte-identical; only wall
+/// time and the `cache_share_hits` counter move.
+pub fn arm_cache_pool() {
+    WORKER_CACHES.with(|c| *c.borrow_mut() = Some(Vec::new()));
+}
+
+/// Disarms this thread's cache pool and drops any pooled caches.
+pub fn disarm_cache_pool() {
+    WORKER_CACHES.with(|c| *c.borrow_mut() = None);
+}
+
+/// Donates a finished task's caches to this thread's pool (no-op while
+/// the pool is unarmed). Fleet task bodies call this on their
+/// controller right before returning.
+pub fn reclaim_caches(mc: &mut MemoryController) {
+    WORKER_CACHES.with(|c| {
+        if let Some(pool) = c.borrow_mut().as_mut() {
+            *pool = mc.module_mut().take_caches();
+        }
+    });
+}
+
+/// Installs this thread's pooled caches into a freshly built controller
+/// (no-op while the pool is unarmed or empty).
+fn adopt_pooled_caches(mc: &mut MemoryController) {
+    WORKER_CACHES.with(|c| {
+        if let Some(pool) = c.borrow_mut().as_mut() {
+            if !pool.is_empty() {
+                mc.module_mut().install_caches(std::mem::take(pool));
+            }
+        }
+    });
 }
 
 /// The default geometry for compute experiments: small enough for quick
@@ -55,6 +103,7 @@ pub fn controller(group: GroupId, geometry: Geometry, seed: u64) -> MemoryContro
     let mut mc =
         MemoryController::new(Module::new(ModuleConfig::single_chip(group, die, geometry)));
     mc.set_intra_jobs(intra_jobs());
+    adopt_pooled_caches(&mut mc);
     mc
 }
 
@@ -78,6 +127,7 @@ pub fn chips_controller(
         params: DeviceParams::default(),
     }));
     mc.set_intra_jobs(intra_jobs());
+    adopt_pooled_caches(&mut mc);
     mc
 }
 
@@ -89,6 +139,7 @@ pub fn rank_controller(group: GroupId, geometry: Geometry, seed: u64) -> MemoryC
         .wrapping_add(group as u64 + 1);
     let mut mc = MemoryController::new(Module::new(ModuleConfig::rank(group, die, geometry)));
     mc.set_intra_jobs(intra_jobs());
+    adopt_pooled_caches(&mut mc);
     mc
 }
 
@@ -109,6 +160,36 @@ mod tests {
             a.module().chips()[0].silicon().sense_offset(0, 0, 0),
             c.module().chips()[0].silicon().sense_offset(0, 0, 0),
         );
+    }
+
+    #[test]
+    fn pooled_caches_share_across_identical_controllers_only() {
+        use fracdram_model::RowAddr;
+
+        arm_cache_pool();
+        let geometry = compute_geometry();
+        let addr = RowAddr::new(0, 0);
+        let bits = vec![true; geometry.columns];
+
+        let mut warm = controller(GroupId::B, geometry, 7);
+        warm.write_row(addr, &bits).unwrap();
+        let first = warm.read_row(addr).unwrap();
+        reclaim_caches(&mut warm);
+
+        // Same (group, seed): the rebuilt controller adopts the donated
+        // buffers and reads the same bytes.
+        let mut next = controller(GroupId::B, geometry, 7);
+        assert!(next.model_perf().cache_share_hits > 0);
+        next.write_row(addr, &bits).unwrap();
+        assert_eq!(next.read_row(addr).unwrap(), first);
+        reclaim_caches(&mut next);
+
+        // Different die seed: adoption must clear the buffers instead of
+        // crediting stale ones.
+        let other = controller(GroupId::B, geometry, 8);
+        assert_eq!(other.model_perf().cache_share_hits, 0);
+
+        disarm_cache_pool();
     }
 
     #[test]

@@ -5,8 +5,8 @@
 //! here so every binary — serial or fleet-parallel — runs the exact
 //! same measurement code.
 
-use fracdram::fmaj::{fmaj, FmajConfig};
-use fracdram::maj3::maj3;
+use fracdram::fmaj::{FmajConfig, FmajPlan};
+use fracdram::maj3::Maj3Plan;
 use fracdram::rowsets::{Quad, Triplet};
 use fracdram::session::TrialRunner;
 use fracdram_softmc::MemoryController;
@@ -38,13 +38,19 @@ pub fn stability_fmaj(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
-    let mut operands = std::array::from_fn(|_| vec![false; width]);
+    let plan = FmajPlan::new(mc, quad, config).expect("fmaj plan");
     let mut runner = TrialRunner::new(mc);
-    runner.run(trials, |mc, _| {
+    runner.run_arena(trials, |mc, arena, _| {
+        let mut operands = [arena.take(), arena.take(), arena.take()];
         fill_operands(rng, &mut operands);
         let [a, b, c] = &operands;
-        let result = fmaj(mc, quad, config, [a, b, c]).expect("fmaj");
+        let result = plan.run(mc, [a, b, c]).expect("fmaj");
         tally_majority(&mut correct, &result, [a, b, c]);
+        arena.give(result);
+        let [a, b, c] = operands;
+        arena.give(a);
+        arena.give(b);
+        arena.give(c);
     });
     rates(correct, trials)
 }
@@ -63,13 +69,19 @@ pub fn stability_maj3(
 ) -> Vec<f64> {
     let width = mc.module().row_bits();
     let mut correct = vec![0usize; width];
-    let mut operands = std::array::from_fn(|_| vec![false; width]);
+    let plan = Maj3Plan::new(mc, triplet).expect("maj3 plan");
     let mut runner = TrialRunner::new(mc);
-    runner.run(trials, |mc, _| {
+    runner.run_arena(trials, |mc, arena, _| {
+        let mut operands = [arena.take(), arena.take(), arena.take()];
         fill_operands(rng, &mut operands);
         let [a, b, c] = &operands;
-        let result = maj3(mc, triplet, [a, b, c]).expect("maj3");
+        let result = plan.run(mc, [a, b, c]).expect("maj3");
         tally_majority(&mut correct, &result, [a, b, c]);
+        arena.give(result);
+        let [a, b, c] = operands;
+        arena.give(a);
+        arena.give(b);
+        arena.give(c);
     });
     rates(correct, trials)
 }

@@ -116,6 +116,37 @@ impl Chip {
         &self.config
     }
 
+    /// Detaches the materialize cache for donation to another chip,
+    /// leaving a fresh one behind. When a fault plan is armed the
+    /// seed-keyed buffers are dropped first — they fold the plan's
+    /// stuck/weak-cell statics, which the seed alone does not identify —
+    /// so a donation only ever carries pure-seed buffers plus the
+    /// always-valid `exp()` memo.
+    pub fn take_cache(&mut self) -> MaterializeCache {
+        let mut cache = std::mem::replace(&mut self.cache, MaterializeCache::new(self.config.seed));
+        if self.silicon.faults().is_some() {
+            cache.clear_buffers();
+        }
+        cache.stamp_donor(self.config.clone());
+        cache
+    }
+
+    /// Installs a cache donated by [`Chip::take_cache`] on another chip.
+    /// Materialized buffers survive only when the donor simulated this
+    /// very die — identical full configuration (group, seed, geometry,
+    /// analog parameters), since the buffers are pure in all of it — and
+    /// no fault plan is armed here; the number of buffers retained is
+    /// credited to [`ModelPerf::cache_share_hits`]. The donated `exp()`
+    /// memo is pure math and is kept either way, which is what makes
+    /// cross-die donation (serve die remaps) still worthwhile.
+    pub fn install_cache(&mut self, mut cache: MaterializeCache) {
+        if self.silicon.faults().is_some() || !cache.donor_is(&self.config) {
+            cache.clear_buffers();
+        }
+        self.perf.cache_share_hits += cache.adopt(self.config.seed);
+        self.cache = cache;
+    }
+
     /// The chip's geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.config.geometry

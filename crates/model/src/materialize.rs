@@ -27,44 +27,115 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
 
+use crate::chip::ChipConfig;
+use crate::env::Environment;
 use crate::perf::ModelPerf;
 use crate::silicon::Silicon;
 use crate::variation::splitmix64;
 
-/// Single-`u64` hasher for the `exp()` memo table.
-///
-/// The memo key is one already-well-mixed `f64` bit pattern; the default
-/// SipHash would cost more than the `exp()` it saves. A SplitMix finish
-/// is enough to spread mantissa-adjacent keys across buckets.
-#[derive(Debug, Default, Clone)]
-pub struct ExpKeyHasher {
-    hash: u64,
-}
-
-impl Hasher for ExpKeyHasher {
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        // Only reached by non-u64 keys; fold bytes in 8 at a time.
-        for chunk in bytes.chunks(8) {
-            let mut word = [0u8; 8];
-            word[..chunk.len()].copy_from_slice(chunk);
-            self.hash = splitmix64(self.hash ^ u64::from_le_bytes(word));
-        }
-    }
-
-    fn write_u64(&mut self, i: u64) {
-        self.hash = splitmix64(i);
-    }
-}
-
 /// Memoized `exp()` entries are evicted wholesale past this size; big
 /// retention sweeps generate unbounded distinct exponent arguments.
 const EXP_MEMO_CAP: usize = 1 << 20;
+
+/// Initial exp-memo table size (slots). Grows by 4× as it fills so idle
+/// chips pay kilobytes, not megabytes.
+const EXP_MEMO_INITIAL: usize = 1 << 10;
+
+/// Cached decay-factor vectors are evicted wholesale past this count;
+/// each entry is one row's worth of `f64`s for one `(dt, scale)` pair.
+const DECAY_VEC_CAP: usize = 512;
+
+/// Flat open-addressing `exp()` memo.
+///
+/// The key is the argument's exact bit pattern; key `0` (the bits of
+/// `+0.0`) doubles as the empty-slot sentinel, and `exp(+0) = 1` is
+/// answered without touching the table. A SplitMix finish spreads
+/// mantissa-adjacent keys; linear probing keeps a lookup to one or two
+/// adjacent cache lines — the `HashMap` this replaces spent more time
+/// hashing and chasing its control bytes than the `exp()` it saved.
+#[derive(Debug, Clone)]
+struct ExpMemo {
+    keys: Box<[u64]>,
+    vals: Box<[f64]>,
+    filled: usize,
+}
+
+impl Default for ExpMemo {
+    fn default() -> Self {
+        ExpMemo {
+            keys: vec![0u64; EXP_MEMO_INITIAL].into(),
+            vals: vec![0f64; EXP_MEMO_INITIAL].into(),
+            filled: 0,
+        }
+    }
+}
+
+impl ExpMemo {
+    /// Looks up `exp` of the argument with bits `key`, computing and
+    /// inserting on miss. Returns `(value, was_hit)`.
+    fn probe(&mut self, key: u64) -> (f64, bool) {
+        debug_assert_ne!(key, 0, "+0.0 is answered before the table");
+        let mask = self.keys.len() - 1;
+        let mut slot = (splitmix64(key) as usize) & mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return (self.vals[slot], true);
+            }
+            if k == 0 {
+                let v = f64::from_bits(key).exp();
+                self.keys[slot] = key;
+                self.vals[slot] = v;
+                self.filled += 1;
+                if self.filled * 4 >= self.keys.len() * 3 {
+                    self.grow_or_clear();
+                }
+                return (v, false);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Quadruples the table (rehashing every entry), or clears it
+    /// wholesale once it has reached the retention cap — the same
+    /// eviction policy the map it replaced used. Either way the memo
+    /// only ever returns `x.exp()` bits, so eviction timing cannot
+    /// change a simulated value.
+    fn grow_or_clear(&mut self) {
+        if self.keys.len() >= EXP_MEMO_CAP {
+            self.keys.fill(0);
+            self.filled = 0;
+            return;
+        }
+        let new_len = self.keys.len() * 4;
+        let old_keys = std::mem::replace(&mut self.keys, vec![0u64; new_len].into());
+        let old_vals = std::mem::replace(&mut self.vals, vec![0f64; new_len].into());
+        let mask = self.keys.len() - 1;
+        for (&k, &v) in old_keys.iter().zip(old_vals.iter()) {
+            if k == 0 {
+                continue;
+            }
+            let mut slot = (splitmix64(k) as usize) & mask;
+            while self.keys[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.keys[slot] = k;
+            self.vals[slot] = v;
+        }
+    }
+}
+
+/// Materialized sense thresholds of one sub-array, tagged with the
+/// environment they were computed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SenseThresholds {
+    temp_bits: u64,
+    vdd_bits: u64,
+    /// Final per-column comparison threshold (anti-cell mirror already
+    /// applied).
+    pub th: Box<[f64]>,
+}
 
 /// Static per-cell parameters of one row, as contiguous buffers.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,6 +167,10 @@ pub struct ColStatics {
     pub halfm_asym: Box<[f64]>,
 }
 
+/// Key of one cached decay-factor vector: `(bank, sub, row, dt bits,
+/// scale bits)`.
+type DecayKey = (usize, usize, usize, u64, u64);
+
 /// Lazy, seed-keyed cache of materialized silicon statics for one chip.
 #[derive(Debug, Clone, Default)]
 pub struct MaterializeCache {
@@ -103,10 +178,23 @@ pub struct MaterializeCache {
     cols: HashMap<(usize, usize), Box<ColStatics>>,
     weights: HashMap<(usize, usize, usize), Box<[f32]>>,
     rows: HashMap<(usize, usize, usize), Box<RowStatics>>,
+    /// Final sense thresholds per sub-array, tagged by environment.
+    sense_th: HashMap<(usize, usize), Box<SenseThresholds>>,
+    /// Per-column sense-flip fault rates per sub-array.
+    flip_rates: HashMap<(usize, usize), Box<[f64]>>,
+    /// Decay-factor vectors: `exp(-dt / (tau20[col] * scale))` per
+    /// column.
+    decay: HashMap<DecayKey, Box<[f64]>>,
     /// `exp(x)` keyed by `x.to_bits()`. Pure math — seed-independent, so
     /// `sync_seed` leaves it alone. Interior mutability lets the leakage
     /// kernel probe it while holding the row-statics borrow.
-    exp_memo: RefCell<HashMap<u64, f64, BuildHasherDefault<ExpKeyHasher>>>,
+    exp_memo: RefCell<ExpMemo>,
+    /// Full identity of the chip that donated this cache (stamped by
+    /// `Chip::take_cache`). The buffers are pure in the *whole* chip
+    /// configuration — group profile, analog parameters, and geometry,
+    /// not just the die seed — so adoption across chips must compare
+    /// all of it. `None` for a cache that never left its chip.
+    donor: Option<ChipConfig>,
 }
 
 impl MaterializeCache {
@@ -115,10 +203,7 @@ impl MaterializeCache {
     pub fn new(seed: u64) -> Self {
         MaterializeCache {
             seed,
-            cols: HashMap::new(),
-            weights: HashMap::new(),
-            rows: HashMap::new(),
-            exp_memo: RefCell::new(HashMap::default()),
+            ..MaterializeCache::default()
         }
     }
 
@@ -126,21 +211,20 @@ impl MaterializeCache {
     /// bit-identical to calling `exp` directly, with a counter-visible
     /// hit rate. The leakage kernel's exponent arguments repeat exactly
     /// across trials (same `dt`, same materialized `tau`), so the table
-    /// converts its dominant cost into a hash probe.
+    /// converts its dominant cost into a flat-table probe.
     #[inline]
     pub fn exp(&self, perf: &mut ModelPerf, x: f64) -> f64 {
-        let key = x.to_bits();
-        let mut memo = self.exp_memo.borrow_mut();
-        if let Some(&v) = memo.get(&key) {
+        if x == 0.0 && x.is_sign_positive() {
+            // `+0.0` has bit pattern 0, the table's empty sentinel.
             perf.exp_memo_hits += 1;
-            return v;
+            return 1.0;
         }
-        perf.exp_memo_misses += 1;
-        if memo.len() >= EXP_MEMO_CAP {
-            memo.clear();
+        let (v, hit) = self.exp_memo.borrow_mut().probe(x.to_bits());
+        if hit {
+            perf.exp_memo_hits += 1;
+        } else {
+            perf.exp_memo_misses += 1;
         }
-        let v = x.exp();
-        memo.insert(key, v);
         v
     }
 
@@ -149,15 +233,58 @@ impl MaterializeCache {
         self.seed
     }
 
+    /// Re-keys the cache to `seed`, keeping any still-valid buffers.
+    /// Returns the number of materialized buffers retained — nonzero
+    /// only when the new owner shares the previous owner's die seed, in
+    /// which case every buffer is reusable as-is (they are pure in the
+    /// seed). This is the fleet/serve cache-sharing entry point: callers
+    /// credit the return value to [`ModelPerf::cache_share_hits`].
+    pub fn adopt(&mut self, seed: u64) -> u64 {
+        if seed != self.seed {
+            self.seed = seed;
+            self.clear_buffers();
+            return 0;
+        }
+        (self.cols.len()
+            + self.weights.len()
+            + self.rows.len()
+            + self.sense_th.len()
+            + self.flip_rates.len()
+            + self.decay.len()) as u64
+    }
+
+    /// Stamps the donating chip's full configuration; donations are
+    /// only adopted wholesale by a chip with an identical one.
+    pub(crate) fn stamp_donor(&mut self, config: ChipConfig) {
+        self.donor = Some(config);
+    }
+
+    /// Whether this cache was donated by a chip configured exactly as
+    /// `config` (same group, seed, geometry, and analog parameters).
+    pub(crate) fn donor_is(&self, config: &ChipConfig) -> bool {
+        self.donor.as_ref() == Some(config)
+    }
+
+    /// Drops every seed-keyed buffer, keeping the pure-math `exp()`
+    /// memo (which is valid for any die). Used when a donated cache
+    /// crosses a boundary the seed key alone cannot express — a chip
+    /// with a fault plan armed, whose stuck/weak-cell statics fold the
+    /// plan into the materialized buffers.
+    pub fn clear_buffers(&mut self) {
+        self.cols.clear();
+        self.weights.clear();
+        self.rows.clear();
+        self.sense_th.clear();
+        self.flip_rates.clear();
+        self.decay.clear();
+    }
+
     /// Drops every stale buffer if `silicon` belongs to a different die
     /// than the cached one.
     fn sync_seed(&mut self, silicon: &Silicon) {
         let seed = silicon.sampler().seed();
         if seed != self.seed {
-            self.seed = seed;
-            self.cols.clear();
-            self.weights.clear();
-            self.rows.clear();
+            self.adopt(seed);
         }
     }
 
@@ -297,6 +424,181 @@ impl MaterializeCache {
         self.rows
             .get(&(bank, sub, row))
             .expect("ensure_row before row")
+    }
+
+    /// Builds (on miss or environment change) the final per-column sense
+    /// comparison thresholds of one sub-array.
+    ///
+    /// The threshold folds the per-column offset, its temperature
+    /// coefficient, the supply coupling, and the anti-cell mirror into
+    /// one value, using exactly the expression (and evaluation order)
+    /// the sense kernel used per column — so the cached value is
+    /// bit-identical to computing it at sense time. The buffer is tagged
+    /// with the `(temperature, vdd)` bits it was built under and rebuilt
+    /// when either moves (environment-excursion windows), which costs no
+    /// more than the per-event evaluation it replaces.
+    pub fn ensure_sense_thresholds(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        cols: usize,
+        env: &Environment,
+    ) {
+        self.ensure_cols(silicon, perf, bank, sub, cols);
+        let temp_bits = env.temperature_c.to_bits();
+        let vdd_bits = env.vdd.value().to_bits();
+        if let Some(t) = self.sense_th.get(&(bank, sub)) {
+            if t.temp_bits == temp_bits && t.vdd_bits == vdd_bits {
+                perf.cache_hits += 1;
+                return;
+            }
+        }
+        perf.cache_misses += 1;
+        let params = silicon.params();
+        let statics = self.cols.get(&(bank, sub)).expect("cols just ensured");
+        let vdd = env.vdd.value();
+        let half = params.half_vdd(env.vdd).value();
+        let temp_delta = env.temperature_c - 20.0;
+        let vdd_shift = params.sense_vdd_coupling * (vdd - params.vdd_nominal.value());
+        let mut th = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let temp_shift = statics.temp_coeff[col] * temp_delta;
+            let true_th = half + statics.offset[col] + temp_shift + vdd_shift;
+            th.push(if statics.anti[col] {
+                vdd - true_th
+            } else {
+                true_th
+            });
+        }
+        self.sense_th.insert(
+            (bank, sub),
+            Box::new(SenseThresholds {
+                temp_bits,
+                vdd_bits,
+                th: th.into(),
+            }),
+        );
+    }
+
+    /// The final sense thresholds of a sub-array; call
+    /// [`MaterializeCache::ensure_sense_thresholds`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn sense_thresholds(&self, bank: usize, sub: usize) -> &[f64] {
+        &self
+            .sense_th
+            .get(&(bank, sub))
+            .expect("ensure_sense_thresholds before sense_thresholds")
+            .th
+    }
+
+    /// Builds (on miss) the per-column sense-flip fault rates of one
+    /// sub-array. Only meaningful while a fault plan with a positive
+    /// flip rate is installed; fault-config changes rebuild the whole
+    /// cache, so stale rates cannot survive a plan swap.
+    pub fn ensure_flip_rates(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        cols: usize,
+    ) {
+        self.sync_seed(silicon);
+        if self.flip_rates.contains_key(&(bank, sub)) {
+            perf.cache_hits += 1;
+            return;
+        }
+        perf.cache_misses += 1;
+        let plan = silicon.faults().expect("flip rates need a fault plan");
+        let rates: Vec<f64> = (0..cols)
+            .map(|col| plan.sense_flip_rate(bank, sub, col))
+            .collect();
+        self.flip_rates.insert((bank, sub), rates.into());
+    }
+
+    /// The per-column sense-flip rates of a sub-array; call
+    /// [`MaterializeCache::ensure_flip_rates`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn flip_rates(&self, bank: usize, sub: usize) -> &[f64] {
+        self.flip_rates
+            .get(&(bank, sub))
+            .expect("ensure_flip_rates before flip_rates")
+    }
+
+    /// Builds (on miss) the decay-factor vector of one row for one
+    /// `(dt, scale)` pair: `factor[col] = exp(-dt / (tau20[col] * scale))`,
+    /// evaluated through [`fracdram_stats::special::exp_batch`] with the
+    /// exact per-column argument expression the leakage kernel used
+    /// inline — so `v * factor[col]` is bit-identical to the stepped
+    /// form. Event cadences repeat the same `dt` across trials, which
+    /// turns a row's whole leakage pass into one cached-vector multiply.
+    #[allow(clippy::too_many_arguments)]
+    pub fn ensure_decay_factors(
+        &mut self,
+        silicon: &Silicon,
+        perf: &mut ModelPerf,
+        bank: usize,
+        sub: usize,
+        row: usize,
+        cols: usize,
+        dt: f64,
+        scale: f64,
+    ) {
+        self.ensure_row(silicon, perf, bank, sub, row, cols);
+        let key = (bank, sub, row, dt.to_bits(), scale.to_bits());
+        if self.decay.contains_key(&key) {
+            perf.decay_vec_hits += 1;
+            return;
+        }
+        if self.decay.len() >= DECAY_VEC_CAP {
+            self.decay.clear();
+        }
+        let tau20 = &self
+            .rows
+            .get(&(bank, sub, row))
+            .expect("row just ensured")
+            .tau20;
+        let mut args = Vec::with_capacity(cols);
+        for col in 0..cols {
+            // Same argument shape as the stepped leakage kernel: the tau
+            // product must stay in exactly this form — hoisting a
+            // reciprocal changes the rounding and breaks stdout
+            // byte-identity.
+            let tau = tau20[col] as f64 * scale;
+            args.push(-dt / tau);
+        }
+        let mut factors = vec![0.0f64; cols];
+        fracdram_stats::special::exp_batch(&args, &mut factors);
+        perf.exp_batch_calls += 1;
+        perf.exp_batch_lanes += cols as u64;
+        self.decay.insert(key, factors.into());
+    }
+
+    /// The decay-factor vector of a row for one `(dt, scale)` pair; call
+    /// [`MaterializeCache::ensure_decay_factors`] first.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the buffer has not been ensured.
+    pub fn decay_factors(
+        &self,
+        bank: usize,
+        sub: usize,
+        row: usize,
+        dt: f64,
+        scale: f64,
+    ) -> &[f64] {
+        self.decay
+            .get(&(bank, sub, row, dt.to_bits(), scale.to_bits()))
+            .expect("ensure_decay_factors before decay_factors")
     }
 }
 

@@ -191,6 +191,23 @@ impl Module {
         &mut self.chips[index]
     }
 
+    /// Detaches every chip's materialize cache, in chip order — the
+    /// fleet/serve sharing hook. See [`Chip::take_cache`].
+    pub fn take_caches(&mut self) -> Vec<crate::materialize::MaterializeCache> {
+        self.chips.iter_mut().map(Chip::take_cache).collect()
+    }
+
+    /// Installs donated caches chip-by-chip (extra donations are
+    /// dropped; chips past the donation keep their fresh cache). Each
+    /// chip re-keys its donation to its own die seed, so a module
+    /// simulating different dies just rebuilds — donated statics can
+    /// never leak across dies. See [`Chip::install_cache`].
+    pub fn install_caches(&mut self, caches: Vec<crate::materialize::MaterializeCache>) {
+        for (chip, cache) in self.chips.iter_mut().zip(caches) {
+            chip.install_cache(cache);
+        }
+    }
+
     /// Sets the operating environment of every chip.
     pub fn set_environment(&mut self, env: Environment) {
         for chip in &mut self.chips {

@@ -60,6 +60,18 @@ pub struct ModelPerf {
     pub fault_decoder_drops: u64,
     /// Commands executed under an environment-excursion window.
     pub fault_env_commands: u64,
+    /// Leakage passes skipped entirely by the lazy early-outs
+    /// (no elapsed time, sub-µs gap, or never-charged row).
+    pub leak_row_skips: u64,
+    /// Batched `exp` evaluations (decay-factor vector builds).
+    pub exp_batch_calls: u64,
+    /// Total lanes evaluated across all batched `exp` calls.
+    pub exp_batch_lanes: u64,
+    /// Decay-factor vectors served from the per-(row, dt) cache.
+    pub decay_vec_hits: u64,
+    /// Materialize buffers adopted warm from a previous task or shard
+    /// generation (fleet/serve cache sharing).
+    pub cache_share_hits: u64,
 }
 
 impl ModelPerf {
@@ -89,6 +101,11 @@ impl ModelPerf {
         self.fault_stuck_pins += other.fault_stuck_pins;
         self.fault_decoder_drops += other.fault_decoder_drops;
         self.fault_env_commands += other.fault_env_commands;
+        self.leak_row_skips += other.leak_row_skips;
+        self.exp_batch_calls += other.exp_batch_calls;
+        self.exp_batch_lanes += other.exp_batch_lanes;
+        self.decay_vec_hits += other.decay_vec_hits;
+        self.cache_share_hits += other.cache_share_hits;
     }
 
     /// Total injected-fault events observed (all classes).
@@ -141,6 +158,11 @@ mod tests {
             fault_stuck_pins: 22,
             fault_decoder_drops: 23,
             fault_env_commands: 24,
+            leak_row_skips: 25,
+            exp_batch_calls: 26,
+            exp_batch_lanes: 27,
+            decay_vec_hits: 28,
+            cache_share_hits: 29,
         };
         let mut total = a;
         total.accumulate(&a);
@@ -158,6 +180,11 @@ mod tests {
         assert_eq!(total.fault_stuck_pins, 44);
         assert_eq!(total.fault_decoder_drops, 46);
         assert_eq!(total.fault_env_commands, 48);
+        assert_eq!(total.leak_row_skips, 50);
+        assert_eq!(total.exp_batch_calls, 52);
+        assert_eq!(total.exp_batch_lanes, 54);
+        assert_eq!(total.decay_vec_hits, 56);
+        assert_eq!(total.cache_share_hits, 58);
         assert_eq!(total.fault_events(), 2 * (21 + 22 + 23 + 24));
         assert_eq!(total.events(), 2 * (1 + 2 + 3 + 4));
         assert_eq!(total.kernel_ns(), 2 * (9 + 10 + 11 + 12));

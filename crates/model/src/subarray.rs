@@ -688,69 +688,72 @@ impl Subarray {
 
     /// Sense-amplifier enable: latch, drive rails, restore all open rows.
     fn fire_sense(&mut self, ctx: &mut Ctx<'_>, t: u64) {
-        ctx.cache.ensure_cols(
+        // The final comparison threshold per column (offset, temperature
+        // coefficient, supply coupling, anti-cell mirror) is static per
+        // (sub-array, environment): materialized once, bit-identical to
+        // the per-event expression it replaces.
+        ctx.cache.ensure_sense_thresholds(
             ctx.silicon,
             &mut *ctx.perf,
             self.bank,
             self.index,
             self.cols,
+            ctx.env,
         );
         let params = ctx.silicon.params();
         let sigma = params.sense_noise_sigma.value();
         // Batch noise pass, keyed by this sense event's fire time — done
         // before the timed kernel body so `sense_ns` stays a pure kernel
-        // measure.
+        // measure. Transient sense-amp flips batch the same way: the
+        // per-column flip uniforms are pure lane functions of the flip
+        // event, and the per-column flip rates are static per fault
+        // plan, so both become contiguous buffers and the rare-fault
+        // check drops out of the hot loop entirely.
         let coords = [self.bank as u64, self.index as u64];
         let noise_started = Instant::now();
         let event = ctx.noise.event(NoisePurpose::Sense, t, &coords);
         ctx.perf.noise_draws += event.fill_normal(sigma, &mut self.noise_buf);
         ctx.perf.noise_fills += 1;
-        ctx.perf.noise_ns += noise_started.elapsed().as_nanos() as u64;
-        let flip_event = ctx.noise.event(NoisePurpose::SenseFlip, t, &coords);
-        let started = Instant::now();
-        let statics = ctx.cache.cols(self.bank, self.index);
-        let vdd = ctx.env.vdd.value();
-        // Loop-invariant pieces of `sense_amp::threshold` (and the anti
-        // mirror), hoisted as whole scalars: the per-column expression
-        // keeps the helper's exact shape and operation order, so the
-        // thresholds are bit-identical to calling it per column.
-        let half = params.half_vdd(ctx.env.vdd).value();
-        let temp_delta = ctx.env.temperature_c - 20.0;
-        let vdd_shift = params.sense_vdd_coupling * (vdd - params.vdd_nominal.value());
-        // Transient sense-amp faults: when enabled, every column keys
-        // one uniform off the flip event and flips its comparison below
-        // its static per-column rate.
-        let flip_plan = ctx
+        let flip_armed = ctx
             .silicon
             .faults()
-            .filter(|p| p.config().sense_flip_rate > 0.0);
+            .is_some_and(|p| p.config().sense_flip_rate > 0.0);
+        if flip_armed {
+            ctx.cache.ensure_flip_rates(
+                ctx.silicon,
+                &mut *ctx.perf,
+                self.bank,
+                self.index,
+                self.cols,
+            );
+            let flip_event = ctx.noise.event(NoisePurpose::SenseFlip, t, &coords);
+            ctx.perf.noise_draws += flip_event.fill_uniform(&mut self.scratch);
+        }
+        ctx.perf.noise_ns += noise_started.elapsed().as_nanos() as u64;
+        let started = Instant::now();
+        let th = ctx.cache.sense_thresholds(self.bank, self.index);
+        let vdd = ctx.env.vdd.value();
         let mut flips = 0u64;
-        for col in 0..self.cols {
-            let temp_shift = statics.temp_coeff[col] * temp_delta;
-            let true_th = half + statics.offset[col] + temp_shift + vdd_shift;
-            // Value-select instead of a branch: the anti flag is random
-            // per column, so a conditional block mispredicts half the
-            // time. Both candidates are exact, so picking one is
-            // bit-identical to the original `if anti { th = vdd - th }`.
-            let th = if statics.anti[col] {
-                vdd - true_th
-            } else {
-                true_th
-            };
-            let noisy = self.bl[col] + self.noise_buf[col];
-            let mut one = noisy > th;
-            if let Some(plan) = flip_plan {
-                if flip_event.uniform(col as u64) < plan.sense_flip_rate(self.bank, self.index, col)
-                {
+        if flip_armed {
+            let rates = ctx.cache.flip_rates(self.bank, self.index);
+            for col in 0..self.cols {
+                let noisy = self.bl[col] + self.noise_buf[col];
+                let mut one = noisy > th[col];
+                if self.scratch[col] < rates[col] {
                     one = !one;
                     flips += 1;
                 }
+                self.sensed_bits[col] = one;
+                self.bl[col] = if one { vdd } else { 0.0 };
             }
-            self.sensed_bits[col] = one;
-            self.bl[col] = if one { vdd } else { 0.0 };
-        }
-        if flip_plan.is_some() {
-            ctx.perf.noise_draws += self.cols as u64;
+        } else {
+            #[allow(clippy::needless_range_loop)]
+            for col in 0..self.cols {
+                let noisy = self.bl[col] + self.noise_buf[col];
+                let one = noisy > th[col];
+                self.sensed_bits[col] = one;
+                self.bl[col] = if one { vdd } else { 0.0 };
+            }
         }
         ctx.perf.fault_sense_flips += flips;
         for i in 0..self.open.len() {
@@ -913,9 +916,11 @@ impl Subarray {
     /// Applies leakage to a row up to cycle `t`.
     fn leak_row(&mut self, ctx: &mut Ctx<'_>, row: usize, t: u64) {
         let Some(rs) = self.data[row].as_mut() else {
+            ctx.perf.leak_row_skips += 1;
             return;
         };
         if t <= rs.last {
+            ctx.perf.leak_row_skips += 1;
             return;
         }
         let dt = Seconds((t - rs.last) as f64 * CYCLE_SECONDS);
@@ -923,6 +928,7 @@ impl Subarray {
             // Sub-microsecond gaps leak nothing measurable; skip the
             // exponentials but keep the clock honest.
             rs.last = t;
+            ctx.perf.leak_row_skips += 1;
             return;
         }
         if !rs.charged {
@@ -930,36 +936,40 @@ impl Subarray {
             // zero is zero (including the VRT undo/redo pair), so the
             // whole pass is a no-op beyond advancing the clock.
             rs.last = t;
+            ctx.perf.leak_row_skips += 1;
             return;
         }
         let started = Instant::now();
-        ctx.cache.ensure_row(
+        let scale = ctx
+            .env
+            .leakage_tau_scale(ctx.silicon.params().leak_tau_halving_celsius);
+        // Event cadences repeat the same `(dt, scale)` pair across rows
+        // and trials, so the per-column decay factors — each the exact
+        // `exp(-dt / (tau20[col] * scale))` the stepped kernel computed —
+        // materialize once and the pass becomes a cached-vector multiply.
+        ctx.cache.ensure_decay_factors(
             ctx.silicon,
             &mut *ctx.perf,
             self.bank,
             self.index,
             row,
             self.cols,
+            dt.value(),
+            scale,
         );
         let stat = ctx.cache.row(self.bank, self.index, row);
-        let scale = ctx
-            .env
-            .leakage_tau_scale(ctx.silicon.params().leak_tau_halving_celsius);
+        let factors = ctx
+            .cache
+            .decay_factors(self.bank, self.index, row, dt.value(), scale);
         let at = Seconds(rs.last as f64 * CYCLE_SECONDS);
         let mut exp_calls = 0u64;
+        #[allow(clippy::needless_range_loop)]
         for col in 0..self.cols {
-            // The tau product must stay in exactly this form — hoisting a
-            // reciprocal out of the loop changes the rounding and breaks
-            // stdout byte-identity with the pre-rewrite kernel. The
-            // `exp()` itself comes from the bit-exact memo table: across
-            // trials `dt` and the materialized `tau` repeat exactly, so
-            // the argument bits (the memo key) repeat too.
-            let tau = Seconds(stat.tau20[col] as f64 * scale);
             let v = rs.v[col];
             if v != 0.0 {
                 exp_calls += 1;
                 // Same expression as `cell::decay` for dt > 0, v != 0.
-                rs.v[col] = v * ctx.cache.exp(&mut *ctx.perf, -dt.value() / tau.value());
+                rs.v[col] = v * factors[col];
             }
         }
         // VRT cells override with their epoch-dependent tau.
@@ -1133,6 +1143,107 @@ fn share_columns<const CAP: usize>(
     v_max: f64,
     cols: usize,
 ) {
+    // Column lanes are independent, so a vector clone of the same body
+    // computes identical per-lane bits (no reassociation, division stays
+    // division); the baseline build is scalar SSE2, which leaves the
+    // whole kernel's throughput on the table.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+    {
+        // SAFETY: feature presence checked above.
+        unsafe {
+            return share_columns_avx512::<CAP>(
+                bl,
+                state,
+                stat,
+                weights,
+                n,
+                multi,
+                bl_cap,
+                settle,
+                bias,
+                eq_noise,
+                weight_noise,
+                v_max,
+                cols,
+            );
+        }
+    }
+    share_columns_body::<CAP>(
+        bl,
+        state,
+        stat,
+        weights,
+        n,
+        multi,
+        bl_cap,
+        settle,
+        bias,
+        eq_noise,
+        weight_noise,
+        v_max,
+        cols,
+    );
+}
+
+/// [`share_columns_body`] compiled for AVX-512: the auto-vectorizer
+/// widens the independent column lanes while every lane still performs
+/// the scalar op sequence, so results are bit-identical to the SSE2
+/// build.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn share_columns_avx512<const CAP: usize>(
+    bl: &mut [f64],
+    state: &mut [Option<Box<RowState>>; 16],
+    stat: &[Option<&RowStatics>; 16],
+    weights: &[&[f32]; 4],
+    n: usize,
+    multi: bool,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    eq_noise: &[f64],
+    weight_noise: &[f64],
+    v_max: f64,
+    cols: usize,
+) {
+    share_columns_body::<CAP>(
+        bl,
+        state,
+        stat,
+        weights,
+        n,
+        multi,
+        bl_cap,
+        settle,
+        bias,
+        eq_noise,
+        weight_noise,
+        v_max,
+        cols,
+    );
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn share_columns_body<const CAP: usize>(
+    bl: &mut [f64],
+    state: &mut [Option<Box<RowState>>; 16],
+    stat: &[Option<&RowStatics>; 16],
+    weights: &[&[f32]; 4],
+    n: usize,
+    multi: bool,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    eq_noise: &[f64],
+    weight_noise: &[f64],
+    v_max: f64,
+    cols: usize,
+) {
     debug_assert!(n <= CAP);
     // Index loop on purpose: `col` strides five parallel buffers (`bl`,
     // per-slot `state`, `stat`, `weights`); zipping them would obscure
@@ -1182,6 +1293,53 @@ fn share_columns<const CAP: usize>(
 /// `share_columns::<1>` exactly.
 #[allow(clippy::too_many_arguments)]
 fn share_columns_single(
+    bl: &mut [f64],
+    rs: &mut RowState,
+    st: &RowStatics,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    eq_noise: &[f64],
+    v_max: f64,
+    cols: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f")
+        && std::arch::is_x86_feature_detected!("avx512dq")
+        && std::arch::is_x86_feature_detected!("avx512vl")
+    {
+        // SAFETY: feature presence checked above.
+        unsafe {
+            return share_columns_single_avx512(
+                bl, rs, st, bl_cap, settle, bias, eq_noise, v_max, cols,
+            );
+        }
+    }
+    share_columns_single_body(bl, rs, st, bl_cap, settle, bias, eq_noise, v_max, cols);
+}
+
+/// [`share_columns_single_body`] compiled for AVX-512 — see
+/// [`share_columns_avx512`] for why the wide build is bit-identical.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn share_columns_single_avx512(
+    bl: &mut [f64],
+    rs: &mut RowState,
+    st: &RowStatics,
+    bl_cap: Femtofarads,
+    settle: f64,
+    bias: f64,
+    eq_noise: &[f64],
+    v_max: f64,
+    cols: usize,
+) {
+    share_columns_single_body(bl, rs, st, bl_cap, settle, bias, eq_noise, v_max, cols);
+}
+
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn share_columns_single_body(
     bl: &mut [f64],
     rs: &mut RowState,
     st: &RowStatics,

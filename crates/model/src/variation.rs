@@ -251,23 +251,14 @@ impl NoiseEvent {
     /// First keyed word of `lane`'s stream.
     #[inline]
     fn word0(&self, lane: u64) -> u64 {
-        splitmix64(self.base ^ lane.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        fracdram_stats::ziggurat::keyed_word0(self.base, lane)
     }
 
     /// Standard normal draw for `lane` (ziggurat; extra words for the
     /// rare wedge/tail path are derived from the first, counter-style).
     #[inline]
     pub fn standard_normal(&self, lane: u64) -> f64 {
-        let w0 = self.word0(lane);
-        let mut k = 0u64;
-        fracdram_stats::ziggurat::ziggurat_normal(|| {
-            k += 1;
-            if k == 1 {
-                w0
-            } else {
-                splitmix64(w0 ^ (k - 1).wrapping_mul(0xD134_2543_DE82_EF95))
-            }
-        })
+        fracdram_stats::ziggurat::keyed_normal(self.base, lane)
     }
 
     /// Normal draw for `lane` with mean `mu` and standard deviation
@@ -290,14 +281,26 @@ impl NoiseEvent {
     /// Batch pass: fills `out[lane]` with `sigma`-scaled zero-mean
     /// normals for every lane, returning the number of draws made (zero
     /// when `sigma == 0`, which fills zeros).
+    ///
+    /// Delegates to the chunked batch kernel in `fracdram-stats`, handing
+    /// it the same word derivation [`NoiseEvent::standard_normal`] uses —
+    /// the filled values are bit-identical to the per-lane form, just
+    /// evaluated in slice passes the optimizer can pipeline.
     pub fn fill_normal(&self, sigma: f64, out: &mut [f64]) -> u64 {
         if sigma == 0.0 {
             out.fill(0.0);
             return 0;
         }
-        for (lane, v) in out.iter_mut().enumerate() {
-            *v = sigma * self.standard_normal(lane as u64);
-        }
+        fracdram_stats::ziggurat::ziggurat_normal_fill_keyed(out, sigma, self.base);
+        out.len() as u64
+    }
+
+    /// Batch pass: fills `out[lane]` with every lane's uniform `[0, 1)`
+    /// draw, returning the number of draws made — bit-identical to
+    /// calling [`NoiseEvent::uniform`] per lane. This is the shape of
+    /// per-column fault checks (one uniform per column per event).
+    pub fn fill_uniform(&self, out: &mut [f64]) -> u64 {
+        fracdram_stats::ziggurat::keyed_unit_fill(out, self.base);
         out.len() as u64
     }
 }

@@ -215,6 +215,16 @@ impl ShardState {
         };
         let mut fresh = Die::new(&self.cfg, id, next_gen);
         fresh.seq = seq;
+        // Hand the retired generation's materialize caches to the fresh
+        // die. The new seed invalidates the per-die buffers (adoption
+        // clears them), but the pure-math exp memo survives, so a
+        // remapped die warms up without recomputing transcendentals.
+        if let Some(old) = self.dies.get_mut(&id) {
+            fresh
+                .mc
+                .module_mut()
+                .install_caches(old.mc.module_mut().take_caches());
+        }
         self.dies.insert(id, fresh);
         self.board.record_remap(RemapEvent {
             die: id,

@@ -37,13 +37,21 @@ impl BitVec {
         }
     }
 
-    /// Builds from a slice of bools.
+    /// Builds from a slice of bools, packing one 64-bit word per chunk
+    /// (branch-free, vectorizable) instead of a per-bit [`BitVec::push`].
     pub fn from_bools(bools: &[bool]) -> Self {
-        let mut v = BitVec::with_capacity(bools.len());
-        for &b in bools {
-            v.push(b);
+        let mut words = Vec::with_capacity(bools.len().div_ceil(64));
+        for chunk in bools.chunks(64) {
+            let mut w = 0u64;
+            for (off, &b) in chunk.iter().enumerate() {
+                w |= (b as u64) << off;
+            }
+            words.push(w);
         }
-        v
+        BitVec {
+            words,
+            len: bools.len(),
+        }
     }
 
     /// Number of bits.
