@@ -93,6 +93,7 @@ fn main() -> ExitCode {
     let current = read(current_path);
     let report = compare(&read(baseline_path), &current, tolerance);
     print!("{}", report.render());
+    println!("{}", report.summary());
     if let Some(history_path) = &history {
         let rev = rev.unwrap_or_else(head_rev);
         if rev.ends_with("-dirty") {

@@ -100,6 +100,50 @@ impl DiffReport {
         !self.regressions().is_empty() || !self.missing.is_empty()
     }
 
+    /// One-line aggregate of the comparison: how many benches were
+    /// compared, the geometric-mean speed change across them (the right
+    /// average for ratios — a 2× slowdown and a 2× speedup cancel), and
+    /// the best/worst movers. Missing and added benches are counted but
+    /// excluded from the mean.
+    pub fn summary(&self) -> String {
+        if self.lines.is_empty() {
+            return format!(
+                "bench_diff: 0 bench(es) compared, {} missing, {} added",
+                self.missing.len(),
+                self.added.len()
+            );
+        }
+        let log_sum: f64 = self
+            .lines
+            .iter()
+            .map(|l| l.ratio().max(f64::MIN_POSITIVE).ln())
+            .sum();
+        let geomean = (log_sum / self.lines.len() as f64).exp();
+        let best = self
+            .lines
+            .iter()
+            .min_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+            .expect("non-empty lines");
+        let worst = self
+            .lines
+            .iter()
+            .max_by(|a, b| a.ratio().total_cmp(&b.ratio()))
+            .expect("non-empty lines");
+        format!(
+            "bench_diff: {} bench(es), geomean {:+.1}%, best {} ({:+.1}%), \
+             worst {} ({:+.1}%), {} regressed, {} missing, {} added",
+            self.lines.len(),
+            (geomean - 1.0) * 100.0,
+            best.bench,
+            (best.ratio() - 1.0) * 100.0,
+            worst.bench,
+            (worst.ratio() - 1.0) * 100.0,
+            self.regressions().len(),
+            self.missing.len(),
+            self.added.len(),
+        )
+    }
+
     /// Human-readable table of the comparison.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -235,6 +279,32 @@ mod tests {
             lines,
             "{\"bench\":\"k/a\",\"median_ns\":1234.6,\"rev\":\"abc1234\"}\n\
              {\"bench\":\"k/b\",\"median_ns\":7.0,\"rev\":\"abc1234\"}\n"
+        );
+    }
+
+    #[test]
+    fn summary_reports_geomean_and_extremes() {
+        // Ratios 2.0 and 0.5: the geometric mean is exactly 1.0.
+        let report = compare(
+            &[rec("slow", 100.0), rec("fast", 100.0), rec("gone", 1.0)],
+            &[rec("slow", 200.0), rec("fast", 50.0), rec("new", 1.0)],
+            0.30,
+        );
+        let summary = report.summary();
+        assert!(summary.contains("2 bench(es)"), "{summary}");
+        assert!(summary.contains("geomean +0.0%"), "{summary}");
+        assert!(summary.contains("best fast (-50.0%)"), "{summary}");
+        assert!(summary.contains("worst slow (+100.0%)"), "{summary}");
+        assert!(summary.contains("1 regressed"), "{summary}");
+        assert!(summary.contains("1 missing, 1 added"), "{summary}");
+    }
+
+    #[test]
+    fn summary_with_no_overlap_counts_only() {
+        let report = compare(&[rec("a", 1.0)], &[rec("b", 1.0)], 0.30);
+        assert_eq!(
+            report.summary(),
+            "bench_diff: 0 bench(es) compared, 1 missing, 1 added"
         );
     }
 

@@ -13,7 +13,7 @@
 //! row yields a 65 536-bit response in ≈ 1.5 µs.
 
 use fracdram_model::{Cycles, Geometry, RowAddr};
-use fracdram_softmc::MemoryController;
+use fracdram_softmc::{MemoryController, Program};
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::extractor::von_neumann;
 
@@ -109,13 +109,58 @@ pub fn evaluate_with(
     Ok(BitVec::from_bools(&bits))
 }
 
-/// Evaluates a whole challenge set in order.
+/// Evaluates a whole challenge set in order, batching consecutive
+/// bank-disjoint challenges through
+/// [`MemoryController::run_scheduled`].
+///
+/// Each challenge becomes one self-contained program (write the ones
+/// pattern, issue the Frac burst, read the row out), so a batch of
+/// them is a set of independent per-bank command streams — exactly
+/// what the cross-bank scheduler merges. Responses are byte-identical
+/// to a per-challenge [`evaluate`] loop: programs still execute in
+/// challenge order at the same cycle offsets, and the merge is pure
+/// bus-occupancy accounting (`sched_*` counters).
 ///
 /// # Errors
 ///
 /// Same conditions as [`evaluate`].
 pub fn evaluate_set(mc: &mut MemoryController, challenges: &[Challenge]) -> Result<Vec<BitVec>> {
-    challenges.iter().map(|&c| evaluate(mc, c)).collect()
+    require_frac_support(mc)?;
+    let mut out = Vec::with_capacity(challenges.len());
+    let mut batch: Vec<Program> = Vec::new();
+    let mut banks = std::collections::BTreeSet::new();
+    for &challenge in challenges {
+        let addr = challenge.addr();
+        // A bank repeat ends the schedulable batch: programs on the
+        // same bank contend for the same timing window, so flush the
+        // disjoint prefix first to keep every batch mergeable.
+        if !banks.insert(addr.bank) {
+            run_batch(mc, &mut batch, &mut out)?;
+            banks.clear();
+            banks.insert(addr.bank);
+        }
+        let ones = crate::frac::physical_pattern(mc, addr, true);
+        let mut program = mc.write_row_program(addr, &ones);
+        program.extend_from(&frac_program(addr, PUF_FRAC_OPS));
+        program.extend_from(&mc.read_row_program(addr));
+        batch.push(program);
+    }
+    run_batch(mc, &mut batch, &mut out)?;
+    Ok(out)
+}
+
+/// Executes one bank-disjoint batch of challenge programs and extracts
+/// each program's single read-out row.
+fn run_batch(
+    mc: &mut MemoryController,
+    batch: &mut Vec<Program>,
+    out: &mut Vec<BitVec>,
+) -> Result<()> {
+    for outcome in mc.run_scheduled(batch)? {
+        out.push(BitVec::from_bools(&outcome.single_read()?));
+    }
+    batch.clear();
+    Ok(())
 }
 
 /// Whitens raw responses for randomness testing — the paper's
@@ -275,6 +320,39 @@ mod tests {
     fn guarded_group_cannot_run_the_puf() {
         let mut mc = controller(GroupId::K, 9);
         assert!(evaluate(&mut mc, Challenge::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn evaluate_set_matches_per_challenge_loop() {
+        // Geometry::tiny() has 2 banks, so a mixed challenge set forms
+        // bank-disjoint pairs the scheduler can merge.
+        let challenges = [
+            Challenge::new(0, 1),
+            Challenge::new(1, 2),
+            Challenge::new(0, 3),
+            Challenge::new(1, 4),
+            Challenge::new(1, 5),
+        ];
+        let mut looped = controller(GroupId::B, 21);
+        let expected: Vec<BitVec> = challenges
+            .iter()
+            .map(|&c| evaluate(&mut looped, c).unwrap())
+            .collect();
+
+        let mut batched = controller(GroupId::B, 21);
+        let got = evaluate_set(&mut batched, &challenges).unwrap();
+        assert_eq!(got, expected, "batched responses must be byte-identical");
+        assert_eq!(batched.clock(), looped.clock());
+        let perf = batched.model_perf();
+        assert!(perf.sched_merges >= 2, "disjoint pairs merged: {perf:?}");
+        assert!(perf.sched_overlapped_ticks > 0);
+
+        // Scheduling disabled: same bytes, untouched counters.
+        let mut plain = controller(GroupId::B, 21);
+        plain.set_sched(false);
+        assert_eq!(evaluate_set(&mut plain, &challenges).unwrap(), expected);
+        assert_eq!(plain.model_perf().sched_merges, 0);
+        assert_eq!(plain.model_perf().sched_fallbacks, 0);
     }
 
     #[test]

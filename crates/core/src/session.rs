@@ -158,6 +158,21 @@ impl FracDram {
         Ok(bits)
     }
 
+    /// Reads a full row into a caller-provided buffer (resized to the
+    /// row width) — the allocation-free variant of
+    /// [`FracDram::read_row`] for trial hot loops feeding a
+    /// [`RowArena`]. Clears the row's fractional marker like any other
+    /// read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller errors.
+    pub fn read_row_into(&mut self, row: RowAddr, out: &mut Vec<bool>) -> Result<()> {
+        self.mc.read_row_into(row, out)?;
+        self.clear_fractional(row);
+        Ok(())
+    }
+
     /// Refreshes every bank, but only when no fractional state would be
     /// destroyed.
     ///
@@ -447,6 +462,21 @@ mod tests {
         s.read_row(row).unwrap();
         assert!(s.fractional_rows().is_empty());
         s.refresh().unwrap();
+    }
+
+    #[test]
+    fn read_row_into_matches_read_row_and_clears_marker() {
+        let mut s = session();
+        let mut t = session();
+        let row = RowAddr::new(0, 6);
+        s.store_fractional(row, true, 3).unwrap();
+        t.store_fractional(row, true, 3).unwrap();
+        let owned = s.read_row(row).unwrap();
+        let mut borrowed = Vec::new();
+        t.read_row_into(row, &mut borrowed).unwrap();
+        assert_eq!(owned, borrowed);
+        assert!(t.fractional_rows().is_empty());
+        t.refresh().unwrap();
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! cargo run --release -p fracdram-experiments --bin fig11_puf_hd [-- --challenges N --jobs N]
 //! ```
 
-use fracdram::puf::{challenge_set, evaluate};
+use fracdram::puf::{challenge_set, evaluate_set};
 use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::GroupId;
 use fracdram_stats::bits::BitVec;
@@ -44,6 +44,7 @@ fn main() {
             ("seed", "base seed (default 11)"),
             ("jobs", "fleet worker threads (default: all cores)"),
             ("intra-jobs", "chip-parallel workers per module (default 1)"),
+            ("sched", "cross-bank batch scheduling: on|off (default on)"),
             ("retries", "extra attempts for a failing task (default 0)"),
             ("keep-going", "complete remaining tasks after a failure"),
             ("fail-fast", "stop claiming tasks after a failure (default)"),
@@ -58,6 +59,7 @@ fn main() {
     let chips = args.usize("chips", 1);
     let seed = args.u64("seed", 11);
     setup::set_intra_jobs(args.intra_jobs());
+    setup::set_sched(args.sched());
     let jobs = args.jobs();
     let policy = args.failure_policy();
     args.reject_unknown();
@@ -88,14 +90,8 @@ fn main() {
     }
     let run = fleet::run_with(&plan, seed, jobs, policy, |key, _seed| {
         let mut mc = setup::chips_controller(key.group, geometry, seed + key.module as u64, chips);
-        let first: Vec<BitVec> = challenges
-            .iter()
-            .map(|&c| evaluate(&mut mc, c).expect("puf"))
-            .collect();
-        let second: Vec<BitVec> = challenges
-            .iter()
-            .map(|&c| evaluate(&mut mc, c).expect("puf"))
-            .collect();
+        let first = evaluate_set(&mut mc, &challenges).expect("puf");
+        let second = evaluate_set(&mut mc, &challenges).expect("puf");
         setup::reclaim_caches(&mut mc);
         (Responses { first, second }, mc.metrics())
     });

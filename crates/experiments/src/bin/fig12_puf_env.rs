@@ -12,7 +12,7 @@
 //! cargo run --release -p fracdram-experiments --bin fig12_puf_env [-- --challenges N --jobs N]
 //! ```
 
-use fracdram::puf::{challenge_set, evaluate};
+use fracdram::puf::{challenge_set, evaluate_set};
 use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::{Environment, GroupId, Volts};
 use fracdram_stats::bits::BitVec;
@@ -32,6 +32,7 @@ fn main() {
             ("seed", "base seed (default 12)"),
             ("jobs", "fleet worker threads (default: all cores)"),
             ("intra-jobs", "chip-parallel workers per module (default 1)"),
+            ("sched", "cross-bank batch scheduling: on|off (default on)"),
             ("retries", "extra attempts for a failing task (default 0)"),
             ("keep-going", "complete remaining tasks after a failure"),
             ("fail-fast", "stop claiming tasks after a failure (default)"),
@@ -46,6 +47,7 @@ fn main() {
     let chips = args.usize("chips", 1);
     let seed = args.u64("seed", 12);
     setup::set_intra_jobs(args.intra_jobs());
+    setup::set_sched(args.sched());
     let jobs = args.jobs();
     let policy = args.failure_policy();
     args.reject_unknown();
@@ -84,10 +86,7 @@ fn main() {
             mc.module_mut()
                 .set_environment(conditions[key.variant - 1].1);
         }
-        let responses: Vec<BitVec> = challenges
-            .iter()
-            .map(|&c| evaluate(&mut mc, c).expect("puf"))
-            .collect();
+        let responses = evaluate_set(&mut mc, &challenges).expect("puf");
         setup::reclaim_caches(&mut mc);
         (responses, mc.metrics())
     });

@@ -10,7 +10,7 @@
 //! cargo run --release -p fracdram-experiments --bin nist_suite [-- --bits 1000000 --jobs N]
 //! ```
 
-use fracdram::puf::{challenge_set, evaluate, whitened_stream};
+use fracdram::puf::{challenge_set, evaluate_set, whitened_stream};
 use fracdram_experiments::{fleet, render, setup, Args, Json, TaskKey};
 use fracdram_model::GroupId;
 use fracdram_stats::bits::BitVec;
@@ -40,6 +40,7 @@ fn main() {
             ("seed", "base seed (default 13)"),
             ("jobs", "fleet worker threads (default: all cores)"),
             ("intra-jobs", "chip-parallel workers per module (default 1)"),
+            ("sched", "cross-bank batch scheduling: on|off (default on)"),
             ("retries", "extra attempts for a failing task (default 0)"),
             ("keep-going", "complete remaining tasks after a failure"),
             ("fail-fast", "stop claiming tasks after a failure (default)"),
@@ -53,6 +54,7 @@ fn main() {
     let cols = args.usize("cols", 4096);
     let seed = args.u64("seed", 13);
     setup::set_intra_jobs(args.intra_jobs());
+    setup::set_sched(args.sched());
     let jobs = args.jobs();
     let policy = args.failure_policy();
     args.reject_unknown();
@@ -88,10 +90,7 @@ fn main() {
                 "row space exhausted at {} whitened bits; raise --cols or lower --bits",
                 whitened.len()
             );
-            let responses: Vec<BitVec> = challenges[used..used + 64]
-                .iter()
-                .map(|&c| evaluate(&mut mc, c).expect("puf"))
-                .collect();
+            let responses = evaluate_set(&mut mc, &challenges[used..used + 64]).expect("puf");
             used += 64;
             whitened.extend_from(&whitened_stream(&responses));
         }

@@ -131,6 +131,29 @@ impl Chip {
         cache
     }
 
+    /// A donation-stamped copy of the materialize cache, leaving this
+    /// chip's own cache in place — how a *live* die seeds a sibling
+    /// (serve first-touch sharing) without giving its cache up. Same
+    /// fault rule as [`Chip::take_cache`]: an armed plan's buffers fold
+    /// statics the seed alone does not identify, so they are dropped.
+    pub fn clone_cache(&self) -> MaterializeCache {
+        let mut cache = self.cache.clone();
+        if self.silicon.faults().is_some() {
+            cache.clear_buffers();
+        }
+        cache.stamp_donor(self.config.clone());
+        cache
+    }
+
+    /// Credits cross-bank scheduler activity to this chip's counters
+    /// (the controller records onto chip 0; [`crate::module::Module`]
+    /// sums chips, so roll-ups see module totals).
+    pub fn record_sched(&mut self, merges: u64, overlapped_ticks: u64, fallbacks: u64) {
+        self.perf.sched_merges += merges;
+        self.perf.sched_overlapped_ticks += overlapped_ticks;
+        self.perf.sched_fallbacks += fallbacks;
+    }
+
     /// Installs a cache donated by [`Chip::take_cache`] on another chip.
     /// Materialized buffers survive only when the donor simulated this
     /// very die — identical full configuration (group, seed, geometry,
@@ -312,6 +335,19 @@ impl Chip {
     ///
     /// Fails if the bank has no sensed open row.
     pub fn read(&mut self, bank: usize, t: u64) -> Result<Vec<bool>> {
+        let mut out = Vec::new();
+        self.read_into(bank, t, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Chip::read`] into a caller-provided buffer (cleared and
+    /// refilled in place), the allocation-free shape arena-recycled
+    /// read loops use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the bank has no sensed open row.
+    pub fn read_into(&mut self, bank: usize, t: u64, out: &mut Vec<bool>) -> Result<()> {
         self.check_bank(bank)?;
         let env = self.command_env(t);
         let b = &mut self.banks[bank];
@@ -325,7 +361,7 @@ impl Chip {
             perf: &mut self.perf,
             cache: &mut self.cache,
         };
-        let mut bits = sub.read(&mut ctx, t)?;
+        sub.read_into(&mut ctx, t, out)?;
         ctx.cache.ensure_cols(
             ctx.silicon,
             &mut *ctx.perf,
@@ -334,12 +370,12 @@ impl Chip {
             self.config.geometry.columns,
         );
         let anti = &ctx.cache.cols(bank, sub_idx).anti;
-        for (col, bit) in bits.iter_mut().enumerate() {
+        for (col, bit) in out.iter_mut().enumerate() {
             if anti[col] {
                 *bit = !*bit;
             }
         }
-        Ok(bits)
+        Ok(())
     }
 
     /// WRITE: drive *logical* bits through the sense amplifiers into the

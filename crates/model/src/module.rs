@@ -197,6 +197,20 @@ impl Module {
         self.chips.iter_mut().map(Chip::take_cache).collect()
     }
 
+    /// Donation-stamped copies of every chip's materialize cache, in
+    /// chip order, without disturbing this module — the serve pool uses
+    /// it so a warm die can seed a freshly touched one. See
+    /// [`Chip::clone_cache`].
+    pub fn clone_caches(&self) -> Vec<crate::materialize::MaterializeCache> {
+        self.chips.iter().map(Chip::clone_cache).collect()
+    }
+
+    /// Credits cross-bank scheduler activity (recorded onto chip 0, so
+    /// [`Module::model_perf`] roll-ups include it exactly once).
+    pub fn record_sched(&mut self, merges: u64, overlapped_ticks: u64, fallbacks: u64) {
+        self.chips[0].record_sched(merges, overlapped_ticks, fallbacks);
+    }
+
     /// Installs donated caches chip-by-chip (extra donations are
     /// dropped; chips past the donation keep their fresh cache). Each
     /// chip re-keys its donation to its own die seed, so a module
@@ -407,23 +421,38 @@ impl Module {
     ///
     /// Fails if any chip's bank has no sensed open row.
     pub fn read(&mut self, bank: usize, t: u64) -> Result<Vec<bool>> {
-        let mut per_chip: Vec<Vec<bool>> = self
+        let mut out = Vec::new();
+        self.read_into(bank, t, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Module::read`] into a caller-provided buffer (cleared and
+    /// refilled). Single-chip modules — the serve pool and most
+    /// experiments — fill it straight from the chip with no
+    /// intermediate allocation; multi-chip modules de-stripe into it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any chip's bank has no sensed open row.
+    pub fn read_into(&mut self, bank: usize, t: u64, out: &mut Vec<bool>) -> Result<()> {
+        if self.chips.len() == 1 {
+            // One chip: the lane interleave is the identity, so the
+            // chip's burst already is the module word.
+            return self.chips[0].read_into(bank, t, out);
+        }
+        let per_chip: Vec<Vec<bool>> = self
             .chips
             .iter_mut()
             .map(|c| c.read(bank, t))
             .collect::<Result<_>>()?;
-        if per_chip.len() == 1 {
-            // One chip: the lane interleave is the identity, so the
-            // chip's burst already is the module word.
-            return Ok(per_chip.pop().unwrap());
-        }
         let width = self.row_bits();
-        let mut out = vec![false; width];
+        out.clear();
+        out.resize(width, false);
         for (col, bit) in out.iter_mut().enumerate() {
             let (chip, chip_col) = self.map_column(col);
             *bit = per_chip[chip][chip_col];
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Writes a full module row (logical bits).
@@ -525,6 +554,35 @@ impl Module {
             chip.rewrite_row(state.bank(), state.index(), &per_chip[i], t_write);
         }
         Ok(())
+    }
+
+    /// Captures the state of `(bank, sub)` for an arbitrary row set on
+    /// every chip, relative to `anchor` — the multi-row generalization
+    /// of [`Module::capture_write_snapshot`] (the TRNG refill prefix
+    /// touches its four seed rows plus the activation quad).
+    pub fn capture_rows_snapshot(
+        &mut self,
+        bank: usize,
+        sub: usize,
+        rows: &[usize],
+        anchor: u64,
+    ) -> ModuleWriteSnapshot {
+        let env = *self.environment();
+        let states = self
+            .chips
+            .iter_mut()
+            .map(|c| c.capture_subarray(bank, sub, rows, anchor))
+            .collect();
+        ModuleWriteSnapshot { states, env }
+    }
+
+    /// Reimposes a [`Module::capture_rows_snapshot`] at `anchor`
+    /// verbatim — no rewrite step, for prefixes whose data is a
+    /// constant of the capture (the TRNG's seed-row refill).
+    pub fn restore_rows_snapshot(&mut self, snap: &ModuleWriteSnapshot, anchor: u64) {
+        for (chip, state) in self.chips.iter_mut().zip(&snap.states) {
+            chip.restore_subarray(state, anchor);
+        }
     }
 
     /// Direct view of one cell's voltage (module column addressing).

@@ -324,11 +324,26 @@ impl Subarray {
     /// Returns [`ModelError::BankClosed`] if no activation has been
     /// sensed.
     pub fn read(&mut self, ctx: &mut Ctx<'_>, t: u64) -> Result<Vec<bool>> {
+        let mut out = Vec::new();
+        self.read_into(ctx, t, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Subarray::read`] into a caller-provided buffer (cleared and
+    /// refilled), so arena-recycled trial loops never allocate per read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BankClosed`] if no activation has been
+    /// sensed.
+    pub fn read_into(&mut self, ctx: &mut Ctx<'_>, t: u64, out: &mut Vec<bool>) -> Result<()> {
         self.advance(ctx, t);
         if !self.sensed {
             return Err(ModelError::BankClosed { bank: self.bank });
         }
-        Ok(self.sensed_bits.clone())
+        out.clear();
+        out.extend_from_slice(&self.sensed_bits);
+        Ok(())
     }
 
     /// Writes physical bits through the sense amplifiers into all open

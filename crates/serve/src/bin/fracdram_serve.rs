@@ -69,6 +69,11 @@ fn main() {
                 "fault events before a die is auto-remapped (default 2048)",
             ),
             (
+                "sched",
+                "cross-die drain scheduling: on|off (default on; off restores \
+                 consecutive-only coalescing)",
+            ),
+            (
                 "record-requests",
                 "write the canonical request log here on shutdown",
             ),
@@ -101,6 +106,7 @@ fn main() {
         columns: args.usize("cols", defaults.columns),
         seed: args.u64("seed", defaults.seed),
         fault_limit: args.u64("fault-limit", defaults.fault_limit),
+        sched: args.str("sched").unwrap_or("on") != "off",
     };
     if cfg.columns == 0 || !cfg.columns.is_multiple_of(4) {
         eprintln!("error: --cols must be a positive multiple of 4");

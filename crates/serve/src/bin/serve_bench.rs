@@ -122,6 +122,9 @@ fn client_main(
     fault_at: usize,
 ) -> Result<ClientTally, String> {
     let stream = TcpStream::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    // One-line requests with one-line answers: without TCP_NODELAY the
+    // measured latency is mostly Nagle's delayed-ACK stall.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream
         .try_clone()
         .map_err(|e| format!("cannot clone stream: {e}"))?;
@@ -166,6 +169,10 @@ fn main() {
             ("cols", "embedded row width in bits (default 128)"),
             ("seed", "embedded pool seed (default 4070704035)"),
             (
+                "sched",
+                "embedded cross-die drain scheduling: on|off (default on)",
+            ),
+            (
                 "fault-die",
                 "die client 0 marks bad mid-run (default: none)",
             ),
@@ -198,6 +205,7 @@ fn main() {
         queue_depth: args.usize("queue-depth", defaults.queue_depth),
         columns: args.usize("cols", defaults.columns),
         seed: args.u64("seed", defaults.seed),
+        sched: args.str("sched").unwrap_or("on") != "off",
         ..defaults
     };
     let fault_die = args.usize("fault-die", usize::MAX);
@@ -304,6 +312,24 @@ fn main() {
     );
 
     if let Some(handle) = embedded {
+        use std::sync::atomic::Ordering;
+        let board = handle.board();
+        let hwms = board.queue_hwms();
+        let hist = board.batch_histogram();
+        let hist_str = hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(size, count)| format!("{size}x{count}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "serve_bench: queue hwm {:?}  drains [{hist_str}]  sched {} merge(s) / {} tick(s) overlapped / {} fallback(s)",
+            hwms,
+            board.sched_merges.load(Ordering::Relaxed),
+            board.sched_overlapped_ticks.load(Ordering::Relaxed),
+            board.sched_fallbacks.load(Ordering::Relaxed),
+        );
         let report = handle.join();
         println!(
             "serve_bench: server drained — {} processed, {} shed",

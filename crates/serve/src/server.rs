@@ -47,7 +47,13 @@ struct RecordEntry {
 struct Envelope {
     request: Request,
     canonical: String,
-    reply_to: mpsc::Sender<String>,
+    /// The connection's shared write half. The shard writes the
+    /// response straight to the socket instead of bouncing it back
+    /// through the connection thread — on a loaded (or single-core)
+    /// host that removes a thread wake-up from every request's critical
+    /// path. The mutex keeps each written line atomic against the
+    /// connection thread's own front-end responses.
+    reply_to: Arc<Mutex<TcpStream>>,
 }
 
 /// Everything [`ServerHandle::join`] returns after the daemon drains.
@@ -155,7 +161,7 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
-    let board = Arc::new(StatusBoard::default());
+    let board = Arc::new(StatusBoard::for_shards(cfg.shards.max(1)));
     let records: Arc<Mutex<Vec<RecordEntry>>> = Arc::new(Mutex::new(Vec::new()));
     let shards = cfg.shards.max(1);
 
@@ -167,10 +173,11 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
         let state = ShardState::new(cfg.clone(), Arc::clone(&board), true);
         let records = Arc::clone(&records);
         let batch = cfg.batch.max(1);
+        let shard_board = Arc::clone(&board);
         shard_threads.push(
             std::thread::Builder::new()
                 .name(format!("fracdram-shard-{shard}"))
-                .spawn(move || shard_loop(state, rx, records, batch))
+                .spawn(move || shard_loop(state, rx, records, batch, shard, shard_board))
                 .expect("spawn shard thread"),
         );
     }
@@ -187,6 +194,10 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
                 while !shutdown.load(Ordering::SeqCst) {
                     match listener.accept() {
                         Ok((stream, _)) => {
+                            // Responses are small single lines; Nagle's
+                            // algorithm would hold each one back waiting
+                            // for an ACK and dominate request latency.
+                            let _ = stream.set_nodelay(true);
                             let cfg = cfg.clone();
                             let senders = senders.clone();
                             let shutdown = Arc::clone(&shutdown);
@@ -200,7 +211,10 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
                             connection_threads.lock().unwrap().push(handle);
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(5));
+                            // Poll fast: a client's very first request
+                            // eats this whole interval, so a lazy poll
+                            // here shows up directly in tail latency.
+                            std::thread::sleep(Duration::from_micros(500));
                         }
                         Err(_) => break,
                     }
@@ -227,6 +241,8 @@ fn shard_loop(
     rx: Receiver<Envelope>,
     records: Arc<Mutex<Vec<RecordEntry>>>,
     batch: usize,
+    shard: usize,
+    board: Arc<StatusBoard>,
 ) {
     loop {
         let first = match rx.recv_timeout(Duration::from_millis(20)) {
@@ -234,30 +250,39 @@ fn shard_loop(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let mut envelopes = vec![first];
-        while envelopes.len() < batch {
+        let mut requests = Vec::with_capacity(batch);
+        let mut metas = Vec::with_capacity(batch);
+        // Move each envelope apart instead of cloning its request; the
+        // drain is the hot path and payloads can be whole-row hex.
+        requests.push(first.request);
+        metas.push((first.canonical, first.reply_to));
+        while requests.len() < batch {
             match rx.try_recv() {
-                Ok(envelope) => envelopes.push(envelope),
+                Ok(envelope) => {
+                    requests.push(envelope.request);
+                    metas.push((envelope.canonical, envelope.reply_to));
+                }
                 Err(_) => break,
             }
         }
-        let requests: Vec<Request> = envelopes.iter().map(|e| e.request.clone()).collect();
+        board.queue_pop(shard, requests.len() as u64);
         let replies: Vec<Reply> = state.execute_batch(&requests);
-        debug_assert_eq!(replies.len(), envelopes.len());
+        debug_assert_eq!(replies.len(), metas.len());
         {
             let mut records = records.lock().unwrap();
-            for (envelope, reply) in envelopes.iter().zip(&replies) {
+            for ((canonical, _), reply) in metas.iter().zip(&replies) {
                 records.push(RecordEntry {
                     die: reply.die,
                     seq: reply.seq,
-                    request: envelope.canonical.clone(),
+                    request: canonical.clone(),
                     response: reply.line.clone(),
                 });
             }
         }
-        for (envelope, reply) in envelopes.iter().zip(&replies) {
+        for ((_, reply_to), reply) in metas.iter().zip(&replies) {
             // A client that hung up simply misses its response.
-            let _ = envelope.reply_to.send(reply.line.clone());
+            let mut writer = reply_to.lock().unwrap();
+            let _ = writer.write_all(format!("{}\n", reply.line).as_bytes());
         }
     }
 }
@@ -269,8 +294,8 @@ fn connection_loop(
     shutdown: Arc<AtomicBool>,
     board: Arc<StatusBoard>,
 ) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
     };
     let reader = BufReader::new(stream);
@@ -280,12 +305,14 @@ fn connection_loop(
         if line.is_empty() {
             continue;
         }
-        let response = handle_line(line, &cfg, &senders, &shutdown, &board);
-        if writer
-            .write_all(format!("{response}\n").as_bytes())
-            .is_err()
-        {
-            break;
+        // Front-end answers (status, shutdown, errors, sheds) are
+        // written here; die-routed work is handed to a shard, which
+        // writes the response to the socket itself.
+        if let Some(response) = handle_line(line, &cfg, &senders, &shutdown, &board, &writer) {
+            let mut w = writer.lock().unwrap();
+            if w.write_all(format!("{response}\n").as_bytes()).is_err() {
+                break;
+            }
         }
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -299,45 +326,53 @@ fn handle_line(
     senders: &[SyncSender<Envelope>],
     shutdown: &AtomicBool,
     board: &StatusBoard,
-) -> String {
+    writer: &Arc<Mutex<TcpStream>>,
+) -> Option<String> {
     let request = match Request::parse(line) {
         Ok(request) => request,
-        Err(message) => return top_level_error(400, &message),
+        Err(message) => return Some(top_level_error(400, &message)),
     };
     match request.die() {
         None => match request {
-            Request::Status => status_response(cfg, board),
+            Request::Status => Some(status_response(cfg, board)),
             _ => {
                 shutdown.store(true, Ordering::SeqCst);
-                Json::obj()
-                    .field("ok", true)
-                    .field("op", "shutdown")
-                    .to_string()
+                Some(
+                    Json::obj()
+                        .field("ok", true)
+                        .field("op", "shutdown")
+                        .to_string(),
+                )
             }
         },
         Some(die) => {
             if die >= cfg.dies {
-                return top_level_error(
+                return Some(top_level_error(
                     400,
                     &format!("die {die} out of range (pool has {})", cfg.dies),
-                );
+                ));
             }
-            let (reply_tx, reply_rx) = mpsc::channel();
             let envelope = Envelope {
                 canonical: request.canonical(),
                 request,
-                reply_to: reply_tx,
+                reply_to: Arc::clone(writer),
             };
-            match senders[cfg.shard_of(die)].try_send(envelope) {
-                Ok(()) => match reply_rx.recv() {
-                    Ok(response) => response,
-                    Err(_) => top_level_error(500, "shard exited before replying"),
-                },
+            let shard = cfg.shard_of(die);
+            // Gauge before the send so the matching pop (which happens
+            // strictly after the shard receives the envelope) can never
+            // observe the increment missing.
+            board.queue_push(shard);
+            match senders[shard].try_send(envelope) {
+                Ok(()) => None,
                 Err(TrySendError::Full(_)) => {
+                    board.queue_pop(shard, 1);
                     board.shed.fetch_add(1, Ordering::Relaxed);
-                    top_level_error(503, "shard queue full, request shed")
+                    Some(top_level_error(503, "shard queue full, request shed"))
                 }
-                Err(TrySendError::Disconnected(_)) => top_level_error(503, "server shutting down"),
+                Err(TrySendError::Disconnected(_)) => {
+                    board.queue_pop(shard, 1);
+                    Some(top_level_error(503, "server shutting down"))
+                }
             }
         }
     }
@@ -373,6 +408,32 @@ fn status_response(cfg: &ServeConfig, board: &StatusBoard) -> String {
         .field("processed", board.processed.load(Ordering::Relaxed))
         .field("shed", board.shed.load(Ordering::Relaxed))
         .field("batched", board.batched.load(Ordering::Relaxed))
+        .field("sched", cfg.sched)
+        .field("sched_merges", board.sched_merges.load(Ordering::Relaxed))
+        .field(
+            "sched_overlapped_ticks",
+            board.sched_overlapped_ticks.load(Ordering::Relaxed),
+        )
+        .field(
+            "sched_fallbacks",
+            board.sched_fallbacks.load(Ordering::Relaxed),
+        )
+        .field(
+            "queue_hwm",
+            board
+                .queue_hwms()
+                .into_iter()
+                .map(Json::from)
+                .collect::<Vec<Json>>(),
+        )
+        .field(
+            "batch_hist",
+            board
+                .batch_histogram()
+                .into_iter()
+                .map(Json::from)
+                .collect::<Vec<Json>>(),
+        )
         .field("remaps", remaps)
         .to_string()
 }

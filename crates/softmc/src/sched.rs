@@ -1,0 +1,449 @@
+//! Cross-bank program scheduler.
+//!
+//! DRAM banks are independent state machines behind one shared command
+//! bus: while one bank sits out its tRCD/tRP/tRAS gap, the bus is free
+//! to issue commands to any other bank (`timing::check_program` keeps
+//! per-bank histories for exactly this reason — see its
+//! `banks_are_independent` test). [`merge`] exploits that slack: it
+//! interleaves N independent [`CompiledProgram`]s into one command
+//! stream, sliding each whole program forward by a per-program start
+//! offset until no two instructions claim the same bus cycle.
+//!
+//! Correctness rests on two invariants, both enforced structurally:
+//!
+//! 1. **Intra-program deltas are preserved.** A program is only ever
+//!    shifted as a rigid unit, so the gap between any two of its
+//!    commands — and therefore every per-bank JEDEC relation — is
+//!    byte-for-byte what it was standalone.
+//! 2. **Programs are bank-disjoint.** [`merge`] refuses (returns
+//!    `None`) when two programs in the same bank namespace touch a
+//!    common bank, so no bank's history ever interleaves commands from
+//!    two programs.
+//!
+//! Together these imply the merged stream's per-bank timing profile is
+//! identical to running each program alone; [`audit`] re-derives that
+//! from first principles (replaying `check_program`'s bank-history
+//! logic over the merged stream) rather than trusting the argument.
+//!
+//! Determinism: placement order is a stable sort on each entry's
+//! `(space, order)` key — callers pass `(die, seq)` — so the interleave
+//! is a pure function of the request log, never of host timing. That is
+//! what lets the serve layer keep its replay byte-identity with
+//! scheduling enabled.
+
+use std::collections::BTreeSet;
+
+use crate::command::CommandKind;
+use crate::compiled::{CompiledInst, CompiledProgram};
+use crate::timing::{TimingParams, TimingRule, TimingViolation};
+use fracdram_model::Cycles;
+
+/// One program offered to [`merge`], tagged with its interleave key.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleEntry<'a> {
+    /// Bank namespace. Banks only conflict within a namespace; callers
+    /// scheduling across dies pass the die id so different dies never
+    /// collide on "bank 0".
+    pub space: u64,
+    /// Stable tiebreak within the merge (per-die sequence number).
+    /// Entries are placed in ascending `(space, order)`.
+    pub order: u64,
+    /// The validated program to place.
+    pub program: &'a CompiledProgram,
+}
+
+/// One issued instruction of a merged stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledSlot {
+    /// Index of the owning entry in the input slice.
+    pub entry: usize,
+    /// Instruction index within that entry's program.
+    pub inst: usize,
+    /// Absolute issue cycle in the merged stream.
+    pub time: u64,
+}
+
+/// A merged command stream: per-entry start offsets plus the flattened,
+/// time-sorted slot list.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Issue slots sorted by time (ties impossible: one bus, one
+    /// command per cycle).
+    pub slots: Vec<ScheduledSlot>,
+    /// Start offset of each input entry (indexed like the input slice).
+    pub starts: Vec<u64>,
+    /// Cycles the merged stream occupies end to end.
+    pub total_cycles: u64,
+    /// Cycles the same programs occupy back to back (the baseline the
+    /// overlap is measured against).
+    pub sequential_cycles: u64,
+}
+
+impl Schedule {
+    /// Idle ticks reclaimed by interleaving: sequential minus merged
+    /// occupancy.
+    pub fn overlapped_ticks(&self) -> u64 {
+        self.sequential_cycles.saturating_sub(self.total_cycles)
+    }
+}
+
+/// Issue offset of every instruction when the program starts at cycle
+/// 0 — the same cascade `check_program` and the controller interpreter
+/// walk (`t += 1 + idle_after`).
+fn issue_offsets(program: &CompiledProgram) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(program.insts().len());
+    let mut t = 0u64;
+    for inst in program.insts() {
+        offsets.push(t);
+        t += 1 + inst.idle_after;
+    }
+    offsets
+}
+
+/// Banks an instruction occupies for conflict purposes (NOPs target no
+/// bank).
+fn inst_bank(inst: &CompiledInst) -> Option<u32> {
+    match inst.kind {
+        CommandKind::Nop => None,
+        _ => Some(inst.bank),
+    }
+}
+
+/// The set of `(space, bank)` pairs a program touches.
+fn banks_of(space: u64, program: &CompiledProgram) -> BTreeSet<(u64, u32)> {
+    program
+        .insts()
+        .iter()
+        .filter_map(inst_bank)
+        .map(|b| (space, b))
+        .collect()
+}
+
+/// Merges independent programs into one interleaved stream.
+///
+/// Entries are placed in ascending `(space, order)`: the first program
+/// starts at cycle 0, and each subsequent one slides to the smallest
+/// start offset where none of its issue cycles collides with an
+/// already-placed instruction (the command bus carries one command per
+/// cycle; idle gaps are free).
+///
+/// Returns `None` — the caller's cue to fall back to sequential
+/// execution — when the entry set is empty or when two entries in the
+/// same namespace touch a common bank (interleaving them would weave
+/// two command histories through one bank's state machine, which the
+/// correctness argument does not cover).
+pub fn merge(entries: &[ScheduleEntry]) -> Option<Schedule> {
+    if entries.is_empty() {
+        return None;
+    }
+    // Bank-disjointness across the whole set.
+    let mut claimed: BTreeSet<(u64, u32)> = BTreeSet::new();
+    for entry in entries {
+        let banks = banks_of(entry.space, entry.program);
+        if banks.iter().any(|b| claimed.contains(b)) {
+            return None;
+        }
+        claimed.extend(banks);
+    }
+
+    // Stable placement order: ascending (space, order), input index as
+    // the final tiebreak so duplicate keys stay deterministic.
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| (entries[i].space, entries[i].order, i));
+
+    let mut occupied: BTreeSet<u64> = BTreeSet::new();
+    let mut starts = vec![0u64; entries.len()];
+    let mut slots: Vec<ScheduledSlot> = Vec::new();
+    let mut total_cycles = 0u64;
+    let mut sequential_cycles = 0u64;
+    for &idx in &order {
+        let program = entries[idx].program;
+        let offsets = issue_offsets(program);
+        let mut start = 0u64;
+        // The scan terminates: past the largest occupied cycle every
+        // slot is free.
+        while offsets.iter().any(|o| occupied.contains(&(start + o))) {
+            start += 1;
+        }
+        for (inst, o) in offsets.iter().enumerate() {
+            occupied.insert(start + o);
+            slots.push(ScheduledSlot {
+                entry: idx,
+                inst,
+                time: start + o,
+            });
+        }
+        starts[idx] = start;
+        total_cycles = total_cycles.max(start + program.total_cycles());
+        sequential_cycles += program.total_cycles();
+    }
+    slots.sort_by_key(|s| s.time);
+    Some(Schedule {
+        slots,
+        starts,
+        total_cycles,
+        sequential_cycles,
+    })
+}
+
+/// Replays the JEDEC checker over a merged stream and reports every
+/// violation **introduced by the interleave**: a violation the owning
+/// program also commits standalone (a Frac's deliberate short tRAS,
+/// say) is expected and filtered out; anything left means the schedule
+/// broke a constraint the programs respected on their own. An empty
+/// result is the timing-audit pass.
+pub fn audit(
+    timing: &TimingParams,
+    entries: &[ScheduleEntry],
+    schedule: &Schedule,
+) -> Vec<(usize, TimingViolation)> {
+    #[derive(Clone, Copy, Default)]
+    struct BankHistory {
+        last_act: Option<u64>,
+        last_pre: Option<u64>,
+        last_wr: Option<u64>,
+        last_ref: Option<u64>,
+    }
+    let mut banks: std::collections::BTreeMap<(u64, u32), BankHistory> =
+        std::collections::BTreeMap::new();
+    let mut fresh = Vec::new();
+    for slot in &schedule.slots {
+        let entry = &entries[slot.entry];
+        let inst = &entry.program.insts()[slot.inst];
+        let Some(bank) = inst_bank(inst) else {
+            continue;
+        };
+        let t = slot.time;
+        let h = banks.entry((entry.space, bank)).or_default();
+        let mut violations: Vec<(TimingRule, Cycles)> = Vec::new();
+        let mut require = |rule: TimingRule, since: Option<u64>, min: Cycles| {
+            if let Some(s) = since {
+                if Cycles(t - s) < min {
+                    violations.push((rule, min));
+                }
+            }
+        };
+        match inst.kind {
+            CommandKind::Activate => {
+                require(TimingRule::Rp, h.last_pre, timing.t_rp);
+                require(TimingRule::Rc, h.last_act, timing.t_rc);
+                require(TimingRule::Rfc, h.last_ref, timing.t_rfc);
+                h.last_act = Some(t);
+            }
+            CommandKind::Precharge => {
+                require(TimingRule::Ras, h.last_act, timing.t_ras);
+                require(TimingRule::Wr, h.last_wr, timing.t_wr);
+                require(TimingRule::Rfc, h.last_ref, timing.t_rfc);
+                h.last_pre = Some(t);
+            }
+            CommandKind::Read => {
+                require(TimingRule::Rcd, h.last_act, timing.t_rcd);
+                require(TimingRule::Rfc, h.last_ref, timing.t_rfc);
+            }
+            CommandKind::Write => {
+                require(TimingRule::Rcd, h.last_act, timing.t_rcd);
+                require(TimingRule::Rfc, h.last_ref, timing.t_rfc);
+                h.last_wr = Some(t);
+            }
+            CommandKind::Refresh => {
+                require(TimingRule::Rp, h.last_pre, timing.t_rp);
+                h.last_ref = Some(t);
+            }
+            CommandKind::Nop => {}
+        }
+        for (rule, required) in violations {
+            let standalone = entry
+                .program
+                .violations()
+                .iter()
+                .any(|v| v.instruction == slot.inst && v.rule == rule);
+            if !standalone {
+                let start = schedule.starts[slot.entry];
+                fresh.push((
+                    slot.entry,
+                    TimingViolation {
+                        instruction: slot.inst,
+                        rule,
+                        required,
+                        actual: Cycles(t - start),
+                    },
+                ));
+            }
+        }
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use fracdram_model::RowAddr;
+
+    fn timing() -> TimingParams {
+        TimingParams::default()
+    }
+
+    fn compile(p: &Program) -> CompiledProgram {
+        CompiledProgram::compile(&timing(), p)
+    }
+
+    fn safe_read(bank: usize, row: usize) -> Program {
+        let t = timing();
+        Program::builder()
+            .act(RowAddr::new(bank, row))
+            .delay(t.t_rcd.value())
+            .read(bank)
+            .delay(t.t_ras.value())
+            .pre(bank)
+            .delay(t.t_rp.value())
+            .build()
+    }
+
+    fn frac(bank: usize, row: usize) -> Program {
+        Program::builder()
+            .act(RowAddr::new(bank, row))
+            .pre(bank)
+            .delay(5)
+            .build()
+    }
+
+    fn entries<'a>(programs: &'a [CompiledProgram]) -> Vec<ScheduleEntry<'a>> {
+        programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| ScheduleEntry {
+                space: 0,
+                order: i as u64,
+                program: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_overlaps_disjoint_banks() {
+        let programs = [compile(&safe_read(0, 1)), compile(&safe_read(1, 1))];
+        let schedule = merge(&entries(&programs)).unwrap();
+        assert!(
+            schedule.total_cycles < schedule.sequential_cycles,
+            "two bank-disjoint reads must overlap"
+        );
+        assert!(schedule.overlapped_ticks() > 0);
+        // The second program starts inside the first one's tRCD gap.
+        assert!(schedule.starts[1] > 0);
+        assert!(schedule.starts[1] < programs[0].total_cycles());
+        assert!(audit(&timing(), &entries(&programs), &schedule).is_empty());
+    }
+
+    #[test]
+    fn merge_refuses_shared_banks() {
+        let programs = [compile(&safe_read(0, 1)), compile(&safe_read(0, 2))];
+        assert!(merge(&entries(&programs)).is_none());
+        assert!(merge(&[]).is_none());
+    }
+
+    #[test]
+    fn namespaces_keep_same_bank_numbers_apart() {
+        let programs = [compile(&safe_read(0, 1)), compile(&safe_read(0, 2))];
+        let tagged = [
+            ScheduleEntry {
+                space: 3,
+                order: 0,
+                program: &programs[0],
+            },
+            ScheduleEntry {
+                space: 7,
+                order: 0,
+                program: &programs[1],
+            },
+        ];
+        let schedule = merge(&tagged).unwrap();
+        assert!(schedule.overlapped_ticks() > 0);
+        assert!(audit(&timing(), &tagged, &schedule).is_empty());
+    }
+
+    #[test]
+    fn single_program_schedules_verbatim() {
+        let programs = [compile(&safe_read(0, 1))];
+        let schedule = merge(&entries(&programs)).unwrap();
+        assert_eq!(schedule.starts, vec![0]);
+        assert_eq!(schedule.total_cycles, programs[0].total_cycles());
+        assert_eq!(schedule.overlapped_ticks(), 0);
+        let offsets: Vec<u64> = schedule.slots.iter().map(|s| s.time).collect();
+        assert_eq!(offsets, issue_offsets(&programs[0]));
+    }
+
+    #[test]
+    fn placement_is_a_function_of_the_key_not_input_order() {
+        let programs = [compile(&safe_read(0, 1)), compile(&safe_read(1, 1))];
+        let forward = [
+            ScheduleEntry {
+                space: 0,
+                order: 0,
+                program: &programs[0],
+            },
+            ScheduleEntry {
+                space: 0,
+                order: 1,
+                program: &programs[1],
+            },
+        ];
+        let reversed = [forward[1], forward[0]];
+        let a = merge(&forward).unwrap();
+        let b = merge(&reversed).unwrap();
+        // Same keys → same absolute placement, however the slice is
+        // ordered; only the entry indices swap.
+        assert_eq!(a.starts[0], b.starts[1]);
+        assert_eq!(a.starts[1], b.starts[0]);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        let times = |s: &Schedule| s.slots.iter().map(|x| x.time).collect::<Vec<_>>();
+        assert_eq!(times(&a), times(&b));
+    }
+
+    #[test]
+    fn deliberate_violations_survive_the_audit_fresh_ones_do_not() {
+        // A Frac program violates tRAS on purpose; merging two of them
+        // on different banks must not report those as scheduler bugs.
+        let programs = [compile(&frac(0, 1)), compile(&frac(1, 1))];
+        let schedule = merge(&entries(&programs)).unwrap();
+        assert!(audit(&timing(), &entries(&programs), &schedule).is_empty());
+
+        // A hand-built bogus schedule that squeezes a clean program's
+        // ACT→PRE gap must be caught.
+        let clean = [compile(&safe_read(0, 1))];
+        let e = entries(&clean);
+        let mut bogus = merge(&e).unwrap();
+        // Slide the PRE (instruction 2) to one cycle after the ACT.
+        for slot in &mut bogus.slots {
+            if slot.inst == 2 {
+                slot.time = 1;
+            }
+        }
+        bogus.slots.sort_by_key(|s| s.time);
+        let fresh = audit(&timing(), &e, &bogus);
+        assert!(fresh.iter().any(|(_, v)| v.rule == TimingRule::Ras));
+    }
+
+    #[test]
+    fn many_programs_fill_each_others_gaps() {
+        // Four banks' worth of safe reads: the merged stream should be
+        // dramatically shorter than the sequential baseline, and the
+        // audit must stay clean.
+        let programs: Vec<CompiledProgram> =
+            (0..4).map(|b| compile(&safe_read(b, b + 1))).collect();
+        let e = entries(&programs);
+        let schedule = merge(&e).unwrap();
+        assert!(audit(&timing(), &e, &schedule).is_empty());
+        assert!(
+            schedule.total_cycles <= schedule.sequential_cycles / 2,
+            "4-way interleave should reclaim at least half the idle: {} vs {}",
+            schedule.total_cycles,
+            schedule.sequential_cycles
+        );
+        // One command per bus cycle.
+        let mut times: Vec<u64> = schedule.slots.iter().map(|s| s.time).collect();
+        let n = times.len();
+        times.dedup();
+        assert_eq!(times.len(), n, "bus slot collision");
+    }
+}

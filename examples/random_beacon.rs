@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Group C: cannot even open three rows, yet serves as a TRNG.
     let module = Module::new(ModuleConfig::single_chip(GroupId::C, 0xB47, geometry));
     let mut mc = MemoryController::new(module);
-    let trng = Trng::bind(&mut mc, SubarrayAddr::new(0, 0))?;
+    let mut trng = Trng::bind(&mut mc, SubarrayAddr::new(0, 0))?;
     println!(
         "TRNG bound: one sample = {} ({} ns) for {} raw bits",
         trng.sample_cycles(),
