@@ -12,6 +12,10 @@
 //! * `crates/serve/tests/golden/replay_responses.log` —
 //!   `fracdram-serve --replay crates/serve/tests/golden/replay_requests.log`
 //!   (the daemon's replay golden).
+//! * `crates/serve/tests/golden/chaos_responses.log` — the same replay
+//!   under a seeded chaos plan (die-failure injection, breaker trip at
+//!   one failure), pinning injected failures, remaps, and breaker
+//!   rejections to exact requests.
 //!
 //! Every fleet binary is executed twice, at `--jobs 1` and `--jobs 8`,
 //! and the two captures are compared byte-for-byte before anything is
@@ -98,6 +102,27 @@ fn main() {
         &["--replay", requests.to_str().expect("utf-8 path")],
     );
     write_capture(&serve_golden.join("replay_responses.log"), &replay);
+
+    // ---- chaos replay golden -----------------------------------------
+    // Must match the config pinned in crates/serve/tests/golden_chaos.rs.
+    let chaos_requests = serve_golden.join("chaos_requests.log");
+    let chaos = capture(
+        &bin_dir,
+        "fracdram-serve",
+        &[
+            "--replay",
+            chaos_requests.to_str().expect("utf-8 path"),
+            "--breaker-trip",
+            "1",
+            "--breaker-open",
+            "3",
+            "--chaos-seed",
+            "11",
+            "--chaos-die-fail",
+            "0.2",
+        ],
+    );
+    write_capture(&serve_golden.join("chaos_responses.log"), &chaos);
 
     eprintln!("regen-goldens: all captures regenerated");
 }

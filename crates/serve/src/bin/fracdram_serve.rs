@@ -11,11 +11,14 @@
 //!     --replay requests.log --out replay.log
 //! ```
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use fracdram_experiments::Args;
 use fracdram_model::GroupId;
-use fracdram_serve::{run_replay, start_on, ServeConfig};
+use fracdram_serve::{
+    recover, run_replay, start_on, BreakerConfig, ChaosConfig, ChaosSpec, ServeConfig,
+};
 
 fn parse_group(name: &str) -> Option<GroupId> {
     Some(match name {
@@ -86,6 +89,49 @@ fn main() {
                 "offline mode: re-execute this request log and exit",
             ),
             ("out", "replay output path, or - for stdout (default -)"),
+            (
+                "wal-dir",
+                "journal every executed request here and recover from it at startup \
+                 (default: off, in-memory only)",
+            ),
+            (
+                "recover-dump",
+                "offline mode: replay the WAL in this directory, print the recovered \
+                 response log, and exit (read-only)",
+            ),
+            (
+                "deadline-ms",
+                "shed queued requests older than this with 503 (default 5000)",
+            ),
+            (
+                "io-timeout-ms",
+                "disconnect a client idle/stalled this long (default 30000)",
+            ),
+            (
+                "breaker-trip",
+                "consecutive die failures that trip its circuit breaker (default 3)",
+            ),
+            (
+                "breaker-open",
+                "rejections while open before a half-open probe (default 4)",
+            ),
+            (
+                "chaos-seed",
+                "chaos plan seed (default 0; plan is pure in seed+densities)",
+            ),
+            (
+                "chaos-die-fail",
+                "chaos: per-(die,seq) injected die-failure probability (default 0)",
+            ),
+            (
+                "chaos-drop",
+                "chaos: per-request connection-drop probability (default 0)",
+            ),
+            (
+                "chaos-stall",
+                "chaos: per-drain shard-stall probability (default 0)",
+            ),
+            ("chaos-stall-ms", "chaos: stall duration in ms (default 5)"),
         ],
     ) {
         return;
@@ -97,6 +143,21 @@ fn main() {
         eprintln!("error: unknown DRAM group {group_name:?} (expected a letter A..L)");
         std::process::exit(2);
     };
+    let chaos_config = ChaosConfig {
+        die_fail: args.f64("chaos-die-fail", 0.0),
+        drop: args.f64("chaos-drop", 0.0),
+        stall: args.f64("chaos-stall", 0.0),
+        stall_ms: args.u64("chaos-stall-ms", 5),
+    };
+    let chaos = chaos_config.enabled().then(|| ChaosSpec {
+        seed: args.u64("chaos-seed", 0),
+        config: chaos_config,
+    });
+    if chaos.is_none() {
+        // Consume the flag either way so --chaos-seed alone is not an
+        // unknown-flag error (it is simply inert without a density).
+        let _ = args.u64("chaos-seed", 0);
+    }
     let cfg = ServeConfig {
         group,
         dies: args.usize("dies", defaults.dies),
@@ -107,6 +168,14 @@ fn main() {
         seed: args.u64("seed", defaults.seed),
         fault_limit: args.u64("fault-limit", defaults.fault_limit),
         sched: args.str("sched").unwrap_or("on") != "off",
+        breaker: BreakerConfig {
+            trip: args.u64("breaker-trip", defaults.breaker.trip as u64) as u32,
+            open: args.u64("breaker-open", defaults.breaker.open as u64) as u32,
+        },
+        chaos,
+        deadline_ms: args.u64("deadline-ms", defaults.deadline_ms),
+        io_timeout_ms: args.u64("io-timeout-ms", defaults.io_timeout_ms),
+        wal_dir: args.str("wal-dir").map(PathBuf::from),
     };
     if cfg.columns == 0 || !cfg.columns.is_multiple_of(4) {
         eprintln!("error: --cols must be a positive multiple of 4");
@@ -115,10 +184,44 @@ fn main() {
 
     let port = args.usize("port", 4717) as u16;
     let replay = args.str("replay").map(str::to_string);
+    let recover_dump = args.str("recover-dump").map(PathBuf::from);
     let out = args.str("out").unwrap_or("-").to_string();
     let record_requests = args.str("record-requests").map(str::to_string);
     let record_responses = args.str("record-responses").map(str::to_string);
     args.reject_unknown();
+
+    if let Some(dir) = recover_dump {
+        if !dir.is_dir() {
+            eprintln!("error: --recover-dump {} is not a directory", dir.display());
+            std::process::exit(1);
+        }
+        let recovery = recover(&cfg, &dir).unwrap_or_else(|e| {
+            eprintln!("error: recovery failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "fracdram-serve: recovered {} entr{} ({}, {} torn line(s))",
+            recovery.request_log.lines().count(),
+            if recovery.request_log.lines().count() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            if recovery.sealed {
+                "sealed"
+            } else {
+                "unclean shutdown"
+            },
+            recovery.torn
+        );
+        if out == "-" {
+            print!("{}", recovery.response_log);
+        } else if let Err(e) = std::fs::write(&out, &recovery.response_log) {
+            eprintln!("error: cannot write --out {out}: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if let Some(path) = replay {
         let requests = std::fs::read_to_string(&path).unwrap_or_else(|e| {

@@ -184,6 +184,10 @@ fn main() {
                 "record",
                 "embedded mode: write PREFIX.requests.log / PREFIX.responses.log",
             ),
+            (
+                "wal-dir",
+                "embedded mode: journal to (and recover from) this WAL directory",
+            ),
             ("json", "write p50/p99/ns-per-req bench records here"),
             (
                 "shutdown",
@@ -206,6 +210,7 @@ fn main() {
         columns: args.usize("cols", defaults.columns),
         seed: args.u64("seed", defaults.seed),
         sched: args.str("sched").unwrap_or("on") != "off",
+        wal_dir: args.str("wal-dir").map(std::path::PathBuf::from),
         ..defaults
     };
     let fault_die = args.usize("fault-die", usize::MAX);
@@ -329,6 +334,23 @@ fn main() {
             board.sched_merges.load(Ordering::Relaxed),
             board.sched_overlapped_ticks.load(Ordering::Relaxed),
             board.sched_fallbacks.load(Ordering::Relaxed),
+        );
+        println!(
+            "serve_bench: wal {} entr{} / {} sync(s) / {} byte(s) ({} recovered)  \
+             breaker {} trip(s) / {} rejection(s) / {} probe(s) / {} close(s)",
+            board.wal_entries.load(Ordering::Relaxed),
+            if board.wal_entries.load(Ordering::Relaxed) == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            board.wal_syncs.load(Ordering::Relaxed),
+            board.wal_bytes.load(Ordering::Relaxed),
+            board.recovered.load(Ordering::Relaxed),
+            board.breaker_trips.load(Ordering::Relaxed),
+            board.breaker_rejections.load(Ordering::Relaxed),
+            board.breaker_probes.load(Ordering::Relaxed),
+            board.breaker_closes.load(Ordering::Relaxed),
         );
         let report = handle.join();
         println!(

@@ -22,13 +22,28 @@
 //! byte-identical response log ([`server::run_replay`]). See DESIGN.md
 //! §"FracDRAM as a service" for why the determinism holds and
 //! EXPERIMENTS.md for the measured serving latencies.
+//!
+//! Durability and failure testing (PR 9): every executed request is
+//! journaled to a checksummed per-shard [`wal`] before its response is
+//! acknowledged, so a killed daemon recovers byte-identical state by
+//! replaying the log ([`server::recover`]); a per-die [`breaker`]
+//! trips persistent failures open ahead of the remap path; and a
+//! seeded [`chaos`] plan injects die failures, connection drops, shard
+//! stalls, and kill points deterministically for the `chaos_sweep`
+//! harness. See DESIGN.md §"Crash-safe durability".
 
 #![warn(missing_docs)]
 
+pub mod breaker;
+pub mod chaos;
 pub mod pool;
 pub mod protocol;
 pub mod server;
+pub mod wal;
 
+pub use breaker::{Admission, Breaker, BreakerConfig};
+pub use chaos::{ChaosConfig, ChaosPlan, ChaosSpec};
 pub use pool::{RemapEvent, Reply, ServeConfig, ShardState, StatusBoard};
 pub use protocol::{bits_to_hex, hex_to_bits, Request, WritePayload};
-pub use server::{run_replay, start, start_on, ServerHandle, ServerReport};
+pub use server::{recover, run_replay, start, start_on, Recovery, ServerHandle, ServerReport};
+pub use wal::{WalEntry, WalShard, WalWriter};

@@ -19,8 +19,9 @@
 //! lists every remap.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use fracdram::frac::{frac_program, require_frac_support};
 use fracdram::puf::{self, Challenge};
@@ -35,6 +36,8 @@ use fracdram_softmc::{CompiledProgram, MemoryController};
 use fracdram_stats::bits::BitVec;
 use fracdram_stats::rng::mix;
 
+use crate::breaker::{Admission, Breaker, BreakerConfig};
+use crate::chaos::{ChaosPlan, ChaosSpec};
 use crate::protocol::{bits_to_hex, hex_to_bits, Request, WritePayload};
 
 /// Upper bound on `"bits"` for one TRNG request.
@@ -75,6 +78,25 @@ pub struct ServeConfig {
     /// to measure the bus occupancy a multi-die controller reclaims.
     /// `false` restores the legacy consecutive-only coalescing.
     pub sched: bool,
+    /// Per-die circuit breaker thresholds (part of the WAL fingerprint:
+    /// rejections consume seqs, so the thresholds shape the response
+    /// stream).
+    pub breaker: BreakerConfig,
+    /// Deterministic chaos injection; `None` disarms every class. Part
+    /// of the WAL fingerprint — recovery must replay under the same
+    /// plan to re-inject the die failures the live run saw.
+    pub chaos: Option<ChaosSpec>,
+    /// Budget from enqueue to drain; a request older than this when its
+    /// shard picks it up is shed with `503 deadline exceeded` instead
+    /// of executed (never enters the WAL or the replay log).
+    pub deadline_ms: u64,
+    /// Per-connection socket read/write timeout; an idle or stalled
+    /// client is disconnected after this long so it can neither pin a
+    /// connection thread nor block graceful shutdown.
+    pub io_timeout_ms: u64,
+    /// Where the per-shard write-ahead logs live; `None` serves purely
+    /// in memory (the pre-PR-9 behavior).
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +111,11 @@ impl Default for ServeConfig {
             seed: 0xF2AC_D7A3,
             fault_limit: 2048,
             sched: true,
+            breaker: BreakerConfig::default(),
+            chaos: None,
+            deadline_ms: 5000,
+            io_timeout_ms: 30_000,
+            wal_dir: None,
         }
     }
 }
@@ -146,6 +173,32 @@ pub struct StatusBoard {
     /// Drains with ≥ 2 schedulable programs that could not merge
     /// (single die, guarded group, or a bank conflict).
     pub sched_fallbacks: AtomicU64,
+    /// Requests shed with `503` because they aged past
+    /// [`ServeConfig::deadline_ms`] in a shard queue.
+    pub deadline_shed: AtomicU64,
+    /// Breaker trips: a die's consecutive failures (or a failed
+    /// half-open probe) swung its breaker open.
+    pub breaker_trips: AtomicU64,
+    /// Requests rejected up front (`503`) by an open breaker.
+    pub breaker_rejections: AtomicU64,
+    /// Half-open probe requests admitted to a tripped die.
+    pub breaker_probes: AtomicU64,
+    /// Breakers re-closed by a successful probe.
+    pub breaker_closes: AtomicU64,
+    /// Entries durably appended to the write-ahead log.
+    pub wal_entries: AtomicU64,
+    /// WAL fsync batches (one per shard drain that logged anything).
+    pub wal_syncs: AtomicU64,
+    /// Bytes durably appended to the WAL (headers included).
+    pub wal_bytes: AtomicU64,
+    /// Entries replayed from the WAL at startup recovery.
+    pub recovered: AtomicU64,
+    /// Chaos-injected die failures actually fired.
+    pub chaos_die_failures: AtomicU64,
+    /// Chaos-injected connection drops actually fired.
+    pub chaos_drops: AtomicU64,
+    /// Chaos-injected shard stalls actually fired.
+    pub chaos_stalls: AtomicU64,
     /// Per-shard queue gauges (empty until [`StatusBoard::for_shards`]).
     gauges: Vec<ShardGauge>,
     /// Drain-size histogram: `hist[n]` counts drains of exactly `n`
@@ -189,7 +242,12 @@ impl StatusBoard {
 
     /// Notes one drained batch of `n` requests.
     pub fn record_drain(&self, n: usize) {
-        let mut hist = self.batch_hist.lock().unwrap();
+        // Poison recovery (fleet PR-4 policy): counters are plain data,
+        // so a panicking peer must not wedge the status/stop paths.
+        let mut hist = self
+            .batch_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if hist.len() <= n {
             hist.resize(n + 1, 0);
         }
@@ -198,16 +256,25 @@ impl StatusBoard {
 
     /// The drain-size histogram (`[n]` = drains of exactly `n`).
     pub fn batch_histogram(&self) -> Vec<u64> {
-        self.batch_hist.lock().unwrap().clone()
+        self.batch_hist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     fn record_remap(&self, event: RemapEvent) {
-        self.remaps.lock().unwrap().push(event);
+        self.remaps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(event);
     }
 
     /// All remaps so far, oldest first.
     pub fn remaps(&self) -> Vec<RemapEvent> {
-        self.remaps.lock().unwrap().clone()
+        self.remaps
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 }
 
@@ -260,6 +327,13 @@ pub struct ShardState {
     cfg: ServeConfig,
     board: Arc<StatusBoard>,
     dies: BTreeMap<usize, Die>,
+    /// Per die **id** (not generation): the health score must survive
+    /// remaps — an id that keeps failing across fresh silicon is
+    /// exactly what the breaker exists to fence off.
+    breakers: BTreeMap<usize, Breaker>,
+    /// Deterministic failure-injection oracle, from
+    /// [`ServeConfig::chaos`].
+    chaos: Option<ChaosPlan>,
     /// Whether `"stall"` actually sleeps. Live shards sleep (the op
     /// exists to force backpressure in tests); replay never does.
     stall_enabled: bool,
@@ -268,12 +342,34 @@ pub struct ShardState {
 impl ShardState {
     /// A fresh shard over `cfg`, publishing counters to `board`.
     pub fn new(cfg: ServeConfig, board: Arc<StatusBoard>, stall_enabled: bool) -> ShardState {
+        let chaos = cfg.chaos.as_ref().map(ChaosSpec::plan);
         ShardState {
             cfg,
             board,
             dies: BTreeMap::new(),
+            breakers: BTreeMap::new(),
+            chaos,
             stall_enabled,
         }
+    }
+
+    /// Repoints a recovered shard at the live server's board and
+    /// re-enables stalls: recovery replays against a throwaway board
+    /// with stalls off (replay must not sleep), then the same states go
+    /// live for serving.
+    pub fn arm_live(&mut self, board: Arc<StatusBoard>) {
+        self.board = board;
+        self.stall_enabled = true;
+    }
+
+    /// Breaker phase per die id, for `status` reporting (only dies
+    /// whose breaker ever advanced past a pristine closed state appear
+    /// interesting, but all touched ids are listed).
+    pub fn breaker_phases(&self) -> Vec<(usize, &'static str)> {
+        self.breakers
+            .iter()
+            .map(|(&id, b)| (id, b.phase_name()))
+            .collect()
     }
 
     fn ensure_die(&mut self, id: usize) {
@@ -341,6 +437,10 @@ impl ShardState {
         self.board.processed.fetch_add(1, Ordering::Relaxed);
 
         if let Request::MarkBad { .. } = req {
+            // Operator replacement: the fresh silicon starts with a
+            // clean bill of health, whatever the breaker thought of its
+            // predecessor.
+            self.breaker(id).reset();
             let generation = self.remap(id, "marked bad");
             let line = ok_response(req, id, seq, generation)
                 .field("remapped", true)
@@ -348,8 +448,30 @@ impl ShardState {
             return Reply { die: id, seq, line };
         }
 
-        let line = match self.apply(id, req) {
+        match self.breaker(id).admit() {
+            Admission::Pass => {}
+            Admission::Probe => {
+                self.board.breaker_probes.fetch_add(1, Ordering::Relaxed);
+            }
+            Admission::Reject => {
+                // Rejections consume a seq and are journaled like any
+                // response, so recovery replays the breaker's countdown
+                // to the exact same phase.
+                self.board
+                    .breaker_rejections
+                    .fetch_add(1, Ordering::Relaxed);
+                let generation = self.dies[&id].generation;
+                let line = error_response(req, id, seq, generation, 503, "circuit breaker open")
+                    .to_string();
+                return Reply { die: id, seq, line };
+            }
+        }
+
+        let mut die_failed = false;
+        let mut succeeded = false;
+        let line = match self.apply_with_chaos(id, seq, req) {
             Ok(extra) => {
+                succeeded = true;
                 let generation = self.dies[&id].generation;
                 splice(ok_response(req, id, seq, generation), extra).to_string()
             }
@@ -359,7 +481,10 @@ impl ShardState {
             }
             Err(OpError::Die(msg)) => {
                 // The die failed underneath a valid request: retire it,
-                // retry once on the replacement.
+                // retry once on the replacement. (The retry is not
+                // chaos-wrapped: the injection keyed on this seq already
+                // fired, and re-injecting would double-count it.)
+                die_failed = true;
                 let generation = self.remap(id, &msg);
                 match self.apply(id, req) {
                     Ok(extra) => splice(ok_response(req, id, seq, generation), extra).to_string(),
@@ -369,7 +494,19 @@ impl ShardState {
                 }
             }
         };
-        self.check_health(id);
+        if self.check_health(id) {
+            die_failed = true;
+        }
+        // A die-level failure feeds the breaker even when the retry on
+        // fresh silicon answered the client `ok` — the *id* misbehaved.
+        // Validation errors (`Bad`) are the client's fault: neutral.
+        if die_failed {
+            if self.breaker(id).record_failure() {
+                self.board.breaker_trips.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if succeeded && self.breaker(id).record_success() {
+            self.board.breaker_closes.fetch_add(1, Ordering::Relaxed);
+        }
         Reply { die: id, seq, line }
     }
 
@@ -510,15 +647,49 @@ impl ShardState {
         }
     }
 
+    /// The breaker for die id `id`, created closed on first touch.
+    fn breaker(&mut self, id: usize) -> &mut Breaker {
+        let cfg = self.cfg.breaker;
+        self.breakers.entry(id).or_insert_with(|| Breaker::new(cfg))
+    }
+
+    /// [`ShardState::apply`] behind the chaos oracle: when the plan
+    /// injects a failure for this `(die, seq)`, the die is failed
+    /// *instead of* executing — surfacing through the ordinary
+    /// die-error path (remap, retry, breaker failure), which is what
+    /// makes the injection indistinguishable from real bad silicon and
+    /// exactly reproducible during recovery replay of the same seqs.
+    fn apply_with_chaos(&mut self, id: usize, seq: u64, req: &Request) -> Result<Json, OpError> {
+        if let Some(plan) = &self.chaos {
+            if plan.die_fails(id, seq) {
+                self.board
+                    .chaos_die_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(OpError::Die("chaos: injected die failure".to_string()));
+            }
+        }
+        self.apply(id, req)
+    }
+
     /// Whether `req` may join a coalesced run: a storage op whose
     /// program we can pre-validate, on a die without fault injection
     /// (an armed die may glitch mid-program, and a half-executed
-    /// combined program could not be untangled per-request).
+    /// combined program could not be untangled per-request), whose
+    /// breaker is closed (open/half-open dies go through the
+    /// per-request gate), and with chaos die-failure injection disarmed
+    /// (the oracle keys on individual seqs, which a combined program
+    /// cannot honor).
     fn combinable(&mut self, req: &Request) -> bool {
         if !matches!(req, Request::Write { .. } | Request::Copy { .. }) {
             return false;
         }
+        if self.chaos.is_some_and(|plan| plan.config().die_fail > 0.0) {
+            return false;
+        }
         let id = req.die().expect("write/copy always carry a die");
+        if !self.breaker(id).is_closed() {
+            return false;
+        }
         self.ensure_die(id);
         let die = self.dies.get_mut(&id).unwrap();
         !die.mc.module().faults_enabled() && prepare_program(&die.mc, &self.cfg, req).is_ok()
@@ -545,20 +716,29 @@ impl ShardState {
             .fetch_add(reqs.len() as u64, Ordering::Relaxed);
         self.board.batched.fetch_add(1, Ordering::Relaxed);
         let replies = match run {
-            Ok(_) => metas
-                .into_iter()
-                .map(|(req, seq, extra)| Reply {
-                    die: id,
-                    seq,
-                    line: splice(ok_response(req, id, seq, generation), extra).to_string(),
-                })
-                .collect(),
+            Ok(_) => {
+                // Equivalent to a per-request `record_success` for each
+                // run member: `combinable` guaranteed the breaker was
+                // closed, where success only clears the score.
+                self.breaker(id).record_success();
+                metas
+                    .into_iter()
+                    .map(|(req, seq, extra)| Reply {
+                        die: id,
+                        seq,
+                        line: splice(ok_response(req, id, seq, generation), extra).to_string(),
+                    })
+                    .collect()
+            }
             Err(e) => {
                 // Unreachable for validated storage programs on a
                 // fault-free die; handled anyway so a model regression
                 // degrades the die instead of wedging the shard.
                 let msg = e.to_string();
                 let generation = self.remap(id, &msg);
+                if self.breaker(id).record_failure() {
+                    self.board.breaker_trips.fetch_add(1, Ordering::Relaxed);
+                }
                 metas
                     .into_iter()
                     .map(|(req, seq, _)| Reply {
@@ -569,13 +749,16 @@ impl ShardState {
                     .collect()
             }
         };
-        self.check_health(id);
+        if self.check_health(id) && self.breaker(id).record_failure() {
+            self.board.breaker_trips.fetch_add(1, Ordering::Relaxed);
+        }
         (replies, combined)
     }
 
     /// Auto-remap a die whose accumulated fault events crossed the
-    /// configured limit.
-    fn check_health(&mut self, id: usize) {
+    /// configured limit. Returns whether the remap fired (a die-level
+    /// failure as far as the breaker is concerned).
+    fn check_health(&mut self, id: usize) -> bool {
         let over = {
             let die = &self.dies[&id];
             die.mc.module().faults_enabled()
@@ -584,6 +767,7 @@ impl ShardState {
         if over {
             self.remap(id, "fault limit exceeded");
         }
+        over
     }
 
     fn apply(&mut self, id: usize, req: &Request) -> Result<Json, OpError> {

@@ -271,6 +271,24 @@ impl Request {
         }
     }
 
+    /// Whether the operation mutates state a restarted daemon must
+    /// reconstruct: stored rows (`write`/`copy`), the enrollment cache
+    /// (`enroll`), or die control state (`fault`/`mark-bad`). Note the
+    /// WAL journals a *superset* of these — every die-routed op — since
+    /// in this simulator even reads advance the die's controller clock
+    /// and consume a seq, so the full per-die sequence is what replays
+    /// state exactly (see DESIGN.md §"Crash-safe durability").
+    pub fn is_state_mutating(&self) -> bool {
+        matches!(
+            self,
+            Request::Write { .. }
+                | Request::Copy { .. }
+                | Request::Enroll { .. }
+                | Request::Fault { .. }
+                | Request::MarkBad { .. }
+        )
+    }
+
     /// Canonical single-line serialization: fixed key order, every
     /// default made explicit. Two requests that parse equal
     /// canonicalize identically, regardless of how the client spelled

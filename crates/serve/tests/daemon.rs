@@ -222,6 +222,65 @@ fn die_marked_bad_mid_stream_remaps_without_losing_requests() {
 }
 
 #[test]
+fn shutdown_completes_while_a_client_sits_idle() {
+    // Connection threads poll the shutdown flag on a short read
+    // timeout, so a client that connects and then goes silent must not
+    // block the drain. Without the polling loop this test hangs.
+    let handle = start(small_cfg()).expect("start server");
+    let mut busy = Client::connect(&handle);
+    let _idle = Client::connect(&handle);
+
+    let response = busy.send(r#"{"op":"read","die":0,"bank":1,"row":3}"#);
+    assert!(response.contains("\"ok\":true"));
+    let status = Json::parse(&busy.send(r#"{"op":"status"}"#)).unwrap();
+    assert_eq!(
+        status.get("io_timeout_ms").and_then(Json::as_usize),
+        Some(30_000),
+        "status must surface the connection I/O timeout"
+    );
+    assert_eq!(
+        status.get("deadline_ms").and_then(Json::as_usize),
+        Some(5_000),
+        "status must surface the request deadline"
+    );
+
+    handle.stop();
+    let start_join = std::time::Instant::now();
+    let report = handle.join();
+    assert!(
+        start_join.elapsed() < std::time::Duration::from_secs(5),
+        "idle connection stalled the drain for {:?}",
+        start_join.elapsed()
+    );
+    // Only the die-routed read goes through a shard; status is answered
+    // at the connection layer.
+    assert_eq!(report.processed, 1);
+}
+
+#[test]
+fn idle_connections_are_closed_after_the_io_timeout() {
+    let cfg = ServeConfig {
+        dies: 2,
+        shards: 1,
+        io_timeout_ms: 150,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start server");
+    let mut client = Client::connect(&handle);
+    let response = client.send(r#"{"op":"read","die":0,"bank":1,"row":3}"#);
+    assert!(response.contains("\"ok\":true"));
+
+    // Go silent past the timeout: the server must hang up on us.
+    std::thread::sleep(std::time::Duration::from_millis(600));
+    let mut line = String::new();
+    let got = client.reader.read_line(&mut line).expect("read after idle");
+    assert_eq!(got, 0, "server must close an idle connection, got {line:?}");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
 fn full_queue_sheds_with_503_instead_of_blocking() {
     let cfg = ServeConfig {
         dies: 1,

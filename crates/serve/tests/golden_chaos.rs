@@ -1,0 +1,55 @@
+//! Pins the chaos-mode replay to a committed golden: with a fixed
+//! chaos seed and die-failure density, the injected failures, remap
+//! generation bumps, circuit-breaker trips, open-state 503 rejections
+//! and half-open probes must land on exactly the same requests on
+//! every host and at any thread count — the `ChaosPlan` is a pure
+//! function of `(seed, config)` and each injection is keyed by
+//! `(die, seq)`. Regenerate with
+//! `cargo run --release -p fracdram-experiments --bin regen-goldens`.
+
+use fracdram_serve::{run_replay, BreakerConfig, ChaosConfig, ChaosSpec, ServeConfig};
+
+const REQUESTS: &str = include_str!("golden/chaos_requests.log");
+const RESPONSES: &str = include_str!("golden/chaos_responses.log");
+
+fn chaos_cfg() -> ServeConfig {
+    ServeConfig {
+        breaker: BreakerConfig { trip: 1, open: 3 },
+        chaos: Some(ChaosSpec {
+            seed: 11,
+            config: ChaosConfig {
+                die_fail: 0.2,
+                ..ChaosConfig::none()
+            },
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn chaos_replay_matches_committed_golden() {
+    let replayed = run_replay(&chaos_cfg(), REQUESTS).expect("replay");
+    assert_eq!(
+        replayed, RESPONSES,
+        "chaos replay diverged from the committed golden \
+         (crates/serve/tests/golden/chaos_responses.log)"
+    );
+}
+
+#[test]
+fn chaos_golden_shows_the_full_breaker_lifecycle() {
+    // Guard against regenerating the golden into something inert: it
+    // must contain open-state rejections, post-remap generations, and
+    // at least one die (die 3) the plan leaves untouched.
+    let rejections = RESPONSES
+        .lines()
+        .filter(|l| l.contains("circuit breaker open"))
+        .count();
+    assert!(rejections >= 3, "golden lost its breaker rejections");
+    assert!(RESPONSES.contains("\"gen\":2"), "golden lost its remaps");
+    let die3_clean = RESPONSES
+        .lines()
+        .filter(|l| l.contains("\"die\":3"))
+        .all(|l| l.contains("\"ok\":true"));
+    assert!(die3_clean, "die 3 must stay failure-free at this seed");
+}

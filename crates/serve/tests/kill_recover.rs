@@ -1,0 +1,279 @@
+//! Kill→recover durability, end to end against the real daemon binary:
+//! a mixed workload is driven over loopback TCP, the process is
+//! hard-killed (SIGKILL — no drain, no WAL seal) mid-workload, a fresh
+//! process is restarted on the same `--wal-dir`, and the remainder of
+//! the workload plus a full read-back sweep must match an uninterrupted
+//! control run byte-for-byte. Acknowledge-after-log is the invariant
+//! under test: every response the client saw before the kill must be
+//! reconstructed from the journal alone.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+const SERVE_BIN: &str = env!("CARGO_BIN_EXE_fracdram-serve");
+const DIES: usize = 3;
+const WORKLOAD: usize = 60;
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns the real daemon binary and parses the listen address off
+    /// its stderr banner. Remaining stderr drains in a background
+    /// thread so a chatty shutdown can never fill the pipe.
+    fn spawn(wal_dir: Option<&std::path::Path>) -> Daemon {
+        let mut cmd = Command::new(SERVE_BIN);
+        cmd.args([
+            "--port", "0", "--dies", "3", "--shards", "2", "--cols", "64",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+        if let Some(dir) = wal_dir {
+            cmd.arg("--wal-dir").arg(dir);
+        }
+        let mut child = cmd.spawn().expect("spawn fracdram-serve");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut reader = BufReader::new(stderr);
+        let mut addr = None;
+        let mut line = String::new();
+        while reader.read_line(&mut line).expect("read daemon stderr") > 0 {
+            if let Some(rest) = line.split("listening on ").nth(1) {
+                addr = rest.split_whitespace().next().map(str::to_string);
+                break;
+            }
+            line.clear();
+        }
+        let addr = addr.expect("daemon never printed its listen address");
+        std::thread::spawn(move || {
+            let mut sink = Vec::new();
+            let _ = reader.read_to_end(&mut sink);
+        });
+        Daemon { child, addr }
+    }
+
+    fn connect(&self) -> Client {
+        let stream = TcpStream::connect(&self.addr).expect("connect to daemon");
+        Client {
+            writer: stream.try_clone().expect("clone stream"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    /// Hard stop: SIGKILL, no drain, no WAL seal.
+    fn kill(mut self) {
+        self.child.kill().expect("kill daemon");
+        self.child.wait().expect("reap daemon");
+    }
+
+    /// Graceful stop via the shutdown op.
+    fn shutdown(mut self) {
+        let mut client = self.connect();
+        let response = client.send(r#"{"op":"shutdown"}"#);
+        assert!(
+            response.contains("\"ok\":true"),
+            "shutdown failed: {response}"
+        );
+        self.child.wait().expect("reap daemon");
+    }
+}
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn send(&mut self, line: &str) -> String {
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .expect("send");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        assert!(!response.is_empty(), "server closed mid-request");
+        response.trim_end().to_string()
+    }
+}
+
+/// The mixed workload: writes, reads, copies, enrollment, verification
+/// and TRNG draws interleaved across all three dies, so the journal
+/// carries every state-mutating op class plus clock-advancing reads.
+fn request_line(index: usize) -> String {
+    let die = index % DIES;
+    match (index / DIES) % 6 {
+        0 => format!(
+            r#"{{"op":"write","die":{die},"bank":1,"row":{},"fill":{},"frac":{}}}"#,
+            3 + index % 16,
+            index.is_multiple_of(2),
+            index % 3
+        ),
+        1 => format!(
+            r#"{{"op":"read","die":{die},"bank":1,"row":{}}}"#,
+            3 + index % 16
+        ),
+        2 => format!(r#"{{"op":"enroll","die":{die},"bank":1,"row":44,"reps":2}}"#),
+        3 => format!(r#"{{"op":"verify","die":{die},"bank":1,"row":44}}"#),
+        4 => format!(
+            r#"{{"op":"copy","die":{die},"bank":1,"src":{},"dst":{}}}"#,
+            3 + index % 16,
+            20 + index % 4
+        ),
+        _ => format!(r#"{{"op":"trng","die":{die},"bits":64}}"#),
+    }
+}
+
+/// Reads back every row the workload touched plus the enrollment, on
+/// every die. Byte-equality of two sweeps implies the die states (and
+/// per-die clocks, via the `seq` field) are identical.
+fn sweep(client: &mut Client) -> String {
+    let mut out = String::new();
+    for die in 0..DIES {
+        for row in (3usize..19).chain(20..24) {
+            let line = format!(r#"{{"op":"read","die":{die},"bank":1,"row":{row}}}"#);
+            out.push_str(&client.send(&line));
+            out.push('\n');
+        }
+        let line = format!(r#"{{"op":"verify","die":{die},"bank":1,"row":44}}"#);
+        out.push_str(&client.send(&line));
+        out.push('\n');
+    }
+    out
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fracdram-kill-recover-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkilled_daemon_recovers_every_acked_request() {
+    let wal_dir = temp_dir("wal");
+    let kill_at = 23;
+
+    // Phase 1: drive the first part of the workload, then SIGKILL the
+    // process. Every request below was acknowledged, so by the
+    // acknowledge-after-log contract every one is fsynced in the WAL.
+    let daemon = Daemon::spawn(Some(&wal_dir));
+    let mut acked = Vec::new();
+    {
+        let mut client = daemon.connect();
+        for index in 0..kill_at {
+            let response = client.send(&request_line(index));
+            assert!(response.contains("\"ok\":true"), "failed: {response}");
+            acked.push(response);
+        }
+    }
+    daemon.kill();
+
+    // The journal is unsealed; an offline recovery dump must be stable
+    // across invocations and carry exactly the acked responses.
+    let dump_a = recover_dump(&wal_dir);
+    let dump_b = recover_dump(&wal_dir);
+    assert_eq!(dump_a, dump_b, "recovery dump must be deterministic");
+    let dumped: BTreeSet<&str> = dump_a.lines().collect();
+    let acked_set: BTreeSet<&str> = acked.iter().map(String::as_str).collect();
+    assert_eq!(
+        dumped, acked_set,
+        "recovered responses must be exactly the acknowledged ones"
+    );
+
+    // Phase 2: restart on the same WAL dir and finish the workload.
+    let daemon = Daemon::spawn(Some(&wal_dir));
+    let interrupted_sweep;
+    {
+        let mut client = daemon.connect();
+        let status = client.send(r#"{"op":"status"}"#);
+        assert!(
+            status.contains(&format!("\"recovered\":{kill_at}")),
+            "status must report {kill_at} recovered entries: {status}"
+        );
+        for index in kill_at..WORKLOAD {
+            let response = client.send(&request_line(index));
+            assert!(response.contains("\"ok\":true"), "failed: {response}");
+        }
+        interrupted_sweep = sweep(&mut client);
+    }
+    daemon.shutdown();
+
+    // Control: the same workload, uninterrupted, in one process.
+    let daemon = Daemon::spawn(None);
+    let control_sweep;
+    {
+        let mut client = daemon.connect();
+        for index in 0..WORKLOAD {
+            let response = client.send(&request_line(index));
+            assert!(response.contains("\"ok\":true"), "failed: {response}");
+        }
+        control_sweep = sweep(&mut client);
+    }
+    daemon.shutdown();
+
+    assert_eq!(
+        interrupted_sweep, control_sweep,
+        "kill→recover run must end in the same state as the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+/// Runs `fracdram-serve --recover-dump` offline and returns the
+/// recovered response log.
+fn recover_dump(wal_dir: &std::path::Path) -> String {
+    let output = Command::new(SERVE_BIN)
+        .args(["--dies", "3", "--shards", "2", "--cols", "64"])
+        .arg("--recover-dump")
+        .arg(wal_dir)
+        .output()
+        .expect("run --recover-dump");
+    assert!(
+        output.status.success(),
+        "--recover-dump failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("utf-8 dump")
+}
+
+#[test]
+fn graceful_shutdown_seals_the_wal() {
+    let wal_dir = temp_dir("sealed");
+    let daemon = Daemon::spawn(Some(&wal_dir));
+    {
+        let mut client = daemon.connect();
+        for index in 0..12 {
+            let response = client.send(&request_line(index));
+            assert!(response.contains("\"ok\":true"), "failed: {response}");
+        }
+    }
+    daemon.shutdown();
+
+    // Every shard journal must now carry a seal line.
+    for shard in 0..2 {
+        let path = wal_dir.join(format!("wal-shard-{shard}.log"));
+        let text = std::fs::read_to_string(&path).expect("read sealed journal");
+        let last = text.lines().last().unwrap_or_default();
+        assert!(
+            last.starts_with("S "),
+            "{} must end with a seal line, got {last:?}",
+            path.display()
+        );
+    }
+    // And a restart reports a clean (sealed) recovery of all 12 entries.
+    let daemon = Daemon::spawn(Some(&wal_dir));
+    {
+        let mut client = daemon.connect();
+        let status = client.send(r#"{"op":"status"}"#);
+        assert!(
+            status.contains("\"recovered\":12"),
+            "sealed journal must recover all 12 entries: {status}"
+        );
+    }
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
