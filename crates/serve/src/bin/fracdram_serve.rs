@@ -101,7 +101,7 @@ fn main() {
             ),
             (
                 "deadline-ms",
-                "shed queued requests older than this with 503 (default 5000)",
+                "shed queued requests older than this with 503 (default 5000; 0 disables)",
             ),
             (
                 "io-timeout-ms",

@@ -88,7 +88,8 @@ pub struct ServeConfig {
     pub chaos: Option<ChaosSpec>,
     /// Budget from enqueue to drain; a request older than this when its
     /// shard picks it up is shed with `503 deadline exceeded` instead
-    /// of executed (never enters the WAL or the replay log).
+    /// of executed (never enters the WAL or the replay log). `0`
+    /// disables deadline shedding entirely.
     pub deadline_ms: u64,
     /// Per-connection socket read/write timeout; an idle or stalled
     /// client is disconnected after this long so it can neither pin a

@@ -31,8 +31,10 @@
 //! Recovery: [`start_on`] with a [`ServeConfig::wal_dir`] holding logs
 //! from a previous incarnation replays them through [`recover`] —
 //! the same single-threaded path as [`run_replay`] — before accepting a
-//! single connection, then compacts the logs (rewrites them without the
-//! seal) and serves from the reconstructed states. The replay contract
+//! single connection, then compacts the logs (rewritten without the
+//! seal via write-tmp → fsync → rename → fsync-dir, so a crash during
+//! startup never truncates a durable log) and serves from the
+//! reconstructed states. The replay contract
 //! makes this exact: a die's state is a function of its request
 //! sequence, and the WAL *is* that sequence.
 
@@ -375,7 +377,7 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
         let ctx = ShardCtx {
             shard,
             batch: cfg.batch.max(1),
-            deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+            deadline: (cfg.deadline_ms > 0).then(|| Duration::from_millis(cfg.deadline_ms)),
             records: Arc::clone(&records),
             board: Arc::clone(&board),
             crashed: Arc::clone(&crashed),
@@ -458,7 +460,9 @@ pub fn start_on(cfg: ServeConfig, port: u16) -> std::io::Result<ServerHandle> {
 struct ShardCtx {
     shard: usize,
     batch: usize,
-    deadline: Duration,
+    /// Queue-age budget; `None` (`deadline_ms == 0`) disables deadline
+    /// shedding entirely.
+    deadline: Option<Duration>,
     records: Arc<Mutex<Vec<RecordEntry>>>,
     board: Arc<StatusBoard>,
     crashed: Arc<AtomicBool>,
@@ -502,7 +506,10 @@ fn shard_loop(mut state: ShardState, rx: Receiver<Envelope>, mut ctx: ShardCtx) 
         let mut requests = Vec::with_capacity(envelopes.len());
         let mut metas = Vec::with_capacity(envelopes.len());
         for envelope in envelopes {
-            if envelope.enqueued.elapsed() > ctx.deadline {
+            if ctx
+                .deadline
+                .is_some_and(|deadline| envelope.enqueued.elapsed() > deadline)
+            {
                 ctx.board.deadline_shed.fetch_add(1, Ordering::Relaxed);
                 let mut writer = envelope
                     .reply_to
@@ -617,25 +624,44 @@ fn connection_loop(
     };
     let chaos = cfg.chaos.as_ref().map(ChaosSpec::plan);
     let mut reader = BufReader::new(stream);
-    let mut buf = String::new();
+    // Accumulate raw bytes, not a String: `read_line` only keeps
+    // partial input across a read timeout when it happens to be valid
+    // UTF-8, so a timeout landing inside a multi-byte sequence would
+    // silently drop bytes and corrupt the in-flight line. Bytes carry
+    // across timeouts unconditionally; UTF-8 is validated once per
+    // complete line (an invalid line earns a 400, not a disconnect).
+    let mut buf: Vec<u8> = Vec::new();
     let mut forwarded = 0u64;
     let mut last_activity = Instant::now();
     loop {
         let before = buf.len();
-        let line = match reader.read_line(&mut buf) {
+        let line = match reader.read_until(b'\n', &mut buf) {
             Ok(0) => break, // EOF: client hung up
             Ok(_) => {
-                let line = buf.trim().to_string();
+                let line = match std::str::from_utf8(&buf) {
+                    Ok(text) => Some(text.trim().to_string()),
+                    Err(_) => None,
+                };
                 buf.clear();
                 last_activity = Instant::now();
-                Some(line)
+                match line {
+                    Some(line) => Some(line),
+                    None => {
+                        let response = top_level_error(400, "request line is not valid UTF-8");
+                        let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                        if w.write_all(format!("{response}\n").as_bytes()).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
+                }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                // Partial bytes (if any) stay appended in `buf` and the
-                // next pass continues the same line.
+                // Partial bytes stay appended in `buf` and the next
+                // pass continues the same line.
                 if buf.len() > before {
                     last_activity = Instant::now();
                 }

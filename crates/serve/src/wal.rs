@@ -42,10 +42,31 @@
 //! shards, columns, group, fault limit, breaker, chaos); recovery
 //! refuses a log written under a different one instead of silently
 //! reconstructing different silicon.
+//!
+//! ## Known limitation: the log only grows
+//!
+//! "Compaction" here rewrites the log without the stale seal — it does
+//! not shrink it. Die state is defined as the full per-die request
+//! sequence (that is what makes recovery exact with no snapshot
+//! format), so every journaled entry stays live forever: log size and
+//! recovery time grow linearly with requests served, and every restart
+//! replays the entire history. Bounding this needs a die-state
+//! checkpoint (serialize die state + seq watermark, truncate entries
+//! below the watermark) — an explicit non-goal for now, tracked in
+//! ROADMAP.md; deployments that restart periodically should budget for
+//! replay time proportional to total journaled traffic.
 
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+
+/// Fsyncs a directory so entries created (or renamed) inside it are
+/// durable. `sync_data` on a file makes its *bytes* durable; without
+/// this the directory entry itself can vanish across a power loss,
+/// taking the fully-fsynced log with it.
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
 
 use crate::pool::ServeConfig;
 
@@ -136,22 +157,31 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Creates (truncating) the shard's WAL with `recovered` as the
-    /// compacted prefix — the entries recovery replayed, rewritten so
-    /// the file is again `[header, entries...]` with no stale seal —
-    /// and fsyncs before returning. Pass an empty slice for a fresh
-    /// log.
+    /// Creates the shard's WAL with `recovered` as the compacted
+    /// prefix — the entries recovery replayed, rewritten so the file is
+    /// again `[header, entries...]` with no stale seal. Pass an empty
+    /// slice for a fresh log.
+    ///
+    /// The rewrite is crash-atomic: the compacted log is written and
+    /// fsynced as `wal-shard-<k>.log.tmp`, `rename`d over the old log,
+    /// and the directory is fsynced — so the previous durable log
+    /// survives on disk until the replacement is fully durable, and the
+    /// new file's directory entry survives a power loss. A crash at any
+    /// point leaves either the old log or the new one, never a
+    /// truncated prefix.
     ///
     /// # Errors
     ///
-    /// Propagates file creation / write / sync failures.
+    /// Propagates file creation / write / sync / rename failures.
     pub fn create(
         dir: &Path,
         shard: usize,
         cfg: &ServeConfig,
         recovered: &[WalEntry],
     ) -> std::io::Result<WalWriter> {
-        let mut file = File::create(shard_path(dir, shard))?;
+        let path = shard_path(dir, shard);
+        let tmp = path.with_extension("log.tmp");
+        let mut file = File::create(&tmp)?;
         let mut text = format!("fracdram-wal v1 {}\n", fingerprint(cfg));
         let mut acc = 0u64;
         for entry in recovered {
@@ -160,6 +190,10 @@ impl WalWriter {
         }
         file.write_all(text.as_bytes())?;
         file.sync_data()?;
+        std::fs::rename(&tmp, &path)?;
+        sync_dir(dir)?;
+        // The open handle follows the rename; appends land in the
+        // now-durable final file.
         Ok(WalWriter {
             file,
             pending: String::new(),
@@ -430,6 +464,34 @@ mod tests {
         assert_eq!(shard.entries.len(), 1, "intact prefix survives");
         assert_eq!(shard.torn, 2, "both damaged lines counted");
         assert!(!shard.sealed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_renames_atomically_and_ignores_stale_tmp() {
+        let dir = tmp_dir("atomic");
+        let cfg = ServeConfig::default();
+        let path = shard_path(&dir, 0);
+        let tmp = path.with_extension("log.tmp");
+
+        // A crash between writing the tmp and renaming it leaves a
+        // stale tmp behind; the next create must overwrite it and the
+        // old durable log must still read back in between.
+        let mut writer = WalWriter::create(&dir, 0, &cfg, &[]).unwrap();
+        writer.log(0, 0, r#"{"op":"read","die":0,"bank":0,"row":0}"#);
+        writer.commit().unwrap();
+        drop(writer); // hard kill: no seal
+        std::fs::write(&tmp, b"garbage from a crashed compaction\n").unwrap();
+
+        let shard = read_shard(&path, &fingerprint(&cfg)).unwrap();
+        assert_eq!(shard.entries.len(), 1, "stale tmp must not shadow the log");
+
+        let writer = WalWriter::create(&dir, 0, &cfg, &shard.entries).unwrap();
+        assert!(!tmp.exists(), "compaction must consume its tmp file");
+        assert_eq!(writer.entries(), 1);
+        drop(writer);
+        let shard = read_shard(&path, &fingerprint(&cfg)).unwrap();
+        assert_eq!(shard.entries.len(), 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -281,6 +281,89 @@ fn idle_connections_are_closed_after_the_io_timeout() {
 }
 
 #[test]
+fn deadline_zero_disables_deadline_shedding() {
+    // --deadline-ms 0 means "no deadline", not "a 0 ms deadline": a
+    // request that waits in a shard queue arbitrarily long must still
+    // execute rather than shed with 503.
+    let cfg = ServeConfig {
+        dies: 1,
+        shards: 1,
+        deadline_ms: 0,
+        ..ServeConfig::default()
+    };
+    let handle = start(cfg).expect("start server");
+
+    // Occupy the only shard, then queue a read behind the stall so it
+    // ages ~200 ms before its drain — far past any accidental 1 ms
+    // floor.
+    let stall_client = Client::connect(&handle);
+    let staller = std::thread::spawn(move || {
+        let mut client = stall_client;
+        client.send(r#"{"op":"stall","die":0,"millis":300}"#)
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut client = Client::connect(&handle);
+    let response = client.send(r#"{"op":"read","die":0,"bank":1,"row":3}"#);
+    assert!(
+        response.contains("\"ok\":true"),
+        "aged request must execute with deadlines disabled: {response}"
+    );
+    assert!(staller.join().expect("staller").contains("\"ok\":true"));
+
+    let status = Json::parse(&client.send(r#"{"op":"status"}"#)).unwrap();
+    assert_eq!(status.get("deadline_ms").and_then(Json::as_usize), Some(0));
+    assert_eq!(status.get("deadline_shed").and_then(Json::as_usize), Some(0));
+
+    handle.stop();
+    let report = handle.join();
+    assert_eq!(report.shed, 0);
+}
+
+#[test]
+fn invalid_utf8_line_gets_400_not_disconnect() {
+    // A request line that is not valid UTF-8 is a client error, not a
+    // transport failure: the server answers 400 and keeps the
+    // connection serving.
+    let handle = start(small_cfg()).expect("start server");
+    let mut client = Client::connect(&handle);
+    client
+        .writer
+        .write_all(b"\xff\xfe\xfd{\"op\":\"status\"}\n")
+        .expect("send invalid UTF-8");
+    let mut response = String::new();
+    client.reader.read_line(&mut response).expect("receive");
+    let doc = Json::parse(response.trim_end()).expect("400 must still be JSON");
+    assert_eq!(doc.get("code").and_then(Json::as_usize), Some(400));
+
+    // A multi-byte sequence split across the server's 50 ms read
+    // timeout must survive intact (bytes, not UTF-8 prefixes, carry
+    // across timeouts) — the reassembled line parses as one request.
+    client
+        .writer
+        .write_all("{\"op\":\"read\",\"die\":0,\"bank\":1,\"row\":3}".as_bytes())
+        .expect("send first half");
+    let split = "é".as_bytes(); // 2-byte UTF-8 sequence
+    client.writer.write_all(&split[..1]).expect("send half char");
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    client.writer.write_all(&split[1..]).expect("send other half");
+    client.writer.write_all(b"\n").expect("send newline");
+    let mut response = String::new();
+    client.reader.read_line(&mut response).expect("receive");
+    assert!(
+        response.contains("400"),
+        "trailing é makes the JSON malformed, but the line must arrive \
+         whole as one request: {response}"
+    );
+
+    // And the connection still works.
+    let response = client.send(r#"{"op":"read","die":0,"bank":1,"row":3}"#);
+    assert!(response.contains("\"ok\":true"), "{response}");
+
+    handle.stop();
+    handle.join();
+}
+
+#[test]
 fn full_queue_sheds_with_503_instead_of_blocking() {
     let cfg = ServeConfig {
         dies: 1,
