@@ -31,7 +31,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-/// The fifteen experiment binaries in `experiments_output.txt` order,
+/// The sixteen experiment binaries in `experiments_output.txt` order,
 /// with a flag for the ones that fan out over the task fleet (and so
 /// accept `--jobs` and must be jobs-invariant).
 const BINARIES: &[(&str, bool)] = &[
@@ -50,6 +50,7 @@ const BINARIES: &[(&str, bool)] = &[
     ("decoder_survey", true),
     ("ablation", true),
     ("fault_sweep", true),
+    ("population", true),
 ];
 
 fn main() {

@@ -20,11 +20,12 @@
 //! stderr as tasks complete, and an optional structured JSON dump
 //! (`--json PATH`) for tracking benchmark trajectories across PRs.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use fracdram_model::{GroupId, ModelPerf};
@@ -625,6 +626,225 @@ where
     }
 }
 
+/// Derives the private seed for one item (die) of a streamed
+/// population: `base_seed` mixed with the item's global index. A pure
+/// function of `(base_seed, index)`, so every die's entire simulation
+/// is independent of chunk size, worker count, and arrival order.
+pub fn item_seed(base_seed: u64, index: u64) -> u64 {
+    base_seed ^ mix(base_seed, &[index])
+}
+
+/// Configuration of a streamed (chunked) fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Total number of items (dies) to stream, indexed `0..items`.
+    pub items: u64,
+    /// Items per chunk; each chunk is folded into one accumulator.
+    pub chunk: u64,
+    /// Worker threads.
+    pub jobs: usize,
+    /// Base seed every [`item_seed`] derives from.
+    pub base_seed: u64,
+    /// Maximum chunks a worker may run ahead of the merge frontier
+    /// (`0` = auto: `4 × jobs`). This is the memory bound: at most
+    /// `window` finished accumulators are resident awaiting their turn,
+    /// plus one in-flight accumulator per worker — never the
+    /// population.
+    pub window: usize,
+}
+
+/// One chunk that did not fold: its index and the panic message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFailure {
+    /// Index of the failed chunk.
+    pub chunk: u64,
+    /// Panic payload rendered as text.
+    pub message: String,
+}
+
+impl fmt::Display for ChunkFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "chunk {}: {}", self.chunk, self.message)
+    }
+}
+
+/// A finished streamed run: the merged accumulator plus the
+/// observability needed to prove the memory bound held.
+#[derive(Debug)]
+pub struct StreamRun<A> {
+    /// The in-order merge of every chunk accumulator (`None` when the
+    /// run had zero items).
+    pub result: Option<A>,
+    /// Number of chunks the plan was cut into.
+    pub chunks: u64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Base seed the per-item seeds derive from.
+    pub base_seed: u64,
+    /// Chunks that panicked (their accumulators are missing from the
+    /// merge). Empty on a clean run.
+    pub failures: Vec<ChunkFailure>,
+    /// Peak number of finished accumulators held pending their in-order
+    /// merge — always ≤ the claim window, which is the bounded-memory
+    /// claim in one number.
+    pub peak_pending: usize,
+    /// Wall time of the whole stream.
+    pub wall: Duration,
+}
+
+/// Streams `cfg.items` items through `cfg.jobs` workers in fixed-size
+/// chunks, folding each chunk into its own accumulator and merging
+/// accumulators **in ascending chunk order**.
+///
+/// Determinism: `fold_chunk(chunk_index, range)` sees exactly the same
+/// index range at any job count, every item derives its randomness from
+/// [`item_seed`], and `merge` is applied left-to-right over chunk
+/// indices `0, 1, 2, …` — a fixed floating-point expression tree. The
+/// merged result is therefore **byte-identical** at any `--jobs N`,
+/// even for non-associative float folds, as long as the chunk size is
+/// unchanged (the chunk size is part of the result's identity, which is
+/// why the binary store records it in its header).
+///
+/// Memory: workers may claim a chunk only while it is within
+/// `cfg.window` chunks of the merge frontier (a claim past the window
+/// blocks on a condvar until the reducer catches up), so resident state
+/// is bounded by `window + jobs` accumulators regardless of how many
+/// billions of items stream through.
+///
+/// A panicking chunk is caught, recorded as a [`ChunkFailure`], and
+/// treated as merged (so the frontier advances and no worker
+/// deadlocks); remaining claims stop after the first failure, mirroring
+/// fail-fast. Callers should treat `failures ≠ ∅` as fatal for
+/// figure output.
+///
+/// # Panics
+///
+/// Panics when `cfg.jobs == 0` or `cfg.chunk == 0`.
+pub fn run_stream<A, F, M>(cfg: &StreamConfig, fold_chunk: F, mut merge: M) -> StreamRun<A>
+where
+    A: Send,
+    F: Fn(u64, std::ops::Range<u64>) -> A + Sync,
+    M: FnMut(&mut A, A),
+{
+    assert!(cfg.jobs > 0, "stream needs at least one worker");
+    assert!(cfg.chunk > 0, "stream needs a nonzero chunk size");
+    let started = Instant::now();
+    let chunks = cfg.items.div_ceil(cfg.chunk);
+    let window = if cfg.window == 0 {
+        cfg.jobs * 4
+    } else {
+        cfg.window
+    } as u64;
+    let cursor = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    // The merge frontier: chunks `< floor` have been handed to the
+    // reducer in order. Workers block before *claiming* a chunk beyond
+    // `floor + window`, which is what bounds resident accumulators.
+    let frontier = Mutex::new(0u64);
+    let frontier_moved = Condvar::new();
+    let (sender, receiver) = mpsc::channel::<(u64, Result<A, String>)>();
+
+    let mut result: Option<A> = None;
+    let mut failures = Vec::new();
+    let mut peak_pending = 0usize;
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.jobs.min(chunks.max(1) as usize) {
+            let sender = sender.clone();
+            scope.spawn(|| {
+                let sender = sender; // move the clone, borrow the rest
+                crate::setup::arm_cache_pool();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= chunks {
+                        break;
+                    }
+                    // Claim gate: wait until this chunk is inside the
+                    // window above the merge frontier.
+                    {
+                        let mut floor = frontier.lock().unwrap_or_else(PoisonError::into_inner);
+                        while index >= *floor + window && !stop.load(Ordering::Relaxed) {
+                            floor = frontier_moved
+                                .wait(floor)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let lo = index * cfg.chunk;
+                    let hi = (lo + cfg.chunk).min(cfg.items);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| fold_chunk(index, lo..hi)))
+                        .map_err(|payload| {
+                            stop.store(true, Ordering::Relaxed);
+                            panic_message(payload)
+                        });
+                    if sender.send((index, outcome)).is_err() {
+                        break;
+                    }
+                }
+                crate::setup::disarm_cache_pool();
+                // Wake any worker still parked on the claim gate so a
+                // stop is never missed.
+                frontier_moved.notify_all();
+            });
+        }
+        drop(sender);
+
+        // In-order reducer (runs on the calling thread): buffer
+        // out-of-order chunks, merge the contiguous prefix, advance the
+        // frontier, and release parked workers.
+        let mut pending: BTreeMap<u64, Result<A, String>> = BTreeMap::new();
+        let mut next = 0u64;
+        let mut merged = 0u64;
+        for (index, outcome) in receiver.iter() {
+            pending.insert(index, outcome);
+            peak_pending = peak_pending.max(pending.len());
+            while let Some(outcome) = pending.remove(&next) {
+                match outcome {
+                    Ok(acc) => match result.as_mut() {
+                        Some(total) => merge(total, acc),
+                        None => result = Some(acc),
+                    },
+                    Err(message) => {
+                        let failure = ChunkFailure {
+                            chunk: next,
+                            message,
+                        };
+                        eprintln!("fleet: stream {failure}");
+                        failures.push(failure);
+                    }
+                }
+                next += 1;
+                merged += 1;
+                *frontier.lock().unwrap_or_else(PoisonError::into_inner) = next;
+                frontier_moved.notify_all();
+                if merged.is_multiple_of(64) || merged == chunks {
+                    eprintln!("fleet: stream [{merged}/{chunks}] chunks merged");
+                }
+            }
+        }
+        // A fail-fast stop can leave claimed-but-unmerged successors in
+        // the buffer; they were produced, so merge order is still
+        // ascending over whatever completed. Anything after the failed
+        // chunk is dropped (the caller treats failures as fatal).
+        drop(pending);
+    });
+
+    StreamRun {
+        result,
+        chunks,
+        jobs: cfg.jobs,
+        base_seed: cfg.base_seed,
+        failures,
+        peak_pending,
+        wall: started.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1005,5 +1225,118 @@ mod tests {
         let fleet = run_with(&plan(), 9, 1, FleetPolicy::keep_going(), poisoned_task);
         let report = fleet.tasks.iter().find(|t| t.failure().is_some()).unwrap();
         let _ = report.value();
+    }
+
+    fn stream_cfg(items: u64, chunk: u64, jobs: usize) -> StreamConfig {
+        StreamConfig {
+            items,
+            chunk,
+            jobs,
+            base_seed: 77,
+            window: 0,
+        }
+    }
+
+    /// The byte-identity claim for floats: a sum folded per chunk and
+    /// merged in chunk order is a fixed expression tree, so the f64
+    /// *bits* match between jobs 1 and jobs 8 even though f64 addition
+    /// is not associative.
+    #[test]
+    fn stream_float_fold_is_bit_identical_across_job_counts() {
+        let fold = |chunk: u64, range: std::ops::Range<u64>| {
+            let mut sum = 0.0f64;
+            let mut count = 0u64;
+            for i in range {
+                // Scale-diverse addends make any reassociation visible
+                // in the low mantissa bits.
+                let seed = item_seed(77, i);
+                sum += (seed as f64) * 1e-19 + (chunk as f64) * 1e-3 + 0.1;
+                count += 1;
+            }
+            (sum, count)
+        };
+        let merge = |a: &mut (f64, u64), b: (f64, u64)| {
+            a.0 += b.0;
+            a.1 += b.1;
+        };
+        let serial = run_stream(&stream_cfg(10_000, 256, 1), fold, merge);
+        let parallel = run_stream(&stream_cfg(10_000, 256, 8), fold, merge);
+        let (sa, ca) = serial.result.unwrap();
+        let (sp, cp) = parallel.result.unwrap();
+        assert_eq!(
+            sa.to_bits(),
+            sp.to_bits(),
+            "float merge must be bit-identical"
+        );
+        assert_eq!(ca, 10_000);
+        assert_eq!(cp, 10_000);
+        assert_eq!(serial.chunks, 40);
+        assert!(serial.failures.is_empty() && parallel.failures.is_empty());
+        // Serial merges strictly in order, so at most one accumulator
+        // is ever pending.
+        assert_eq!(serial.peak_pending, 1);
+    }
+
+    #[test]
+    fn stream_window_bounds_pending_accumulators() {
+        let cfg = StreamConfig {
+            items: 4_000,
+            chunk: 10,
+            jobs: 8,
+            base_seed: 1,
+            window: 5,
+        };
+        let run = run_stream(&cfg, |_, range| range.count() as u64, |a, b| *a += b);
+        assert_eq!(run.result, Some(4_000));
+        assert_eq!(run.chunks, 400);
+        // The claim gate admits at most `window` chunks past the merge
+        // frontier, so the reducer can never have more than window + 1
+        // outstanding (the +1 is the chunk being inserted before the
+        // contiguous prefix drains).
+        assert!(
+            run.peak_pending <= 6,
+            "peak_pending {} exceeded the window bound",
+            run.peak_pending
+        );
+    }
+
+    #[test]
+    fn stream_handles_ragged_tail_and_empty_runs() {
+        let run = run_stream(
+            &stream_cfg(103, 10, 4),
+            |_, r| r.sum::<u64>(),
+            |a, b| *a += b,
+        );
+        assert_eq!(run.chunks, 11);
+        assert_eq!(run.result, Some((0..103).sum()));
+        let empty = run_stream(&stream_cfg(0, 10, 4), |_, r| r.sum::<u64>(), |a, b| *a += b);
+        assert_eq!(empty.result, None);
+        assert_eq!(empty.chunks, 0);
+    }
+
+    #[test]
+    fn stream_item_seeds_are_index_pure() {
+        assert_eq!(item_seed(9, 123), item_seed(9, 123));
+        assert_ne!(item_seed(9, 123), item_seed(9, 124));
+        assert_ne!(item_seed(9, 123), item_seed(10, 123));
+    }
+
+    #[test]
+    fn stream_contains_a_panicking_chunk_without_deadlock() {
+        let run = run_stream(
+            &stream_cfg(1_000, 100, 4),
+            |chunk, range| {
+                assert!(chunk != 3, "injected stream poison");
+                range.count() as u64
+            },
+            |a, b| *a += b,
+        );
+        assert_eq!(run.failures.len(), 1);
+        assert_eq!(run.failures[0].chunk, 3);
+        assert!(run.failures[0].message.contains("injected stream poison"));
+        // Chunks 0..3 were produced before the poison; the stop keeps
+        // the run from finishing the plan, and the caller treats the
+        // failure list as fatal.
+        assert!(run.result.unwrap() >= 300);
     }
 }

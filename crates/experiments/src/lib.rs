@@ -13,8 +13,10 @@
 pub mod cli;
 pub mod fleet;
 pub mod json;
+pub mod population;
 pub mod render;
 pub mod setup;
+pub mod store;
 pub mod tasks;
 
 pub use cli::{exit_json_write_error, Args};

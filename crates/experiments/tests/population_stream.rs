@@ -1,0 +1,157 @@
+//! Integration tests for the `population` streaming binary: the whole
+//! aggregate report must be byte-identical at any `--jobs N`, the
+//! binary store must carry the same digest either way, `--replay` must
+//! reproduce the report without re-simulating, and a malformed scale
+//! suffix must exit with status 2 (the in-process unit tests in
+//! `cli.rs` cannot observe `std::process::exit`).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn scratch(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("fracdram_poptest_{}_{name}", std::process::id()));
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_population"))
+        .args(args)
+        .output()
+        .expect("spawn population")
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = run(args);
+    assert!(
+        out.status.success(),
+        "population {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// One small real population, simulated twice (jobs 1 vs 8) and then
+/// replayed from the store — all three stdouts must be byte-identical,
+/// and both stores must hash to the same digest.
+#[test]
+fn aggregate_report_is_byte_identical_across_jobs_and_replay() {
+    let store1 = scratch("jobs1.bin");
+    let store8 = scratch("jobs8.bin");
+    let dies = "1920";
+    let chunk = "240";
+
+    let serial = run_ok(&[
+        "--dies",
+        dies,
+        "--chunk",
+        chunk,
+        "--jobs",
+        "1",
+        "--store",
+        store1.to_str().unwrap(),
+    ]);
+    let parallel = run_ok(&[
+        "--dies",
+        dies,
+        "--chunk",
+        chunk,
+        "--jobs",
+        "8",
+        "--store",
+        store8.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "aggregate stdout must not depend on --jobs"
+    );
+
+    // Same records in the same order: the store files are identical.
+    let bytes1 = std::fs::read(&store1).expect("read store");
+    let bytes8 = std::fs::read(&store8).expect("read store");
+    assert_eq!(bytes1, bytes8, "store bytes must not depend on --jobs");
+
+    // Replay folds the store with the run's own chunk structure, so
+    // the report (which includes the digest line) comes out identical
+    // without a single simulated die.
+    let replay = run_ok(&["--replay", store1.to_str().unwrap()]);
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&replay.stdout),
+        "--replay must reproduce the simulated report"
+    );
+    let err = String::from_utf8_lossy(&replay.stderr);
+    assert!(
+        err.contains("replayed 1920 record(s)"),
+        "replay notes the record count on stderr: {err}"
+    );
+    assert!(
+        err.contains("0 DRAM commands"),
+        "replay must not simulate: {err}"
+    );
+
+    std::fs::remove_file(&store1).ok();
+    std::fs::remove_file(&store8).ok();
+}
+
+/// A ragged tail (dies not a multiple of chunk) still streams, replays,
+/// and reports the full die count.
+#[test]
+fn ragged_tail_population_replays() {
+    let store = scratch("ragged.bin");
+    let simulated = run_ok(&[
+        "--dies",
+        "130",
+        "--chunk",
+        "48",
+        "--jobs",
+        "3",
+        "--store",
+        store.to_str().unwrap(),
+    ]);
+    let stdout = String::from_utf8_lossy(&simulated.stdout);
+    assert!(stdout.contains("store: 130 record(s)"), "{stdout}");
+    let replay = run_ok(&["--replay", store.to_str().unwrap()]);
+    assert_eq!(simulated.stdout, replay.stdout);
+    std::fs::remove_file(&store).ok();
+}
+
+/// `--dies 1k` parses through the scale-suffix path end to end.
+#[test]
+fn scale_suffix_accepted_by_real_binary() {
+    let out = run_ok(&["--dies", "1k", "--chunk", "500", "--jobs", "2"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dies 1000  chunk 500"), "{stdout}");
+}
+
+/// A malformed count must exit with status 2 and a named error — not a
+/// panic backtrace, and never a silent run of the default config.
+#[test]
+fn malformed_scale_suffix_exits_2() {
+    for bad in ["4x4", "2T", "1.5M", "k"] {
+        let out = run(&["--dies", bad]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--dies {bad} must exit 2, got {:?}",
+            out.status
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--dies expects an integer"),
+            "--dies {bad} stderr: {err}"
+        );
+        assert!(!err.contains("panicked"), "--dies {bad} stderr: {err}");
+    }
+}
+
+/// Unknown arguments still exit 2 with the usage banner (the typo gate
+/// every fleet binary shares).
+#[test]
+fn unknown_argument_exits_2() {
+    let out = run(&["--dyes", "100"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown argument --dyes"), "{err}");
+}

@@ -312,7 +312,10 @@ fn deadline_zero_disables_deadline_shedding() {
 
     let status = Json::parse(&client.send(r#"{"op":"status"}"#)).unwrap();
     assert_eq!(status.get("deadline_ms").and_then(Json::as_usize), Some(0));
-    assert_eq!(status.get("deadline_shed").and_then(Json::as_usize), Some(0));
+    assert_eq!(
+        status.get("deadline_shed").and_then(Json::as_usize),
+        Some(0)
+    );
 
     handle.stop();
     let report = handle.join();
@@ -343,9 +346,15 @@ fn invalid_utf8_line_gets_400_not_disconnect() {
         .write_all("{\"op\":\"read\",\"die\":0,\"bank\":1,\"row\":3}".as_bytes())
         .expect("send first half");
     let split = "é".as_bytes(); // 2-byte UTF-8 sequence
-    client.writer.write_all(&split[..1]).expect("send half char");
+    client
+        .writer
+        .write_all(&split[..1])
+        .expect("send half char");
     std::thread::sleep(std::time::Duration::from_millis(120));
-    client.writer.write_all(&split[1..]).expect("send other half");
+    client
+        .writer
+        .write_all(&split[1..])
+        .expect("send other half");
     client.writer.write_all(b"\n").expect("send newline");
     let mut response = String::new();
     client.reader.read_line(&mut response).expect("receive");

@@ -15,7 +15,11 @@
 //!   (erfc, incomplete gamma, DFT, GF(2) rank) the NIST tests need;
 //! - [`ziggurat`] — the table-driven exact standard-normal sampler the
 //!   model's counter-keyed noise engine draws through;
-//! - [`nist`] — the full NIST SP 800-22 suite (all 15 tests, §VI-B2).
+//! - [`nist`] — the full NIST SP 800-22 suite (all 15 tests, §VI-B2);
+//! - [`stream`] — online Welford/Pébay moments, fixed-bin streaming
+//!   histograms, and seed-keyed deterministic reservoir sampling for
+//!   the population-scale fleet (bounded memory, order-structured
+//!   merges that keep aggregates byte-identical at any `--jobs N`).
 //!
 //! ## Example
 //!
@@ -46,6 +50,7 @@ pub mod matrix_rank;
 pub mod nist;
 pub mod rng;
 pub mod special;
+pub mod stream;
 pub mod summary;
 pub mod ziggurat;
 

@@ -1,0 +1,570 @@
+//! Online (streaming) statistics with exact, order-structured merges.
+//!
+//! The population-scale fleet pushes 10⁵–10⁷ die fingerprints through
+//! per-chunk accumulators and merges them **in plan order**, so the
+//! aggregate output is byte-identical at any worker count while the
+//! resident state stays O(1) per worker. Three primitives cover it:
+//!
+//! - [`Moments`] — Welford/Pébay single-pass central moments (mean,
+//!   variance, skewness, kurtosis) with the exact pairwise merge
+//!   formulas, so `merge(fold(chunk₀), fold(chunk₁), …)` is a fixed
+//!   floating-point expression tree: the same chunking and merge order
+//!   always reproduce the same bits, regardless of which thread folded
+//!   which chunk.
+//! - [`FixedHistogram`] — fixed-bin streaming histogram over a closed
+//!   range with pure integer counts; its merge is associative *and*
+//!   commutative, so any merge order yields identical counts.
+//! - [`Reservoir`] — deterministic seed-keyed reservoir sampling: each
+//!   stream index gets a priority that is a pure function of
+//!   `(seed, index)`, and the sample is the bottom-`k` by priority.
+//!   The selected set therefore depends only on the index set, never on
+//!   arrival order, chunking, or thread count — unlike classic
+//!   sequential reservoir sampling (Vitter's Algorithm R), whose RNG
+//!   stream is consumed in arrival order and so reshuffles under
+//!   parallel folding.
+
+use crate::rng::mix;
+
+/// Single-pass central moments (count, mean, M2..M4) with exact
+/// pairwise merging (Pébay 2008).
+///
+/// Floating-point caveat: `push` and `merge` are exact in infinite
+/// precision but round differently depending on the grouping of
+/// operations. Determinism therefore comes from *fixing the grouping*:
+/// fold each fixed-size chunk sequentially, then merge chunk
+/// accumulators in ascending chunk order. For small integer-valued
+/// samples the merged result typically agrees with a two-pass
+/// computation to ≤ 1 ulp; the unit tests pin a 1e-12 relative bound.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+}
+
+impl Moments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Moments::default()
+    }
+
+    /// Records one sample (Welford's update, extended to M3/M4).
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let delta_n2 = delta_n * delta_n;
+        let term1 = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term1;
+    }
+
+    /// Merges another accumulator into this one using the exact
+    /// pairwise-combination formulas. `a.merge(&b)` summarizes the
+    /// concatenation of the two underlying samples.
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        let delta2 = delta * delta;
+        let delta3 = delta2 * delta;
+        let delta4 = delta2 * delta2;
+        let mean = self.mean + delta * nb / n;
+        let m2 = self.m2 + other.m2 + delta2 * na * nb / n;
+        let m3 = self.m3
+            + other.m3
+            + delta3 * na * nb * (na - nb) / (n * n)
+            + 3.0 * delta * (na * other.m2 - nb * self.m2) / n;
+        let m4 = self.m4
+            + other.m4
+            + delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n)
+            + 6.0 * delta2 * (na * na * other.m2 + nb * nb * self.m2) / (n * n)
+            + 4.0 * delta * (na * other.m3 - nb * self.m3) / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Bessel-corrected sample variance (0 when n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Sample skewness `√n·M3 / M2^{3/2}` (0 when undefined).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        (self.n as f64).sqrt() * self.m3 / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis `n·M4 / M2² − 3` (0 when undefined).
+    pub fn kurtosis(&self) -> f64 {
+        if self.n < 2 || self.m2 <= 0.0 {
+            return 0.0;
+        }
+        self.n as f64 * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+}
+
+/// A streaming histogram over `bins` equal-width bins spanning
+/// `[lo, hi)`, with explicit underflow/overflow counters.
+///
+/// All state is integer counts, so [`FixedHistogram::merge`] is
+/// associative and commutative: any merge order over any partition of
+/// the sample yields identical counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FixedHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl FixedHistogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range must be non-empty");
+        FixedHistogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo || x.is_nan() {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let frac = (x - self.lo) / (self.hi - self.lo);
+        let bin = ((frac * self.counts.len() as f64) as usize).min(self.counts.len() - 1);
+        self.counts[bin] += 1;
+    }
+
+    /// Merges another histogram with the identical bin configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range or bin count differ.
+    pub fn merge(&mut self, other: &FixedHistogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "cannot merge differing bin configurations"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
+    /// Per-bin counts (underflow/overflow excluded).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below `lo` (NaN counts here too).
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// The exclusive upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * (i + 1) as f64 / self.counts.len() as f64
+    }
+}
+
+/// The priority a stream index draws in a seed-keyed reservoir: a pure
+/// function of `(seed, index)`, independent of arrival order.
+pub fn reservoir_priority(seed: u64, index: u64) -> u64 {
+    // Salted so a reservoir never correlates with other per-index
+    // derivations (die seeds use mix(seed, [index]) without the salt).
+    mix(seed, &[0x5EED_5A4E_u64, index])
+}
+
+/// A deterministic bottom-`k` reservoir sample.
+///
+/// Every offered index draws [`reservoir_priority`]`(seed, index)`; the
+/// reservoir keeps the `k` items with the smallest `(priority, index)`
+/// pairs. Because the priority depends only on `(seed, index)`, the
+/// selected sample is a pure function of the offered index set — two
+/// runs that offer the same indices in any order, any chunking, on any
+/// number of threads, select identical samples. `merge` (bottom-`k` of
+/// the union) is associative and commutative for the same reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reservoir<T> {
+    seed: u64,
+    capacity: usize,
+    /// `(priority, index, item)`, kept ascending by `(priority, index)`.
+    items: Vec<(u64, u64, T)>,
+}
+
+impl<T> Reservoir<T> {
+    /// An empty reservoir keeping at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(seed: u64, capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir needs capacity");
+        Reservoir {
+            seed,
+            capacity,
+            items: Vec::new(),
+        }
+    }
+
+    /// Offers the item at stream `index`. Whether it is retained depends
+    /// only on `(seed, index)` and the other offered indices.
+    pub fn offer(&mut self, index: u64, item: T) {
+        let priority = reservoir_priority(self.seed, index);
+        let key = (priority, index);
+        if self.items.len() == self.capacity {
+            let last = &self.items[self.capacity - 1];
+            if key >= (last.0, last.1) {
+                return;
+            }
+            self.items.pop();
+        }
+        let at = self.items.partition_point(|e| (e.0, e.1) < key);
+        self.items.insert(at, (priority, index, item));
+    }
+
+    /// Merges another reservoir drawn with the same seed and capacity:
+    /// the result is the bottom-`k` of the union.
+    ///
+    /// # Panics
+    ///
+    /// Panics when seeds or capacities differ.
+    pub fn merge(&mut self, other: Reservoir<T>) {
+        assert_eq!(self.seed, other.seed, "reservoir seeds differ");
+        assert_eq!(self.capacity, other.capacity, "reservoir capacities differ");
+        for (priority, index, item) in other.items {
+            let key = (priority, index);
+            if self.items.len() == self.capacity {
+                let last = &self.items[self.capacity - 1];
+                if key >= (last.0, last.1) {
+                    continue;
+                }
+                self.items.pop();
+            }
+            let at = self.items.partition_point(|e| (e.0, e.1) < key);
+            self.items.insert(at, (priority, index, item));
+        }
+    }
+
+    /// The sampled items in ascending `(priority, index)` order — a
+    /// canonical, order-independent presentation.
+    pub fn items(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.items.iter().map(|(_, index, item)| (*index, item))
+    }
+
+    /// Number of items currently held.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The sampling capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pass(samples: &[f64]) -> (f64, f64, f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let m2 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>();
+        let m3 = samples.iter().map(|x| (x - mean).powi(3)).sum::<f64>();
+        let m4 = samples.iter().map(|x| (x - mean).powi(4)).sum::<f64>();
+        (mean, m2, m3, m4)
+    }
+
+    fn close(a: f64, b: f64) {
+        let scale = a.abs().max(b.abs()).max(1.0);
+        assert!((a - b).abs() <= 1e-12 * scale, "{a} vs {b}");
+    }
+
+    #[test]
+    fn moments_match_two_pass_on_small_n() {
+        let samples: Vec<f64> = vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut m = Moments::new();
+        for &x in &samples {
+            m.push(x);
+        }
+        let (mean, m2, _m3, _m4) = two_pass(&samples);
+        close(m.mean(), mean);
+        close(m.variance(), m2 / (samples.len() - 1) as f64);
+        // Known values for this classic sample.
+        close(m.mean(), 5.0);
+        close(m.variance(), 32.0 / 7.0);
+    }
+
+    #[test]
+    fn merged_moments_match_two_pass_within_documented_tolerance() {
+        // Integer-valued data split into uneven chunks: the pairwise
+        // merge must agree with the exact two-pass computation to the
+        // documented ≤ 1e-12 relative bound (≈ a few ulps).
+        let samples: Vec<f64> = (0..97).map(|i| ((i * 37) % 23) as f64 - 7.0).collect();
+        let mut merged = Moments::new();
+        for chunk in samples.chunks(13) {
+            let mut part = Moments::new();
+            for &x in chunk {
+                part.push(x);
+            }
+            merged.merge(&part);
+        }
+        let (mean, m2, m3, m4) = two_pass(&samples);
+        let n = samples.len() as f64;
+        close(merged.mean(), mean);
+        close(merged.variance(), m2 / (n - 1.0));
+        close(merged.skewness(), n.sqrt() * m3 / m2.powf(1.5));
+        close(merged.kurtosis(), n * m4 / (m2 * m2) - 3.0);
+        assert_eq!(merged.count(), 97);
+    }
+
+    #[test]
+    fn moments_merge_with_empty_is_identity() {
+        let mut a = Moments::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&Moments::new());
+        assert_eq!(a, before);
+        let mut empty = Moments::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn skew_and_kurtosis_signs() {
+        let mut right_skewed = Moments::new();
+        for &x in &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 10.0] {
+            right_skewed.push(x);
+        }
+        assert!(right_skewed.skewness() > 0.5);
+        let mut uniformish = Moments::new();
+        for i in 0..1000 {
+            uniformish.push(i as f64);
+        }
+        // A uniform distribution has excess kurtosis −1.2.
+        assert!((uniformish.kurtosis() + 1.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        // Property over a deterministic pseudo-random sample split three
+        // ways: (a⊕b)⊕c == a⊕(b⊕c) == (c⊕a)⊕b, exactly.
+        let mut rng = crate::rng::Rng::seed_from_u64(99);
+        let parts: Vec<FixedHistogram> = (0..3)
+            .map(|_| {
+                let mut h = FixedHistogram::new(0.0, 1.0, 16);
+                for _ in 0..500 {
+                    h.record(rng.gen_f64() * 1.2 - 0.1);
+                }
+                h
+            })
+            .collect();
+        let merge_all = |order: &[usize]| {
+            let mut acc = parts[order[0]].clone();
+            acc.merge(&parts[order[1]]);
+            acc.merge(&parts[order[2]]);
+            acc
+        };
+        let abc = merge_all(&[0, 1, 2]);
+        // a ⊕ (b ⊕ c)
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut a_bc = parts[0].clone();
+        a_bc.merge(&bc);
+        assert_eq!(abc, a_bc);
+        assert_eq!(abc, merge_all(&[2, 0, 1]));
+        assert_eq!(abc, merge_all(&[1, 2, 0]));
+        assert_eq!(abc.total(), 1500);
+    }
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = FixedHistogram::new(0.0, 1.0, 4);
+        h.record(-0.01); // underflow
+        h.record(0.0);
+        h.record(0.24);
+        h.record(0.25);
+        h.record(0.999);
+        h.record(1.0); // overflow (hi-exclusive)
+        h.record(f64::NAN); // counted as underflow, never panics
+        assert_eq!(h.counts(), &[2, 1, 0, 1]);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_lo(1), 0.25);
+        assert_eq!(h.bin_hi(3), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differing bin configurations")]
+    fn histogram_merge_rejects_mismatched_bins() {
+        let mut a = FixedHistogram::new(0.0, 1.0, 4);
+        let b = FixedHistogram::new(0.0, 1.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn reservoir_is_a_pure_function_of_the_index_set() {
+        // Offer the same indices in three different orders/chunkings;
+        // the sampled (index, item) sets must be identical.
+        let indices: Vec<u64> = (0..1000).collect();
+        let sequential = {
+            let mut r = Reservoir::new(7, 16);
+            for &i in &indices {
+                r.offer(i, i * 3);
+            }
+            r
+        };
+        let reversed = {
+            let mut r = Reservoir::new(7, 16);
+            for &i in indices.iter().rev() {
+                r.offer(i, i * 3);
+            }
+            r
+        };
+        assert_eq!(sequential, reversed);
+        // Chunked + merged out of order (the parallel-fold shape).
+        let chunked = {
+            let parts: Vec<Reservoir<u64>> = indices
+                .chunks(137)
+                .map(|chunk| {
+                    let mut r = Reservoir::new(7, 16);
+                    for &i in chunk {
+                        r.offer(i, i * 3);
+                    }
+                    r
+                })
+                .collect();
+            let mut acc = Reservoir::new(7, 16);
+            for part in parts.into_iter().rev() {
+                acc.merge(part);
+            }
+            acc
+        };
+        assert_eq!(sequential, chunked);
+        assert_eq!(sequential.len(), 16);
+        for (index, item) in sequential.items() {
+            assert_eq!(*item, index * 3);
+        }
+    }
+
+    #[test]
+    fn reservoir_keeps_everything_below_capacity() {
+        let mut r = Reservoir::new(3, 100);
+        for i in 0..10 {
+            r.offer(i, ());
+        }
+        assert_eq!(r.len(), 10);
+        assert!(!r.is_empty());
+        assert_eq!(r.capacity(), 100);
+        let got: Vec<u64> = r.items().map(|(i, _)| i).collect();
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn different_seeds_select_different_samples() {
+        let fill = |seed| {
+            let mut r = Reservoir::new(seed, 8);
+            for i in 0..500 {
+                r.offer(i, ());
+            }
+            let mut v: Vec<u64> = r.items().map(|(i, _)| i).collect();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(fill(1), fill(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds differ")]
+    fn reservoir_merge_rejects_mismatched_seeds() {
+        let mut a: Reservoir<()> = Reservoir::new(1, 4);
+        let b: Reservoir<()> = Reservoir::new(2, 4);
+        a.merge(b);
+    }
+}
